@@ -1,0 +1,61 @@
+"""Extension bench — the delta-index suggestion of Section 2.3, evaluated.
+
+The ALEX paper notes that "Kraska et al. suggest building delta-indexes to
+handle inserts" and argues for a different design instead.  This bench
+puts numbers on that choice: ALEX-GA-ARMI vs the Learned Index vs the
+delta-buffer Learned Index on the write-heavy workload, reporting insert
+amortization and the delta's two structural costs — the second lookup
+probe and the periodic full merges.
+
+Run: ``pytest benchmarks/bench_delta_baseline.py --benchmark-only -s``
+"""
+
+import numpy as np
+
+from repro.analysis import DEFAULT_COST_MODEL
+from repro.baselines.delta_learned_index import DeltaLearnedIndex
+from repro.bench import SystemParams, build_index, format_table
+from repro.datasets import lognormal
+from repro.workloads import WRITE_HEAVY, WorkloadRunner
+
+INIT = 8000
+NUM_OPS = 6000
+
+
+def run_comparison():
+    keys = lognormal(INIT + NUM_OPS, seed=131)
+    init, inserts = keys[:INIT], keys[INIT:]
+    systems = {
+        "ALEX-GA-ARMI": build_index(
+            "ALEX-GA-ARMI", init, SystemParams(max_keys_per_node=1024)),
+        "LearnedIndex (naive)": build_index(
+            "LearnedIndex", init, SystemParams()),
+        "LearnedIndex+delta": DeltaLearnedIndex.bulk_load(
+            init, num_models=max(1, INIT // 2000), merge_threshold=0.10),
+    }
+    rows = []
+    extras = {}
+    for name, index in systems.items():
+        runner = WorkloadRunner(index, init.copy(), inserts.copy(), seed=137)
+        result = runner.run(WRITE_HEAVY, NUM_OPS)
+        throughput = DEFAULT_COST_MODEL.throughput(result.ops, result.work)
+        rows.append((name, f"{throughput / 1e6:.2f}",
+                     f"{result.work.shifts / max(1, result.inserts):.1f}",
+                     f"{result.work.build_moves / max(1, result.inserts):.1f}"))
+        extras[name] = throughput
+    extras["merges"] = systems["LearnedIndex+delta"].merges
+    return rows, extras
+
+
+def test_delta_index_baseline(benchmark):
+    rows, extras = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["system", "Mops/s (sim)", "shifts/insert", "merge moves/insert"],
+        rows, title="Section 2.3: the delta-index suggestion, evaluated "
+                    "(write-heavy, lognormal)"))
+    print(f"  delta merges performed: {extras['merges']}")
+    # The delta rescues the Learned Index from naive-insert collapse...
+    assert extras["LearnedIndex+delta"] > 2 * extras["LearnedIndex (naive)"]
+    # ...but ALEX still wins: no second probe, no stop-the-world merges.
+    assert extras["ALEX-GA-ARMI"] > extras["LearnedIndex+delta"]

@@ -1,0 +1,60 @@
+"""Extension bench — Section 7 "Data Skew": the adaptive PMA on Fig. 5c.
+
+The paper conjectures that Bender & Hu's *adaptive* PMA "could, in theory,
+prevent the adversarial case shown in Figure 5c" (sequential inserts).
+This bench replays the append-only stream into a plain PMA node and into
+the hotspot-aware :class:`AdaptivePMANode`, comparing total element
+movement (shifts + rebalance moves) and simulated insert cost.
+
+Run: ``pytest benchmarks/bench_ext_apma.py --benchmark-only -s``
+"""
+
+import numpy as np
+
+from repro.analysis import DEFAULT_COST_MODEL
+from repro.bench import format_table
+from repro.core.config import AlexConfig
+from repro.core.pma import PMANode
+from repro.core.stats import Counters
+from repro.ext.adaptive_pma import AdaptivePMANode
+
+INIT = 256
+APPENDS = 8000
+
+
+def run_comparison():
+    rows = []
+    for name, cls in (("PMA (uniform rebalance)", PMANode),
+                      ("Adaptive PMA (hotspot-aware)", AdaptivePMANode)):
+        node = cls(AlexConfig(), Counters())
+        node.build(np.arange(float(INIT)))
+        before = node.counters.snapshot()
+        for key in np.arange(float(INIT), float(INIT + APPENDS)):
+            node.insert(float(key))
+        node.check_invariants()
+        work = node.counters.diff(before)
+        rows.append((name,
+                     f"{work.shifts / APPENDS:.2f}",
+                     f"{work.rebalance_moves / APPENDS:.2f}",
+                     f"{(work.shifts + work.rebalance_moves) / APPENDS:.2f}",
+                     f"{DEFAULT_COST_MODEL.nanos_per_op(APPENDS, work):.0f}",
+                     work.shifts + work.rebalance_moves))
+    return rows
+
+
+def test_ext_adaptive_pma_sequential(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["node layout", "shifts/ins", "rebalance moves/ins",
+         "total moves/ins", "sim ns/ins"],
+        [row[:5] for row in rows],
+        title=f"Section 7 extension: sequential inserts into one node "
+              f"({APPENDS} appends)"))
+    plain_moves = rows[0][5]
+    adaptive_moves = rows[1][5]
+    print(f"  adaptive PMA moves {plain_moves / adaptive_moves:.2f}x fewer "
+          "elements")
+    # The paper's conjecture, verified: the adaptive PMA moves fewer
+    # elements on the adversarial stream.
+    assert adaptive_moves < plain_moves

@@ -1,0 +1,55 @@
+"""Extension bench — Section 7 "Secondary Storage": I/Os per lookup.
+
+The paper predicts ALEX is "secondary storage friendly": with the (tiny)
+RMI pinned in memory and one leaf data page per node, a cold point lookup
+costs ~1 page read, while a disk B+Tree of height h costs up to h reads
+when its inner pages do not fit in the buffer pool.  This bench sweeps the
+buffer-pool size and reports page reads per lookup for both.
+
+Run: ``pytest benchmarks/bench_ext_paged.py --benchmark-only -s``
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.datasets import lognormal
+from repro.ext.paged import PagedAlexIndex, PagedBPlusTree
+
+N = 20_000
+LOOKUPS = 2000
+BUFFER_SIZES = (4, 16, 64, 256)
+
+
+def run_sweep():
+    keys = lognormal(N, seed=113)
+    rng = np.random.default_rng(127)
+    probes = rng.choice(keys, LOOKUPS)
+    rows = []
+    for buffer_pages in BUFFER_SIZES:
+        alex = PagedAlexIndex.bulk_load(keys, buffer_pages=buffer_pages)
+        bptree = PagedBPlusTree.bulk_load(keys, page_size=256,
+                                          buffer_pages=buffer_pages)
+        for key in probes:
+            alex.lookup(float(key))
+            bptree.lookup(float(key))
+        rows.append((buffer_pages,
+                     f"{alex.io_per_op(LOOKUPS):.3f}",
+                     f"{bptree.io_per_op(LOOKUPS):.3f}",
+                     alex.io_per_op(LOOKUPS), bptree.io_per_op(LOOKUPS)))
+    return rows
+
+
+def test_ext_paged_io_per_lookup(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["buffer pages", "ALEX reads/lookup", "B+Tree reads/lookup"],
+        [row[:3] for row in rows],
+        title="Section 7 extension: page reads per cold lookup "
+              f"(n={N}, Zipf-free uniform probes)"))
+    for buffer_pages, _, _, alex_io, bptree_io in rows:
+        assert alex_io < bptree_io, f"buffer={buffer_pages}"
+    # With a tiny pool, ALEX approaches ~1 I/O while the B+Tree pays for
+    # its inner levels too.
+    assert rows[0][3] < 1.5
+    assert rows[0][4] > 1.5

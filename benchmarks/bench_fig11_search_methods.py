@@ -1,0 +1,70 @@
+"""Figure 11 — Exponential vs bounded binary search.
+
+The paper's microbenchmark: 100M perfectly uniform integers, lookups given
+a predicted position with a *synthetic* error, searched four ways —
+exponential search, and binary search with three error-bound sizes.
+Exponential search cost grows with log(error); bounded binary search pays
+log(bound width) regardless, so it cannot exploit accurate predictions.
+
+Scaled down to 1M uniform integers and counter-based cost.
+
+Run: ``pytest benchmarks/bench_fig11_search_methods.py --benchmark-only -s``
+"""
+
+import numpy as np
+
+from repro.analysis import DEFAULT_COST_MODEL
+from repro.bench import format_table
+from repro.core.search import binary_search_bounded, exponential_search
+from repro.core.stats import Counters
+
+N = 1_000_000
+LOOKUPS = 2000
+ERRORS = (0, 2, 8, 32, 128, 512, 2048)
+BOUND_SIZES = (64, 512, 4096)
+
+
+def run_microbenchmark():
+    keys = np.arange(N, dtype=np.float64)
+    rng = np.random.default_rng(73)
+    targets = rng.integers(0, N, LOOKUPS)
+    table = {}
+    for error in ERRORS:
+        signs = rng.choice((-1, 1), LOOKUPS)
+        hints = np.clip(targets + signs * error, 0, N - 1)
+        counters = Counters()
+        for t, h in zip(targets, hints):
+            exponential_search(keys, float(t), int(h), 0, N, counters)
+        table[("exponential", error)] = (
+            DEFAULT_COST_MODEL.simulated_nanos(counters) / LOOKUPS)
+        for bound in BOUND_SIZES:
+            counters = Counters()
+            for t, h in zip(targets, hints):
+                binary_search_bounded(keys, float(t), int(h), bound, bound,
+                                      0, N, counters)
+            table[(f"binary(bound={bound})", error)] = (
+                DEFAULT_COST_MODEL.simulated_nanos(counters) / LOOKUPS)
+    return table
+
+
+def test_fig11_search_method_comparison(benchmark):
+    table = benchmark.pedantic(run_microbenchmark, rounds=1, iterations=1)
+    methods = ["exponential"] + [f"binary(bound={b})" for b in BOUND_SIZES]
+    rows = []
+    for error in ERRORS:
+        rows.append([error] + [f"{table[(m, error)]:.1f}" for m in methods])
+    print()
+    print(format_table(["|error|"] + methods, rows,
+                       title="Figure 11: simulated ns/lookup vs prediction "
+                             "error"))
+    # Shape: exponential search cost grows with log(error)...
+    exp_costs = [table[("exponential", e)] for e in ERRORS]
+    assert exp_costs[-1] > exp_costs[0]
+    # ...binary search cost is flat in error (within 30%)...
+    for bound in BOUND_SIZES:
+        costs = [table[(f"binary(bound={bound})", e)] for e in ERRORS
+                 if e < bound]
+        assert max(costs) < 1.3 * min(costs) + 1e-9
+    # ...so exponential wins when the error is small relative to the bound.
+    assert table[("exponential", 0)] < table[("binary(bound=512)", 0)]
+    assert table[("exponential", 2)] < table[("binary(bound=4096)", 2)]

@@ -1,0 +1,54 @@
+"""Figure 12 (Appendix B) — Leaf sizes: static vs adaptive RMI.
+
+Initializing on longitudes, the static RMI produces both wasted (nearly
+empty) leaves and oversized ones, while adaptive initialization caps every
+leaf at the max-keys bound and merges tiny partitions into fewer,
+consistently-sized leaves.
+
+Run: ``pytest benchmarks/bench_fig12_leaf_sizes.py --benchmark-only -s``
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.core.alex import AlexIndex
+from repro.core.config import ga_armi, ga_srmi
+from repro.datasets import longitudes
+
+N = 30_000
+MAX_KEYS = 512
+NUM_MODELS = N // 256
+
+
+def run_comparison():
+    keys = longitudes(N, seed=79)
+    static = AlexIndex.bulk_load(keys, config=ga_srmi(num_models=NUM_MODELS))
+    adaptive = AlexIndex.bulk_load(keys,
+                                   config=ga_armi(max_keys_per_node=MAX_KEYS))
+    return static.leaf_sizes(), adaptive.leaf_sizes()
+
+
+def test_fig12_leaf_size_distribution(benchmark):
+    static_sizes, adaptive_sizes = benchmark.pedantic(run_comparison,
+                                                      rounds=1, iterations=1)
+    rows = []
+    for name, sizes in (("static RMI", static_sizes),
+                        ("adaptive RMI", adaptive_sizes)):
+        rows.append((
+            name, len(sizes), int(sizes.min()), int(np.median(sizes)),
+            int(sizes.max()),
+            f"{(sizes < MAX_KEYS // 16).mean():.1%}",
+            f"{(sizes > MAX_KEYS).mean():.1%}",
+        ))
+    print()
+    print(format_table(
+        ["RMI", "leaves", "min", "median", "max",
+         f"wasted (<{MAX_KEYS // 16})", f"oversized (>{MAX_KEYS})"],
+        rows, title="Figure 12: leaf sizes after initialization "
+                    "(longitudes)"))
+    # Shape: adaptive bounds every leaf; static has both extremes.
+    assert adaptive_sizes.max() <= MAX_KEYS
+    assert static_sizes.max() > adaptive_sizes.max()
+    wasted_static = (static_sizes < MAX_KEYS // 16).mean()
+    wasted_adaptive = (adaptive_sizes < MAX_KEYS // 16).mean()
+    assert wasted_adaptive <= wasted_static

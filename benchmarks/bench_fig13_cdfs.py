@@ -1,0 +1,70 @@
+"""Figures 13 & 14 (Appendix C) — Dataset CDFs and zoomed views.
+
+Prints the global CDF in coarse quantiles (Fig. 13) and the zoomed windows
+of Fig. 14, plus the local-nonlinearity scores that explain why longlat is
+the hard dataset: its CDF is a step function at small scales even though it
+looks smooth globally.
+
+Run: ``pytest benchmarks/bench_fig13_cdfs.py --benchmark-only -s``
+"""
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.datasets import (
+    cdf_step_score,
+    cdf_window,
+    empirical_cdf,
+    linear_fit_error,
+    load,
+    local_nonlinearity,
+)
+
+DATASETS = ("longitudes", "longlat", "lognormal", "ycsb")
+N = 20_000
+QUANTILES = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+
+def run_cdf_study():
+    out = {}
+    for name in DATASETS:
+        keys = load(name, N, seed=83)
+        sorted_keys, _ = empirical_cdf(keys)
+        quantile_keys = [sorted_keys[int(q * (N - 1))] for q in QUANTILES]
+        zoom_keys, _ = cdf_window(keys, 0.5, 0.002)  # Fig. 14 bottom row
+        zoom_spread = (float(zoom_keys.max() - zoom_keys.min())
+                       if len(zoom_keys) > 1 else 0.0)
+        out[name] = {
+            "quantiles": quantile_keys,
+            "global_nonlinearity": linear_fit_error(keys),
+            "local_nonlinearity": local_nonlinearity(keys),
+            "step_score": cdf_step_score(keys),
+            "zoom_spread": zoom_spread,
+        }
+    return out
+
+
+def test_fig13_14_dataset_cdfs(benchmark):
+    out = benchmark.pedantic(run_cdf_study, rounds=1, iterations=1)
+    rows = []
+    for name in DATASETS:
+        stats = out[name]
+        rows.append([name] + [f"{q:.4g}" for q in stats["quantiles"]])
+    print()
+    print(format_table(["dataset"] + [f"q{q}" for q in QUANTILES], rows,
+                       title="Figure 13: dataset CDFs (key at quantile)"))
+    rows = [(name,
+             f"{out[name]['global_nonlinearity']:.4f}",
+             f"{out[name]['local_nonlinearity']:.4f}",
+             f"{out[name]['step_score']:.3f}")
+            for name in DATASETS]
+    print(format_table(
+        ["dataset", "global nonlin", "local nonlin", "step score"], rows,
+        title="Figure 14: local CDF shape (step-likeness)"))
+    # Shape: longlat is the locally-hard dataset; ycsb is globally easy.
+    assert (out["longlat"]["local_nonlinearity"]
+            > out["longitudes"]["local_nonlinearity"])
+    assert (out["longlat"]["step_score"]
+            > out["longitudes"]["step_score"])
+    assert (out["ycsb"]["global_nonlinearity"]
+            < out["lognormal"]["global_nonlinearity"])

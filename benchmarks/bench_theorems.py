@@ -1,0 +1,50 @@
+"""Section 4 — Model-based insert analysis: Theorems 1-3 in practice.
+
+Sweeps the expansion factor ``c`` on each dataset and reports the measured
+number of direct hits (keys placed exactly at their predicted slot) next to
+the Theorem 2 upper bound and the Theorem 3 lower bounds.  The measurement
+must always sit inside the proven sandwich, and when ``c`` passes the
+Theorem 1 threshold everything collapses to n.
+
+Run: ``pytest benchmarks/bench_theorems.py --benchmark-only -s``
+"""
+
+import numpy as np
+
+from repro.analysis.theorems import analyze, min_c_for_all_direct_hits
+from repro.bench import format_table
+from repro.datasets import load
+
+DATASETS = ("longitudes", "lognormal", "ycsb")
+N = 2000
+C_VALUES = (1.0, 1.43, 2.0, 4.0, 8.0, 32.0)
+
+
+def run_theorem_sweep():
+    out = {}
+    for name in DATASETS:
+        keys = np.sort(load(name, N, seed=89))
+        rows = []
+        for c in C_VALUES:
+            result = analyze(keys, c)
+            rows.append((c, result.empirical, result.lower,
+                         result.approx_lower, result.upper,
+                         result.consistent))
+        out[name] = (rows, min_c_for_all_direct_hits(keys))
+    return out
+
+
+def test_theorems_direct_hit_bounds(benchmark):
+    out = benchmark.pedantic(run_theorem_sweep, rounds=1, iterations=1)
+    for name, (rows, c_star) in out.items():
+        print()
+        print(format_table(
+            ["c", "measured hits", "Thm3 lower", "approx lower",
+             "Thm2 upper", "in bounds"],
+            rows, title=f"Section 4 bounds on {name} (n={N}, "
+                        f"Theorem-1 threshold c*={c_star:.3g})"))
+        for c, hits, lower, _, upper, consistent in rows:
+            assert consistent, f"{name} violates bounds at c={c}"
+        # Shape: the space-time trade-off — decade more space, clearly
+        # more direct hits.
+        assert rows[-1][1] >= rows[0][1]

@@ -1,0 +1,107 @@
+"""Wall-clock microbenchmarks of the core operations.
+
+Everything else in ``benchmarks/`` uses the counter-based simulated-time
+metric (DESIGN.md Section 6) because Python interpreter overhead swamps
+algorithmic differences.  This file is the complement: honest wall-clock
+timings of single operations via pytest-benchmark's calibrated timing
+loops, so the repository also documents what the pure-Python
+implementation actually costs on the host machine.
+
+Interpret with care: these numbers rank implementations by *interpreter*
+work, which correlates only loosely with the paper's hardware-level
+comparisons (e.g. the B+Tree's python-list bisection is cheap to
+interpret while ALEX's numpy slot arithmetic has per-call overhead).
+
+Run: ``pytest benchmarks/bench_wallclock_micro.py --benchmark-only``
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bptree import BPlusTree
+from repro.baselines.learned_index import LearnedIndex
+from repro.core.alex import AlexIndex
+from repro.core.config import ga_armi, ga_srmi
+
+N = 20_000
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return np.unique(np.random.default_rng(SEED).uniform(0, 1e9, N))
+
+
+@pytest.fixture(scope="module")
+def probe_cycle(keys):
+    rng = np.random.default_rng(SEED + 1)
+    probes = [float(k) for k in rng.choice(keys, 512)]
+
+    def make(index):
+        state = {"i": 0}
+
+        def one_lookup():
+            index.lookup(probes[state["i"] & 511])
+            state["i"] += 1
+
+        return one_lookup
+
+    return make
+
+
+class TestLookupWallClock:
+    def test_alex_lookup(self, benchmark, keys, probe_cycle):
+        index = AlexIndex.bulk_load(keys, config=ga_srmi(num_models=N // 256))
+        benchmark(probe_cycle(index))
+
+    def test_bptree_lookup(self, benchmark, keys, probe_cycle):
+        index = BPlusTree.bulk_load(keys, page_size=256)
+        benchmark(probe_cycle(index))
+
+    def test_learned_index_lookup(self, benchmark, keys, probe_cycle):
+        index = LearnedIndex.bulk_load(keys, num_models=N // 2000)
+        benchmark(probe_cycle(index))
+
+
+class TestInsertWallClock:
+    def _insert_stream(self, index):
+        state = {"next": 2e9}
+
+        def one_insert():
+            index.insert(state["next"])
+            state["next"] += 1.0
+
+        return one_insert
+
+    def test_alex_insert(self, benchmark, keys):
+        index = AlexIndex.bulk_load(
+            keys, config=ga_armi(max_keys_per_node=1024,
+                                 split_on_inserts=True))
+        benchmark(self._insert_stream(index))
+
+    def test_bptree_insert(self, benchmark, keys):
+        index = BPlusTree.bulk_load(keys, page_size=256)
+        benchmark(self._insert_stream(index))
+
+
+class TestScanWallClock:
+    def test_alex_scan100(self, benchmark, keys):
+        index = AlexIndex.bulk_load(keys, config=ga_srmi(num_models=N // 256))
+        start = float(np.sort(keys)[N // 2])
+        benchmark(lambda: index.range_scan(start, 100))
+
+    def test_bptree_scan100(self, benchmark, keys):
+        index = BPlusTree.bulk_load(keys, page_size=256)
+        start = float(np.sort(keys)[N // 2])
+        benchmark(lambda: index.range_scan(start, 100))
+
+
+class TestBuildWallClock:
+    def test_alex_bulk_load(self, benchmark, keys):
+        benchmark.pedantic(
+            lambda: AlexIndex.bulk_load(keys, config=ga_armi()),
+            rounds=3, iterations=1)
+
+    def test_bptree_bulk_load(self, benchmark, keys):
+        benchmark.pedantic(lambda: BPlusTree.bulk_load(keys),
+                           rounds=3, iterations=1)

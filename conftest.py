@@ -1,0 +1,10 @@
+"""Pytest root conftest: make ``src/`` importable even when the package has
+not been pip-installed (e.g. offline environments where build isolation
+cannot fetch setuptools; see README's install notes)."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

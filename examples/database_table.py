@@ -1,0 +1,65 @@
+"""A toy database table with ALEX primary and secondary indexes.
+
+The paper's Section 7 sketches how ALEX slots into a DBMS: a primary index
+maps keys to records and secondary indexes map attribute values to record
+pointers.  This example builds an "orders" table with an ALEX primary
+index on order id and ALEX secondary indexes on customer id and amount,
+then runs the kinds of queries a database executes through each access
+path.
+
+Run: ``python examples/database_table.py``
+"""
+
+import numpy as np
+
+from repro.ext.secondary import IndexedTable
+
+
+def main():
+    rng = np.random.default_rng(42)
+    table = IndexedTable("order_id", secondary=("customer_id", "amount"))
+
+    print("loading 20,000 orders...")
+    for order_id in range(20_000):
+        table.insert({
+            "order_id": order_id,
+            "customer_id": int(rng.integers(0, 2_000)),
+            "amount": round(float(rng.lognormal(3.5, 1.0)), 2),
+            "item": f"sku-{rng.integers(0, 500)}",
+        })
+    print(f"table has {len(table):,} rows, "
+          f"primary index {len(table.primary):,} keys, "
+          f"secondary on customer_id: "
+          f"{table.secondary['customer_id'].__len__():,} entries\n")
+
+    # Point query through the primary index.
+    order = table.get(12_345.0)
+    print(f"SELECT * WHERE order_id = 12345\n  -> {order}\n")
+
+    # Equality query through a secondary index (non-unique attribute).
+    customer = order["customer_id"]
+    orders = table.find_by("customer_id", float(customer))
+    total = sum(o["amount"] for o in orders)
+    print(f"SELECT * WHERE customer_id = {customer}"
+          f"\n  -> {len(orders)} orders, lifetime value {total:,.2f}\n")
+
+    # Range query through a secondary index.
+    big = table.range_by("amount", 1000.0, 2000.0)
+    print(f"SELECT * WHERE amount BETWEEN 1000 AND 2000"
+          f"\n  -> {len(big)} orders\n")
+
+    # Range query through the primary index (order-id time range).
+    recent = table.range_by("order_id", 19_990.0, 19_999.0)
+    print(f"SELECT * WHERE order_id BETWEEN 19990 AND 19999"
+          f"\n  -> {[int(r['order_id']) for r in recent]}\n")
+
+    # Deletes maintain every index.
+    for order_id in range(100):
+        table.delete(float(order_id))
+    print(f"deleted orders 0-99; table now {len(table):,} rows; "
+          f"customer {customer} still has "
+          f"{len(table.find_by('customer_id', float(customer)))} orders")
+
+
+if __name__ == "__main__":
+    main()

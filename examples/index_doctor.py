@@ -1,0 +1,61 @@
+"""Index doctor: diagnosing an ALEX index with the introspection tools.
+
+Walks through the operational toolkit a DBA would use: the structural
+report (leaf occupancy, model accuracy, packed runs), ASCII charts of the
+leaf-size and error distributions, and a cursor-based consistency sweep —
+first on a healthy bulk-loaded index, then on the same index after an
+adversarial append-only burst, showing exactly which health metrics
+degrade (the paper's fully-packed-region pathology made visible).
+
+Run: ``python examples/index_doctor.py``
+"""
+
+import numpy as np
+
+from repro import AlexIndex, ga_armi
+from repro.analysis import alex_prediction_errors, log2_histogram
+from repro.bench import ascii_histogram
+from repro.core import Cursor, format_report, structure_report
+from repro.datasets import longitudes
+
+
+def checkup(index, label):
+    print(f"=== {label} ===")
+    print(format_report(structure_report(index)))
+    errors = alex_prediction_errors(index)
+    print("\nprediction-error distribution:")
+    print(ascii_histogram(log2_histogram(errors), width=40))
+
+    # Cursor sweep: confirm global key order end to end.
+    cursor = Cursor(index)
+    previous = -np.inf
+    count = 0
+    while cursor.valid():
+        key = cursor.key()
+        assert key > previous, "cursor found out-of-order keys!"
+        previous = key
+        count += 1
+        cursor.next()
+    print(f"\ncursor sweep: {count:,} keys in strict order — OK\n")
+
+
+def main():
+    keys = longitudes(30_000, seed=17)
+    index = AlexIndex.bulk_load(keys, config=ga_armi(max_keys_per_node=1024))
+    checkup(index, "healthy index (bulk-loaded on longitudes)")
+
+    # Adversarial burst: append a run of increasing keys past the max —
+    # everything lands in the right-most leaf (paper Figure 5c).
+    top = float(np.max(keys))
+    for i in range(6000):
+        index.insert(top + 1.0 + i * 0.001)
+    checkup(index, "after a 6,000-key append-only burst")
+
+    print("Diagnosis: the burst concentrated keys in the right-most leaves"
+          "\n— watch 'packed run' and mean |error| rise. Remedies per the"
+          "\npaper: ALEX-PMA-ARMI with node splitting (Section 5.2.5), or"
+          "\nthe adaptive PMA extension (repro.ext.adaptive_pma).")
+
+
+if __name__ == "__main__":
+    main()

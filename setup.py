@@ -1,0 +1,8 @@
+"""Legacy setup shim: lets ``pip install -e .`` work on environments whose
+setuptools lacks the ``wheel`` package required by PEP 517 editable builds
+(the offline evaluation environment is one).  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

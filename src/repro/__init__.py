@@ -1,0 +1,61 @@
+"""repro: a pure-Python reproduction of ALEX, the updatable adaptive
+learned index (Ding et al., SIGMOD 2020).
+
+Quickstart::
+
+    import numpy as np
+    from repro import AlexIndex, ga_armi
+
+    keys = np.random.default_rng(0).uniform(0, 1e6, 10_000)
+    index = AlexIndex.bulk_load(keys, config=ga_armi())
+    index.insert(123.456, "payload")
+    assert index.lookup(123.456) == "payload"
+    neighbours = index.range_scan(123.0, limit=10)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from .core import (
+    ADAPTIVE_RMI,
+    ALL_VARIANTS,
+    AlexConfig,
+    AlexIndex,
+    Counters,
+    DuplicateKeyError,
+    GAPPED_ARRAY,
+    KeyNotFoundError,
+    LinearModel,
+    PACKED_MEMORY_ARRAY,
+    STATIC_RMI,
+    ga_armi,
+    ga_srmi,
+    pma_armi,
+    pma_srmi,
+)
+from .baselines import BPlusTree, LearnedIndex
+from .analysis import CostModel, DEFAULT_COST_MODEL
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ADAPTIVE_RMI",
+    "ALL_VARIANTS",
+    "AlexConfig",
+    "AlexIndex",
+    "BPlusTree",
+    "CostModel",
+    "Counters",
+    "DEFAULT_COST_MODEL",
+    "DuplicateKeyError",
+    "GAPPED_ARRAY",
+    "KeyNotFoundError",
+    "LearnedIndex",
+    "LinearModel",
+    "PACKED_MEMORY_ARRAY",
+    "STATIC_RMI",
+    "ga_armi",
+    "ga_srmi",
+    "pma_armi",
+    "pma_srmi",
+]

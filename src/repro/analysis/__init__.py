@@ -1,0 +1,56 @@
+"""Analysis tools: cost model, Section 4 theorems, prediction errors."""
+
+from .cost_model import CostModel, DEFAULT_COST_MODEL
+from .expected_cost import (
+    LookupCostPrediction,
+    measure_alex_lookup,
+    measure_bptree_lookup,
+    predict_alex_lookup,
+    predict_bptree_lookup,
+    prediction_accuracy,
+)
+from .space_time import (
+    FrontierPoint,
+    recommend_expansion_factor,
+    space_time_frontier,
+)
+from .prediction_error import (
+    alex_prediction_errors,
+    error_summary,
+    learned_index_prediction_errors,
+    log2_histogram,
+)
+from .theorems import (
+    DirectHitBounds,
+    analyze,
+    approx_lower_bound_direct_hits,
+    empirical_direct_hits,
+    lower_bound_direct_hits,
+    min_c_for_all_direct_hits,
+    upper_bound_direct_hits,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "DirectHitBounds",
+    "FrontierPoint",
+    "LookupCostPrediction",
+    "alex_prediction_errors",
+    "analyze",
+    "approx_lower_bound_direct_hits",
+    "empirical_direct_hits",
+    "error_summary",
+    "learned_index_prediction_errors",
+    "log2_histogram",
+    "lower_bound_direct_hits",
+    "measure_alex_lookup",
+    "measure_bptree_lookup",
+    "predict_alex_lookup",
+    "predict_bptree_lookup",
+    "prediction_accuracy",
+    "recommend_expansion_factor",
+    "space_time_frontier",
+    "min_c_for_all_direct_hits",
+    "upper_bound_direct_hits",
+]

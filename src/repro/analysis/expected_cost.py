@@ -1,0 +1,139 @@
+"""Analytic cost model: predict lookup/insert cost from structure stats.
+
+The paper reasons about ALEX's performance through structural quantities:
+RMI depth (pointer follows), model prediction error (exponential-search
+probes scale with ``log2(error)``), and gap availability (shift distance).
+This module turns that reasoning into closed-form *predictions* that can
+be checked against the measured counters — a consistency check on both
+the implementation and the intuition:
+
+* expected lookup cost  =  depth pointer-follows
+  + (depth + 1) model inferences
+  + E[2 * log2(error + 1) + 2] probes;
+* expected B+Tree lookup cost = (height - 1) pointer follows
+  + sum over levels of log2(fanout) comparisons.
+
+``tests/test_expected_cost.py`` asserts prediction-vs-measurement within a
+tolerance band on every dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.analysis.prediction_error import alex_prediction_errors
+from repro.baselines.bptree import BPlusTree, _Inner
+from repro.core.alex import AlexIndex
+from repro.core.rmi import InnerNode
+
+
+@dataclass(frozen=True)
+class LookupCostPrediction:
+    """Predicted per-lookup work, in events and simulated nanoseconds."""
+
+    pointer_follows: float
+    model_inferences: float
+    probes: float
+    comparisons: float
+    nanos: float
+
+
+def _weighted_leaf_depths(index: AlexIndex) -> dict:
+    """Map leaf id -> depth (number of inner levels above it)."""
+    depths: dict = {}
+
+    def walk(node, depth):
+        if isinstance(node, InnerNode):
+            for child in node.distinct_children():
+                walk(child, depth + 1)
+        else:
+            depths[id(node)] = depth
+
+    walk(index._root, 0)
+    return depths
+
+
+def predict_alex_lookup(index: AlexIndex,
+                        cost_model: CostModel = DEFAULT_COST_MODEL
+                        ) -> LookupCostPrediction:
+    """Expected cost of a uniform-random lookup of an existing key.
+
+    Averages over keys: each key pays its leaf's depth in pointer follows,
+    one inference per level plus one at the leaf, and exponential-search
+    probes ``≈ 2*log2(err+1) + 2`` (bracket growth + bounded binary
+    search), plus one occupancy-verification probe.
+    """
+    depths = _weighted_leaf_depths(index)
+    total_keys = max(1, len(index))
+    weighted_depth = sum(depths[id(leaf)] * leaf.num_keys
+                         for leaf in index.leaves()) / total_keys
+    errors = alex_prediction_errors(index).astype(np.float64)
+    if len(errors) == 0:
+        probe_mean = 2.0
+    else:
+        probe_mean = float(np.mean(2.0 * np.log2(errors + 1.0) + 2.0)) + 1.0
+    inferences = weighted_depth + 1.0
+    comparisons = probe_mean  # each probe compares once
+    nanos = (weighted_depth * cost_model.pointer_follow_ns
+             + inferences * cost_model.model_inference_ns
+             + probe_mean * cost_model.probe_ns
+             + comparisons * cost_model.comparison_ns)
+    return LookupCostPrediction(weighted_depth, inferences, probe_mean,
+                                comparisons, nanos)
+
+
+def predict_bptree_lookup(tree: BPlusTree,
+                          cost_model: CostModel = DEFAULT_COST_MODEL
+                          ) -> LookupCostPrediction:
+    """Expected cost of a uniform-random B+Tree lookup: one binary search
+    per level plus the leaf search."""
+    pointer_follows = float(tree.height - 1)
+    comparisons = 0.0
+    level = [tree._root]
+    while level:
+        sizes = []
+        next_level = []
+        for node in level:
+            if isinstance(node, _Inner):
+                sizes.append(max(1, len(node.keys)))
+                next_level.extend(node.children)
+            else:
+                sizes.append(max(1, len(node.keys)))
+        comparisons += float(np.mean(np.ceil(np.log2(np.array(sizes) + 1))))
+        level = next_level if any(isinstance(n, _Inner) for n in level) else []
+    probes = comparisons
+    nanos = (pointer_follows * cost_model.pointer_follow_ns
+             + probes * cost_model.probe_ns
+             + comparisons * cost_model.comparison_ns)
+    return LookupCostPrediction(pointer_follows, 0.0, probes, comparisons,
+                                nanos)
+
+
+def measure_alex_lookup(index: AlexIndex, probes: np.ndarray,
+                        cost_model: CostModel = DEFAULT_COST_MODEL) -> float:
+    """Measured simulated ns/lookup over ``probes`` (existing keys)."""
+    before = index.counters.snapshot()
+    for key in probes:
+        index.lookup(float(key))
+    work = index.counters.diff(before)
+    return cost_model.nanos_per_op(len(probes), work)
+
+
+def measure_bptree_lookup(tree: BPlusTree, probes: np.ndarray,
+                          cost_model: CostModel = DEFAULT_COST_MODEL) -> float:
+    """Measured simulated ns/lookup for the B+Tree."""
+    before = tree.counters.snapshot()
+    for key in probes:
+        tree.lookup(float(key))
+    work = tree.counters.diff(before)
+    return cost_model.nanos_per_op(len(probes), work)
+
+
+def prediction_accuracy(predicted: float, measured: float) -> float:
+    """Relative error |predicted - measured| / measured."""
+    if measured == 0:
+        return 0.0 if predicted == 0 else float("inf")
+    return abs(predicted - measured) / measured

@@ -1,0 +1,95 @@
+"""Prediction-error study (paper Section 5.3, Figure 7).
+
+The paper initializes an index, predicts the position of every stored key,
+and histograms the distance between prediction and actual position.  ALEX's
+model-based inserts make most predictions exact; the Learned Index, which
+never moves records to match its models, shows a mode around 8-32 positions
+with a long tail.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.baselines.learned_index import LearnedIndex
+from repro.core.alex import AlexIndex
+
+
+def alex_prediction_errors(index: AlexIndex) -> np.ndarray:
+    """|predicted - actual| slot distance for every key in an ALEX index.
+
+    Computed leaf-by-leaf (each leaf model predicts within its own array).
+    Cold-start leaves without a model contribute their worst case: the
+    distance from the binary-search midpoint.
+    """
+    errors: List[np.ndarray] = []
+    for leaf in index.leaves():
+        positions = np.flatnonzero(leaf.occupied)
+        if len(positions) == 0:
+            continue
+        keys = leaf.keys[positions]
+        if leaf.model is None:
+            hint = leaf.capacity // 2
+            errors.append(np.abs(positions - hint))
+            continue
+        predicted = leaf.model.predict_pos_vec(keys, leaf.capacity)
+        errors.append(np.abs(predicted - positions))
+    if not errors:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(errors).astype(np.int64)
+
+
+def learned_index_prediction_errors(index: LearnedIndex) -> np.ndarray:
+    """|predicted - actual| position distance for every key in a Learned
+    Index (leaf models predict into the single dense array)."""
+    keys = index.data.view_keys()
+    n = len(keys)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    assignments = index.root_model.predict_pos_vec(keys, index.num_models)
+    assignments = np.minimum(assignments, len(index.leaf_models) - 1)
+    bounds = np.searchsorted(assignments, np.arange(len(index.leaf_models) + 1))
+    errors = np.empty(n, dtype=np.int64)
+    for m, leaf in enumerate(index.leaf_models):
+        lo, hi = int(bounds[m]), int(bounds[m + 1])
+        if hi <= lo:
+            continue
+        predicted = leaf.model.predict_pos_vec(keys[lo:hi], n)
+        errors[lo:hi] = np.abs(predicted - np.arange(lo, hi))
+    return errors
+
+
+def log2_histogram(errors: np.ndarray) -> List[Tuple[str, int]]:
+    """Histogram errors into the paper's log2 buckets:
+    0, 1, 2, 3-4, 5-8, 9-16, ..., like Figure 7's x-axis."""
+    errors = np.asarray(errors, dtype=np.int64)
+    out: List[Tuple[str, int]] = [
+        ("0", int((errors == 0).sum())),
+        ("1", int((errors == 1).sum())),
+        ("2", int((errors == 2).sum())),
+    ]
+    lo = 3
+    hi = 4
+    while lo <= max(4, int(errors.max(initial=0))):
+        count = int(((errors >= lo) & (errors <= hi)).sum())
+        out.append((f"{lo}-{hi}", count))
+        lo = hi + 1
+        hi *= 2
+    return out
+
+
+def error_summary(errors: np.ndarray) -> dict:
+    """Mean / median / p99 / max and the exact-hit fraction."""
+    if len(errors) == 0:
+        return {"count": 0, "exact_fraction": 0.0, "mean": 0.0,
+                "median": 0.0, "p99": 0.0, "max": 0}
+    return {
+        "count": int(len(errors)),
+        "exact_fraction": float((errors == 0).mean()),
+        "mean": float(errors.mean()),
+        "median": float(np.median(errors)),
+        "p99": float(np.percentile(errors, 99)),
+        "max": int(errors.max()),
+    }

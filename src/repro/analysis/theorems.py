@@ -1,0 +1,152 @@
+"""Section 4's analysis of model-based inserts: Theorems 1-3.
+
+For a leaf with keys ``x_1 < ... < x_n`` and a linear model ``y = a*x + b``
+trained at expansion factor ``c = 1`` (array size = n), the *expanded*
+model is ``y = c*(a*x + b)``.  A key is a **direct hit** when model-based
+insertion places it exactly at its (rounded) predicted slot, making later
+lookups O(1).  The theorems bound the number of direct hits as a function
+of ``c`` and the key gaps ``δ_i = x_{i+1} - x_i`` and ``Δ_i = x_{i+2} - x_i``:
+
+* Theorem 1 — when ``c >= 1 / (a * min δ_i)`` every key is a direct hit.
+* Theorem 2 — direct hits ``<= 2 + |{i : Δ_i > 1/(c*a)}|``.
+* Theorem 3 — direct hits ``>= l + 1`` where ``l`` is the longest prefix of
+  gaps with ``δ_i >= 1/(c*a)``; ignoring collision chains gives the
+  approximate lower bound ``1 + |{i : δ_i >= 1/(c*a)}|``.
+
+``empirical_direct_hits`` simulates the placement so the bench
+(``benchmarks/bench_theorems.py``) can sandwich the measurement between the
+bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.linear_model import LinearModel
+
+
+def _base_model(keys: np.ndarray) -> LinearModel:
+    """The ``c = 1`` model: keys regressed against ranks ``0..n-1``."""
+    keys = np.asarray(keys, dtype=np.float64)
+    return LinearModel.train(keys, np.arange(len(keys), dtype=np.float64))
+
+
+def min_c_for_all_direct_hits(keys: np.ndarray) -> float:
+    """Theorem 1's threshold ``1 / (a * min δ_i)``.
+
+    Above this expansion factor every key lands exactly at its predicted
+    slot, so search performance stops improving with more space.
+    """
+    keys = np.sort(np.asarray(keys, dtype=np.float64))
+    if len(keys) < 2:
+        return 1.0
+    a = _base_model(keys).slope
+    min_delta = float(np.diff(keys).min())
+    if a <= 0 or min_delta <= 0:
+        return math.inf
+    return 1.0 / (a * min_delta)
+
+
+def upper_bound_direct_hits(keys: np.ndarray, c: float) -> int:
+    """Theorem 2: ``2 + |{1 <= i <= n-2 : Δ_i > 1/(c*a)}|`` (capped at n)."""
+    keys = np.sort(np.asarray(keys, dtype=np.float64))
+    n = len(keys)
+    if n <= 2:
+        return n
+    a = _base_model(keys).slope
+    if a <= 0 or c <= 0:
+        return n
+    threshold = 1.0 / (c * a)
+    big_deltas = int((keys[2:] - keys[:-2] > threshold).sum())
+    return min(n, 2 + big_deltas)
+
+
+def lower_bound_direct_hits(keys: np.ndarray, c: float) -> int:
+    """Theorem 3: ``l + 1`` for the longest prefix of gaps ``>= 1/(c*a)``."""
+    keys = np.sort(np.asarray(keys, dtype=np.float64))
+    n = len(keys)
+    if n == 0:
+        return 0
+    if n == 1:
+        return 1
+    a = _base_model(keys).slope
+    if a <= 0 or c <= 0:
+        return 1
+    threshold = 1.0 / (c * a)
+    deltas = np.diff(keys)
+    below = np.flatnonzero(deltas < threshold)
+    l = int(below[0]) if len(below) else n - 1
+    return min(n, l + 1)
+
+
+def approx_lower_bound_direct_hits(keys: np.ndarray, c: float) -> int:
+    """Section 4's approximate lower bound ``1 + |{i : δ_i >= 1/(c*a)}|``
+    (exact when Theorem 1's condition holds; ignores collision chains)."""
+    keys = np.sort(np.asarray(keys, dtype=np.float64))
+    n = len(keys)
+    if n <= 1:
+        return n
+    a = _base_model(keys).slope
+    if a <= 0 or c <= 0:
+        return 1
+    threshold = 1.0 / (c * a)
+    return min(n, 1 + int((np.diff(keys) >= threshold).sum()))
+
+
+def empirical_direct_hits(keys: np.ndarray, c: float) -> int:
+    """Simulate model-based insertion at expansion factor ``c`` and count
+    keys placed exactly at their predicted slot.
+
+    Matches the theorems' idealized setting: placement happens on an
+    unbounded integer line (no clamping at array edges), with collisions
+    spilling to the first free slot on the right, exactly like
+    Algorithm 3's ``ModelBasedInsert``.
+    """
+    keys = np.sort(np.asarray(keys, dtype=np.float64))
+    n = len(keys)
+    if n == 0:
+        return 0
+    model = _base_model(keys)
+    predicted = np.floor(c * (model.slope * keys + model.intercept)).astype(np.int64)
+    hits = 0
+    last = None
+    for i in range(n):
+        pos = int(predicted[i])
+        if last is not None and pos <= last:
+            pos = last + 1
+        if pos == int(predicted[i]):
+            hits += 1
+        last = pos
+    return hits
+
+
+@dataclass(frozen=True)
+class DirectHitBounds:
+    """All of Section 4's quantities for one ``(keys, c)`` pair."""
+
+    c: float
+    empirical: int
+    upper: int
+    lower: int
+    approx_lower: int
+    theorem1_c: float
+
+    @property
+    def consistent(self) -> bool:
+        """Whether the measurement respects both proven bounds."""
+        return self.lower <= self.empirical <= self.upper
+
+
+def analyze(keys: np.ndarray, c: float) -> DirectHitBounds:
+    """Evaluate empirical hits and all three theorem bounds at once."""
+    return DirectHitBounds(
+        c=c,
+        empirical=empirical_direct_hits(keys, c),
+        upper=upper_bound_direct_hits(keys, c),
+        lower=lower_bound_direct_hits(keys, c),
+        approx_lower=approx_lower_bound_direct_hits(keys, c),
+        theorem1_c=min_c_for_all_direct_hits(keys),
+    )

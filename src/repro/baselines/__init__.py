@@ -1,0 +1,10 @@
+"""Baselines the paper compares ALEX against: B+Tree and the Learned Index."""
+
+from .bptree import BPlusTree
+from .delta_learned_index import DeltaLearnedIndex
+from .interfaces import OrderedIndex
+from .learned_index import LearnedIndex
+from .sorted_array import SortedArray
+
+__all__ = ["BPlusTree", "DeltaLearnedIndex", "LearnedIndex", "OrderedIndex",
+           "SortedArray"]

@@ -1,0 +1,204 @@
+"""Learned Index with a delta buffer — the mitigation Kraska et al. suggest.
+
+Section 2.3 of the ALEX paper: "Kraska et al. suggest building
+delta-indexes to handle inserts."  This baseline implements that design so
+the repository can evaluate the suggestion ALEX positions itself against:
+
+* the *main* structure is a read-only :class:`LearnedIndex` (RMI over a
+  dense sorted array);
+* inserts go to a small sorted *delta buffer*;
+* lookups probe the delta first (it holds the newest data), then the main
+  index;
+* when the delta outgrows ``merge_threshold`` (a fraction of the main
+  size), the two are merged and the RMI retrained — an O(n) stop-the-world
+  event whose cost the counters capture.
+
+Compared to ALEX this recovers insert throughput between merges but pays
+(1) a second probe on every lookup and (2) periodic full-merge spikes —
+``benchmarks/bench_delta_baseline.py`` measures both.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import DuplicateKeyError, KeyNotFoundError
+from repro.core.stats import Counters
+
+from .learned_index import LearnedIndex
+from .sorted_array import SortedArray
+
+
+class DeltaLearnedIndex:
+    """A Learned Index made updatable with a merge-on-threshold delta."""
+
+    def __init__(self, num_models: int = 64, payload_size: int = 8,
+                 merge_threshold: float = 0.10,
+                 counters: Optional[Counters] = None):
+        if not 0.0 < merge_threshold <= 1.0:
+            raise ValueError("merge_threshold must be in (0, 1]")
+        self.counters = counters or Counters()
+        self.num_models = num_models
+        self.payload_size = payload_size
+        self.merge_threshold = merge_threshold
+        self.main = LearnedIndex(num_models=num_models,
+                                 payload_size=payload_size,
+                                 counters=self.counters)
+        self.delta = SortedArray(self.counters)
+        self.merges = 0
+
+    @classmethod
+    def bulk_load(cls, keys, payloads: Optional[list] = None,
+                  num_models: int = 64, payload_size: int = 8,
+                  merge_threshold: float = 0.10,
+                  counters: Optional[Counters] = None) -> "DeltaLearnedIndex":
+        """Build the main RMI over ``keys``; the delta starts empty."""
+        index = cls(num_models=num_models, payload_size=payload_size,
+                    merge_threshold=merge_threshold, counters=counters)
+        index.main = LearnedIndex.bulk_load(
+            keys, payloads, num_models=num_models, payload_size=payload_size,
+            counters=index.counters)
+        return index
+
+    # ------------------------------------------------------------------
+    # Reads: delta first, then main
+    # ------------------------------------------------------------------
+
+    def _delta_find(self, key: float) -> int:
+        pos = self.delta.lower_bound(key)
+        if pos < len(self.delta) and self.delta.key_at(pos) == key:
+            return pos
+        return -1
+
+    def lookup(self, key: float):
+        """Probe the delta, then the main index."""
+        key = float(key)
+        pos = self._delta_find(key)
+        if pos >= 0:
+            self.counters.lookups += 1
+            return self.delta.payloads[pos]
+        return self.main.lookup(key)
+
+    def get(self, key: float, default=None):
+        """Like :meth:`lookup` but with a default."""
+        try:
+            return self.lookup(key)
+        except KeyNotFoundError:
+            return default
+
+    def contains(self, key: float) -> bool:
+        """Membership across both structures."""
+        return self._delta_find(float(key)) >= 0 or self.main.contains(key)
+
+    # ------------------------------------------------------------------
+    # Writes: delta absorbs them; merge on threshold
+    # ------------------------------------------------------------------
+
+    def insert(self, key: float, payload=None) -> None:
+        """Insert into the delta; merge when it outgrows the threshold."""
+        key = float(key)
+        if self.contains(key):
+            raise DuplicateKeyError(key)
+        self.delta.insert_at(self.delta.lower_bound(key), key, payload)
+        self.counters.inserts += 1
+        if len(self.delta) > max(16, self.merge_threshold * len(self.main)):
+            self._merge()
+
+    def delete(self, key: float) -> None:
+        """Delete from whichever structure holds the key."""
+        key = float(key)
+        pos = self._delta_find(key)
+        if pos >= 0:
+            self.delta.delete_at(pos)
+            self.counters.deletes += 1
+            return
+        self.main.delete(key)
+
+    def update(self, key: float, payload) -> None:
+        """Update in whichever structure holds the key."""
+        key = float(key)
+        pos = self._delta_find(key)
+        if pos >= 0:
+            self.delta.payloads[pos] = payload
+            return
+        self.main.update(key, payload)
+
+    def _merge(self) -> None:
+        """Merge delta into main and retrain the whole RMI (O(n))."""
+        merged_keys = []
+        merged_payloads = []
+        main_items = self.main.items()
+        delta_items = self.delta.items()
+        a = next(main_items, None)
+        b = next(delta_items, None)
+        while a is not None or b is not None:
+            if b is None or (a is not None and a[0] < b[0]):
+                merged_keys.append(a[0])
+                merged_payloads.append(a[1])
+                a = next(main_items, None)
+            else:
+                merged_keys.append(b[0])
+                merged_payloads.append(b[1])
+                b = next(delta_items, None)
+        # The merge copies every record: charge it.
+        self.counters.build_moves += len(merged_keys)
+        self.main = LearnedIndex.bulk_load(
+            np.array(merged_keys, dtype=np.float64), merged_payloads,
+            num_models=self.num_models, payload_size=self.payload_size,
+            counters=self.counters)
+        self.delta = SortedArray(self.counters)
+        self.merges += 1
+
+    # ------------------------------------------------------------------
+    # Scans and accounting
+    # ------------------------------------------------------------------
+
+    def range_scan(self, start_key: float, limit: int) -> list:
+        """Merge-scan both structures."""
+        start_key = float(start_key)
+        out: list = []
+        main_pos = self.main._search(start_key)
+        delta_pos = self.delta.lower_bound(start_key)
+        while len(out) < limit:
+            main_key = (self.main.data.key_at(main_pos)
+                        if main_pos < len(self.main.data) else None)
+            delta_key = (self.delta.key_at(delta_pos)
+                         if delta_pos < len(self.delta) else None)
+            if main_key is None and delta_key is None:
+                break
+            if delta_key is None or (main_key is not None
+                                     and main_key <= delta_key):
+                out.append((main_key, self.main.data.payloads[main_pos]))
+                main_pos += 1
+            else:
+                out.append((delta_key, self.delta.payloads[delta_pos]))
+                delta_pos += 1
+            self.counters.payload_bytes_copied += self.payload_size
+        self.counters.scans += 1
+        return out
+
+    def items(self) -> Iterator[Tuple[float, object]]:
+        """All pairs across both structures, in key order."""
+        return iter(self.range_scan(-np.inf, len(self)))
+
+    def __len__(self) -> int:
+        return len(self.main) + len(self.delta)
+
+    def __contains__(self, key) -> bool:
+        return self.contains(float(key))
+
+    @property
+    def delta_size(self) -> int:
+        """Records currently buffered in the delta."""
+        return len(self.delta)
+
+    def index_size_bytes(self) -> int:
+        """Main RMI models plus the delta's key array."""
+        return self.main.index_size_bytes() + len(self.delta) * 8
+
+    def data_size_bytes(self) -> int:
+        """Dense main array plus delta records."""
+        return (self.main.data_size_bytes()
+                + len(self.delta) * (8 + self.payload_size))

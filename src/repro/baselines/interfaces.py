@@ -1,0 +1,51 @@
+"""The ordered-index protocol every structure in this repository satisfies.
+
+The benchmark harness treats ALEX, the B+Tree, and the Learned Index
+uniformly through this protocol, exactly as the paper's evaluation drives
+all three through the same workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, Tuple, runtime_checkable
+
+from repro.core.stats import Counters
+
+
+@runtime_checkable
+class OrderedIndex(Protocol):
+    """Structural protocol for a single-key ordered index.
+
+    Implementations: :class:`repro.core.AlexIndex`,
+    :class:`repro.baselines.BPlusTree`,
+    :class:`repro.baselines.LearnedIndex`.
+    """
+
+    counters: Counters
+
+    def insert(self, key: float, payload=None) -> None:
+        """Insert a new unique key."""
+
+    def lookup(self, key: float):
+        """Return the payload for ``key`` (raises when absent)."""
+
+    def contains(self, key: float) -> bool:
+        """Whether ``key`` is present."""
+
+    def delete(self, key: float) -> None:
+        """Remove ``key`` (raises when absent)."""
+
+    def range_scan(self, start_key: float, limit: int) -> list:
+        """Up to ``limit`` ``(key, payload)`` pairs with key >= start."""
+
+    def items(self) -> Iterator[Tuple[float, object]]:
+        """All pairs in key order."""
+
+    def __len__(self) -> int:
+        ...
+
+    def index_size_bytes(self) -> int:
+        """Index-structure footprint (inner nodes / models)."""
+
+    def data_size_bytes(self) -> int:
+        """Data-storage footprint (leaf level)."""

@@ -1,0 +1,271 @@
+"""Best-effort reimplementation of the Learned Index (Kraska et al.).
+
+This mirrors the baseline the paper evaluates against (Section 5.1): a
+two-level RMI with linear models at every node, *stored error bounds* per
+leaf model, *binary search within the bounds* for lookups, and all records
+in a single densely-packed sorted array.  (The paper notes, from private
+communication with Kraska et al., that a neural-net root is not worth its
+complexity, so linear models everywhere is the faithful configuration.)
+
+Inserts follow the naive strategy of Section 2.3: shift the suffix of the
+dense array right, widening the stale models' error bounds, and retrain the
+whole RMI when staleness exceeds a fraction of the data — the behaviour
+that makes the Learned Index "orders of magnitude" slower than ALEX on
+inserts (Section 5.2.2) and dominates Figure 8's shifts-per-insert.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import DuplicateKeyError, KeyNotFoundError
+from repro.core.linear_model import LinearModel
+from repro.core.search import binary_search_bounded
+from repro.core.stats import Counters
+
+from .sorted_array import SortedArray
+
+#: Size of one leaf model in the paper's accounting: slope + intercept plus
+#: the two stored error bounds ("two additional integers").
+MODEL_BYTES = LinearModel.SIZE_BYTES + 16
+ROOT_BYTES = LinearModel.SIZE_BYTES
+
+
+class _LeafModel:
+    """One second-level model: a linear model plus observed error bounds."""
+
+    __slots__ = ("model", "max_error_left", "max_error_right")
+
+    def __init__(self, model: LinearModel):
+        self.model = model
+        self.max_error_left = 0
+        self.max_error_right = 0
+
+
+class LearnedIndex:
+    """Two-level RMI over a dense sorted array, as in Kraska et al.
+
+    Parameters
+    ----------
+    num_models:
+        Second-level model count (grid-searched per dataset in the paper).
+    retrain_fraction:
+        Retrain the full RMI after this fraction of the data has been
+        inserted/deleted since the last train (models go stale as the
+        array shifts under them).
+    """
+
+    def __init__(self, num_models: int = 64, payload_size: int = 8,
+                 retrain_fraction: float = 0.05,
+                 counters: Optional[Counters] = None):
+        if num_models < 1:
+            raise ValueError("num_models must be >= 1")
+        self.num_models = num_models
+        self.payload_size = payload_size
+        self.retrain_fraction = retrain_fraction
+        self.counters = counters or Counters()
+        self.data = SortedArray(self.counters)
+        self.root_model = LinearModel()
+        self.leaf_models: List[_LeafModel] = [_LeafModel(LinearModel())]
+        self._stale_ops = 0
+
+    # ------------------------------------------------------------------
+    # Construction / training
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, keys, payloads: Optional[list] = None,
+                  num_models: int = 64, payload_size: int = 8,
+                  retrain_fraction: float = 0.05,
+                  counters: Optional[Counters] = None) -> "LearnedIndex":
+        """Build the RMI over ``keys`` (sorted internally; must be unique)."""
+        index = cls(num_models=num_models, payload_size=payload_size,
+                    retrain_fraction=retrain_fraction, counters=counters)
+        keys = np.asarray(keys, dtype=np.float64)
+        if payloads is None:
+            payloads = [None] * len(keys)
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        payloads = [payloads[i] for i in order]
+        if len(keys) > 1 and (np.diff(keys) == 0).any():
+            dup = int(np.flatnonzero(np.diff(keys) == 0)[0])
+            raise DuplicateKeyError(float(keys[dup]))
+        index.data = SortedArray.from_sorted(keys, payloads, index.counters)
+        index.retrain()
+        return index
+
+    def retrain(self) -> None:
+        """Train the root over the whole array, partition the keys by root
+        prediction, train one leaf model per partition, and record each
+        model's min/max prediction error (the stored bounds)."""
+        keys = self.data.view_keys()
+        n = len(keys)
+        self.counters.retrains += 1
+        self._stale_ops = 0
+        if n == 0:
+            self.root_model = LinearModel()
+            self.leaf_models = [_LeafModel(LinearModel())]
+            return
+        self.root_model = LinearModel.train_cdf(keys, self.num_models)
+        assignments = self.root_model.predict_pos_vec(keys, self.num_models)
+        self.counters.model_inferences += n
+        bounds = np.searchsorted(assignments, np.arange(self.num_models + 1))
+        positions = np.arange(n, dtype=np.float64)
+        models: List[_LeafModel] = []
+        for m in range(self.num_models):
+            lo, hi = int(bounds[m]), int(bounds[m + 1])
+            leaf = _LeafModel(LinearModel.train(keys[lo:hi], positions[lo:hi]))
+            if hi > lo:
+                predicted = leaf.model.predict_pos_vec(keys[lo:hi], n)
+                self.counters.model_inferences += hi - lo
+                err = predicted - np.arange(lo, hi)
+                leaf.max_error_left = int(max(0, err.max()))
+                leaf.max_error_right = int(max(0, -err.min()))
+            models.append(leaf)
+        self.leaf_models = models
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _leaf_for(self, key: float) -> _LeafModel:
+        self.counters.model_inferences += 1
+        slot = self.root_model.predict_pos(key, self.num_models)
+        slot = min(slot, len(self.leaf_models) - 1)
+        # Fetching the chosen second-level model from the model array is a
+        # memory access, exactly like ALEX's root-to-leaf pointer follow.
+        self.counters.pointer_follows += 1
+        return self.leaf_models[slot]
+
+    def _search(self, key: float) -> int:
+        """Lower-bound position of ``key`` via model prediction + binary
+        search within the stored error bounds."""
+        n = len(self.data)
+        if n == 0:
+            return 0
+        leaf = self._leaf_for(key)
+        self.counters.model_inferences += 1
+        hint = leaf.model.predict_pos(key, n)
+        return binary_search_bounded(
+            self.data.view_keys(), key, hint,
+            leaf.max_error_left, leaf.max_error_right, 0, n, self.counters,
+        )
+
+    def lookup(self, key: float):
+        """Return the payload for ``key``; raises when absent."""
+        key = float(key)
+        pos = self._search(key)
+        if pos < len(self.data) and self.data.key_at(pos) == key:
+            self.counters.lookups += 1
+            return self.data.payloads[pos]
+        raise KeyNotFoundError(key)
+
+    def get(self, key: float, default=None):
+        """Like :meth:`lookup` but returns ``default`` when absent."""
+        try:
+            return self.lookup(key)
+        except KeyNotFoundError:
+            return default
+
+    def contains(self, key: float) -> bool:
+        """Whether ``key`` is present."""
+        key = float(key)
+        pos = self._search(key)
+        return pos < len(self.data) and self.data.key_at(pos) == key
+
+    def prediction_error(self, key: float) -> int:
+        """|predicted - actual| position for an existing ``key`` (Fig. 7a)."""
+        key = float(key)
+        pos = self._search(key)
+        if pos >= len(self.data) or self.data.key_at(pos) != key:
+            raise KeyNotFoundError(key)
+        leaf = self._leaf_for(key)
+        return abs(leaf.model.predict_pos(key, len(self.data)) - pos)
+
+    # ------------------------------------------------------------------
+    # Naive updates (Section 2.3)
+    # ------------------------------------------------------------------
+
+    def insert(self, key: float, payload=None) -> None:
+        """Naive insert: shift the dense array, widen the stale bounds, and
+        retrain the whole RMI once staleness passes the threshold."""
+        key = float(key)
+        pos = self._search(key)
+        if pos < len(self.data) and self.data.key_at(pos) == key:
+            raise DuplicateKeyError(key)
+        self.data.insert_at(pos, key, payload)
+        # Every position at or right of ``pos`` moved one slot right, so all
+        # models may now under-predict by one more slot.
+        for leaf in self.leaf_models:
+            leaf.max_error_right += 1
+        self.counters.inserts += 1
+        self._stale_ops += 1
+        if self._stale_ops > max(64, self.retrain_fraction * len(self.data)):
+            self.retrain()
+
+    def delete(self, key: float) -> None:
+        """Naive delete: shift left and widen the opposite bound."""
+        key = float(key)
+        pos = self._search(key)
+        if pos >= len(self.data) or self.data.key_at(pos) != key:
+            raise KeyNotFoundError(key)
+        self.data.delete_at(pos)
+        for leaf in self.leaf_models:
+            leaf.max_error_left += 1
+        self.counters.deletes += 1
+        self._stale_ops += 1
+        if self._stale_ops > max(64, self.retrain_fraction * len(self.data)):
+            self.retrain()
+
+    def update(self, key: float, payload) -> None:
+        """Replace the payload of an existing key."""
+        key = float(key)
+        pos = self._search(key)
+        if pos >= len(self.data) or self.data.key_at(pos) != key:
+            raise KeyNotFoundError(key)
+        self.data.payloads[pos] = payload
+
+    # ------------------------------------------------------------------
+    # Scans, iteration, accounting
+    # ------------------------------------------------------------------
+
+    def range_scan(self, start_key: float, limit: int) -> list:
+        """Up to ``limit`` pairs with key >= ``start_key`` (dense array, so
+        this is a contiguous slice)."""
+        pos = self._search(float(start_key))
+        self.counters.scans += 1
+        hi = min(len(self.data), pos + limit)
+        out = [(self.data.key_at(p), self.data.payloads[p]) for p in range(pos, hi)]
+        self.counters.payload_bytes_copied += len(out) * self.payload_size
+        return out
+
+    def range_query(self, lo: float, hi: float) -> list:
+        """All pairs with ``lo <= key <= hi``."""
+        pos = self._search(float(lo))
+        self.counters.scans += 1
+        out: list = []
+        while pos < len(self.data) and self.data.key_at(pos) <= hi:
+            out.append((self.data.key_at(pos), self.data.payloads[pos]))
+            self.counters.payload_bytes_copied += self.payload_size
+            pos += 1
+        return out
+
+    def items(self) -> Iterator[Tuple[float, object]]:
+        """All pairs in key order."""
+        return self.data.items()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __contains__(self, key) -> bool:
+        return self.contains(float(key))
+
+    def index_size_bytes(self) -> int:
+        """Root model + leaf models including their stored error bounds."""
+        return ROOT_BYTES + len(self.leaf_models) * MODEL_BYTES
+
+    def data_size_bytes(self) -> int:
+        """Densely packed records (no gaps, no bitmap)."""
+        return len(self.data) * (8 + self.payload_size)

@@ -1,0 +1,89 @@
+"""A dense, gap-less sorted array — the Learned Index's storage substrate.
+
+Kraska et al. store all records in one densely-packed sorted array, which is
+what makes their index static: every insert shifts, on average, half the
+array (Section 2.3's "naive insertion strategy").  This module implements
+that substrate with amortized-doubling capacity management so the *copy*
+cost is not pathological, while faithfully counting the per-insert shifts
+the paper's Figure 8 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.core.search import lower_bound
+from repro.core.stats import Counters
+
+
+class SortedArray:
+    """A densely packed sorted array of ``(key, payload)`` records."""
+
+    _MIN_CAPACITY = 16
+
+    def __init__(self, counters: Counters):
+        self.counters = counters
+        self.size = 0
+        self.keys = np.empty(self._MIN_CAPACITY, dtype=np.float64)
+        self.payloads: list = [None] * self._MIN_CAPACITY
+
+    @classmethod
+    def from_sorted(cls, keys: np.ndarray, payloads: list,
+                    counters: Counters) -> "SortedArray":
+        """Build from already-sorted unique keys without counting shifts."""
+        arr = cls(counters)
+        n = len(keys)
+        capacity = max(cls._MIN_CAPACITY, n)
+        arr.keys = np.empty(capacity, dtype=np.float64)
+        arr.keys[:n] = keys
+        arr.payloads = list(payloads) + [None] * (capacity - n)
+        arr.size = n
+        return arr
+
+    def lower_bound(self, key: float) -> int:
+        """Leftmost position with ``keys[pos] >= key``."""
+        return lower_bound(self.keys, key, 0, self.size, self.counters)
+
+    def insert_at(self, pos: int, key: float, payload) -> None:
+        """Insert at ``pos``, shifting ``size - pos`` elements right."""
+        if self.size == len(self.keys):
+            self._grow()
+        self.keys[pos + 1:self.size + 1] = self.keys[pos:self.size]
+        self.payloads[pos + 1:self.size + 1] = self.payloads[pos:self.size]
+        self.keys[pos] = key
+        self.payloads[pos] = payload
+        self.size += 1
+        self.counters.shifts += self.size - 1 - pos
+
+    def delete_at(self, pos: int) -> None:
+        """Remove position ``pos``, shifting the suffix left."""
+        self.keys[pos:self.size - 1] = self.keys[pos + 1:self.size]
+        self.payloads[pos:self.size - 1] = self.payloads[pos + 1:self.size]
+        self.size -= 1
+        self.payloads[self.size] = None
+        self.counters.shifts += self.size - pos
+
+    def _grow(self) -> None:
+        new_capacity = max(self._MIN_CAPACITY, len(self.keys) * 2)
+        new_keys = np.empty(new_capacity, dtype=np.float64)
+        new_keys[:self.size] = self.keys[:self.size]
+        self.keys = new_keys
+        self.payloads = self.payloads + [None] * (new_capacity - len(self.payloads))
+
+    def key_at(self, pos: int) -> float:
+        """Key stored at ``pos``."""
+        return float(self.keys[pos])
+
+    def items(self) -> Iterator[Tuple[float, object]]:
+        """All records in key order."""
+        for pos in range(self.size):
+            yield float(self.keys[pos]), self.payloads[pos]
+
+    def view_keys(self) -> np.ndarray:
+        """Read-only view of the live key prefix."""
+        return self.keys[:self.size]
+
+    def __len__(self) -> int:
+        return self.size

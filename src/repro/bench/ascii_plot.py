@@ -1,0 +1,80 @@
+"""Terminal plotting: render figure series as ASCII charts.
+
+The paper's figures are line charts and histograms; the bench targets
+print tables, and these helpers add a visual rendering so trends (the
+Fig. 6 lifetime curves, the Fig. 11 crossover) are visible straight in
+the terminal output without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(series: Dict[str, Sequence[float]], width: int = 64,
+                height: int = 16, title: str = "",
+                y_label: str = "") -> str:
+    """Render one or more numeric series as an ASCII line chart.
+
+    All series share the x axis (their indexes) and the y range.
+    """
+    if not series:
+        return title
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return title
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    max_len = max(len(values) for values in series.values())
+    for s_idx, (name, values) in enumerate(series.items()):
+        glyph = _GLYPHS[s_idx % len(_GLYPHS)]
+        for i, value in enumerate(values):
+            x = (int(i * (width - 1) / (max_len - 1)) if max_len > 1 else 0)
+            y = int((value - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - y][x] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.3g}"
+    bottom_label = f"{lo:.3g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            label = top_label
+        elif row_idx == height - 1:
+            label = bottom_label
+        elif row_idx == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    legend = "   ".join(f"{_GLYPHS[i % len(_GLYPHS)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * label_width + "   " + legend)
+    return "\n".join(lines)
+
+
+def ascii_histogram(buckets: Sequence, width: int = 48,
+                    title: str = "") -> str:
+    """Render ``(label, count)`` buckets as a horizontal bar chart."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not buckets:
+        return "\n".join(lines)
+    peak = max(count for _, count in buckets) or 1
+    total = sum(count for _, count in buckets) or 1
+    label_width = max(len(str(label)) for label, _ in buckets)
+    for label, count in buckets:
+        bar = "#" * max(0, int(count / peak * width))
+        share = 100.0 * count / total
+        lines.append(f"{str(label):>{label_width}} |{bar:<{width}} "
+                     f"{count} ({share:.1f}%)")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Plain-text table/series reporting for the benchmark harness.
+
+Every bench target prints the same rows/series the paper's tables and
+figures report, using these helpers so output stays uniform and greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_throughput(ops_per_second: float) -> str:
+    """Human-scaled ops/s (e.g. ``12.3 Mops/s``)."""
+    if ops_per_second >= 1e6:
+        return f"{ops_per_second / 1e6:.2f} Mops/s"
+    if ops_per_second >= 1e3:
+        return f"{ops_per_second / 1e3:.2f} Kops/s"
+    return f"{ops_per_second:.1f} ops/s"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-scaled byte counts."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"
+
+
+def ratio(numerator: float, denominator: float) -> str:
+    """``12.3x``-style ratio string (safe against zero denominators)."""
+    if denominator == 0:
+        return "inf"
+    return f"{numerator / denominator:.2f}x"

@@ -1,0 +1,98 @@
+"""Programmatic experiment suite: run the paper's headline grid in one call.
+
+``run_headline_suite`` executes the Figure-4 grid (4 workloads x 4
+datasets x the per-workload best ALEX variant + B+Tree) at a configurable
+scale and returns a :class:`SuiteReport` with every data point plus the
+aggregate win/loss summary the paper's abstract quotes ("up to X.Yx higher
+throughput, up to Nx smaller index").  Used by the CLI-less automation
+paths (notebooks, CI smoke checks) and tested in
+``tests/test_suite.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.workloads.spec import (
+    RANGE_SCAN,
+    READ_HEAVY,
+    READ_ONLY,
+    WRITE_HEAVY,
+    WorkloadSpec,
+)
+
+from .harness import ExperimentResult, SystemParams, best_alex_variant_for, run_experiment
+
+HEADLINE_WORKLOADS: Tuple[WorkloadSpec, ...] = (
+    READ_ONLY, READ_HEAVY, WRITE_HEAVY, RANGE_SCAN)
+HEADLINE_DATASETS: Tuple[str, ...] = (
+    "longitudes", "longlat", "lognormal", "ycsb")
+
+
+@dataclass
+class SuiteReport:
+    """All data points of one suite run plus aggregate ratios."""
+
+    results: List[ExperimentResult] = field(default_factory=list)
+
+    def by(self, workload: str, dataset: str, system: str) -> ExperimentResult:
+        """The single data point for a (workload, dataset, system) cell."""
+        for result in self.results:
+            if (result.workload == workload and result.dataset == dataset
+                    and result.system == system):
+                return result
+        raise KeyError((workload, dataset, system))
+
+    def throughput_ratios(self) -> Dict[Tuple[str, str], float]:
+        """ALEX/B+Tree throughput per (workload, dataset) cell."""
+        ratios: Dict[Tuple[str, str], float] = {}
+        for result in self.results:
+            if result.system == "BPlusTree":
+                continue
+            baseline = self.by(result.workload, result.dataset, "BPlusTree")
+            ratios[(result.workload, result.dataset)] = (
+                result.throughput / baseline.throughput)
+        return ratios
+
+    def max_throughput_ratio(self) -> float:
+        """The abstract's "up to X.Yx higher throughput than B+Tree"."""
+        return max(self.throughput_ratios().values())
+
+    def max_index_size_ratio(self) -> float:
+        """The abstract's "up to Nx smaller index size"."""
+        best = 0.0
+        for result in self.results:
+            if result.system == "BPlusTree":
+                continue
+            baseline = self.by(result.workload, result.dataset, "BPlusTree")
+            best = max(best, baseline.index_bytes / max(1, result.index_bytes))
+        return best
+
+    def wins(self) -> int:
+        """Cells where ALEX out-throughputs the B+Tree."""
+        return sum(1 for ratio in self.throughput_ratios().values()
+                   if ratio > 1.0)
+
+    def cells(self) -> int:
+        """Total (workload, dataset) cells."""
+        return len(self.throughput_ratios())
+
+
+def run_headline_suite(init_size: int = 2000, num_ops: int = 1500,
+                       params: SystemParams = SystemParams(
+                           keys_per_model=256, max_keys_per_node=512),
+                       cost_model: CostModel = DEFAULT_COST_MODEL,
+                       seed: int = 0) -> SuiteReport:
+    """Run the Figure-4 grid and return the collected report."""
+    report = SuiteReport()
+    for spec in HEADLINE_WORKLOADS:
+        alex_variant = best_alex_variant_for(spec)
+        for dataset in HEADLINE_DATASETS:
+            for system in (alex_variant, "BPlusTree"):
+                report.results.append(run_experiment(
+                    system, dataset, spec, init_size=init_size,
+                    num_ops=num_ops, params=params, cost_model=cost_model,
+                    seed=seed))
+    return report

@@ -1,0 +1,74 @@
+"""Grid-search tuning, mirroring the paper's methodology (Section 5.1).
+
+The paper tunes, per benchmark: the B+Tree page size, ALEX's number of
+static models / max keys per adaptive leaf, and the Learned Index's model
+count ("while not exceeding the model sizes reported in [17]" — i.e. the
+Learned Index is not allowed arbitrarily many models; the paper's best
+configurations sit around several thousand keys per model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.workloads.runner import run_workload
+from repro.workloads.spec import WorkloadSpec
+
+#: Page sizes the B+Tree grid search explores (bytes).
+PAGE_SIZE_GRID: Sequence[int] = (128, 256, 512, 1024, 4096)
+
+#: Static-RMI model-count grid, as keys-per-model divisors.
+KEYS_PER_MODEL_GRID: Sequence[int] = (64, 128, 256, 512, 1024)
+
+#: Adaptive-RMI max-keys-per-leaf grid.
+MAX_KEYS_GRID: Sequence[int] = (256, 512, 1024, 2048)
+
+#: The Learned Index may not exceed roughly one model per this many keys
+#: (the paper's "model sizes reported in [17]" constraint).
+LEARNED_INDEX_MIN_KEYS_PER_MODEL = 2000
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Winning parameter and its measured throughput."""
+
+    parameter: object
+    throughput: float
+
+
+def grid_search(build: Callable[[object], object], grid: Sequence[object],
+                init_keys: np.ndarray, insert_keys: np.ndarray,
+                spec: WorkloadSpec, num_ops: int,
+                cost_model: CostModel = DEFAULT_COST_MODEL,
+                seed: int = 0) -> TuneResult:
+    """Pick the grid point with the best simulated throughput.
+
+    ``build(param)`` must return a fresh index initialized with
+    ``init_keys``.
+    """
+    best: Tuple[float, object] = (-1.0, grid[0])
+    for param in grid:
+        index = build(param)
+        result = run_workload(index, init_keys.copy(), insert_keys.copy(),
+                              spec, num_ops, seed=seed)
+        throughput = cost_model.throughput(result.ops, result.work)
+        if throughput > best[0]:
+            best = (throughput, param)
+    return TuneResult(parameter=best[1], throughput=best[0])
+
+
+def learned_index_model_grid(num_keys: int) -> Sequence[int]:
+    """Model counts the Learned Index may try for ``num_keys`` keys,
+    respecting the paper's model-size cap."""
+    cap = max(1, num_keys // LEARNED_INDEX_MIN_KEYS_PER_MODEL)
+    grid = sorted({max(1, cap // 4), max(1, cap // 2), cap})
+    return tuple(grid)
+
+
+def static_model_grid(num_keys: int) -> Sequence[int]:
+    """Model counts ALEX's static RMI may try for ``num_keys`` keys."""
+    return tuple(sorted({max(1, num_keys // kpm) for kpm in KEYS_PER_MODEL_GRID}))

@@ -1,0 +1,182 @@
+"""Command-line interface: run paper experiments without writing code.
+
+Subcommands::
+
+    python -m repro info                     # version, variants, systems
+    python -m repro datasets [--size N]      # Table 1
+    python -m repro compare --dataset ycsb --workload read-heavy
+    python -m repro errors --dataset longitudes [--size N]
+    python -m repro theorems --dataset lognormal --c 1.43 2 8
+
+All numbers use the counter-based simulated-time metric (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import __version__
+from .analysis import (
+    alex_prediction_errors,
+    error_summary,
+    learned_index_prediction_errors,
+)
+from .analysis.theorems import analyze
+from .baselines.learned_index import LearnedIndex
+from .bench import (
+    SYSTEMS,
+    SystemParams,
+    best_alex_variant_for,
+    format_table,
+    run_experiment,
+)
+from .core.alex import AlexIndex
+from .core.config import ALL_VARIANTS, ga_armi
+from .datasets import DATASETS, linear_fit_error, load, local_nonlinearity
+from .workloads import WORKLOADS
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — ALEX reproduction (SIGMOD 2020)")
+    print(f"ALEX variants: {', '.join(ALL_VARIANTS)}")
+    print(f"systems:       {', '.join(SYSTEMS)}")
+    print(f"datasets:      {', '.join(DATASETS)}")
+    print(f"workloads:     {', '.join(WORKLOADS)}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name, spec in DATASETS.items():
+        keys = load(name, args.size, seed=args.seed)
+        rows.append((name, spec.paper_num_keys, args.size, spec.key_type,
+                     spec.payload_size,
+                     f"{linear_fit_error(keys):.4f}",
+                     f"{local_nonlinearity(keys):.4f}"))
+    print(format_table(
+        ["dataset", "paper n", "n", "key type", "payload B",
+         "global nonlin", "local nonlin"],
+        rows, title="Table 1: dataset characteristics"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    spec = WORKLOADS[args.workload]
+    systems = args.systems or [best_alex_variant_for(spec), "BPlusTree"]
+    params = SystemParams(keys_per_model=args.keys_per_model,
+                          max_keys_per_node=args.max_keys,
+                          page_size=args.page_size)
+    rows = []
+    for system in systems:
+        if system not in SYSTEMS:
+            print(f"error: unknown system {system!r} "
+                  f"(choose from {', '.join(SYSTEMS)})", file=sys.stderr)
+            return 2
+        result = run_experiment(system, args.dataset, spec,
+                                init_size=args.init, num_ops=args.ops,
+                                params=params, seed=args.seed)
+        rows.append((system, f"{result.throughput / 1e6:.3f}",
+                     f"{result.index_bytes:,}", f"{result.data_bytes:,}",
+                     result.extras["inserts"]))
+    print(format_table(
+        ["system", "Mops/s (sim)", "index bytes", "data bytes", "inserts"],
+        rows, title=f"{args.workload} on {args.dataset} "
+                    f"(init={args.init:,}, ops={args.ops:,})"))
+    return 0
+
+
+def _cmd_errors(args: argparse.Namespace) -> int:
+    keys = load(args.dataset, args.size, seed=args.seed)
+    alex = AlexIndex.bulk_load(keys, config=ga_armi())
+    learned = LearnedIndex.bulk_load(
+        keys, num_models=max(1, args.size // 2000))
+    rows = []
+    for name, errors in (("ALEX-GA-ARMI", alex_prediction_errors(alex)),
+                         ("LearnedIndex",
+                          learned_index_prediction_errors(learned))):
+        summary = error_summary(errors)
+        rows.append((name, f"{summary['exact_fraction']:.1%}",
+                     f"{summary['mean']:.2f}", f"{summary['median']:.0f}",
+                     f"{summary['p99']:.0f}", summary["max"]))
+    print(format_table(
+        ["system", "exact", "mean", "median", "p99", "max"],
+        rows, title=f"Figure 7: prediction errors on {args.dataset} "
+                    f"(n={args.size:,})"))
+    return 0
+
+
+def _cmd_theorems(args: argparse.Namespace) -> int:
+    keys = np.sort(load(args.dataset, args.size, seed=args.seed))
+    rows = []
+    for c in args.c:
+        result = analyze(keys, c)
+        rows.append((c, result.empirical, result.lower, result.upper,
+                     "yes" if result.consistent else "NO"))
+    print(format_table(
+        ["c", "direct hits", "Thm3 lower", "Thm2 upper", "in bounds"],
+        rows, title=f"Section 4 bounds on {args.dataset} "
+                    f"(n={args.size:,})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__.splitlines()[0])
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="versions, variants, datasets").set_defaults(
+        func=_cmd_info)
+
+    p_data = sub.add_parser("datasets", help="Table 1 characteristics")
+    p_data.add_argument("--size", type=int, default=10_000)
+    p_data.add_argument("--seed", type=int, default=0)
+    p_data.set_defaults(func=_cmd_datasets)
+
+    p_cmp = sub.add_parser("compare", help="run one workload comparison")
+    p_cmp.add_argument("--dataset", choices=sorted(DATASETS),
+                       default="ycsb")
+    p_cmp.add_argument("--workload", choices=sorted(WORKLOADS),
+                       default="read-heavy")
+    p_cmp.add_argument("--init", type=int, default=10_000)
+    p_cmp.add_argument("--ops", type=int, default=5_000)
+    p_cmp.add_argument("--systems", nargs="*", default=None,
+                       help=f"subset of: {', '.join(SYSTEMS)}")
+    p_cmp.add_argument("--keys-per-model", type=int, default=256)
+    p_cmp.add_argument("--max-keys", type=int, default=1024)
+    p_cmp.add_argument("--page-size", type=int, default=256)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_err = sub.add_parser("errors", help="Figure 7 prediction errors")
+    p_err.add_argument("--dataset", choices=sorted(DATASETS),
+                       default="longitudes")
+    p_err.add_argument("--size", type=int, default=10_000)
+    p_err.add_argument("--seed", type=int, default=0)
+    p_err.set_defaults(func=_cmd_errors)
+
+    p_thm = sub.add_parser("theorems", help="Section 4 direct-hit bounds")
+    p_thm.add_argument("--dataset", choices=sorted(DATASETS),
+                       default="lognormal")
+    p_thm.add_argument("--size", type=int, default=2_000)
+    p_thm.add_argument("--c", type=float, nargs="+",
+                       default=[1.0, 1.43, 2.0, 8.0])
+    p_thm.add_argument("--seed", type=int, default=0)
+    p_thm.set_defaults(func=_cmd_theorems)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (``python -m repro ...``)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Adaptive RMI: initialization (Algorithm 4) and node splitting on inserts.
+
+The static RMI suffers from *wasted models* (skew leaves most models nearly
+empty) and *fully-packed regions* (a model covering too many keys
+concentrates inserts).  Adaptive initialization bounds the number of keys
+per leaf and lets the tree depth adapt to the data; node splitting on
+inserts (Section 3.4.2) extends the same idea to dynamic distribution
+shift and cold starts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .config import AlexConfig
+from .data_node import DataNode
+from .linear_model import LinearModel
+from .rmi import InnerNode, link_leaves, make_data_node, partition_by_model
+from .stats import Counters
+
+#: Hard cap on recursion depth during adaptive initialization; reaching it
+#: means the model cannot split the keys (e.g. near-identical values), in
+#: which case we accept an oversized leaf rather than recurse forever.
+_MAX_DEPTH = 32
+
+
+def build_adaptive_rmi(keys: np.ndarray, payloads: list, config: AlexConfig,
+                       counters: Counters):
+    """Algorithm 4: build an adaptively-shaped RMI over sorted ``keys``.
+
+    Returns ``(root, leaves)``.  The root receives enough partitions that
+    each holds ``max_keys_per_node`` keys in expectation; non-root inner
+    nodes use the fixed ``config.inner_partitions``.  Oversized partitions
+    recurse into a deeper inner node; undersized partitions are merged with
+    their successors until just below the bound.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    leaves: List[DataNode] = []
+    root = _initialize(keys, payloads, config, counters, leaves, depth=0)
+    link_leaves(leaves)
+    return root, leaves
+
+
+def _initialize(keys: np.ndarray, payloads: list, config: AlexConfig,
+                counters: Counters, leaves: List[DataNode], depth: int):
+    """Recursive body of Algorithm 4; appends created leaves in key order."""
+    n = len(keys)
+    max_keys = config.max_keys_per_node
+    if n <= max_keys or depth >= _MAX_DEPTH:
+        return _make_leaf(keys, payloads, config, counters, leaves)
+
+    if depth == 0:
+        num_partitions = max(2, -(-n // max_keys))  # ceil(n / max_keys)
+    else:
+        num_partitions = config.inner_partitions
+    model = LinearModel.train_cdf(keys, num_partitions)
+    counters.retrains += 1
+    bounds = partition_by_model(keys, model, num_partitions)
+    sizes = np.diff(bounds)
+    if int(sizes.max()) == n:
+        # Degenerate: the model routes every key to one partition, so
+        # recursing cannot make progress.  Accept an oversized leaf.
+        return _make_leaf(keys, payloads, config, counters, leaves)
+
+    children: List[object] = [None] * num_partitions
+    s = 0
+    while s < num_partitions:
+        size = int(sizes[s])
+        if size > max_keys:
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
+            children[s] = _initialize(keys[lo:hi], payloads[lo:hi], config,
+                                      counters, leaves, depth + 1)
+            s += 1
+            continue
+        # Merge this partition with its successors until just below the
+        # bound (Algorithm 4's accumulate-then-drop loop).
+        e = s + 1
+        acc = size
+        while e < num_partitions and acc + int(sizes[e]) <= max_keys:
+            acc += int(sizes[e])
+            e += 1
+        lo, hi = int(bounds[s]), int(bounds[e])
+        leaf = _make_leaf(keys[lo:hi], payloads[lo:hi], config, counters,
+                          leaves)
+        for slot in range(s, e):
+            children[slot] = leaf
+        s = e
+    return InnerNode(model, children, counters)
+
+
+def _make_leaf(keys: np.ndarray, payloads: list, config: AlexConfig,
+               counters: Counters, leaves: List[DataNode]) -> DataNode:
+    """Build one data node and register it in the in-order leaf list."""
+    leaf = make_data_node(config, counters)
+    leaf.build(keys, list(payloads))
+    leaves.append(leaf)
+    return leaf
+
+
+def split_leaf(leaf: DataNode, parent: Optional[InnerNode],
+               config: AlexConfig, counters: Counters):
+    """Node splitting on inserts (Section 3.4.2).
+
+    The leaf's model becomes an inner model with ``config.split_fanout``
+    children; the data is redistributed to the children *according to the
+    original node's model* (its output range rescaled from the array size
+    to the fanout).  No rebalancing happens — ALEX is not height-balanced.
+
+    Returns the new :class:`InnerNode`, or ``None`` when the split would be
+    degenerate (every key lands in one child), in which case the caller
+    should keep the oversized leaf.
+    """
+    keys, payloads = leaf.export_sorted()
+    fanout = config.split_fanout
+    if leaf.model is not None and leaf.model.slope > 0:
+        model = leaf.model.copy()
+        model.scale(fanout / leaf.capacity)
+    else:
+        model = LinearModel.train_cdf(keys, fanout)
+        counters.retrains += 1
+    bounds = partition_by_model(keys, model, fanout)
+    sizes = np.diff(bounds)
+    if len(keys) > 0 and int(sizes.max()) == len(keys):
+        return None
+
+    children: List[DataNode] = []
+    for s in range(fanout):
+        lo, hi = int(bounds[s]), int(bounds[s + 1])
+        child = make_data_node(config, counters)
+        child.build(keys[lo:hi], payloads[lo:hi])
+        children.append(child)
+
+    # Splice the new leaves into the chain where the old leaf sat.
+    first, last = children[0], children[-1]
+    first.prev_leaf = leaf.prev_leaf
+    if leaf.prev_leaf is not None:
+        leaf.prev_leaf.next_leaf = first
+    last.next_leaf = leaf.next_leaf
+    if leaf.next_leaf is not None:
+        leaf.next_leaf.prev_leaf = last
+    for left, right in zip(children, children[1:]):
+        left.next_leaf = right
+        right.prev_leaf = left
+
+    inner = InnerNode(model, list(children), counters)
+    counters.splits += 1
+    if parent is not None:
+        parent.replace_child(leaf, inner)
+    return inner

@@ -1,0 +1,336 @@
+"""ALEX: the public index facade tying together node layouts and RMIs.
+
+This is the paper's primary contribution as a library type.  An
+:class:`AlexIndex` is an in-memory, updatable learned index over float64
+keys with opaque payloads.  The four paper variants are chosen through
+:class:`~repro.core.config.AlexConfig`:
+
+>>> from repro import AlexIndex, ga_armi
+>>> index = AlexIndex.bulk_load(sorted_keys, config=ga_armi())
+>>> index.insert(42.0, b"payload")
+>>> index.lookup(42.0)
+b'payload'
+>>> index.range_scan(40.0, limit=10)  # doctest: +SKIP
+
+Keys must be unique (the paper's datasets contain no duplicates and
+Section 7 lists duplicates as an open limitation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .adaptive import build_adaptive_rmi, split_leaf
+from .config import ADAPTIVE_RMI, AlexConfig
+from .data_node import DataNode
+from .errors import DuplicateKeyError, KeyNotFoundError
+from .rmi import InnerNode, NODE_METADATA_BYTES, build_static_rmi, make_data_node
+from .stats import Counters
+
+
+class AlexIndex:
+    """An updatable adaptive learned index (paper Section 3).
+
+    Create an empty index and fill it incrementally (a "cold start",
+    Section 3.4.2), or :meth:`bulk_load` a sorted key array, which is how
+    the paper initializes every experiment.
+    """
+
+    def __init__(self, config: Optional[AlexConfig] = None):
+        self.config = config or AlexConfig()
+        self.counters = Counters()
+        self._num_keys = 0
+        leaf = make_data_node(self.config, self.counters)
+        leaf.build(np.empty(0), [])
+        self._root: object = leaf
+        # A cold-started adaptive index must be able to grow by splitting
+        # even when the config leaves splitting off for bulk-loaded runs.
+        self._cold_start = True
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, keys, payloads: Optional[list] = None,
+                  config: Optional[AlexConfig] = None) -> "AlexIndex":
+        """Build an index over ``keys`` (need not be pre-sorted).
+
+        ``payloads[i]`` is stored with ``keys[i]``; payloads default to
+        ``None``.  Raises :class:`DuplicateKeyError` on repeated keys.
+        """
+        index = cls(config)
+        keys = np.asarray(keys, dtype=np.float64)
+        if payloads is None:
+            payloads = [None] * len(keys)
+        elif len(payloads) != len(keys):
+            raise ValueError("payloads length must match keys length")
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        payloads = [payloads[i] for i in order]
+        if len(keys) > 1:
+            dup = np.flatnonzero(np.diff(keys) == 0)
+            if len(dup):
+                raise DuplicateKeyError(float(keys[dup[0]]))
+        if index.config.rmi_mode == ADAPTIVE_RMI:
+            root, _ = build_adaptive_rmi(keys, payloads, index.config,
+                                         index.counters)
+        else:
+            root, _ = build_static_rmi(keys, payloads, index.config,
+                                       index.counters)
+        index._root = root
+        index._num_keys = len(keys)
+        index._cold_start = False
+        return index
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def _route(self, key: float) -> Tuple[DataNode, Optional[InnerNode]]:
+        """Descend the RMI to the leaf responsible for ``key``; also return
+        the leaf's parent (for splitting)."""
+        node = self._root
+        parent: Optional[InnerNode] = None
+        while isinstance(node, InnerNode):
+            parent = node
+            node = node.child_for(key)
+        return node, parent
+
+    def first_leaf(self) -> DataNode:
+        """Leftmost leaf of the tree (start of the leaf chain)."""
+        node = self._root
+        while isinstance(node, InnerNode):
+            node = node.children[0]
+        return node
+
+    def leaves(self) -> Iterator[DataNode]:
+        """Yield every leaf in key order via the leaf chain."""
+        leaf: Optional[DataNode] = self.first_leaf()
+        while leaf is not None:
+            yield leaf
+            leaf = leaf.next_leaf
+
+    def nodes(self) -> Iterator[object]:
+        """Yield every node (inner and leaf), depth-first."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, InnerNode):
+                stack.extend(node.distinct_children())
+
+    # ------------------------------------------------------------------
+    # Point operations
+    # ------------------------------------------------------------------
+
+    def insert(self, key: float, payload=None) -> None:
+        """Insert a new key.  Raises :class:`DuplicateKeyError` if present.
+
+        With the adaptive RMI (and splitting enabled or a cold start), a
+        leaf pushed past ``max_keys_per_node`` is split before the insert
+        (Section 3.4.2).
+        """
+        key = float(key)
+        leaf, parent = self._route(key)
+        if self._should_split(leaf):
+            inner = split_leaf(leaf, parent, self.config, self.counters)
+            if inner is not None:
+                if parent is None:
+                    self._root = inner
+                leaf, parent = self._route(key)
+        leaf.insert(key, payload)
+        self._num_keys += 1
+
+    def _should_split(self, leaf: DataNode) -> bool:
+        splitting = self.config.split_on_inserts or self._cold_start
+        return (self.config.rmi_mode == ADAPTIVE_RMI
+                and splitting
+                and leaf.num_keys + 1 > self.config.max_keys_per_node)
+
+    def lookup(self, key: float):
+        """Return the payload stored for ``key``; raises
+        :class:`KeyNotFoundError` when absent."""
+        leaf, _ = self._route(float(key))
+        return leaf.lookup(float(key))
+
+    def get(self, key: float, default=None):
+        """Like :meth:`lookup` but returns ``default`` when absent."""
+        try:
+            return self.lookup(key)
+        except KeyNotFoundError:
+            return default
+
+    def contains(self, key: float) -> bool:
+        """Whether ``key`` is present."""
+        leaf, _ = self._route(float(key))
+        return leaf.contains(float(key))
+
+    def delete(self, key: float) -> None:
+        """Remove ``key``; raises :class:`KeyNotFoundError` when absent."""
+        leaf, _ = self._route(float(key))
+        leaf.delete(float(key))
+        self._num_keys -= 1
+
+    def update(self, key: float, payload) -> None:
+        """Replace the payload of an existing key."""
+        leaf, _ = self._route(float(key))
+        leaf.update(float(key), payload)
+
+    def upsert(self, key: float, payload) -> None:
+        """Insert ``key`` or update its payload when already present
+        (Section 3.2: key-preserving updates are lookup + write)."""
+        try:
+            self.update(key, payload)
+        except KeyNotFoundError:
+            self.insert(key, payload)
+
+    # ------------------------------------------------------------------
+    # Range operations
+    # ------------------------------------------------------------------
+
+    def range_scan(self, start_key: float, limit: int) -> list:
+        """Return up to ``limit`` ``(key, payload)`` pairs with key >=
+        ``start_key``, in key order (the paper's Workload-E-style scan)."""
+        leaf, _ = self._route(float(start_key))
+        self.counters.scans += 1
+        return leaf.scan_from(float(start_key), limit)
+
+    def range_query(self, lo: float, hi: float) -> list:
+        """All ``(key, payload)`` pairs with ``lo <= key <= hi``."""
+        leaf, _ = self._route(float(lo))
+        self.counters.scans += 1
+        out: list = []
+        pos = leaf.find_insert_pos(float(lo))
+        node: Optional[DataNode] = leaf
+        while node is not None:
+            for p in np.flatnonzero(node.occupied[pos:]) + pos:
+                key = float(node.keys[p])
+                if key > hi:
+                    return out
+                out.append((key, node.payloads[p]))
+                node.counters.payload_bytes_copied += self.config.payload_size
+            node = node.next_leaf
+            pos = 0
+            self.counters.pointer_follows += 1
+        return out
+
+    def items(self) -> Iterator[Tuple[float, object]]:
+        """Yield all ``(key, payload)`` pairs in key order."""
+        for leaf in self.leaves():
+            yield from leaf.iter_items()
+
+    def keys(self) -> Iterator[float]:
+        """Yield all keys in key order."""
+        for key, _ in self.items():
+            yield key
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._num_keys
+
+    def __contains__(self, key) -> bool:
+        return self.contains(float(key))
+
+    def __getitem__(self, key):
+        return self.lookup(float(key))
+
+    def __setitem__(self, key, payload) -> None:
+        self.upsert(float(key), payload)
+
+    def __delitem__(self, key) -> None:
+        self.delete(float(key))
+
+    def __iter__(self) -> Iterator[float]:
+        return self.keys()
+
+    # ------------------------------------------------------------------
+    # Introspection and accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def variant_name(self) -> str:
+        """The paper's name for this configuration (e.g. ``ALEX-GA-ARMI``)."""
+        return self.config.variant_name
+
+    def num_leaves(self) -> int:
+        """Number of data nodes."""
+        return sum(1 for _ in self.leaves())
+
+    def num_models(self) -> int:
+        """Number of linear models (inner + leaf), the paper's model count."""
+        count = 0
+        for node in self.nodes():
+            if isinstance(node, InnerNode) or node.model is not None:
+                count += 1
+        return count
+
+    def depth(self) -> int:
+        """Maximum number of inner levels above any leaf (0 = root leaf)."""
+        def _depth(node) -> int:
+            if not isinstance(node, InnerNode):
+                return 0
+            return 1 + max(_depth(child) for child in node.distinct_children())
+        return _depth(self._root)
+
+    def index_size_bytes(self) -> int:
+        """Index footprint: models + child pointers + metadata
+        (Section 5.1's accounting; excludes the data arrays)."""
+        total = 0
+        for node in self.nodes():
+            if isinstance(node, InnerNode):
+                total += node.size_bytes()
+            else:
+                total += node.model_size_bytes() + NODE_METADATA_BYTES
+        return total
+
+    def data_size_bytes(self) -> int:
+        """Data footprint: allocated key/payload arrays (gaps included)
+        plus per-node bitmaps."""
+        return sum(leaf.data_size_bytes() for leaf in self.leaves())
+
+    def leaf_sizes(self) -> np.ndarray:
+        """Key count per leaf (Figure 12's distribution)."""
+        return np.array([leaf.num_keys for leaf in self.leaves()], dtype=np.int64)
+
+    def validate(self) -> None:
+        """Check every structural invariant; raises ``AssertionError`` on
+        corruption.  Used by the tests and safe to call in production.
+
+        Validates each leaf's internal invariants, the key-ordering of the
+        leaf chain, that the chain covers exactly the tree's leaves, and
+        that routing sends each leaf's min/max key back to that leaf.
+        """
+        chain = list(self.leaves())
+        tree_leaves = [n for n in self.nodes() if not isinstance(n, InnerNode)]
+        if len(chain) != len(tree_leaves):
+            raise AssertionError(
+                f"leaf chain has {len(chain)} nodes, tree has {len(tree_leaves)}"
+            )
+        if set(map(id, chain)) != set(map(id, tree_leaves)):
+            raise AssertionError("leaf chain and tree disagree on leaves")
+        total = 0
+        prev_max: Optional[float] = None
+        for leaf in chain:
+            leaf.check_invariants()
+            total += leaf.num_keys
+            if leaf.num_keys == 0:
+                continue
+            if prev_max is not None and leaf.min_key() <= prev_max:
+                raise AssertionError("leaf chain keys are not increasing")
+            prev_max = leaf.max_key()
+            for probe in (leaf.min_key(), leaf.max_key()):
+                routed, _ = self._route(probe)
+                if routed is not leaf:
+                    raise AssertionError(
+                        f"routing sends key {probe} to a different leaf"
+                    )
+        if total != self._num_keys:
+            raise AssertionError(
+                f"leaf keys total {total}, index believes {self._num_keys}"
+            )

@@ -1,0 +1,102 @@
+"""Batch operations: bulk inserts and index merges.
+
+One-at-a-time inserts pay a full RMI traversal and possible shifting per
+key.  When a large sorted (or sortable) batch arrives at once — nightly
+loads, LSM-style flushes — it is cheaper to *rebuild affected leaves*:
+route the batch once, group keys by target leaf, and rebuild each touched
+leaf with a single model-based build over the union of its old and new
+keys (Algorithm 3 amortized over the whole group).
+
+``bulk_insert`` implements that, falling back to plain inserts for tiny
+batches.  ``merge_indexes`` builds a fresh index over the union of two
+indexes' contents (the classic way to merge a delta structure).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .alex import AlexIndex
+from .config import AlexConfig
+from .errors import DuplicateKeyError
+
+#: Below this many keys per touched leaf, plain inserts win.
+_REBUILD_THRESHOLD = 4
+
+
+def bulk_insert(index: AlexIndex, keys, payloads: Optional[list] = None) -> None:
+    """Insert a batch of unique new keys into ``index`` efficiently.
+
+    Keys may arrive unsorted; duplicates (within the batch or against the
+    index) raise :class:`DuplicateKeyError` *before* any mutation, so the
+    operation is all-or-nothing.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    if payloads is None:
+        payloads = [None] * len(keys)
+    elif len(payloads) != len(keys):
+        raise ValueError("payloads length must match keys length")
+    if len(keys) == 0:
+        return
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    payloads = [payloads[i] for i in order]
+    dup = np.flatnonzero(np.diff(keys) == 0)
+    if len(dup):
+        raise DuplicateKeyError(float(keys[dup[0]]))
+
+    # Route every key and group by target leaf (validation pass: no
+    # duplicates against the index either).
+    groups: dict = {}
+    leaf_refs: dict = {}
+    for i, key in enumerate(keys):
+        leaf, _ = index._route(float(key))
+        if leaf.contains(float(key)):
+            raise DuplicateKeyError(float(key))
+        groups.setdefault(id(leaf), []).append(i)
+        leaf_refs[id(leaf)] = leaf
+
+    for leaf_id, positions in groups.items():
+        leaf = leaf_refs[leaf_id]
+        if len(positions) < _REBUILD_THRESHOLD:
+            for i in positions:
+                leaf.insert(float(keys[i]), payloads[i])
+            continue
+        old_keys, old_payloads = leaf.export_sorted()
+        new_keys = keys[positions]
+        new_payloads = [payloads[i] for i in positions]
+        merged_keys = np.concatenate([old_keys, new_keys])
+        merged_payloads = old_payloads + new_payloads
+        merge_order = np.argsort(merged_keys, kind="stable")
+        merged_keys = merged_keys[merge_order]
+        merged_payloads = [merged_payloads[j] for j in merge_order]
+        leaf._model_based_build(merged_keys, merged_payloads,
+                                leaf._initial_capacity(len(merged_keys)))
+        leaf.counters.inserts += len(positions)
+    index._num_keys += len(keys)
+
+
+def merge_indexes(left: AlexIndex, right: AlexIndex,
+                  config: Optional[AlexConfig] = None) -> AlexIndex:
+    """Build a fresh index over the union of two indexes' contents.
+
+    Key sets must be disjoint (raises :class:`DuplicateKeyError`
+    otherwise).  The result uses ``config`` (default: ``left``'s config).
+    """
+    config = config or left.config
+    left_keys, left_payloads = _export(left)
+    right_keys, right_payloads = _export(right)
+    keys = np.concatenate([left_keys, right_keys])
+    payloads = left_payloads + right_payloads
+    return AlexIndex.bulk_load(keys, payloads, config=config)
+
+
+def _export(index: AlexIndex):
+    keys = np.empty(len(index), dtype=np.float64)
+    payloads: list = [None] * len(index)
+    for i, (key, payload) in enumerate(index.items()):
+        keys[i] = key
+        payloads[i] = payload
+    return keys, payloads

@@ -1,0 +1,462 @@
+"""Common machinery for ALEX leaf ("data") nodes.
+
+Both leaf layouts of Section 3.3 — the Gapped Array and the Packed Memory
+Array — share everything implemented here:
+
+* a key array with *gaps*, where each gap slot holds a copy of the closest
+  real key to its right (trailing gaps hold ``+inf``), so the array is
+  non-decreasing end-to-end and exponential search needs no occupancy test;
+* a per-node occupancy **bitmap** used by range scans to skip gaps
+  (Section 5.2.3);
+* **model-based builds** (Algorithm 3): train a linear model on the keys,
+  rescale it to the array size, then place every key at its predicted slot
+  in sorted order, spilling collisions to the first gap on the right;
+* **lookups** via model prediction + exponential search (Algorithm 3);
+* cold-start behaviour: nodes with very few keys skip the model and use
+  plain binary search (Section 3.3.3).
+
+Subclasses implement the insert path (how to open a slot) and the expansion
+policy (GA: grow by ``1/d``; PMA: double).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .config import AlexConfig
+from .errors import DuplicateKeyError, KeyNotFoundError
+from .linear_model import LinearModel
+from .search import exponential_search, lower_bound
+from .stats import Counters
+
+GAP_SENTINEL = np.inf
+_BITMAP_WORD_BITS = 64
+
+
+class DataNode:
+    """Base class for ALEX leaf nodes (gapped key array + bitmap + model)."""
+
+    #: minimum capacity a node is ever allocated
+    MIN_CAPACITY = 8
+
+    def __init__(self, config: AlexConfig, counters: Counters):
+        self.config = config
+        self.counters = counters
+        self.capacity = 0
+        self.num_keys = 0
+        self.keys = np.empty(0, dtype=np.float64)
+        self.payloads: list = []
+        self.occupied = np.zeros(0, dtype=bool)
+        self.model: Optional[LinearModel] = None
+        # Doubly-linked leaf chain in key order, used by range scans.
+        self.next_leaf: Optional["DataNode"] = None
+        self.prev_leaf: Optional["DataNode"] = None
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def _initial_capacity(self, n: int) -> int:
+        """Capacity for ``n`` keys at the build density ``d**2``."""
+        raise NotImplementedError
+
+    def build(self, keys: np.ndarray, payloads: Optional[list] = None) -> None:
+        """(Re)initialize this node with sorted, duplicate-free ``keys``."""
+        keys = np.asarray(keys, dtype=np.float64)
+        if payloads is None:
+            payloads = [None] * len(keys)
+        capacity = self._initial_capacity(len(keys))
+        self._model_based_build(keys, payloads, capacity)
+
+    def _model_based_build(self, keys: np.ndarray, payloads: list,
+                           capacity: int) -> None:
+        """Algorithm 3: train, rescale, and model-based-insert all keys.
+
+        Keys are placed in sorted order at their predicted position; when
+        the model predicts an already-taken slot the key spills to the first
+        gap to the right.  The placement also reserves enough trailing room
+        for the remaining keys so that every key fits.
+        """
+        n = len(keys)
+        capacity = max(capacity, n, self.MIN_CAPACITY)
+        new_keys = np.full(capacity, GAP_SENTINEL, dtype=np.float64)
+        new_payloads: list = [None] * capacity
+        new_occupied = np.zeros(capacity, dtype=bool)
+
+        if n >= self.config.min_keys_for_model:
+            model = LinearModel.train_cdf(keys, capacity)
+            self.counters.retrains += 1
+            predicted = model.predict_pos_vec(keys, capacity)
+            self.counters.model_inferences += n
+        else:
+            model = None
+            # Without a model, spread the keys uniformly (a degenerate
+            # "model-based" placement with the identity spacing).
+            predicted = ((np.arange(n, dtype=np.float64) * capacity) // max(n, 1)).astype(np.int64)
+
+        last = -1
+        for i in range(n):
+            pos = int(predicted[i])
+            if pos <= last:
+                pos = last + 1
+            # Leave room for the keys still to be placed.
+            max_pos = capacity - (n - i)
+            if pos > max_pos:
+                pos = max_pos
+            new_keys[pos] = keys[i]
+            new_payloads[pos] = payloads[i]
+            new_occupied[pos] = True
+            last = pos
+
+        self.keys = new_keys
+        self.payloads = new_payloads
+        self.occupied = new_occupied
+        self.capacity = capacity
+        self.num_keys = n
+        self.model = model
+        self.counters.build_moves += n
+        self._refill_gap_keys(0, capacity)
+
+    def _refill_gap_keys(self, lo: int, hi: int) -> None:
+        """Rewrite gap slots in ``[lo, hi)`` with their nearest real right
+        neighbour's key (vectorized backward fill; trailing gaps get the
+        first real key at or after ``hi``, or ``+inf``)."""
+        if hi <= lo:
+            return
+        occ = self.occupied[lo:hi]
+        idx = np.where(occ, np.arange(lo, hi), self.capacity)
+        suffix = np.minimum.accumulate(idx[::-1])[::-1]
+        # Seed for trailing gaps: first real slot at or beyond hi.
+        tail = self._first_occupied_at_or_after(hi)
+        tail_key = self.keys[tail] if tail < self.capacity else GAP_SENTINEL
+        seg = self.keys[lo:hi]
+        src = np.minimum(suffix, self.capacity - 1)
+        filled = np.where(suffix < self.capacity, self.keys[src], tail_key)
+        self.keys[lo:hi] = np.where(occ, seg, filled)
+        self.counters.gap_fill_writes += int((~occ).sum())
+
+    def _first_occupied_at_or_after(self, pos: int) -> int:
+        """Index of the first occupied slot at or after ``pos`` (or
+        ``capacity`` when none exists)."""
+        if pos >= self.capacity:
+            return self.capacity
+        rel = np.argmax(self.occupied[pos:])
+        if not self.occupied[pos + rel]:
+            return self.capacity
+        return pos + int(rel)
+
+    def _last_occupied_before(self, pos: int) -> int:
+        """Index of the last occupied slot strictly before ``pos`` (or -1)."""
+        if pos <= 0:
+            return -1
+        window = self.occupied[:pos]
+        if not window.any():
+            return -1
+        return int(pos - 1 - np.argmax(window[::-1]))
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def predict_pos(self, key: float) -> int:
+        """Model prediction clamped to the array (or the array midpoint
+        during cold start)."""
+        if self.model is None:
+            return self.capacity // 2
+        self.counters.model_inferences += 1
+        return self.model.predict_pos(key, self.capacity)
+
+    def find_insert_pos(self, key: float) -> int:
+        """Leftmost position with ``keys[pos] >= key`` (Algorithm 1's
+        ``CorrectInsertPosition``): model hint + exponential search, or plain
+        binary search during cold start."""
+        if self.model is None:
+            return lower_bound(self.keys, key, 0, self.capacity, self.counters)
+        hint = self.predict_pos(key)
+        return exponential_search(self.keys, key, hint, 0, self.capacity,
+                                  self.counters)
+
+    def find_key(self, key: float) -> int:
+        """Position of the *real* (occupied) slot holding ``key``, or -1.
+
+        The lower-bound position may land on a gap that mirrors the key's
+        value; the real slot is then the first occupied slot to the right
+        with the same value.
+        """
+        pos = self.find_insert_pos(key)
+        while pos < self.capacity and self.keys[pos] == key:
+            self.counters.probes += 1
+            if self.occupied[pos]:
+                return pos
+            pos += 1
+        return -1
+
+    def lookup(self, key: float):
+        """Return the payload stored for ``key``.
+
+        Raises :class:`KeyNotFoundError` when the key is absent.
+        """
+        pos = self.find_key(key)
+        if pos < 0:
+            raise KeyNotFoundError(key)
+        self.counters.lookups += 1
+        return self.payloads[pos]
+
+    def contains(self, key: float) -> bool:
+        """Whether ``key`` is present in this node."""
+        return self.find_key(key) >= 0
+
+    def prediction_error(self, key: float) -> int:
+        """Distance between the model's predicted slot and the key's actual
+        slot (used by the Figure 7 study).  Raises if the key is absent."""
+        pos = self.find_key(key)
+        if pos < 0:
+            raise KeyNotFoundError(key)
+        return abs(self.predict_pos(key) - pos)
+
+    # ------------------------------------------------------------------
+    # Insert plumbing shared by both layouts
+    # ------------------------------------------------------------------
+
+    def _check_duplicate(self, key: float, ip: int) -> None:
+        """Raise if ``key`` already exists.  Because gap slots mirror their
+        right neighbour's key, equality at the lower bound implies the key
+        is present regardless of occupancy."""
+        if ip < self.capacity and self.keys[ip] == key:
+            raise DuplicateKeyError(key)
+
+    def _place(self, pos: int, key: float, payload) -> None:
+        """Write ``key`` into the (free) slot ``pos`` and maintain the
+        gap-fill invariant for the gap run immediately to the left."""
+        self.keys[pos] = key
+        self.payloads[pos] = payload
+        self.occupied[pos] = True
+        self.num_keys += 1
+        i = pos - 1
+        while i >= 0 and not self.occupied[i]:
+            self.keys[i] = key
+            self.counters.gap_fill_writes += 1
+            i -= 1
+
+    def _shift_right_into_gap(self, ip: int, gap: int) -> None:
+        """Move the fully-occupied run ``[ip, gap)`` one slot right into the
+        gap at ``gap``, freeing slot ``ip``."""
+        self.keys[ip + 1:gap + 1] = self.keys[ip:gap]
+        self.payloads[ip + 1:gap + 1] = self.payloads[ip:gap]
+        self.occupied[gap] = True
+        self.occupied[ip] = False
+        self.counters.shifts += gap - ip
+
+    def _shift_left_into_gap(self, gap: int, ip: int) -> None:
+        """Move the fully-occupied run ``(gap, ip)`` one slot left into the
+        gap at ``gap``, freeing slot ``ip - 1``.
+
+        Only elements strictly less than the key being inserted move, so
+        the caller inserts at ``ip - 1`` to preserve sorted order.
+        """
+        self.keys[gap:ip - 1] = self.keys[gap + 1:ip]
+        self.payloads[gap:ip - 1] = self.payloads[gap + 1:ip]
+        self.occupied[gap] = True
+        self.occupied[ip - 1] = False
+        self.counters.shifts += ip - 1 - gap
+
+    def _closest_gaps(self, pos: int, lo: int, hi: int) -> Tuple[int, int]:
+        """Return ``(left_gap, right_gap)`` nearest to ``pos`` within
+        ``[lo, hi)`` (-1 / ``hi`` when absent).  ``pos`` itself is excluded
+        on the left side and included on the right side."""
+        window = self.occupied[pos:hi]
+        rel = np.argmax(~window) if window.size else 0
+        if window.size and not window[rel]:
+            right = pos + int(rel)
+        else:
+            right = hi
+        window = self.occupied[lo:pos]
+        if window.size and not window.all():
+            left = lo + int(pos - lo - 1 - np.argmax(~window[::-1]))
+        else:
+            left = -1
+        return left, right
+
+    def _open_slot(self, ip: int, lo: int, hi: int) -> int:
+        """Make a free slot at (or directly left of) position ``ip`` by
+        shifting the occupied run toward the closest gap in ``[lo, hi)``.
+
+        Returns the position at which the caller must insert, or -1 when
+        the window contains no gap at all.
+        """
+        if ip >= hi:
+            ip = hi  # insertion past the window: treat like "shift left"
+        elif not self.occupied[ip]:
+            return ip
+        left, right = self._closest_gaps(ip, lo, hi)
+        has_left = left >= 0
+        has_right = right < hi
+        if not has_left and not has_right:
+            return -1
+        if has_right and (not has_left or right - ip <= ip - left):
+            self._shift_right_into_gap(ip, right)
+            return ip
+        self._shift_left_into_gap(left, ip)
+        return ip - 1
+
+    # ------------------------------------------------------------------
+    # Delete / update
+    # ------------------------------------------------------------------
+
+    def delete(self, key: float) -> None:
+        """Remove ``key``; contracts the node when it becomes sparse.
+
+        Deletes are "strictly easier" than inserts (Section 3.2): the slot
+        simply becomes a gap mirroring its right neighbour, and no shifting
+        is needed.
+        """
+        pos = self.find_key(key)
+        if pos < 0:
+            raise KeyNotFoundError(key)
+        self.occupied[pos] = False
+        self.payloads[pos] = None
+        right_key = self.keys[pos + 1] if pos + 1 < self.capacity else GAP_SENTINEL
+        i = pos
+        while i >= 0 and not self.occupied[i]:
+            self.keys[i] = right_key
+            self.counters.gap_fill_writes += 1
+            i -= 1
+        self.num_keys -= 1
+        self.counters.deletes += 1
+        self._maybe_contract()
+
+    def _maybe_contract(self) -> None:
+        """Shrink the arrays when density falls below half the build density
+        (the symmetric counterpart of expansion, Section 3.2)."""
+        if self.capacity <= self.MIN_CAPACITY:
+            return
+        if self.num_keys >= self.capacity * self.config.density_at_build / 2:
+            return
+        keys, payloads = self.export_sorted()
+        self._model_based_build(keys, payloads, self._initial_capacity(len(keys)))
+        self.counters.contractions += 1
+
+    def update(self, key: float, payload) -> None:
+        """Replace the payload of an existing key (Section 3.2: payload-only
+        updates are a lookup plus a write)."""
+        pos = self.find_key(key)
+        if pos < 0:
+            raise KeyNotFoundError(key)
+        self.payloads[pos] = payload
+
+    # ------------------------------------------------------------------
+    # Scans and export
+    # ------------------------------------------------------------------
+
+    def scan_from(self, key: float, limit: int) -> list:
+        """Return up to ``limit`` ``(key, payload)`` pairs with keys
+        ``>= key`` from this node onward, following the leaf chain.
+
+        Uses the bitmap to skip gaps; the bitmap-word counter models the
+        paper's observation that the bitmap makes gap-skipping cheap.
+        """
+        out: list = []
+        node: Optional[DataNode] = self
+        pos = self.find_insert_pos(key)
+        while node is not None and len(out) < limit:
+            hi = node.capacity
+            node.counters.bitmap_words_scanned += (
+                (hi - pos + _BITMAP_WORD_BITS - 1) // _BITMAP_WORD_BITS
+            )
+            occ_positions = np.flatnonzero(node.occupied[pos:hi]) + pos
+            for p in occ_positions:
+                out.append((float(node.keys[p]), node.payloads[p]))
+                node.counters.payload_bytes_copied += node.config.payload_size
+                if len(out) >= limit:
+                    return out
+            node.counters.pointer_follows += 1
+            node = node.next_leaf
+            pos = 0
+        return out
+
+    def iter_items(self) -> Iterator[Tuple[float, object]]:
+        """Yield the node's real ``(key, payload)`` pairs in key order."""
+        for pos in np.flatnonzero(self.occupied):
+            yield float(self.keys[pos]), self.payloads[pos]
+
+    def export_sorted(self) -> Tuple[np.ndarray, list]:
+        """Return ``(keys, payloads)`` of the real elements in key order."""
+        positions = np.flatnonzero(self.occupied)
+        keys = self.keys[positions].copy()
+        payloads = [self.payloads[p] for p in positions]
+        return keys, payloads
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def density(self) -> float:
+        """Fraction of slots currently holding real keys."""
+        return self.num_keys / self.capacity if self.capacity else 0.0
+
+    def min_key(self) -> float:
+        """Smallest real key (raises when empty)."""
+        pos = self._first_occupied_at_or_after(0)
+        if pos >= self.capacity:
+            raise KeyNotFoundError(float("nan"))
+        return float(self.keys[pos])
+
+    def max_key(self) -> float:
+        """Largest real key (raises when empty)."""
+        pos = self._last_occupied_before(self.capacity)
+        if pos < 0:
+            raise KeyNotFoundError(float("nan"))
+        return float(self.keys[pos])
+
+    def data_size_bytes(self) -> int:
+        """Allocated data size: key + payload arrays including gaps, plus
+        the occupancy bitmap (Section 5.1's accounting)."""
+        per_slot = 8 + self.config.payload_size
+        bitmap = (self.capacity + 7) // 8
+        return self.capacity * per_slot + bitmap
+
+    def model_size_bytes(self) -> int:
+        """Index-side footprint of this node: its linear model."""
+        return LinearModel.SIZE_BYTES if self.model is not None else 0
+
+    def check_invariants(self) -> None:
+        """Assert every structural invariant (used heavily by the tests):
+
+        * real keys appear in strictly increasing order;
+        * the full array (gaps included) is non-decreasing;
+        * every gap slot mirrors its nearest real right neighbour
+          (``+inf`` for trailing gaps);
+        * ``num_keys`` matches the bitmap population count.
+        """
+        positions = np.flatnonzero(self.occupied)
+        real = self.keys[positions]
+        if len(real) > 1 and not (np.diff(real) > 0).all():
+            raise AssertionError("real keys are not strictly increasing")
+        finite = self.keys[np.isfinite(self.keys)]
+        if len(finite) > 1 and not (np.diff(finite) >= 0).all():
+            raise AssertionError("gap-filled key array is not non-decreasing")
+        if int(self.occupied.sum()) != self.num_keys:
+            raise AssertionError("num_keys does not match bitmap population")
+        expect = GAP_SENTINEL
+        for pos in range(self.capacity - 1, -1, -1):
+            if self.occupied[pos]:
+                expect = self.keys[pos]
+            elif self.keys[pos] != expect:
+                raise AssertionError(
+                    f"gap slot {pos} holds {self.keys[pos]}, expected {expect}"
+                )
+
+    # ------------------------------------------------------------------
+    # Abstract subclass API
+    # ------------------------------------------------------------------
+
+    def insert(self, key: float, payload=None) -> None:
+        """Insert a new key (layout-specific)."""
+        raise NotImplementedError
+
+    def expand(self) -> None:
+        """Grow the arrays and rebuild model-based (layout-specific size)."""
+        raise NotImplementedError

@@ -1,0 +1,29 @@
+"""Exceptions shared by every index implementation in this repository."""
+
+from __future__ import annotations
+
+
+class IndexError_(Exception):
+    """Base class for index errors (named with a trailing underscore to
+    avoid shadowing the built-in :class:`IndexError`)."""
+
+
+class DuplicateKeyError(IndexError_):
+    """Raised when inserting a key that is already present.
+
+    The paper's datasets contain no duplicate values and Section 7 lists
+    duplicate-key support as an open limitation, so all indexes here treat
+    duplicates as errors rather than silently overwriting.
+    """
+
+    def __init__(self, key: float):
+        super().__init__(f"key {key!r} is already present")
+        self.key = key
+
+
+class KeyNotFoundError(IndexError_):
+    """Raised when an operation requires a key that is not in the index."""
+
+    def __init__(self, key: float):
+        super().__init__(f"key {key!r} not found")
+        self.key = key

@@ -1,0 +1,146 @@
+"""RMI inner nodes and the static RMI (SRMI) builder.
+
+The static RMI mirrors the Learned Index layout (Section 3.2): a two-level
+hierarchy with one linear root model routing to a pre-determined number of
+leaf data nodes.  The number of leaf models is fixed at initialization
+(grid-searched per dataset in the paper's evaluation).
+
+Routing is *model-based*: the root model maps a key to a child slot, with no
+comparisons along the way.  Because the model is a monotone non-decreasing
+linear function, each child covers a contiguous key range, which keeps range
+scans correct via the leaf chain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .config import AlexConfig, GAPPED_ARRAY
+from .data_node import DataNode
+from .gapped_array import GappedArrayNode
+from .linear_model import LinearModel
+from .pma import PMANode
+from .stats import Counters
+
+#: Per-node bookkeeping overhead charged in the index-size accounting
+#: (child count, key count, level — Section 5.1 counts "pointers and
+#: metadata" on top of the model parameters).
+NODE_METADATA_BYTES = 16
+POINTER_BYTES = 8
+
+
+def make_data_node(config: AlexConfig, counters: Counters) -> DataNode:
+    """Instantiate an empty leaf of the configured layout."""
+    if config.node_layout == GAPPED_ARRAY:
+        return GappedArrayNode(config, counters)
+    return PMANode(config, counters)
+
+
+class InnerNode:
+    """An internal RMI node: a linear model over a child-pointer array.
+
+    Multiple consecutive slots may point to the same child (adaptive
+    initialization merges small partitions, Section 3.4.1), so
+    ``len(children)`` (the slot count) can exceed the number of distinct
+    children.
+    """
+
+    def __init__(self, model: LinearModel, children: List[object],
+                 counters: Counters):
+        self.model = model
+        self.children = children
+        self.counters = counters
+
+    @property
+    def num_slots(self) -> int:
+        """Number of child-pointer slots (>= number of distinct children)."""
+        return len(self.children)
+
+    def route_slot(self, key: float) -> int:
+        """Slot index the model assigns to ``key``."""
+        self.counters.model_inferences += 1
+        return self.model.predict_pos(key, self.num_slots)
+
+    def child_for(self, key: float):
+        """The child node responsible for ``key``."""
+        child = self.children[self.route_slot(key)]
+        self.counters.pointer_follows += 1
+        return child
+
+    def replace_child(self, old, new) -> None:
+        """Redirect every slot pointing at ``old`` to ``new`` (used by node
+        splitting on inserts)."""
+        for i, child in enumerate(self.children):
+            if child is old:
+                self.children[i] = new
+
+    def distinct_children(self) -> list:
+        """The distinct child nodes, in slot order."""
+        seen: list = []
+        for child in self.children:
+            if not seen or seen[-1] is not child:
+                seen.append(child)
+        return seen
+
+    def size_bytes(self) -> int:
+        """Model + child-pointer array + metadata (Section 5.1)."""
+        return (self.model.size_bytes()
+                + self.num_slots * POINTER_BYTES
+                + NODE_METADATA_BYTES)
+
+
+def link_leaves(leaves: List[DataNode]) -> None:
+    """Wire the doubly-linked leaf chain in key order."""
+    for left, right in zip(leaves, leaves[1:]):
+        left.next_leaf = right
+        right.prev_leaf = left
+    if leaves:
+        leaves[0].prev_leaf = None
+        leaves[-1].next_leaf = None
+
+
+def partition_by_model(keys: np.ndarray, model: LinearModel,
+                       num_slots: int) -> np.ndarray:
+    """Boundaries of the contiguous key runs each model slot receives.
+
+    Returns an array ``bounds`` of length ``num_slots + 1`` such that slot
+    ``s`` receives ``keys[bounds[s]:bounds[s+1]]``.  Relies on the model
+    being monotone non-decreasing so slot assignments are sorted.
+    """
+    if len(keys) == 0:
+        return np.zeros(num_slots + 1, dtype=np.int64)
+    slots = model.predict_pos_vec(np.asarray(keys, dtype=np.float64), num_slots)
+    bounds = np.searchsorted(slots, np.arange(num_slots + 1))
+    return bounds.astype(np.int64)
+
+
+def build_static_rmi(keys: np.ndarray, payloads: list, config: AlexConfig,
+                     counters: Counters):
+    """Build a two-level static RMI over sorted ``keys``.
+
+    Returns ``(root, leaves)`` where ``root`` is an :class:`InnerNode` with
+    ``config.num_models`` slots, one distinct leaf per slot.
+    """
+    n = len(keys)
+    num_models = config.num_models
+    if n == 0:
+        leaf = make_data_node(config, counters)
+        leaf.build(np.empty(0), [])
+        return leaf, [leaf]
+    keys = np.asarray(keys, dtype=np.float64)
+    root_model = LinearModel.train_cdf(keys, num_models)
+    counters.retrains += 1
+    bounds = partition_by_model(keys, root_model, num_models)
+    leaves: List[DataNode] = []
+    children: List[object] = []
+    for s in range(num_models):
+        lo, hi = int(bounds[s]), int(bounds[s + 1])
+        leaf = make_data_node(config, counters)
+        leaf.build(keys[lo:hi], payloads[lo:hi])
+        leaves.append(leaf)
+        children.append(leaf)
+    link_leaves(leaves)
+    root = InnerNode(root_model, children, counters)
+    return root, leaves

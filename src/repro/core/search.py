@@ -1,0 +1,114 @@
+"""In-node search primitives: exponential search and bounded binary search.
+
+ALEX uses *exponential search* outward from the model's predicted position
+(Section 3.2): when the model is accurate the search terminates after a few
+probes, and no error bounds need to be stored.  The Learned Index baseline
+instead stores per-model error bounds and runs *binary search* within them.
+Figure 11 of the paper compares the two; ``benchmarks/bench_fig11`` replays
+that comparison using these exact routines.
+
+All routines return the *lower-bound* position: the leftmost index ``i`` in
+``[lo, hi)`` with ``keys[i] >= target`` (or ``hi`` when no such index
+exists).  They work on the gap-filled key arrays of the data nodes (where a
+gap slot holds a copy of its nearest real right neighbour), because those
+arrays are non-decreasing by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stats import Counters
+
+
+def lower_bound(keys: np.ndarray, target: float, lo: int, hi: int,
+                counters: Counters | None = None) -> int:
+    """Plain binary search for the leftmost position with ``key >= target``.
+
+    ``keys[lo:hi]`` must be non-decreasing.  Counts one comparison and one
+    probe per halving step.
+    """
+    steps = 0
+    while lo < hi:
+        mid = (lo + hi) // 2
+        steps += 1
+        if keys[mid] < target:
+            lo = mid + 1
+        else:
+            hi = mid
+    if counters is not None:
+        counters.comparisons += steps
+        counters.probes += steps
+    return lo
+
+
+def exponential_search(keys: np.ndarray, target: float, hint: int,
+                       lo: int, hi: int,
+                       counters: Counters | None = None) -> int:
+    """Exponential search outward from ``hint``, then bounded binary search.
+
+    Doubles the step size away from the predicted position until the target
+    is bracketed, then finishes with binary search inside the bracket.  Cost
+    is ``O(log error)`` where ``error = |actual - hint|``, which is why small
+    model errors translate directly into fast lookups (paper Section 5.3.2).
+    """
+    if hi <= lo:
+        return lo
+    if hint < lo:
+        hint = lo
+    elif hint >= hi:
+        hint = hi - 1
+
+    probes = 0
+    if keys[hint] >= target:
+        # Target is at or to the left of the hint: grow the bracket leftward.
+        bound = 1
+        left = hint - bound
+        while left >= lo and keys[left] >= target:
+            probes += 1
+            bound *= 2
+            left = hint - bound
+        probes += 1
+        search_lo = max(lo, hint - bound)
+        search_hi = hint - (bound // 2) + 1
+    else:
+        # Target is to the right of the hint: grow the bracket rightward.
+        bound = 1
+        right = hint + bound
+        while right < hi and keys[right] < target:
+            probes += 1
+            bound *= 2
+            right = hint + bound
+        probes += 1
+        search_lo = hint + (bound // 2)
+        search_hi = min(hi, hint + bound + 1)
+
+    if counters is not None:
+        counters.comparisons += probes
+        counters.probes += probes
+    return lower_bound(keys, target, search_lo, search_hi, counters)
+
+
+def binary_search_bounded(keys: np.ndarray, target: float, hint: int,
+                          max_error_left: int, max_error_right: int,
+                          lo: int, hi: int,
+                          counters: Counters | None = None) -> int:
+    """Binary search within stored error bounds around ``hint``.
+
+    This is the search strategy of the Learned Index baseline (Kraska et
+    al.): each model stores the largest observed under- and over-prediction,
+    and lookup binary-searches ``[hint - max_error_left, hint +
+    max_error_right]``.  Cost is ``O(log(bound width))`` regardless of the
+    actual error, which is the weakness Figure 11 illustrates.
+    """
+    search_lo = max(lo, hint - max_error_left)
+    search_hi = min(hi, hint + max_error_right + 1)
+    pos = lower_bound(keys, target, search_lo, search_hi, counters)
+    # Guard against stale bounds (possible between inserts and retrains in
+    # the baseline): if the answer lands on the edge of the bounded window,
+    # the true position may lie outside it, so widen the search.
+    if pos == search_hi and search_hi < hi:
+        pos = lower_bound(keys, target, search_hi, hi, counters)
+    elif pos == search_lo and search_lo > lo:
+        pos = lower_bound(keys, target, lo, search_lo + 1, counters)
+    return pos

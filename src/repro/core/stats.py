@@ -1,0 +1,106 @@
+"""Operation counters: the reproduction's substitute for wall-clock profiling.
+
+The paper evaluates a C++ implementation with wall-clock throughput.  In pure
+Python, interpreter overhead would swamp the algorithmic differences the paper
+measures, so every index in this repository is instrumented with a
+:class:`Counters` object that records the algorithmic work performed:
+key comparisons, element shifts, model inferences, pointer follows (a proxy
+for cache misses), and structural events (expansions, splits, rebalances).
+
+``repro.analysis.cost_model`` converts these counters into simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class Counters:
+    """Mutable tally of algorithmic work performed by an index.
+
+    Attributes
+    ----------
+    comparisons:
+        Key comparisons (search steps, sortedness checks).
+    shifts:
+        Elements moved by one position to open a slot for an insert.
+    gap_fill_writes:
+        Gap slots rewritten to maintain the "gap holds its right neighbour's
+        key" invariant of the gapped array (cheap sequential writes).
+    model_inferences:
+        Linear-model evaluations (one multiply + one add + one round).
+    pointer_follows:
+        Traversals from one node to another (likely cache misses).
+    probes:
+        Array positions touched during exponential / binary search.
+    rebalance_moves:
+        Elements moved during PMA window redistributions.
+    build_moves:
+        Elements placed during (re)builds — node expansions, contractions,
+        and bulk loads (the copy cost of Algorithm 3's expansion).
+    payload_bytes_copied:
+        Bytes of payload copied out during range scans.
+    bitmap_words_scanned:
+        64-bit bitmap words examined while skipping gaps during scans.
+    expansions / contractions:
+        Data-node array expansions and contractions.
+    splits:
+        Data-node splits (adaptive RMI, node splitting on inserts).
+    retrains:
+        Linear-model retraining events.
+    inserts / lookups / deletes / scans:
+        Completed logical operations.
+    """
+
+    comparisons: int = 0
+    shifts: int = 0
+    gap_fill_writes: int = 0
+    model_inferences: int = 0
+    pointer_follows: int = 0
+    probes: int = 0
+    rebalance_moves: int = 0
+    build_moves: int = 0
+    payload_bytes_copied: int = 0
+    bitmap_words_scanned: int = 0
+    expansions: int = 0
+    contractions: int = 0
+    splits: int = 0
+    retrains: int = 0
+    inserts: int = 0
+    lookups: int = 0
+    deletes: int = 0
+    scans: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for field in fields(self):
+            setattr(self, field.name, 0)
+
+    def snapshot(self) -> "Counters":
+        """Return an independent copy of the current tallies."""
+        return Counters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def diff(self, earlier: "Counters") -> "Counters":
+        """Return the work done since ``earlier`` (``self - earlier``)."""
+        return Counters(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def merge(self, other: "Counters") -> None:
+        """Add ``other``'s tallies into this object."""
+        for field in fields(self):
+            setattr(
+                self, field.name, getattr(self, field.name) + getattr(other, field.name)
+            )
+
+    def total_events(self) -> int:
+        """Sum of all tallies; useful as a coarse progress measure."""
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> dict:
+        """Return the tallies as a plain ``dict`` (for reports and JSON)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

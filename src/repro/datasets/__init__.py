@@ -1,0 +1,37 @@
+"""The paper's four datasets as synthetic generators, plus CDF analysis."""
+
+from .cdf import (
+    cdf_step_score,
+    cdf_window,
+    empirical_cdf,
+    linear_fit_error,
+    local_nonlinearity,
+)
+from .generators import (
+    DATASETS,
+    DatasetSpec,
+    load,
+    lognormal,
+    longitudes,
+    longlat,
+    sequential,
+    shifted_halves,
+    ycsb,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "cdf_step_score",
+    "cdf_window",
+    "empirical_cdf",
+    "linear_fit_error",
+    "load",
+    "local_nonlinearity",
+    "lognormal",
+    "longitudes",
+    "longlat",
+    "sequential",
+    "shifted_halves",
+    "ycsb",
+]

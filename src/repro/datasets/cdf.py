@@ -1,0 +1,99 @@
+"""CDF utilities: the lens through which the paper analyses its datasets.
+
+Appendix C explains every performance difference between datasets through
+their cumulative distribution functions: longitudes is smooth at all scales,
+longlat looks smooth globally but is a step function locally (Figure 14),
+lognormal is heavily skewed, YCSB is uniform.  This module computes
+empirical CDFs, the zoomed views of Figure 14, and a *local non-linearity*
+score that quantifies "hard to model with piecewise-linear models".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def empirical_cdf(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_keys, cdf_values)`` with cdf in (0, 1]."""
+    sorted_keys = np.sort(np.asarray(keys, dtype=np.float64))
+    n = len(sorted_keys)
+    if n == 0:
+        return sorted_keys, np.empty(0)
+    return sorted_keys, np.arange(1, n + 1, dtype=np.float64) / n
+
+
+def cdf_window(keys: np.ndarray, center_quantile: float,
+               width_quantile: float) -> Tuple[np.ndarray, np.ndarray]:
+    """The zoomed CDF views of Figure 14: the slice of the CDF centred at
+    ``center_quantile`` spanning ``width_quantile`` of the mass."""
+    sorted_keys, cdf = empirical_cdf(keys)
+    n = len(sorted_keys)
+    lo = int(max(0, (center_quantile - width_quantile / 2) * n))
+    hi = int(min(n, (center_quantile + width_quantile / 2) * n))
+    return sorted_keys[lo:hi], cdf[lo:hi]
+
+
+def linear_fit_error(keys: np.ndarray) -> float:
+    """RMS error (in key-rank units, normalized by n) of the best single
+    linear fit to the CDF — a global "modelability" score."""
+    sorted_keys = np.sort(np.asarray(keys, dtype=np.float64))
+    n = len(sorted_keys)
+    if n < 2:
+        return 0.0
+    ranks = np.arange(n, dtype=np.float64)
+    centered = sorted_keys - sorted_keys.mean()
+    denom = float(np.dot(centered, centered))
+    if denom == 0.0:
+        return 0.0
+    slope = float(np.dot(centered, ranks - ranks.mean())) / denom
+    intercept = ranks.mean() - slope * sorted_keys.mean()
+    residual = ranks - (slope * sorted_keys + intercept)
+    return float(np.sqrt(np.mean(residual ** 2)) / n)
+
+
+def local_nonlinearity(keys: np.ndarray, num_windows: int = 64) -> float:
+    """Mean per-window linear-fit error: the property that separates
+    longlat from longitudes in Figure 14.
+
+    The keys are sorted and cut into ``num_windows`` equal-count windows;
+    each window gets its own best linear fit of key -> rank.  Smooth CDFs
+    fit well locally even when they are globally curved; step-like CDFs do
+    not.  Returned in rank units normalized by window size.
+    """
+    sorted_keys = np.sort(np.asarray(keys, dtype=np.float64))
+    n = len(sorted_keys)
+    if n < 2 * num_windows:
+        return linear_fit_error(sorted_keys)
+    window = n // num_windows
+    errors = []
+    for w in range(num_windows):
+        lo = w * window
+        hi = lo + window
+        errors.append(linear_fit_error(sorted_keys[lo:hi]))
+    return float(np.mean(errors))
+
+
+def cdf_step_score(keys: np.ndarray, num_windows: int = 64) -> float:
+    """Fraction of adjacent-key gaps that are "jumps" (> 10x the window's
+    median gap): near 0 for smooth CDFs, large for step-like ones."""
+    sorted_keys = np.sort(np.asarray(keys, dtype=np.float64))
+    n = len(sorted_keys)
+    if n < 2 * num_windows:
+        num_windows = 1
+    window = n // num_windows
+    jumps = 0
+    total = 0
+    for w in range(num_windows):
+        lo = w * window
+        hi = min(n, lo + window)
+        gaps = np.diff(sorted_keys[lo:hi])
+        if len(gaps) == 0:
+            continue
+        median = np.median(gaps)
+        if median <= 0:
+            continue
+        jumps += int((gaps > 10 * median).sum())
+        total += len(gaps)
+    return jumps / total if total else 0.0

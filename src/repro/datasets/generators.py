@@ -1,0 +1,173 @@
+"""Synthetic versions of the paper's four datasets (Table 1, Appendix C).
+
+The paper's experiments use 190M–1B keys from OpenStreetMaps, a lognormal
+distribution, and the YCSB key generator.  We cannot ship OSM extracts, so
+the geographic datasets are replaced by synthetic generators that reproduce
+the property the paper's analysis hinges on: the *shape of the CDF*
+(globally smooth vs. locally step-like — Figures 13 and 14).  Every
+generator takes an explicit ``size`` and ``seed`` so experiments scale down
+deterministically.
+
+Datasets (all duplicate-free, float64):
+
+* ``longitudes`` — longitudes of world locations.  Real OSM longitudes
+  cluster around populated areas; we draw from a fixed mixture of Gaussians
+  (population centres) over [-180, 180], which yields the same smooth but
+  non-uniform CDF.
+* ``longlat`` — compound keys ``k = 180 * round(longitude) + latitude``
+  applied to the synthetic locations, exactly the paper's transformation,
+  reproducing the step-function CDF that makes this dataset hard to model.
+* ``lognormal`` — lognormal(0, 2) scaled by 1e9 and floored to integers
+  (the paper's recipe verbatim).
+* ``ycsb`` — uniform integer user IDs.  The paper uses 64-bit IDs; we bound
+  them by 2**53 so they are exactly representable as float64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+#: Gaussian mixture (weight, mean longitude, std) loosely matching world
+#: population density; only the smooth-but-nonuniform CDF shape matters.
+_LONGITUDE_CLUSTERS = (
+    (0.30, 78.0, 25.0),    # South / East Asia
+    (0.25, 10.0, 18.0),    # Europe / Africa
+    (0.20, -85.0, 20.0),   # Americas (east)
+    (0.10, -120.0, 12.0),  # Americas (west)
+    (0.10, 120.0, 15.0),   # East Asia / Oceania
+    (0.05, 35.0, 30.0),    # Middle East / Central Asia
+)
+
+_YCSB_KEY_BOUND = float(2 ** 53)
+
+
+def _dedupe_to_size(draw: Callable[[np.random.Generator, int], np.ndarray],
+                    size: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw batches until ``size`` unique values are collected.
+
+    The paper's datasets contain no duplicates; drawing ~10% extra per round
+    converges in one or two rounds for every generator here.
+    """
+    unique = np.empty(0, dtype=np.float64)
+    want = size
+    while len(unique) < size:
+        batch = draw(rng, int(want * 1.1) + 16)
+        unique = np.unique(np.concatenate([unique, batch]))
+        want = size - len(unique) + 16
+    out = unique[:size].copy()
+    rng.shuffle(out)
+    return out
+
+
+def _draw_locations(rng: np.random.Generator, n: int):
+    """Synthetic world locations: clustered longitudes, banded latitudes."""
+    weights = np.array([w for w, _, _ in _LONGITUDE_CLUSTERS])
+    choices = rng.choice(len(_LONGITUDE_CLUSTERS), size=n, p=weights / weights.sum())
+    means = np.array([m for _, m, _ in _LONGITUDE_CLUSTERS])[choices]
+    stds = np.array([s for _, _, s in _LONGITUDE_CLUSTERS])[choices]
+    longitude = np.clip(rng.normal(means, stds), -180.0, 180.0)
+    # Latitudes concentrate in the temperate band.
+    latitude = np.clip(rng.normal(30.0, 25.0, size=n), -90.0, 90.0)
+    return longitude, latitude
+
+
+def longitudes(size: int, seed: int = 0) -> np.ndarray:
+    """Longitude keys: smooth, globally non-uniform CDF (Fig. 13/14 left)."""
+    rng = np.random.default_rng(seed)
+
+    def draw(r: np.random.Generator, n: int) -> np.ndarray:
+        lon, _ = _draw_locations(r, n)
+        return lon
+
+    return _dedupe_to_size(draw, size, rng)
+
+
+def longlat(size: int, seed: int = 0) -> np.ndarray:
+    """Compound longitude-latitude keys: locally step-like CDF (Fig. 14
+    right), the paper's hardest-to-model dataset."""
+    rng = np.random.default_rng(seed)
+
+    def draw(r: np.random.Generator, n: int) -> np.ndarray:
+        lon, lat = _draw_locations(r, n)
+        return 180.0 * np.round(lon) + lat
+
+    return _dedupe_to_size(draw, size, rng)
+
+
+def lognormal(size: int, seed: int = 0, mu: float = 0.0,
+              sigma: float = 2.0) -> np.ndarray:
+    """Lognormal integer keys: highly skewed (paper Appendix C recipe:
+    lognormal(0, 2) * 1e9, floored)."""
+    rng = np.random.default_rng(seed)
+
+    def draw(r: np.random.Generator, n: int) -> np.ndarray:
+        return np.floor(r.lognormal(mu, sigma, size=n) * 1_000_000_000.0)
+
+    return _dedupe_to_size(draw, size, rng)
+
+
+def ycsb(size: int, seed: int = 0) -> np.ndarray:
+    """Uniform integer user IDs (YCSB), bounded by 2**53 for float64
+    exactness."""
+    rng = np.random.default_rng(seed)
+
+    def draw(r: np.random.Generator, n: int) -> np.ndarray:
+        return np.floor(r.uniform(0.0, _YCSB_KEY_BOUND, size=n))
+
+    return _dedupe_to_size(draw, size, rng)
+
+
+def sequential(size: int, seed: int = 0, start: float = 0.0,
+               step: float = 1.0) -> np.ndarray:
+    """Strictly increasing keys — the adversarial insert pattern of
+    Figure 5c (always lands in the right-most leaf)."""
+    del seed  # deterministic by construction; parameter kept for uniformity
+    return start + step * np.arange(size, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata for one of the paper's datasets (Table 1)."""
+
+    name: str
+    generator: Callable[..., np.ndarray]
+    key_type: str
+    payload_size: int
+    paper_num_keys: str
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "longitudes": DatasetSpec("longitudes", longitudes, "double", 8, "1B"),
+    "longlat": DatasetSpec("longlat", longlat, "double", 8, "200M"),
+    "lognormal": DatasetSpec("lognormal", lognormal, "64-bit int", 8, "190M"),
+    "ycsb": DatasetSpec("ycsb", ycsb, "64-bit int", 80, "200M"),
+}
+
+
+def load(name: str, size: int, seed: int = 0) -> np.ndarray:
+    """Generate dataset ``name`` with ``size`` unique keys."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; choose from {sorted(DATASETS)}"
+        ) from None
+    return spec.generator(size, seed=seed)
+
+
+def shifted_halves(size: int, seed: int = 0) -> tuple:
+    """The Figure 5b distribution-shift construction on longitudes: sort
+    the keys, shuffle each half independently, and return
+    ``(first_half, second_half)`` — the init keys and the insert keys come
+    from disjoint key domains."""
+    keys = np.sort(longitudes(size, seed=seed))
+    half = size // 2
+    rng = np.random.default_rng(seed + 1)
+    first = keys[:half].copy()
+    second = keys[half:].copy()
+    rng.shuffle(first)
+    rng.shuffle(second)
+    return first, second

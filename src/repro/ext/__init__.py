@@ -1,0 +1,32 @@
+"""Extensions implementing the paper's Section 7 future-work directions:
+
+* concurrency control (:mod:`repro.ext.concurrent`)
+* duplicate keys / multimaps (:mod:`repro.ext.duplicates`)
+* secondary indexes over a heap table (:mod:`repro.ext.secondary`)
+* secondary-storage paging simulation (:mod:`repro.ext.paged`)
+* the adaptive PMA for skewed inserts (:mod:`repro.ext.adaptive_pma`)
+* index persistence (:mod:`repro.ext.persistence`)
+"""
+
+from .adaptive_pma import AdaptivePMANode
+from .concurrent import ConcurrentAlexIndex, ReadWriteLock
+from .duplicates import AlexMultimap
+from .paged import BufferPool, PagedAlexIndex, PagedBPlusTree
+from .persistence import load_index, save_index
+from .secondary import HeapTable, IndexedTable, PrimaryIndex, SecondaryIndex
+
+__all__ = [
+    "AdaptivePMANode",
+    "AlexMultimap",
+    "BufferPool",
+    "ConcurrentAlexIndex",
+    "HeapTable",
+    "IndexedTable",
+    "PagedAlexIndex",
+    "PagedBPlusTree",
+    "PrimaryIndex",
+    "ReadWriteLock",
+    "SecondaryIndex",
+    "load_index",
+    "save_index",
+]

@@ -1,0 +1,203 @@
+"""Concurrency control for ALEX (paper Section 7, "Concurrency Control").
+
+The paper sketches the locking protocol a DBMS integration needs: shared
+locks on leaf data nodes for lookups, exclusive locks for inserts, and
+lock-coupling while traversing an adaptive RMI whose structure can change
+under node splitting.  This module provides:
+
+* :class:`ReadWriteLock` — a writer-preferring reader/writer lock;
+* :class:`ConcurrentAlexIndex` — a thread-safe facade over
+  :class:`~repro.core.alex.AlexIndex`.
+
+The facade uses a single index-wide reader/writer lock: all read
+operations (lookups, scans, size queries) share it; all mutations
+(insert/delete/update) take it exclusively.  This is the coarse end of the
+paper's design space — correct for any workload, with the read-side
+scaling of shared locks.  Per-leaf lock-coupling (the fine end) changes
+the core node code and is left as the paper leaves it: future work.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.core.alex import AlexIndex
+from repro.core.config import AlexConfig
+
+
+class ReadWriteLock:
+    """A writer-preferring reader/writer lock.
+
+    Multiple readers may hold the lock simultaneously; writers are
+    exclusive.  Arriving writers block new readers so write-heavy phases
+    cannot be starved by a stream of readers.
+    """
+
+    def __init__(self):
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._active_writer = False
+        self._waiting_writers = 0
+
+    def acquire_read(self) -> None:
+        """Block until the lock can be shared."""
+        with self._condition:
+            while self._active_writer or self._waiting_writers:
+                self._condition.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        """Release one shared hold."""
+        with self._condition:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until the lock is held exclusively."""
+        with self._condition:
+            self._waiting_writers += 1
+            try:
+                while self._active_writer or self._active_readers:
+                    self._condition.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._active_writer = True
+
+    def release_write(self) -> None:
+        """Release the exclusive hold."""
+        with self._condition:
+            self._active_writer = False
+            self._condition.notify_all()
+
+    class _ReadGuard:
+        def __init__(self, lock: "ReadWriteLock"):
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_read()
+            return self
+
+        def __exit__(self, *exc):
+            self._lock.release_read()
+            return False
+
+    class _WriteGuard:
+        def __init__(self, lock: "ReadWriteLock"):
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_write()
+            return self
+
+        def __exit__(self, *exc):
+            self._lock.release_write()
+            return False
+
+    def read(self) -> "_ReadGuard":
+        """Context manager acquiring the lock shared."""
+        return self._ReadGuard(self)
+
+    def write(self) -> "_WriteGuard":
+        """Context manager acquiring the lock exclusive."""
+        return self._WriteGuard(self)
+
+
+class ConcurrentAlexIndex:
+    """Thread-safe wrapper around :class:`AlexIndex`.
+
+    Construction mirrors the plain index: either start empty or
+    :meth:`bulk_load`.  Every public operation of the underlying index is
+    exposed with the appropriate lock mode.
+    """
+
+    def __init__(self, config: Optional[AlexConfig] = None):
+        self._index = AlexIndex(config)
+        self._lock = ReadWriteLock()
+
+    @classmethod
+    def bulk_load(cls, keys, payloads=None,
+                  config: Optional[AlexConfig] = None) -> "ConcurrentAlexIndex":
+        """Build from keys (single-threaded; returns a thread-safe index)."""
+        wrapper = cls.__new__(cls)
+        wrapper._index = AlexIndex.bulk_load(keys, payloads, config)
+        wrapper._lock = ReadWriteLock()
+        return wrapper
+
+    # -- reads (shared) -------------------------------------------------
+
+    def lookup(self, key: float):
+        """Shared-lock lookup."""
+        with self._lock.read():
+            return self._index.lookup(key)
+
+    def get(self, key: float, default=None):
+        """Shared-lock :meth:`AlexIndex.get`."""
+        with self._lock.read():
+            return self._index.get(key, default)
+
+    def contains(self, key: float) -> bool:
+        """Shared-lock membership test."""
+        with self._lock.read():
+            return self._index.contains(key)
+
+    def range_scan(self, start_key: float, limit: int) -> list:
+        """Shared-lock range scan (consistent snapshot of the chain)."""
+        with self._lock.read():
+            return self._index.range_scan(start_key, limit)
+
+    def range_query(self, lo: float, hi: float) -> list:
+        """Shared-lock inclusive range query."""
+        with self._lock.read():
+            return self._index.range_query(lo, hi)
+
+    def __len__(self) -> int:
+        with self._lock.read():
+            return len(self._index)
+
+    def __contains__(self, key) -> bool:
+        return self.contains(float(key))
+
+    def snapshot_items(self) -> list:
+        """All ``(key, payload)`` pairs under one shared hold."""
+        with self._lock.read():
+            return list(self._index.items())
+
+    # -- writes (exclusive) ---------------------------------------------
+
+    def insert(self, key: float, payload=None) -> None:
+        """Exclusive-lock insert (may expand or split nodes safely)."""
+        with self._lock.write():
+            self._index.insert(key, payload)
+
+    def delete(self, key: float) -> None:
+        """Exclusive-lock delete."""
+        with self._lock.write():
+            self._index.delete(key)
+
+    def update(self, key: float, payload) -> None:
+        """Exclusive-lock payload update."""
+        with self._lock.write():
+            self._index.update(key, payload)
+
+    def upsert(self, key: float, payload) -> None:
+        """Exclusive-lock insert-or-update."""
+        with self._lock.write():
+            self._index.upsert(key, payload)
+
+    # -- maintenance ------------------------------------------------------
+
+    def validate(self) -> None:
+        """Exclusive-lock structural validation (quiesces the index)."""
+        with self._lock.write():
+            self._index.validate()
+
+    @property
+    def counters(self):
+        """The underlying (unsynchronized) operation counters."""
+        return self._index.counters
+
+    def unwrap(self) -> AlexIndex:
+        """The wrapped index — for read-only inspection while quiesced."""
+        return self._index

@@ -1,0 +1,128 @@
+"""Duplicate-key support (paper Section 7, "Secondary Indexes").
+
+The paper: "The difficulty is in dealing with duplicate keys, which ALEX
+currently does not support."  This module adds a multimap on top of the
+unique-key :class:`AlexIndex` without touching the core: each distinct key
+stores a *bucket* (list) of values in its payload slot.  Buckets keep
+insertion order; removal is by (key, value) pair or whole key.
+
+This is the standard approach production indexes take before moving
+duplicates into composite keys, and it is exactly what a secondary index
+over a non-unique attribute needs (see :mod:`repro.ext.secondary`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.alex import AlexIndex
+from repro.core.config import AlexConfig
+from repro.core.errors import KeyNotFoundError
+
+
+class AlexMultimap:
+    """An ALEX-backed ordered multimap: one key, many values."""
+
+    def __init__(self, config: Optional[AlexConfig] = None):
+        self._index = AlexIndex(config)
+        self._size = 0
+
+    @classmethod
+    def from_pairs(cls, pairs,
+                   config: Optional[AlexConfig] = None) -> "AlexMultimap":
+        """Build from an iterable of ``(key, value)`` pairs."""
+        multimap = cls(config)
+        buckets = {}
+        for key, value in pairs:
+            buckets.setdefault(float(key), []).append(value)
+        if buckets:
+            keys = sorted(buckets)
+            payloads = [buckets[k] for k in keys]
+            multimap._index = AlexIndex.bulk_load(keys, payloads, config)
+            multimap._size = sum(len(b) for b in payloads)
+        return multimap
+
+    def insert(self, key: float, value) -> None:
+        """Add ``value`` under ``key`` (duplicates of both allowed)."""
+        key = float(key)
+        bucket = self._index.get(key)
+        if bucket is None and not self._index.contains(key):
+            self._index.insert(key, [value])
+        else:
+            bucket.append(value)
+        self._size += 1
+
+    def get(self, key: float) -> List[object]:
+        """All values under ``key``, in insertion order (empty if absent)."""
+        bucket = self._index.get(float(key))
+        return list(bucket) if bucket else []
+
+    def count(self, key: float) -> int:
+        """Number of values stored under ``key``."""
+        bucket = self._index.get(float(key))
+        return len(bucket) if bucket else 0
+
+    def contains(self, key: float) -> bool:
+        """Whether any value is stored under ``key``."""
+        return self._index.contains(float(key))
+
+    def remove_value(self, key: float, value) -> None:
+        """Remove one occurrence of ``value`` under ``key``.
+
+        Removes the key entirely when its bucket empties.  Raises
+        :class:`KeyNotFoundError` when the pair is absent.
+        """
+        key = float(key)
+        bucket = self._index.get(key)
+        if not bucket or value not in bucket:
+            raise KeyNotFoundError(key)
+        bucket.remove(value)
+        self._size -= 1
+        if not bucket:
+            self._index.delete(key)
+
+    def remove_key(self, key: float) -> int:
+        """Remove every value under ``key``; returns how many were removed."""
+        key = float(key)
+        bucket = self._index.get(key)
+        if bucket is None:
+            raise KeyNotFoundError(key)
+        self._index.delete(key)
+        self._size -= len(bucket)
+        return len(bucket)
+
+    def range_scan(self, start_key: float, limit: int) -> List[Tuple[float, object]]:
+        """Up to ``limit`` ``(key, value)`` pairs with key >= start, with
+        duplicate keys repeated once per value."""
+        out: List[Tuple[float, object]] = []
+        for key, bucket in self._index.range_scan(start_key, limit):
+            for value in bucket:
+                out.append((key, value))
+                if len(out) >= limit:
+                    return out
+        return out
+
+    def items(self) -> Iterator[Tuple[float, object]]:
+        """Every ``(key, value)`` pair in key order."""
+        for key, bucket in self._index.items():
+            for value in bucket:
+                yield key, value
+
+    def distinct_keys(self) -> Iterator[float]:
+        """Each stored key once, in order."""
+        return self._index.keys()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def num_distinct_keys(self) -> int:
+        """Number of distinct keys."""
+        return len(self._index)
+
+    def validate(self) -> None:
+        """Validate the underlying index and the size bookkeeping."""
+        self._index.validate()
+        actual = sum(len(bucket) for _, bucket in self._index.items())
+        if actual != self._size:
+            raise AssertionError(
+                f"multimap size {self._size} != stored values {actual}")

@@ -1,0 +1,154 @@
+"""Persistence: save and load an ALEX index to a single file.
+
+A practical library needs its indexes to survive restarts.  The format is
+deliberately simple and inspectable: one ``.npz`` archive containing
+
+* a JSON header (config, version, tree structure as a preorder list of
+  nodes with child-slot runs), and
+* per-leaf numpy arrays (keys, occupancy bitmap) plus the payload lists
+  (pickled inside the npz, since payloads are arbitrary objects).
+
+Loading rebuilds the exact same tree: same models, same slot layouts, same
+leaf chain — so prediction behaviour (and therefore performance) is
+preserved bit-for-bit, unlike a rebuild via ``bulk_load`` which would
+re-train models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import pickle
+from typing import List
+
+import numpy as np
+
+from repro.core.alex import AlexIndex
+from repro.core.config import AlexConfig
+from repro.core.data_node import DataNode
+from repro.core.linear_model import LinearModel
+from repro.core.rmi import InnerNode, link_leaves, make_data_node
+from repro.core.stats import Counters
+
+FORMAT_VERSION = 1
+
+
+def save_index(index: AlexIndex, path: str) -> None:
+    """Serialize ``index`` to ``path`` (a ``.npz`` archive)."""
+    leaves: List[DataNode] = list(index.leaves())
+    leaf_ids = {id(leaf): i for i, leaf in enumerate(leaves)}
+
+    # Inner nodes are stored in a table and referenced by index so that a
+    # node reachable through several parent slots (possible after splits)
+    # round-trips as one shared object.
+    inner_table: List[dict] = []
+    inner_ids: dict = {}
+
+    def encode_inner(node: InnerNode) -> int:
+        if id(node) in inner_ids:
+            return inner_ids[id(node)]
+        slots = []
+        for child in node.children:
+            if isinstance(child, InnerNode):
+                slots.append(["inner", encode_inner(child)])
+            else:
+                slots.append(["leaf", leaf_ids[id(child)]])
+        spec = {"model": [node.model.slope, node.model.intercept],
+                "slots": slots}
+        inner_table.append(spec)
+        inner_ids[id(node)] = len(inner_table) - 1
+        return inner_ids[id(node)]
+
+    def encode_node(node) -> dict:
+        if isinstance(node, InnerNode):
+            return {"kind": "inner", "inner": encode_inner(node)}
+        return {"kind": "leaf", "leaf": leaf_ids[id(node)]}
+
+    header = {
+        "version": FORMAT_VERSION,
+        "num_keys": len(index),
+        "config": dataclasses.asdict(index.config),
+        "tree": encode_node(index._root),
+        "inners": inner_table,
+        "leaves": [
+            {
+                "capacity": leaf.capacity,
+                "num_keys": leaf.num_keys,
+                "model": ([leaf.model.slope, leaf.model.intercept]
+                          if leaf.model is not None else None),
+            }
+            for leaf in leaves
+        ],
+    }
+
+    arrays = {"header": np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8)}
+    for i, leaf in enumerate(leaves):
+        arrays[f"keys_{i}"] = leaf.keys
+        arrays[f"occ_{i}"] = leaf.occupied
+        payload_blob = pickle.dumps(leaf.payloads)
+        arrays[f"payloads_{i}"] = np.frombuffer(payload_blob, dtype=np.uint8)
+    with open(path, "wb") as f:
+        np.savez_compressed(f, **arrays)
+
+
+def load_index(path: str) -> AlexIndex:
+    """Deserialize an index saved by :func:`save_index`."""
+    with np.load(path, allow_pickle=False) as archive:
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        if header["version"] != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index file version {header['version']}")
+        config = AlexConfig(**header["config"])
+        counters = Counters()
+        leaves: List[DataNode] = []
+        for i, meta in enumerate(header["leaves"]):
+            leaf = make_data_node(config, counters)
+            leaf.keys = archive[f"keys_{i}"].copy()
+            leaf.occupied = archive[f"occ_{i}"].copy()
+            leaf.payloads = pickle.loads(bytes(archive[f"payloads_{i}"]))
+            leaf.capacity = int(meta["capacity"])
+            leaf.num_keys = int(meta["num_keys"])
+            if meta["model"] is not None:
+                leaf.model = LinearModel(*meta["model"])
+            leaves.append(leaf)
+
+    inner_cache: dict = {}
+
+    def decode_inner(idx: int) -> InnerNode:
+        if idx in inner_cache:
+            return inner_cache[idx]
+        spec = header["inners"][idx]
+        children: list = []
+        for kind, payload in spec["slots"]:
+            if kind == "leaf":
+                children.append(leaves[payload])
+            else:
+                children.append(decode_inner(payload))
+        node = InnerNode(LinearModel(*spec["model"]), children, counters)
+        inner_cache[idx] = node
+        return node
+
+    tree_spec = header["tree"]
+    index = AlexIndex(config)
+    index.counters = counters
+    if tree_spec["kind"] == "leaf":
+        index._root = leaves[tree_spec["leaf"]]
+    else:
+        index._root = decode_inner(tree_spec["inner"])
+    index._num_keys = int(header["num_keys"])
+    index._cold_start = False
+    link_leaves(leaves)
+    return index
+
+
+def save_load_roundtrip_equal(index: AlexIndex, path: str) -> bool:
+    """Convenience check used by tests: save, load, and compare contents
+    and structure."""
+    save_index(index, path)
+    loaded = load_index(path)
+    loaded.validate()
+    if len(loaded) != len(index):
+        return False
+    return list(loaded.items()) == list(index.items())

@@ -1,0 +1,198 @@
+"""Secondary indexes over a heap table (paper Section 7).
+
+The paper: "Similar to a B+Tree, instead of storing actual data at the
+leaf level, ALEX can store a pointer to the data."  This module provides
+the substrate a DBMS would wrap around that idea:
+
+* :class:`HeapTable` — an append-only record store addressed by record id
+  (rid), the "actual data";
+* :class:`PrimaryIndex` — a unique ALEX index from primary key to rid;
+* :class:`SecondaryIndex` — a non-unique ALEX-backed index from an
+  attribute value to the rids holding it (duplicates via
+  :class:`~repro.ext.duplicates.AlexMultimap`).
+
+Together they form the classic table-with-indexes layout, with ALEX in
+both index roles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.alex import AlexIndex
+from repro.core.config import AlexConfig
+from repro.core.errors import KeyNotFoundError
+
+from .duplicates import AlexMultimap
+
+
+class HeapTable:
+    """Append-only record heap: rid -> record dict.
+
+    Deleted rids leave tombstones (``None``), like a real heap file.
+    """
+
+    def __init__(self):
+        self._records: List[Optional[dict]] = []
+        self._live = 0
+
+    def append(self, record: dict) -> int:
+        """Store a record; returns its rid."""
+        self._records.append(dict(record))
+        self._live += 1
+        return len(self._records) - 1
+
+    def fetch(self, rid: int) -> dict:
+        """Record stored at ``rid``; raises ``KeyError`` on tombstones."""
+        if not 0 <= rid < len(self._records) or self._records[rid] is None:
+            raise KeyError(f"rid {rid} is not live")
+        return self._records[rid]
+
+    def delete(self, rid: int) -> dict:
+        """Tombstone ``rid``; returns the removed record."""
+        record = self.fetch(rid)
+        self._records[rid] = None
+        self._live -= 1
+        return record
+
+    def update(self, rid: int, record: dict) -> None:
+        """Overwrite the record at ``rid``."""
+        self.fetch(rid)
+        self._records[rid] = dict(record)
+
+    def __len__(self) -> int:
+        return self._live
+
+    def scan(self):
+        """Yield ``(rid, record)`` for every live record."""
+        for rid, record in enumerate(self._records):
+            if record is not None:
+                yield rid, record
+
+
+class PrimaryIndex:
+    """Unique ALEX index: primary-key attribute -> rid."""
+
+    def __init__(self, attribute: str, config: Optional[AlexConfig] = None):
+        self.attribute = attribute
+        self._index = AlexIndex(config)
+
+    def insert(self, key: float, rid: int) -> None:
+        """Register ``rid`` under its primary key."""
+        self._index.insert(float(key), rid)
+
+    def rid_for(self, key: float) -> int:
+        """The rid of the record with primary key ``key``."""
+        return self._index.lookup(float(key))
+
+    def delete(self, key: float) -> int:
+        """Unregister ``key``; returns the rid it mapped to."""
+        rid = self._index.lookup(float(key))
+        self._index.delete(float(key))
+        return rid
+
+    def range_rids(self, lo: float, hi: float) -> List[Tuple[float, int]]:
+        """``(key, rid)`` pairs with ``lo <= key <= hi``."""
+        return self._index.range_query(lo, hi)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+
+class SecondaryIndex:
+    """Non-unique ALEX index: attribute value -> rids (via multimap)."""
+
+    def __init__(self, attribute: str, config: Optional[AlexConfig] = None):
+        self.attribute = attribute
+        self._multimap = AlexMultimap(config)
+
+    def insert(self, value: float, rid: int) -> None:
+        """Register ``rid`` under an attribute value."""
+        self._multimap.insert(float(value), rid)
+
+    def rids_for(self, value: float) -> List[int]:
+        """All rids whose records carry ``value``."""
+        return self._multimap.get(float(value))
+
+    def delete(self, value: float, rid: int) -> None:
+        """Unregister one ``(value, rid)`` pair."""
+        self._multimap.remove_value(float(value), rid)
+
+    def range_rids(self, lo: float, hi: float) -> List[Tuple[float, int]]:
+        """``(value, rid)`` pairs with ``lo <= value <= hi``."""
+        out = []
+        for value, rid in self._multimap.items():
+            if value > hi:
+                break
+            if value >= lo:
+                out.append((value, rid))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._multimap)
+
+
+class IndexedTable:
+    """A table with an ALEX primary index and any number of ALEX secondary
+    indexes — the end-to-end Section 7 scenario.
+
+    ``primary`` names the unique key attribute; ``secondary`` names the
+    non-unique attributes to index.  All indexed attributes must be
+    numeric.
+    """
+
+    def __init__(self, primary: str, secondary: Tuple[str, ...] = (),
+                 config: Optional[AlexConfig] = None):
+        self.heap = HeapTable()
+        self.primary = PrimaryIndex(primary, config)
+        self.secondary: Dict[str, SecondaryIndex] = {
+            attr: SecondaryIndex(attr, config) for attr in secondary
+        }
+
+    def insert(self, record: dict) -> int:
+        """Insert a record, maintaining every index; returns its rid."""
+        key = float(record[self.primary.attribute])
+        rid = self.heap.append(record)
+        try:
+            self.primary.insert(key, rid)
+        except Exception:
+            self.heap.delete(rid)
+            raise
+        for attr, index in self.secondary.items():
+            index.insert(float(record[attr]), rid)
+        return rid
+
+    def get(self, key: float) -> dict:
+        """Fetch by primary key."""
+        return self.heap.fetch(self.primary.rid_for(key))
+
+    def delete(self, key: float) -> dict:
+        """Delete by primary key, maintaining every index."""
+        rid = self.primary.delete(key)
+        record = self.heap.delete(rid)
+        for attr, index in self.secondary.items():
+            index.delete(float(record[attr]), rid)
+        return record
+
+    def find_by(self, attribute: str, value: float) -> List[dict]:
+        """Equality lookup through a secondary index."""
+        index = self._secondary_for(attribute)
+        return [self.heap.fetch(rid) for rid in index.rids_for(value)]
+
+    def range_by(self, attribute: str, lo: float, hi: float) -> List[dict]:
+        """Range lookup through the primary or a secondary index."""
+        if attribute == self.primary.attribute:
+            pairs = self.primary.range_rids(lo, hi)
+        else:
+            pairs = self._secondary_for(attribute).range_rids(lo, hi)
+        return [self.heap.fetch(rid) for _, rid in pairs]
+
+    def _secondary_for(self, attribute: str) -> SecondaryIndex:
+        try:
+            return self.secondary[attribute]
+        except KeyError:
+            raise KeyNotFoundError(
+                f"no secondary index on {attribute!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.heap)

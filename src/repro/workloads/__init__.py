@@ -1,0 +1,44 @@
+"""YCSB-style workloads of the paper's evaluation (Section 5.1.2)."""
+
+from .runner import WorkloadResult, WorkloadRunner, run_workload
+from .hotspot import HotspotGenerator, LatestGenerator
+from .trace import ReplayResult, Trace, TraceRecorder, record_workload, replay
+from .spec import (
+    INSERT,
+    RANGE_SCAN,
+    READ,
+    READ_HEAVY,
+    READ_ONLY,
+    SCAN,
+    WORKLOADS,
+    WRITE_HEAVY,
+    WRITE_ONLY,
+    WorkloadSpec,
+)
+from .zipf import DEFAULT_THETA, ZipfianGenerator, scramble_ranks
+
+__all__ = [
+    "DEFAULT_THETA",
+    "HotspotGenerator",
+    "INSERT",
+    "LatestGenerator",
+    "RANGE_SCAN",
+    "READ",
+    "READ_HEAVY",
+    "READ_ONLY",
+    "ReplayResult",
+    "SCAN",
+    "Trace",
+    "TraceRecorder",
+    "WORKLOADS",
+    "WRITE_HEAVY",
+    "WRITE_ONLY",
+    "WorkloadResult",
+    "WorkloadRunner",
+    "WorkloadSpec",
+    "ZipfianGenerator",
+    "record_workload",
+    "replay",
+    "run_workload",
+    "scramble_ranks",
+]

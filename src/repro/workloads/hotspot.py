@@ -1,0 +1,67 @@
+"""Additional YCSB key-selection distributions: hotspot and latest.
+
+The paper's workloads select keys Zipfian over the whole population.
+YCSB also ships two other access skews that stress learned indexes in
+interesting ways, so this module adds them for the ablation benches:
+
+* **hotspot** — a fraction ``hot_fraction`` of the keys receives a
+  fraction ``hot_access_fraction`` of the accesses (default 20%/80%);
+* **latest** — access probability is Zipfian over *recency*: the most
+  recently inserted keys are hottest (pairs naturally with insert-heavy
+  streams, and is the access pattern where ALEX's freshly-retrained leaf
+  models shine or suffer depending on the insert pattern).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .zipf import ZipfianGenerator
+
+
+class HotspotGenerator:
+    """YCSB hotspot distribution over ``n`` items."""
+
+    def __init__(self, n: int, hot_fraction: float = 0.2,
+                 hot_access_fraction: float = 0.8, seed: int = 0):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= hot_access_fraction <= 1.0:
+            raise ValueError("hot_access_fraction must be in [0, 1]")
+        self.n = n
+        self.hot_n = max(1, int(n * hot_fraction))
+        self.hot_access_fraction = hot_access_fraction
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, size: int) -> np.ndarray:
+        """Draw ``size`` item indexes in ``[0, n)``."""
+        hot = self._rng.random(size) < self.hot_access_fraction
+        hot_picks = self._rng.integers(0, self.hot_n, size)
+        cold_lo = self.hot_n if self.hot_n < self.n else 0
+        cold_picks = self._rng.integers(cold_lo, self.n, size)
+        return np.where(hot, hot_picks, cold_picks)
+
+
+class LatestGenerator:
+    """YCSB latest distribution: Zipfian over recency.
+
+    ``sample(size, population)`` interprets rank 0 as the most recently
+    inserted item of a ``population``-sized set, so the returned indexes
+    are ``population - 1 - zipf_rank``.
+    """
+
+    def __init__(self, max_population: int, seed: int = 0):
+        if max_population < 1:
+            raise ValueError("max_population must be >= 1")
+        self._zipf = ZipfianGenerator(max_population, seed=seed)
+        self.max_population = max_population
+
+    def sample(self, size: int, population: int) -> np.ndarray:
+        """Draw ``size`` indexes into the first ``population`` items,
+        skewed toward the most recent (highest index)."""
+        if not 1 <= population <= self.max_population:
+            raise ValueError("population out of range")
+        ranks = self._zipf.sample(size) % population
+        return (population - 1) - ranks

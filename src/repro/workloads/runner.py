@@ -1,0 +1,127 @@
+"""Workload execution: drives any :class:`OrderedIndex` through a spec.
+
+Reproduces the paper's measurement procedure (Section 5.1.2): initialize an
+index with a fixed number of keys, then run the interleaved operation
+stream; lookup keys are drawn Zipfian from the keys currently in the index,
+inserts consume a disjoint stream of new keys, and scans read a uniform
+number of subsequent keys (max 100).  Instead of a 60-second wall-clock
+budget, the runner executes a fixed operation count and reports the
+operation counters, from which the cost model derives throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Optional
+
+import numpy as np
+
+from repro.core.stats import Counters
+
+from .spec import INSERT, SCAN, WorkloadSpec
+from .zipf import ZipfianGenerator, scramble_ranks
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one workload run."""
+
+    spec_name: str
+    ops: int = 0
+    reads: int = 0
+    inserts: int = 0
+    scans: int = 0
+    scanned_records: int = 0
+    work: Counters = field(default_factory=Counters)
+
+    def merge(self, other: "WorkloadResult") -> None:
+        """Accumulate another run's tallies (used by lifetime studies)."""
+        self.ops += other.ops
+        self.reads += other.reads
+        self.inserts += other.inserts
+        self.scans += other.scans
+        self.scanned_records += other.scanned_records
+        self.work.merge(other.work)
+
+
+class WorkloadRunner:
+    """Runs a workload spec against an index with a stream of insert keys.
+
+    Parameters
+    ----------
+    index:
+        Any object satisfying :class:`repro.baselines.OrderedIndex`.
+    existing_keys:
+        Keys already in the index (the init keys); lookups draw from this
+        pool, which grows as inserts complete.
+    insert_keys:
+        Disjoint keys consumed by insert operations, in order.
+    seed:
+        Seed for the Zipfian selector and scan lengths.
+    """
+
+    def __init__(self, index, existing_keys: np.ndarray,
+                 insert_keys: np.ndarray, seed: int = 0):
+        self.index = index
+        capacity = len(existing_keys) + len(insert_keys)
+        self._pool = np.empty(max(capacity, 1), dtype=np.float64)
+        self._pool[:len(existing_keys)] = existing_keys
+        self._pool_size = len(existing_keys)
+        self._insert_keys = np.asarray(insert_keys, dtype=np.float64)
+        self._next_insert = 0
+        self._zipf = ZipfianGenerator(max(capacity, 1), seed=seed)
+        self._rng = np.random.default_rng(seed + 1)
+
+    @property
+    def inserts_remaining(self) -> int:
+        """Insert keys not yet consumed."""
+        return len(self._insert_keys) - self._next_insert
+
+    def _pick_existing(self, rank: int) -> float:
+        if self._pool_size == 0:
+            raise RuntimeError("cannot look up from an empty index")
+        pos = scramble_ranks(np.array([rank]), self._pool_size)[0]
+        return float(self._pool[pos])
+
+    def run(self, spec: WorkloadSpec, num_ops: int,
+            scan_payload: Optional[int] = None) -> WorkloadResult:
+        """Execute ``num_ops`` operations of ``spec``; returns tallies and
+        the counter delta for exactly this run.
+
+        Stops early (with fewer ops) if the insert stream runs dry.
+        """
+        result = WorkloadResult(spec_name=spec.name)
+        before = self.index.counters.snapshot()
+        ranks = self._zipf.sample(num_ops)
+        scan_lengths = self._rng.integers(1, spec.max_scan_length + 1,
+                                          size=num_ops)
+        for i, op in enumerate(islice(spec.schedule(), num_ops)):
+            if op == INSERT:
+                if self._next_insert >= len(self._insert_keys):
+                    break
+                key = float(self._insert_keys[self._next_insert])
+                self._next_insert += 1
+                self.index.insert(key, scan_payload)
+                self._pool[self._pool_size] = key
+                self._pool_size += 1
+                result.inserts += 1
+            elif op == SCAN:
+                key = self._pick_existing(int(ranks[i]))
+                records = self.index.range_scan(key, int(scan_lengths[i]))
+                result.scanned_records += len(records)
+                result.scans += 1
+            else:
+                key = self._pick_existing(int(ranks[i]))
+                self.index.lookup(key)
+                result.reads += 1
+            result.ops += 1
+        result.work = self.index.counters.snapshot().diff(before)
+        return result
+
+
+def run_workload(index, existing_keys: np.ndarray, insert_keys: np.ndarray,
+                 spec: WorkloadSpec, num_ops: int, seed: int = 0) -> WorkloadResult:
+    """One-shot convenience wrapper around :class:`WorkloadRunner`."""
+    runner = WorkloadRunner(index, existing_keys, insert_keys, seed=seed)
+    return runner.run(spec, num_ops)

@@ -1,0 +1,67 @@
+"""Workload specifications: the paper's four YCSB-style workloads.
+
+Section 5.1.2 defines (1) read-only, (2) read-heavy 95/5, (3) write-heavy
+50/50, and (4) range-scan 95/5 — roughly YCSB Workloads C, B, A and E.
+Reads and inserts are interleaved deterministically: 19 reads then 1 insert
+for the 95/5 workloads, alternating read/insert for 50/50.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+READ = "read"
+INSERT = "insert"
+SCAN = "scan"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark workload.
+
+    ``reads_per_cycle`` reads (or scans, when ``scans`` is true) followed by
+    ``inserts_per_cycle`` inserts, repeated — the paper's interleaving that
+    "simulates real-time usage".
+    """
+
+    name: str
+    reads_per_cycle: int
+    inserts_per_cycle: int
+    scans: bool = False
+    max_scan_length: int = 100
+    ycsb_equivalent: str = ""
+
+    def schedule(self) -> Iterator[str]:
+        """Yield the infinite operation sequence (``read``/``insert``/
+        ``scan``)."""
+        read_op = SCAN if self.scans else READ
+        while True:
+            for _ in range(self.reads_per_cycle):
+                yield read_op
+            for _ in range(self.inserts_per_cycle):
+                yield INSERT
+
+    def fractions(self) -> Tuple[float, float]:
+        """``(read_fraction, insert_fraction)`` of the cycle."""
+        cycle = self.reads_per_cycle + self.inserts_per_cycle
+        if cycle == 0:
+            return 1.0, 0.0
+        return self.reads_per_cycle / cycle, self.inserts_per_cycle / cycle
+
+
+READ_ONLY = WorkloadSpec("read-only", reads_per_cycle=1, inserts_per_cycle=0,
+                         ycsb_equivalent="C")
+READ_HEAVY = WorkloadSpec("read-heavy", reads_per_cycle=19, inserts_per_cycle=1,
+                          ycsb_equivalent="B")
+WRITE_HEAVY = WorkloadSpec("write-heavy", reads_per_cycle=1, inserts_per_cycle=1,
+                           ycsb_equivalent="A")
+RANGE_SCAN = WorkloadSpec("range-scan", reads_per_cycle=19, inserts_per_cycle=1,
+                          scans=True, ycsb_equivalent="E")
+WRITE_ONLY = WorkloadSpec("write-only", reads_per_cycle=0, inserts_per_cycle=1,
+                          ycsb_equivalent="inserts")
+
+WORKLOADS = {
+    spec.name: spec
+    for spec in (READ_ONLY, READ_HEAVY, WRITE_HEAVY, RANGE_SCAN, WRITE_ONLY)
+}

@@ -1,0 +1,171 @@
+"""Operation traces: record, save, and replay exact workloads.
+
+Benchmark reproducibility across machines and runs needs more than a
+seed — it needs the *exact* operation stream.  A :class:`Trace` is a
+sequence of ``(op, key, arg)`` records that can be captured from a
+:class:`~repro.workloads.runner.WorkloadRunner`-style run, persisted to a
+compact ``.npz`` file, and replayed against any index implementing the
+:class:`~repro.baselines.interfaces.OrderedIndex` protocol.
+
+This also enables apples-to-apples baseline comparisons: record once,
+replay against ALEX, the B+Tree, and the Learned Index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.stats import Counters
+from repro.workloads.runner import WorkloadRunner
+from repro.workloads.spec import INSERT, SCAN, WorkloadSpec
+
+#: Operation codes in the on-disk format.
+OP_LOOKUP = 0
+OP_INSERT = 1
+OP_SCAN = 2
+OP_DELETE = 3
+
+_OP_NAMES = {OP_LOOKUP: "lookup", OP_INSERT: "insert",
+             OP_SCAN: "scan", OP_DELETE: "delete"}
+
+
+@dataclass
+class Trace:
+    """An immutable-ish operation stream.
+
+    ``ops[i]`` is the opcode, ``keys[i]`` the key, ``args[i]`` the scan
+    length (0 for non-scans).
+    """
+
+    ops: np.ndarray
+    keys: np.ndarray
+    args: np.ndarray
+    init_keys: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        for i in range(len(self.ops)):
+            yield int(self.ops[i]), float(self.keys[i]), int(self.args[i])
+
+    def summary(self) -> dict:
+        """Operation counts by type."""
+        return {name: int((self.ops == code).sum())
+                for code, name in _OP_NAMES.items()}
+
+    def save(self, path: str) -> None:
+        """Persist to a compressed ``.npz``."""
+        with open(path, "wb") as f:
+            np.savez_compressed(f, ops=self.ops, keys=self.keys,
+                                args=self.args, init_keys=self.init_keys)
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Load a trace saved with :meth:`save`."""
+        with np.load(path) as archive:
+            return cls(ops=archive["ops"].copy(),
+                       keys=archive["keys"].copy(),
+                       args=archive["args"].copy(),
+                       init_keys=archive["init_keys"].copy())
+
+
+class TraceRecorder:
+    """Builds a :class:`Trace` incrementally."""
+
+    def __init__(self, init_keys: Optional[np.ndarray] = None):
+        self._records: List[Tuple[int, float, int]] = []
+        self._init_keys = (np.asarray(init_keys, dtype=np.float64)
+                           if init_keys is not None else np.empty(0))
+
+    def lookup(self, key: float) -> None:
+        """Record a lookup."""
+        self._records.append((OP_LOOKUP, float(key), 0))
+
+    def insert(self, key: float) -> None:
+        """Record an insert."""
+        self._records.append((OP_INSERT, float(key), 0))
+
+    def scan(self, key: float, length: int) -> None:
+        """Record a range scan."""
+        self._records.append((OP_SCAN, float(key), int(length)))
+
+    def delete(self, key: float) -> None:
+        """Record a delete."""
+        self._records.append((OP_DELETE, float(key), 0))
+
+    def finish(self) -> Trace:
+        """Freeze into a :class:`Trace`."""
+        if self._records:
+            ops, keys, args = zip(*self._records)
+        else:
+            ops, keys, args = (), (), ()
+        return Trace(ops=np.array(ops, dtype=np.int8),
+                     keys=np.array(keys, dtype=np.float64),
+                     args=np.array(args, dtype=np.int32),
+                     init_keys=self._init_keys)
+
+
+def record_workload(existing_keys: np.ndarray, insert_keys: np.ndarray,
+                    spec: WorkloadSpec, num_ops: int,
+                    seed: int = 0) -> Trace:
+    """Generate a trace by running the workload against a throwaway index
+    that records instead of executing."""
+
+    class _Recorder:
+        """Duck-typed 'index' that records the runner's operations."""
+
+        def __init__(self):
+            self.counters = Counters()
+            self.recorder = TraceRecorder(existing_keys)
+
+        def lookup(self, key):
+            self.recorder.lookup(key)
+
+        def insert(self, key, payload=None):
+            self.recorder.insert(key)
+
+        def range_scan(self, key, limit):
+            self.recorder.scan(key, limit)
+            return []
+
+    sink = _Recorder()
+    runner = WorkloadRunner(sink, existing_keys, insert_keys, seed=seed)
+    runner.run(spec, num_ops)
+    return sink.recorder.finish()
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a trace against a real index."""
+
+    ops: int
+    work: Counters
+    lookup_misses: int = 0
+
+
+def replay(trace: Trace, index) -> ReplayResult:
+    """Execute every trace record against ``index``; returns the counter
+    delta.  Lookup misses are tolerated (and counted) so traces can be
+    replayed against indexes whose contents drifted."""
+    from repro.core.errors import KeyNotFoundError
+
+    before = index.counters.snapshot()
+    misses = 0
+    for op, key, arg in trace:
+        if op == OP_LOOKUP:
+            try:
+                index.lookup(key)
+            except KeyNotFoundError:
+                misses += 1
+        elif op == OP_INSERT:
+            index.insert(key, None)
+        elif op == OP_SCAN:
+            index.range_scan(key, arg)
+        elif op == OP_DELETE:
+            index.delete(key)
+    work = index.counters.snapshot().diff(before)
+    return ReplayResult(ops=len(trace), work=work, lookup_misses=misses)

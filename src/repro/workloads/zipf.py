@@ -1,0 +1,73 @@
+"""Zipfian key selection, as used by the YCSB-style workloads.
+
+The paper selects lookup keys "randomly from the set of existing keys in
+the index according to a Zipfian distribution" (Section 5.1.2).  This is
+the standard YCSB generator (Gray et al.'s rejection-free inversion) with
+rank scrambling so that the hot keys are spread across the key space, as
+YCSB does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: YCSB's default skew constant.
+DEFAULT_THETA = 0.99
+
+#: Multiplier/increment of a 64-bit splitmix-style scrambler.
+_SCRAMBLE_MULT = np.uint64(0x9E3779B97F4A7C15)
+
+
+class ZipfianGenerator:
+    """Draws Zipf-distributed ranks in ``[0, n)`` with parameter ``theta``.
+
+    Implements the closed-form inversion of Gray et al. (the YCSB
+    ``ZipfianGenerator``): after precomputing two zeta sums, each draw costs
+    O(1) and vectorizes.
+    """
+
+    def __init__(self, n: int, theta: float = DEFAULT_THETA, seed: int = 0):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self._rng = np.random.default_rng(seed)
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (1.0 - self._zeta2 / self._zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        """Generalized harmonic number ``H_{n,theta}`` (vectorized sum)."""
+        return float(np.sum(1.0 / np.arange(1, n + 1, dtype=np.float64) ** theta))
+
+    def sample(self, size: int) -> np.ndarray:
+        """Draw ``size`` ranks; rank 0 is the hottest."""
+        u = self._rng.random(size)
+        uz = u * self._zetan
+        ranks = np.floor(self.n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        ranks = ranks.astype(np.int64)
+        ranks[uz < 1.0] = 0
+        ranks[(uz >= 1.0) & (uz < 1.0 + 0.5 ** self.theta)] = 1
+        return np.clip(ranks, 0, self.n - 1)
+
+    def sample_one(self) -> int:
+        """Draw a single rank."""
+        return int(self.sample(1)[0])
+
+
+def scramble_ranks(ranks: np.ndarray, modulus: int) -> np.ndarray:
+    """Map hot ranks to pseudo-random positions in ``[0, modulus)``.
+
+    YCSB scrambles its Zipfian output so the most popular items are not the
+    smallest keys; a fixed odd-multiplier hash keeps the mapping
+    deterministic and collision-free enough for workload purposes.
+    """
+    if modulus < 1:
+        raise ValueError("modulus must be >= 1")
+    hashed = (ranks.astype(np.uint64) + np.uint64(1)) * _SCRAMBLE_MULT
+    hashed ^= hashed >> np.uint64(31)
+    return (hashed % np.uint64(modulus)).astype(np.int64)

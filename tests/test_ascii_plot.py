@@ -1,0 +1,54 @@
+"""Tests for the ASCII chart renderers."""
+
+from repro.bench.ascii_plot import ascii_chart, ascii_histogram
+
+
+class TestAsciiChart:
+    def test_renders_title_and_legend(self):
+        out = ascii_chart({"alex": [1, 2, 3], "bptree": [3, 2, 1]},
+                          title="demo")
+        assert out.splitlines()[0] == "demo"
+        assert "o alex" in out
+        assert "x bptree" in out
+
+    def test_extremes_are_plotted(self):
+        out = ascii_chart({"s": [0.0, 10.0]}, width=10, height=5)
+        lines = out.splitlines()
+        assert "10" in lines[0]
+        assert "0" in lines[4]
+
+    def test_handles_constant_series(self):
+        out = ascii_chart({"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in out
+
+    def test_empty_inputs(self):
+        assert ascii_chart({}, title="t") == "t"
+        assert "t" in ascii_chart({"s": []}, title="t")
+
+    def test_height_and_width_respected(self):
+        out = ascii_chart({"s": list(range(20))}, width=30, height=8)
+        body = [l for l in out.splitlines() if "|" in l]
+        assert len(body) == 8
+        assert all(len(l.split("|", 1)[1]) <= 30 for l in body)
+
+
+class TestAsciiHistogram:
+    def test_bars_proportional(self):
+        out = ascii_histogram([("a", 10), ("b", 5)], width=20)
+        lines = out.splitlines()
+        bar_a = lines[0].count("#")
+        bar_b = lines[1].count("#")
+        assert bar_a == 20
+        assert bar_b == 10
+
+    def test_percentages_shown(self):
+        out = ascii_histogram([("x", 3), ("y", 1)])
+        assert "(75.0%)" in out
+        assert "(25.0%)" in out
+
+    def test_zero_counts(self):
+        out = ascii_histogram([("a", 0), ("b", 0)])
+        assert "a" in out and "b" in out
+
+    def test_empty(self):
+        assert ascii_histogram([], title="t") == "t"

@@ -1,0 +1,130 @@
+"""Tests for batch operations (bulk_insert, merge_indexes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alex import AlexIndex
+from repro.core.batch import bulk_insert, merge_indexes
+from repro.core.config import ga_armi, ga_srmi, pma_armi
+from repro.core.errors import DuplicateKeyError
+
+
+@pytest.fixture
+def base():
+    keys = np.unique(np.random.default_rng(141).uniform(0, 1e6, 3000))
+    index = AlexIndex.bulk_load(keys[:2000],
+                                config=ga_armi(max_keys_per_node=512))
+    return index, keys[:2000], keys[2000:]
+
+
+class TestBulkInsert:
+    def test_all_keys_present_after(self, base):
+        index, init, batch = base
+        bulk_insert(index, batch, [f"b{i}" for i in range(len(batch))])
+        assert len(index) == len(init) + len(batch)
+        for i, key in enumerate(batch[::37]):
+            assert index.lookup(float(key)) == f"b{int(37 * i)}"
+        index.validate()
+
+    def test_unsorted_batch(self, base):
+        index, init, batch = base
+        shuffled = batch.copy()
+        np.random.default_rng(1).shuffle(shuffled)
+        bulk_insert(index, shuffled)
+        assert len(index) == len(init) + len(batch)
+        index.validate()
+
+    def test_empty_batch_is_noop(self, base):
+        index, init, _ = base
+        bulk_insert(index, [])
+        assert len(index) == len(init)
+
+    def test_duplicate_within_batch_rejected_before_mutation(self, base):
+        index, init, batch = base
+        bad = np.concatenate([batch[:10], batch[:1]])
+        with pytest.raises(DuplicateKeyError):
+            bulk_insert(index, bad)
+        assert len(index) == len(init)
+        index.validate()
+
+    def test_duplicate_against_index_rejected_before_mutation(self, base):
+        index, init, batch = base
+        bad = np.concatenate([batch[:10], init[:1]])
+        with pytest.raises(DuplicateKeyError):
+            bulk_insert(index, bad)
+        assert len(index) == len(init)
+        index.validate()
+
+    def test_payload_length_mismatch(self, base):
+        index, _, batch = base
+        with pytest.raises(ValueError):
+            bulk_insert(index, batch[:5], ["only-one"])
+
+    def test_small_batch_uses_plain_inserts(self, base):
+        index, init, batch = base
+        bulk_insert(index, batch[:2])
+        assert len(index) == len(init) + 2
+        index.validate()
+
+    @pytest.mark.parametrize("factory", [ga_srmi, pma_armi],
+                             ids=["ga-srmi", "pma-armi"])
+    def test_other_variants(self, factory):
+        keys = np.unique(np.random.default_rng(142).uniform(0, 1e4, 1500))
+        index = AlexIndex.bulk_load(keys[:1000], config=factory(
+            num_models=8, max_keys_per_node=512))
+        bulk_insert(index, keys[1000:])
+        assert len(index) == len(keys)
+        index.validate()
+
+    def test_batch_cheaper_than_loop_for_dense_batches(self):
+        keys = np.arange(0.0, 8000.0, 2.0)
+        batch = np.arange(1.0, 8000.0, 2.0)
+
+        loop_index = AlexIndex.bulk_load(keys, config=ga_srmi(num_models=8))
+        for key in batch:
+            loop_index.insert(float(key))
+        loop_work = loop_index.counters.shifts
+
+        batch_index = AlexIndex.bulk_load(keys, config=ga_srmi(num_models=8))
+        bulk_insert(batch_index, batch)
+        batch_work = batch_index.counters.shifts
+
+        assert batch_work < loop_work
+        assert list(batch_index.keys()) == list(loop_index.keys())
+
+
+class TestMergeIndexes:
+    def test_disjoint_merge(self):
+        left = AlexIndex.bulk_load(np.arange(0.0, 100.0),
+                                   [f"l{i}" for i in range(100)])
+        right = AlexIndex.bulk_load(np.arange(100.0, 150.0),
+                                    [f"r{i}" for i in range(50)])
+        merged = merge_indexes(left, right)
+        assert len(merged) == 150
+        assert merged.lookup(42.0) == "l42"
+        assert merged.lookup(120.0) == "r20"
+        merged.validate()
+
+    def test_interleaved_keys(self):
+        left = AlexIndex.bulk_load(np.arange(0.0, 100.0, 2.0))
+        right = AlexIndex.bulk_load(np.arange(1.0, 100.0, 2.0))
+        merged = merge_indexes(left, right)
+        assert list(merged.keys()) == [float(i) for i in range(100)]
+
+    def test_overlapping_keys_rejected(self):
+        left = AlexIndex.bulk_load([1.0, 2.0])
+        right = AlexIndex.bulk_load([2.0, 3.0])
+        with pytest.raises(DuplicateKeyError):
+            merge_indexes(left, right)
+
+    def test_config_override(self):
+        left = AlexIndex.bulk_load(np.arange(50.0), config=ga_srmi())
+        right = AlexIndex.bulk_load(np.arange(50.0, 100.0), config=ga_srmi())
+        merged = merge_indexes(left, right, config=pma_armi())
+        assert merged.variant_name == "ALEX-PMA-ARMI"
+
+    def test_merge_with_empty(self):
+        left = AlexIndex.bulk_load(np.arange(20.0))
+        right = AlexIndex.bulk_load([])
+        merged = merge_indexes(left, right)
+        assert len(merged) == 20

@@ -1,0 +1,186 @@
+"""Unit tests for the B+Tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bptree import BPlusTree
+from repro.core.errors import DuplicateKeyError, KeyNotFoundError
+
+
+@pytest.fixture
+def keys_1k():
+    rng = np.random.default_rng(41)
+    return np.unique(rng.uniform(0, 1e6, 1000))
+
+
+@pytest.fixture
+def tree(keys_1k):
+    return BPlusTree.bulk_load(keys_1k, page_size=256)
+
+
+class TestConstruction:
+    def test_bulk_load_validates(self, tree):
+        tree.validate()
+
+    def test_bulk_load_unsorted_input(self):
+        tree = BPlusTree.bulk_load([5.0, 1.0, 3.0])
+        assert [k for k, _ in tree.items()] == [1.0, 3.0, 5.0]
+
+    def test_bulk_load_duplicates_rejected(self):
+        with pytest.raises(DuplicateKeyError):
+            BPlusTree.bulk_load([1.0, 1.0])
+
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert not tree.contains(1.0)
+        tree.validate()
+
+    def test_page_size_controls_fanout(self):
+        small = BPlusTree.bulk_load(np.arange(1000, dtype=np.float64),
+                                    page_size=128)
+        large = BPlusTree.bulk_load(np.arange(1000, dtype=np.float64),
+                                    page_size=4096)
+        assert small.height > large.height
+
+    def test_page_size_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree(page_size=32)
+
+
+class TestLookup:
+    def test_all_keys_found(self, tree, keys_1k):
+        for key in keys_1k[::13]:
+            tree.lookup(float(key))
+
+    def test_missing_raises(self, tree):
+        with pytest.raises(KeyNotFoundError):
+            tree.lookup(-1.0)
+
+    def test_get_default(self, tree):
+        assert tree.get(-1.0, "dflt") == "dflt"
+
+    def test_payloads_preserved(self):
+        keys = np.arange(100, dtype=np.float64)
+        tree = BPlusTree.bulk_load(keys, [f"p{int(k)}" for k in keys])
+        assert tree.lookup(42.0) == "p42"
+
+
+class TestInsert:
+    def test_incremental_inserts_stay_balanced(self):
+        tree = BPlusTree(page_size=128)
+        rng = np.random.default_rng(42)
+        keys = np.unique(rng.uniform(0, 1e6, 2000))
+        for key in keys:
+            tree.insert(float(key))
+        tree.validate()
+        assert len(tree) == len(keys)
+
+    def test_sequential_inserts_stay_balanced(self):
+        tree = BPlusTree(page_size=128)
+        for key in range(2000):
+            tree.insert(float(key))
+        tree.validate()
+
+    def test_duplicate_raises(self, tree, keys_1k):
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(float(keys_1k[0]))
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(page_size=128)
+        for key in range(3000):
+            tree.insert(float(key))
+        assert tree.height <= 6
+
+    def test_splits_counted(self):
+        tree = BPlusTree(page_size=128)
+        for key in range(500):
+            tree.insert(float(key))
+        assert tree.counters.splits > 0
+
+
+class TestDelete:
+    def test_delete_roundtrip(self, tree, keys_1k):
+        tree.delete(float(keys_1k[3]))
+        assert not tree.contains(float(keys_1k[3]))
+        tree.validate()
+
+    def test_delete_missing_raises(self, tree):
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(-1.0)
+
+    def test_delete_everything(self, keys_1k):
+        tree = BPlusTree.bulk_load(keys_1k, page_size=128)
+        rng = np.random.default_rng(43)
+        order = rng.permutation(len(keys_1k))
+        for i in order:
+            tree.delete(float(keys_1k[i]))
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_delete_half_then_validate(self, keys_1k):
+        tree = BPlusTree.bulk_load(keys_1k, page_size=128)
+        for key in keys_1k[::2]:
+            tree.delete(float(key))
+        tree.validate()
+        for key in keys_1k[1::2]:
+            assert tree.contains(float(key))
+
+    def test_interleaved_insert_delete(self):
+        tree = BPlusTree(page_size=128)
+        rng = np.random.default_rng(44)
+        live = set()
+        for _ in range(3000):
+            if live and rng.random() < 0.4:
+                key = live.pop()
+                tree.delete(key)
+            else:
+                key = round(float(rng.uniform(0, 1e6)), 6)
+                if key not in live:
+                    tree.insert(key)
+                    live.add(key)
+        tree.validate()
+        assert len(tree) == len(live)
+
+
+class TestUpdateAndScan:
+    def test_update(self, tree, keys_1k):
+        tree.update(float(keys_1k[5]), "fresh")
+        assert tree.lookup(float(keys_1k[5])) == "fresh"
+
+    def test_update_missing_raises(self, tree):
+        with pytest.raises(KeyNotFoundError):
+            tree.update(-1.0, "x")
+
+    def test_range_scan_sorted(self, tree, keys_1k):
+        sorted_keys = np.sort(keys_1k)
+        out = tree.range_scan(float(sorted_keys[200]), 60)
+        assert [k for k, _ in out] == sorted_keys[200:260].tolist()
+
+    def test_range_query_inclusive(self, tree, keys_1k):
+        sorted_keys = np.sort(keys_1k)
+        out = tree.range_query(float(sorted_keys[10]), float(sorted_keys[20]))
+        assert [k for k, _ in out] == sorted_keys[10:21].tolist()
+
+    def test_scan_from_before_min(self, tree, keys_1k):
+        out = tree.range_scan(-1e12, 5)
+        assert [k for k, _ in out] == np.sort(keys_1k)[:5].tolist()
+
+
+class TestAccounting:
+    def test_index_size_counts_inner_nodes_only(self, keys_1k):
+        shallow = BPlusTree.bulk_load(keys_1k, page_size=4096)
+        deep = BPlusTree.bulk_load(keys_1k, page_size=128)
+        assert deep.index_size_bytes() > shallow.index_size_bytes()
+
+    def test_data_size_scales_with_payload(self, keys_1k):
+        small = BPlusTree.bulk_load(keys_1k, payload_size=8)
+        big = BPlusTree.bulk_load(keys_1k, payload_size=80)
+        assert big.data_size_bytes() > small.data_size_bytes()
+
+    def test_counters_track_comparisons_and_follows(self, tree, keys_1k):
+        before = tree.counters.snapshot()
+        tree.lookup(float(keys_1k[0]))
+        delta = tree.counters.diff(before)
+        assert delta.comparisons > 0
+        assert delta.pointer_follows >= tree.height - 1

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--dataset", "nope"])
+
+
+class TestInfo:
+    def test_lists_variants_and_systems(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "ALEX-GA-ARMI" in out
+        assert "BPlusTree" in out
+        assert "ycsb" in out
+
+
+class TestDatasets:
+    def test_prints_table1(self, capsys):
+        assert main(["datasets", "--size", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        for name in ("longitudes", "longlat", "lognormal", "ycsb"):
+            assert name in out
+
+
+class TestCompare:
+    def test_default_comparison_runs(self, capsys):
+        code = main(["compare", "--dataset", "lognormal",
+                     "--workload", "read-heavy",
+                     "--init", "2000", "--ops", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ALEX-GA-ARMI" in out
+        assert "BPlusTree" in out
+
+    def test_explicit_system_list(self, capsys):
+        code = main(["compare", "--dataset", "ycsb",
+                     "--workload", "read-only",
+                     "--init", "1500", "--ops", "300",
+                     "--systems", "ALEX-GA-SRMI", "LearnedIndex"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LearnedIndex" in out
+        assert "BPlusTree" not in out
+
+    def test_unknown_system_fails_cleanly(self, capsys):
+        code = main(["compare", "--init", "1000", "--ops", "100",
+                     "--systems", "NotAnIndex"])
+        assert code == 2
+        assert "unknown system" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_prints_error_summary(self, capsys):
+        assert main(["errors", "--dataset", "longitudes",
+                     "--size", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "LearnedIndex" in out
+
+
+class TestTheorems:
+    def test_prints_bounds(self, capsys):
+        assert main(["theorems", "--dataset", "lognormal",
+                     "--size", "1000", "--c", "1.0", "4.0"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 4" in out
+        assert "yes" in out

@@ -1,0 +1,96 @@
+"""Tests for AlexConfig validation and derived quantities."""
+
+import math
+
+import pytest
+
+from repro.core.config import (
+    ALL_VARIANTS,
+    AlexConfig,
+    GAPPED_ARRAY,
+    PACKED_MEMORY_ARRAY,
+    STATIC_RMI,
+    ga_armi,
+    ga_srmi,
+    pma_armi,
+    pma_srmi,
+)
+
+
+class TestValidation:
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            AlexConfig(node_layout="btree")
+
+    def test_unknown_rmi_mode_rejected(self):
+        with pytest.raises(ValueError):
+            AlexConfig(rmi_mode="magic")
+
+    @pytest.mark.parametrize("d", [0.0, -0.5, 1.5])
+    def test_bad_density(self, d):
+        with pytest.raises(ValueError):
+            AlexConfig(density_upper=d)
+
+    def test_bad_model_count(self):
+        with pytest.raises(ValueError):
+            AlexConfig(num_models=0)
+
+    def test_bad_max_keys(self):
+        with pytest.raises(ValueError):
+            AlexConfig(max_keys_per_node=2)
+
+    def test_bad_fanout(self):
+        with pytest.raises(ValueError):
+            AlexConfig(split_fanout=1)
+
+    def test_bad_pma_bounds(self):
+        with pytest.raises(ValueError):
+            AlexConfig(pma_root_density=0.95, pma_segment_density=0.9)
+
+
+class TestDerivedQuantities:
+    def test_expansion_factor_is_inverse_density_squared(self):
+        config = AlexConfig(density_upper=0.8)
+        assert config.expansion_factor == pytest.approx(1 / 0.64)
+        assert config.density_at_build == pytest.approx(0.64)
+
+    def test_default_matches_paper_43_percent(self):
+        # Default d ~ 0.836 gives c ~ 1.43: the paper's 43% space overhead.
+        config = AlexConfig()
+        assert config.expansion_factor == pytest.approx(1.43, abs=0.01)
+
+    def test_with_space_overhead_roundtrip(self):
+        config = AlexConfig().with_space_overhead(2.0)
+        assert config.expansion_factor == pytest.approx(3.0)
+        assert config.density_upper == pytest.approx(math.sqrt(1 / 3.0))
+
+    def test_with_space_overhead_validation(self):
+        with pytest.raises(ValueError):
+            AlexConfig().with_space_overhead(0.0)
+
+
+class TestVariants:
+    def test_variant_names(self):
+        assert ga_srmi().variant_name == "ALEX-GA-SRMI"
+        assert ga_armi().variant_name == "ALEX-GA-ARMI"
+        assert pma_srmi().variant_name == "ALEX-PMA-SRMI"
+        assert pma_armi().variant_name == "ALEX-PMA-ARMI"
+
+    def test_registry_complete(self):
+        assert set(ALL_VARIANTS) == {"ALEX-GA-SRMI", "ALEX-GA-ARMI",
+                                     "ALEX-PMA-SRMI", "ALEX-PMA-ARMI"}
+        for name, factory in ALL_VARIANTS.items():
+            assert factory().variant_name == name
+
+    def test_factories_accept_overrides(self):
+        config = ga_srmi(num_models=7, payload_size=80)
+        assert config.num_models == 7
+        assert config.payload_size == 80
+        assert config.node_layout == GAPPED_ARRAY
+        assert config.rmi_mode == STATIC_RMI
+
+    def test_config_is_frozen(self):
+        config = pma_armi()
+        with pytest.raises(Exception):
+            config.num_models = 5
+        assert config.node_layout == PACKED_MEMORY_ARRAY

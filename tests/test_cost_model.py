@@ -1,0 +1,60 @@
+"""Tests for the cost model (counters -> simulated time)."""
+
+import pytest
+
+from repro.analysis.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.core.stats import Counters
+
+
+class TestSimulatedTime:
+    def test_zero_work_zero_time(self):
+        assert DEFAULT_COST_MODEL.simulated_nanos(Counters()) == 0.0
+
+    def test_weights_applied_per_field(self):
+        model = CostModel()
+        work = Counters(comparisons=10)
+        assert model.simulated_nanos(work) == 10 * model.comparison_ns
+        work = Counters(pointer_follows=3)
+        assert model.simulated_nanos(work) == 3 * model.pointer_follow_ns
+
+    def test_mixed_work_sums(self):
+        model = CostModel()
+        work = Counters(comparisons=2, pointer_follows=1, probes=4)
+        expected = (2 * model.comparison_ns + model.pointer_follow_ns
+                    + 4 * model.probe_ns)
+        assert model.simulated_nanos(work) == pytest.approx(expected)
+
+    def test_seconds_conversion(self):
+        work = Counters(pointer_follows=1_000_000)  # 30 ms at 30 ns each
+        assert DEFAULT_COST_MODEL.simulated_seconds(work) == pytest.approx(0.03)
+
+    def test_structural_events_have_fixed_overheads(self):
+        model = CostModel()
+        work = Counters(expansions=2, splits=1, retrains=3)
+        expected = (2 * model.expansion_ns + model.split_ns
+                    + 3 * model.retrain_ns)
+        assert model.simulated_nanos(work) == pytest.approx(expected)
+
+
+class TestThroughput:
+    def test_throughput_is_ops_over_seconds(self):
+        work = Counters(pointer_follows=100)  # 3000 ns
+        assert DEFAULT_COST_MODEL.throughput(300, work) == pytest.approx(1e8)
+
+    def test_zero_work_infinite_throughput(self):
+        assert DEFAULT_COST_MODEL.throughput(10, Counters()) == float("inf")
+
+    def test_nanos_per_op(self):
+        work = Counters(comparisons=100)
+        assert DEFAULT_COST_MODEL.nanos_per_op(50, work) == pytest.approx(2.0)
+        assert DEFAULT_COST_MODEL.nanos_per_op(0, work) == 0.0
+
+    def test_custom_weights_change_ranking(self):
+        # A model that makes pointer follows free favours deep trees.
+        flat = CostModel(pointer_follow_ns=0.0)
+        work = Counters(pointer_follows=1000, comparisons=10)
+        assert flat.simulated_nanos(work) < DEFAULT_COST_MODEL.simulated_nanos(work)
+
+    def test_model_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.comparison_ns = 5.0

@@ -1,0 +1,128 @@
+"""Tests for the dataset generators and CDF analysis (Table 1, Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    cdf_step_score,
+    cdf_window,
+    empirical_cdf,
+    linear_fit_error,
+    load,
+    local_nonlinearity,
+    lognormal,
+    longitudes,
+    longlat,
+    sequential,
+    shifted_halves,
+    ycsb,
+)
+
+GENERATORS = [longitudes, longlat, lognormal, ycsb]
+
+
+class TestGeneratorContracts:
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_exact_size_and_uniqueness(self, gen):
+        keys = gen(1500, seed=0)
+        assert len(keys) == 1500
+        assert len(np.unique(keys)) == 1500
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_deterministic_per_seed(self, gen):
+        a = gen(500, seed=7)
+        b = gen(500, seed=7)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_different_seeds_differ(self, gen):
+        assert not np.array_equal(gen(500, seed=1), gen(500, seed=2))
+
+    @pytest.mark.parametrize("gen", GENERATORS)
+    def test_shuffled_not_sorted(self, gen):
+        keys = gen(1000, seed=0)
+        assert not (np.diff(keys) > 0).all()
+
+    def test_longitudes_in_range(self):
+        keys = longitudes(1000, seed=0)
+        assert keys.min() >= -180.0 and keys.max() <= 180.0
+
+    def test_longlat_transformation_range(self):
+        keys = longlat(1000, seed=0)
+        assert keys.min() >= 180.0 * -180 - 90
+        assert keys.max() <= 180.0 * 180 + 90
+
+    def test_lognormal_positive_integers(self):
+        keys = lognormal(1000, seed=0)
+        assert (keys > 0).all()
+        assert np.array_equal(keys, np.floor(keys))
+
+    def test_ycsb_exactly_representable(self):
+        keys = ycsb(1000, seed=0)
+        assert (keys < 2.0 ** 53).all()
+        assert np.array_equal(keys, np.floor(keys))
+
+    def test_sequential_strictly_increasing(self):
+        keys = sequential(100, start=5.0, step=2.0)
+        assert keys[0] == 5.0
+        assert (np.diff(keys) == 2.0).all()
+
+
+class TestLoadRegistry:
+    def test_load_by_name(self):
+        for name in DATASETS:
+            assert len(load(name, 200, seed=0)) == 200
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            load("nope", 10)
+
+    def test_payload_sizes_match_table1(self):
+        assert DATASETS["ycsb"].payload_size == 80
+        assert DATASETS["longitudes"].payload_size == 8
+
+
+class TestShiftedHalves:
+    def test_disjoint_domains(self):
+        first, second = shifted_halves(2000, seed=0)
+        assert first.max() < second.min()
+
+    def test_halves_are_shuffled(self):
+        first, second = shifted_halves(2000, seed=0)
+        assert not (np.diff(first) > 0).all()
+        assert not (np.diff(second) > 0).all()
+
+
+class TestCdfTools:
+    def test_empirical_cdf_monotone(self):
+        keys, cdf = empirical_cdf(longitudes(500, seed=0))
+        assert (np.diff(keys) > 0).all()
+        assert cdf[0] > 0 and cdf[-1] == pytest.approx(1.0)
+
+    def test_cdf_window_slices(self):
+        keys = np.sort(longitudes(1000, seed=0))
+        wkeys, wcdf = cdf_window(keys, 0.5, 0.1)
+        assert len(wkeys) == pytest.approx(100, abs=2)
+        assert 0.4 < wcdf[0] < 0.6
+
+    def test_linear_fit_error_zero_for_uniform(self):
+        assert linear_fit_error(np.arange(1000.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_longlat_locally_harder_than_longitudes(self):
+        # The property Figure 14 illustrates and Section 5.2.1 relies on:
+        # longlat's CDF is step-like at small scales.
+        lon = longitudes(4000, seed=0)
+        ll = longlat(4000, seed=0)
+        assert local_nonlinearity(ll) > local_nonlinearity(lon)
+        assert cdf_step_score(ll) > cdf_step_score(lon)
+
+    def test_ycsb_easiest_to_model(self):
+        # Uniform keys: globally near-linear CDF.
+        assert linear_fit_error(ycsb(4000, seed=0)) < linear_fit_error(
+            lognormal(4000, seed=0))
+
+    def test_empty_inputs(self):
+        keys, cdf = empirical_cdf(np.empty(0))
+        assert len(keys) == 0 and len(cdf) == 0
+        assert linear_fit_error(np.empty(0)) == 0.0

@@ -1,0 +1,128 @@
+"""Tests for the delta-buffer Learned Index baseline (paper Section 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.delta_learned_index import DeltaLearnedIndex
+from repro.core.errors import DuplicateKeyError, KeyNotFoundError
+
+
+@pytest.fixture
+def keys_1k():
+    return np.unique(np.random.default_rng(61).uniform(0, 1e6, 1000))
+
+
+@pytest.fixture
+def index(keys_1k):
+    return DeltaLearnedIndex.bulk_load(keys_1k, num_models=8,
+                                       merge_threshold=0.10)
+
+
+class TestConstruction:
+    def test_bulk_load_lookups(self, index, keys_1k):
+        for key in keys_1k[::17]:
+            index.lookup(float(key))
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            DeltaLearnedIndex(merge_threshold=0.0)
+
+    def test_empty(self):
+        index = DeltaLearnedIndex()
+        assert len(index) == 0
+        index.insert(1.0, "a")
+        assert index.lookup(1.0) == "a"
+
+
+class TestDeltaBuffer:
+    def test_inserts_go_to_delta(self, index):
+        index.insert(-5.0, "x")
+        assert index.delta_size == 1
+        assert index.lookup(-5.0) == "x"
+
+    def test_merge_on_threshold(self, index, keys_1k):
+        rng = np.random.default_rng(62)
+        new = np.setdiff1d(np.unique(rng.uniform(0, 1e6, 400)), keys_1k)
+        for key in new[:150]:
+            index.insert(float(key))
+        assert index.merges >= 1
+        assert index.delta_size < 150
+        # Everything still findable post-merge.
+        for key in new[:150:7]:
+            assert index.contains(float(key))
+
+    def test_duplicate_across_structures_rejected(self, index, keys_1k):
+        with pytest.raises(DuplicateKeyError):
+            index.insert(float(keys_1k[0]))  # lives in main
+        index.insert(-1.0)
+        with pytest.raises(DuplicateKeyError):
+            index.insert(-1.0)               # lives in delta
+
+    def test_inserts_between_merges_are_cheap(self, keys_1k):
+        # The whole point of the delta: shifts per insert scale with the
+        # delta size, not the main size.
+        index = DeltaLearnedIndex.bulk_load(keys_1k, merge_threshold=0.5)
+        before = index.counters.shifts
+        rng = np.random.default_rng(63)
+        new = np.setdiff1d(np.unique(rng.uniform(0, 1e6, 120)), keys_1k)[:100]
+        for key in new:
+            index.insert(float(key))
+        per_insert = (index.counters.shifts - before) / 100
+        assert per_insert < len(keys_1k) / 4  # far below naive n/2
+
+
+class TestDeleteUpdate:
+    def test_delete_from_delta(self, index):
+        index.insert(-2.0, "tmp")
+        index.delete(-2.0)
+        assert not index.contains(-2.0)
+
+    def test_delete_from_main(self, index, keys_1k):
+        index.delete(float(keys_1k[5]))
+        assert not index.contains(float(keys_1k[5]))
+
+    def test_delete_missing_raises(self, index):
+        with pytest.raises(KeyNotFoundError):
+            index.delete(-99.0)
+
+    def test_update_both_locations(self, index, keys_1k):
+        index.update(float(keys_1k[3]), "main-upd")
+        assert index.lookup(float(keys_1k[3])) == "main-upd"
+        index.insert(-3.0, "old")
+        index.update(-3.0, "delta-upd")
+        assert index.lookup(-3.0) == "delta-upd"
+
+
+class TestScan:
+    def test_scan_merges_delta_and_main(self, index, keys_1k):
+        sorted_keys = np.sort(keys_1k)
+        mid = float(sorted_keys[100])
+        index.insert(mid + 1e-7, "between")
+        out = index.range_scan(mid, 3)
+        assert out[0][0] == mid
+        assert out[1][0] == pytest.approx(mid + 1e-7)
+
+    def test_items_sorted_across_structures(self, index, keys_1k):
+        rng = np.random.default_rng(64)
+        new = np.setdiff1d(np.unique(rng.uniform(0, 1e6, 60)), keys_1k)[:50]
+        for key in new:
+            index.insert(float(key))
+        out = [k for k, _ in index.items()]
+        assert out == sorted(out)
+        assert len(out) == len(index)
+
+
+class TestAccounting:
+    def test_sizes_cover_both_structures(self, index):
+        base = index.index_size_bytes()
+        index.insert(-1.0)
+        assert index.index_size_bytes() == base + 8
+
+    def test_merge_cost_counted(self, index, keys_1k):
+        before = index.counters.build_moves
+        rng = np.random.default_rng(65)
+        new = np.setdiff1d(np.unique(rng.uniform(0, 1e6, 300)), keys_1k)
+        for key in new[:150]:
+            index.insert(float(key))
+        assert index.merges >= 1
+        assert index.counters.build_moves > before + len(keys_1k)

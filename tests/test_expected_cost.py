@@ -1,0 +1,84 @@
+"""Tests for the analytic lookup-cost model vs measured counters."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.expected_cost import (
+    measure_alex_lookup,
+    measure_bptree_lookup,
+    predict_alex_lookup,
+    predict_bptree_lookup,
+    prediction_accuracy,
+)
+from repro.baselines.bptree import BPlusTree
+from repro.core.alex import AlexIndex
+from repro.core.config import ga_armi, ga_srmi
+from repro.datasets import load
+
+DATASETS = ["longitudes", "lognormal", "ycsb"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+class TestAlexPrediction:
+    def test_prediction_within_band(self, dataset):
+        keys = load(dataset, 6000, seed=91)
+        index = AlexIndex.bulk_load(keys, config=ga_srmi(num_models=24))
+        predicted = predict_alex_lookup(index)
+        rng = np.random.default_rng(92)
+        probes = rng.choice(keys, 2000)
+        measured = measure_alex_lookup(index, probes)
+        # The analytic model should land within 40% of the measurement.
+        assert prediction_accuracy(predicted.nanos, measured) < 0.4, (
+            f"{dataset}: predicted {predicted.nanos:.1f}, "
+            f"measured {measured:.1f}")
+
+    def test_structural_components_sane(self, dataset):
+        keys = load(dataset, 6000, seed=93)
+        index = AlexIndex.bulk_load(keys, config=ga_armi(max_keys_per_node=512))
+        predicted = predict_alex_lookup(index)
+        assert predicted.pointer_follows >= 1.0
+        assert predicted.model_inferences == pytest.approx(
+            predicted.pointer_follows + 1.0)
+        assert predicted.probes >= 2.0
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+class TestBPlusTreePrediction:
+    def test_prediction_within_band(self, dataset):
+        keys = load(dataset, 6000, seed=94)
+        tree = BPlusTree.bulk_load(keys, page_size=256)
+        predicted = predict_bptree_lookup(tree)
+        rng = np.random.default_rng(95)
+        probes = rng.choice(keys, 2000)
+        measured = measure_bptree_lookup(tree, probes)
+        assert prediction_accuracy(predicted.nanos, measured) < 0.4
+
+    def test_pointer_follows_equal_height_minus_one(self, dataset):
+        keys = load(dataset, 6000, seed=96)
+        tree = BPlusTree.bulk_load(keys, page_size=256)
+        predicted = predict_bptree_lookup(tree)
+        assert predicted.pointer_follows == tree.height - 1
+
+
+class TestModelExplainsTheGap:
+    def test_predicted_ordering_matches_measured_ordering(self):
+        # The analytic model must agree with the measurement about who wins.
+        keys = load("ycsb", 8000, seed=97)
+        index = AlexIndex.bulk_load(keys, config=ga_srmi(num_models=32))
+        tree = BPlusTree.bulk_load(keys, page_size=256)
+        predicted_gap = (predict_bptree_lookup(tree).nanos
+                         / predict_alex_lookup(index).nanos)
+        rng = np.random.default_rng(98)
+        probes = rng.choice(keys, 2000)
+        measured_gap = (measure_bptree_lookup(tree, probes)
+                        / measure_alex_lookup(index, probes))
+        assert predicted_gap > 1.0
+        assert measured_gap > 1.0
+        assert prediction_accuracy(predicted_gap, measured_gap) < 0.5
+
+
+class TestAccuracyHelper:
+    def test_relative_error(self):
+        assert prediction_accuracy(110.0, 100.0) == pytest.approx(0.1)
+        assert prediction_accuracy(0.0, 0.0) == 0.0
+        assert prediction_accuracy(1.0, 0.0) == float("inf")

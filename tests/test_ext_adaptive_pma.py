@@ -1,0 +1,108 @@
+"""Tests for the adaptive PMA extension (Section 7, data skew)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AlexConfig
+from repro.core.pma import PMANode
+from repro.core.stats import Counters
+from repro.ext.adaptive_pma import AdaptivePMANode
+
+
+def make_node(keys=None):
+    node = AdaptivePMANode(AlexConfig(), Counters())
+    node.build(np.asarray(keys if keys is not None else [], dtype=np.float64))
+    return node
+
+
+class TestCorrectness:
+    def test_behaves_like_plain_pma_on_lookups(self):
+        rng = np.random.default_rng(9)
+        keys = np.sort(np.unique(rng.uniform(0, 1000, 300)))
+        node = make_node(keys)
+        for key in keys[::7]:
+            assert node.contains(float(key))
+        node.check_invariants()
+        node.check_pma_invariants()
+
+    def test_random_insert_delete_sequence(self):
+        rng = np.random.default_rng(10)
+        node = make_node(np.arange(0, 100, dtype=np.float64))
+        live = set(float(k) for k in range(100))
+        for _ in range(1500):
+            if rng.random() < 0.7:
+                key = float(rng.uniform(0, 1000))
+                if key not in live:
+                    node.insert(key)
+                    live.add(key)
+            elif live:
+                victim = live.pop()
+                node.delete(victim)
+        node.check_invariants()
+        assert node.num_keys == len(live)
+
+    def test_sequential_inserts_stay_valid(self):
+        node = make_node(np.arange(128, dtype=np.float64))
+        for key in np.arange(128.0, 3000.0):
+            node.insert(float(key))
+        node.check_invariants()
+        node.check_pma_invariants()
+        assert node.num_keys == 3000
+
+
+class TestHotspotPredictor:
+    def test_hotness_tracks_insert_location(self):
+        node = make_node(np.arange(0, 512, 2, dtype=np.float64))
+        for key in np.arange(511.0, 560.0):  # hammer the right end
+            node.insert(float(key))
+        profile = node.hotspot_profile()
+        # The hottest segment should be in the right half.
+        assert int(np.argmax(profile)) >= len(profile) // 2
+
+    def test_hotness_decays(self):
+        node = make_node(np.arange(0, 512, 2, dtype=np.float64))
+        node.insert(1.5)
+        early = node.hotspot_profile().max()
+        for key in np.arange(511.0, 600.0):
+            node.insert(float(key))
+        # The early left-end signal decayed below the right-end signal.
+        profile = node.hotspot_profile()
+        assert profile[0] < profile.max()
+
+    def test_profile_resets_on_rebuild(self):
+        node = make_node(np.arange(256, dtype=np.float64))
+        node.insert(256.5)
+        node.expand()
+        assert node.hotspot_profile().sum() == 0
+
+
+class TestAdaptiveRebalanceWins:
+    def test_less_total_movement_on_sequential_inserts(self):
+        # The Section 7 conjecture: the adaptive PMA handles the Fig. 5c
+        # pattern better than the uniform-rebalance PMA.
+        def run(cls):
+            node = cls(AlexConfig(), Counters())
+            node.build(np.arange(256.0))
+            for key in np.arange(256.0, 4000.0):
+                node.insert(float(key))
+            node.check_invariants()
+            return node.counters.shifts + node.counters.rebalance_moves
+
+        plain = run(PMANode)
+        adaptive = run(AdaptivePMANode)
+        assert adaptive < plain
+
+    def test_no_regression_on_uniform_inserts(self):
+        def run(cls, seed=11):
+            rng = np.random.default_rng(seed)
+            keys = np.unique(rng.uniform(0, 1e6, 3000))
+            node = cls(AlexConfig(), Counters())
+            node.build(np.sort(keys[:256]))
+            for key in keys[256:]:
+                node.insert(float(key))
+            node.check_invariants()
+            return node.counters.shifts + node.counters.rebalance_moves
+
+        plain = run(PMANode)
+        adaptive = run(AdaptivePMANode)
+        assert adaptive < 2.0 * plain  # at worst a modest constant factor

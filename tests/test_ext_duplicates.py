@@ -1,0 +1,110 @@
+"""Tests for the duplicate-key multimap extension (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import KeyNotFoundError
+from repro.ext.duplicates import AlexMultimap
+
+
+@pytest.fixture
+def multimap():
+    return AlexMultimap.from_pairs(
+        [(1.0, "a"), (2.0, "b"), (1.0, "c"), (3.0, "d"), (2.0, "e")])
+
+
+class TestConstruction:
+    def test_from_pairs_groups_by_key(self, multimap):
+        assert multimap.get(1.0) == ["a", "c"]
+        assert multimap.get(2.0) == ["b", "e"]
+        assert multimap.get(3.0) == ["d"]
+
+    def test_sizes(self, multimap):
+        assert len(multimap) == 5
+        assert multimap.num_distinct_keys() == 3
+
+    def test_empty(self):
+        multimap = AlexMultimap()
+        assert len(multimap) == 0
+        assert multimap.get(1.0) == []
+        assert not multimap.contains(1.0)
+
+
+class TestInsert:
+    def test_insert_new_key(self, multimap):
+        multimap.insert(9.0, "z")
+        assert multimap.get(9.0) == ["z"]
+        assert len(multimap) == 6
+
+    def test_insert_duplicate_key_appends(self, multimap):
+        multimap.insert(1.0, "x")
+        assert multimap.get(1.0) == ["a", "c", "x"]
+
+    def test_duplicate_values_allowed(self, multimap):
+        multimap.insert(1.0, "a")
+        assert multimap.count(1.0) == 3
+
+    def test_many_duplicates_on_one_key(self):
+        multimap = AlexMultimap()
+        for i in range(500):
+            multimap.insert(7.0, i)
+        assert multimap.count(7.0) == 500
+        multimap.validate()
+
+
+class TestRemove:
+    def test_remove_value(self, multimap):
+        multimap.remove_value(1.0, "a")
+        assert multimap.get(1.0) == ["c"]
+        assert len(multimap) == 4
+
+    def test_remove_last_value_removes_key(self, multimap):
+        multimap.remove_value(3.0, "d")
+        assert not multimap.contains(3.0)
+        assert multimap.num_distinct_keys() == 2
+
+    def test_remove_missing_pair_raises(self, multimap):
+        with pytest.raises(KeyNotFoundError):
+            multimap.remove_value(1.0, "nope")
+        with pytest.raises(KeyNotFoundError):
+            multimap.remove_value(99.0, "a")
+
+    def test_remove_key_returns_count(self, multimap):
+        assert multimap.remove_key(2.0) == 2
+        assert len(multimap) == 3
+        with pytest.raises(KeyNotFoundError):
+            multimap.remove_key(2.0)
+
+
+class TestIterationAndScan:
+    def test_items_expand_duplicates_in_key_order(self, multimap):
+        assert list(multimap.items()) == [
+            (1.0, "a"), (1.0, "c"), (2.0, "b"), (2.0, "e"), (3.0, "d")]
+
+    def test_range_scan_counts_values(self, multimap):
+        out = multimap.range_scan(1.0, 3)
+        assert out == [(1.0, "a"), (1.0, "c"), (2.0, "b")]
+
+    def test_distinct_keys(self, multimap):
+        assert list(multimap.distinct_keys()) == [1.0, 2.0, 3.0]
+
+
+class TestScale:
+    def test_large_mixed_workload(self):
+        rng = np.random.default_rng(7)
+        multimap = AlexMultimap()
+        reference = {}
+        for step in range(4000):
+            key = float(rng.integers(0, 200))
+            if rng.random() < 0.7 or key not in reference:
+                multimap.insert(key, step)
+                reference.setdefault(key, []).append(step)
+            else:
+                value = reference[key].pop(0)
+                if not reference[key]:
+                    del reference[key]
+                multimap.remove_value(key, value)
+        multimap.validate()
+        assert len(multimap) == sum(len(v) for v in reference.values())
+        for key, values in list(reference.items())[:20]:
+            assert multimap.get(key) == values

@@ -1,0 +1,135 @@
+"""Tests for the secondary-storage paging extension (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import KeyNotFoundError
+from repro.ext.paged import (
+    BufferPool,
+    DEFAULT_PAGE_BYTES,
+    PagedAlexIndex,
+    PagedBPlusTree,
+)
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        pool = BufferPool(4)
+        assert pool.touch(1) is False
+        assert pool.touch(1) is True
+        assert pool.reads == 1
+        assert pool.hits == 1
+
+    def test_lru_eviction(self):
+        pool = BufferPool(2)
+        pool.touch(1)
+        pool.touch(2)
+        pool.touch(3)            # evicts 1
+        assert pool.evictions == 1
+        assert pool.touch(2) is True
+        assert pool.touch(1) is False  # was evicted
+
+    def test_touch_refreshes_recency(self):
+        pool = BufferPool(2)
+        pool.touch(1)
+        pool.touch(2)
+        pool.touch(1)            # 2 becomes LRU
+        pool.touch(3)            # evicts 2
+        assert pool.touch(1) is True
+        assert pool.touch(2) is False
+
+    def test_dirty_eviction_counts_write(self):
+        pool = BufferPool(1)
+        pool.touch(1, dirty=True)
+        pool.touch(2)
+        assert pool.writes == 1
+
+    def test_flush_writes_dirty_pages(self):
+        pool = BufferPool(4)
+        pool.touch(1, dirty=True)
+        pool.touch(2, dirty=False)
+        pool.flush()
+        assert pool.writes == 1
+        assert pool.resident == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+
+@pytest.fixture
+def keys():
+    return np.unique(np.random.default_rng(5).uniform(0, 1e6, 4000))
+
+
+class TestPagedAlexIndex:
+    def test_lookup_correctness(self, keys):
+        paged = PagedAlexIndex.bulk_load(keys, buffer_pages=16)
+        for key in keys[::31]:
+            assert paged.lookup(float(key)) is None
+
+    def test_missing_key_raises(self, keys):
+        paged = PagedAlexIndex.bulk_load(keys, buffer_pages=16)
+        with pytest.raises(KeyNotFoundError):
+            paged.lookup(-1.0)
+
+    def test_cold_lookup_costs_about_one_read(self, keys):
+        # The Section 7 claim: the RMI is in memory, so a cold point lookup
+        # touches roughly one leaf page.
+        paged = PagedAlexIndex.bulk_load(keys, buffer_pages=4)
+        rng = np.random.default_rng(6)
+        probes = rng.choice(keys, 500)
+        for key in probes:
+            paged.lookup(float(key))
+        assert paged.io_per_op(500) < 1.5
+
+    def test_insert_marks_dirty_and_repages_on_expand(self, keys):
+        paged = PagedAlexIndex.bulk_load(keys[:1000], buffer_pages=16)
+        extra = [k for k in keys[1000:1400]]
+        for key in extra:
+            paged.insert(float(key), "v")
+        for key in extra[::17]:
+            assert paged.lookup(float(key)) == "v"
+
+    def test_scan_touches_range_pages(self, keys):
+        paged = PagedAlexIndex.bulk_load(keys, buffer_pages=64)
+        reads_before = paged.pool.reads
+        out = paged.range_scan(float(np.sort(keys)[100]), 500)
+        assert len(out) == 500
+        assert paged.pool.reads > reads_before
+
+
+class TestPagedBPlusTree:
+    def test_lookup_correctness(self, keys):
+        paged = PagedBPlusTree.bulk_load(keys, page_size=256, buffer_pages=16)
+        for key in keys[::31]:
+            assert paged.lookup(float(key)) is None
+        with pytest.raises(KeyNotFoundError):
+            paged.lookup(-1.0)
+
+    def test_cold_lookup_costs_height_reads(self, keys):
+        paged = PagedBPlusTree.bulk_load(keys, page_size=256, buffer_pages=4)
+        rng = np.random.default_rng(7)
+        for key in rng.choice(keys, 500):
+            paged.lookup(float(key))
+        # One touch per level; the root stays hot, leaves mostly miss.
+        assert paged.io_per_op(500) > 1.5
+
+    def test_insert_correct(self, keys):
+        paged = PagedBPlusTree.bulk_load(keys[:1000], page_size=256,
+                                         buffer_pages=16)
+        paged.insert(-5.0, "v")
+        assert paged.lookup(-5.0) == "v"
+
+
+class TestAlexVsBPlusTreePaging:
+    def test_alex_needs_fewer_ios_when_cache_is_small(self, keys):
+        # The headline Section 7 consequence.
+        alex = PagedAlexIndex.bulk_load(keys, buffer_pages=4)
+        bptree = PagedBPlusTree.bulk_load(keys, page_size=256, buffer_pages=4)
+        rng = np.random.default_rng(8)
+        probes = rng.choice(keys, 800)
+        for key in probes:
+            alex.lookup(float(key))
+            bptree.lookup(float(key))
+        assert alex.io_per_op(800) < bptree.io_per_op(800)

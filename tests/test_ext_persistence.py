@@ -1,0 +1,106 @@
+"""Tests for index persistence (save/load round trips)."""
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import alex_prediction_errors
+from repro.core.alex import AlexIndex
+from repro.core.config import ga_armi, ga_srmi, pma_armi
+from repro.ext.persistence import load_index, save_index, save_load_roundtrip_equal
+
+
+@pytest.fixture
+def keys():
+    return np.unique(np.random.default_rng(12).uniform(0, 1e6, 2000))
+
+
+@pytest.mark.parametrize("factory", [ga_srmi, ga_armi, pma_armi],
+                         ids=["ga-srmi", "ga-armi", "pma-armi"])
+class TestRoundTrip:
+    def test_contents_preserved(self, tmp_path, keys, factory):
+        index = AlexIndex.bulk_load(keys, [f"p{i}" for i in range(len(keys))],
+                                    config=factory(max_keys_per_node=256,
+                                                   num_models=16))
+        path = str(tmp_path / "index.npz")
+        assert save_load_roundtrip_equal(index, path)
+
+    def test_loaded_index_supports_all_operations(self, tmp_path, keys,
+                                                  factory):
+        index = AlexIndex.bulk_load(keys, config=factory(
+            max_keys_per_node=256, num_models=16))
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        loaded = load_index(path)
+        loaded.insert(-1.0, "new")
+        assert loaded.lookup(-1.0) == "new"
+        loaded.delete(float(keys[0]))
+        assert not loaded.contains(float(keys[0]))
+        out = loaded.range_scan(float(np.sort(keys)[10]), 5)
+        assert len(out) == 5
+        loaded.validate()
+
+    def test_models_preserved_exactly(self, tmp_path, keys, factory):
+        # Loading must NOT retrain: prediction errors are bit-identical.
+        index = AlexIndex.bulk_load(keys, config=factory(
+            max_keys_per_node=256, num_models=16))
+        path = str(tmp_path / "index.npz")
+        save_index(index, path)
+        loaded = load_index(path)
+        assert np.array_equal(alex_prediction_errors(index),
+                              alex_prediction_errors(loaded))
+
+
+class TestStructuralEdgeCases:
+    def test_empty_index(self, tmp_path):
+        index = AlexIndex.bulk_load([])
+        path = str(tmp_path / "empty.npz")
+        save_index(index, path)
+        loaded = load_index(path)
+        assert len(loaded) == 0
+        loaded.insert(1.0)
+        assert loaded.contains(1.0)
+
+    def test_single_leaf_root(self, tmp_path):
+        index = AlexIndex.bulk_load(np.arange(50.0))
+        path = str(tmp_path / "leaf.npz")
+        assert save_load_roundtrip_equal(index, path)
+
+    def test_split_tree_with_shared_inner_slots(self, tmp_path, keys):
+        # After node splitting, one inner node may occupy several parent
+        # slots; the format must deduplicate it.
+        config = dataclasses.replace(ga_armi(max_keys_per_node=128),
+                                     split_on_inserts=True)
+        sorted_keys = np.sort(keys)
+        index = AlexIndex.bulk_load(sorted_keys[:1000], config=config)
+        for key in sorted_keys[1000:]:
+            index.insert(float(key))
+        assert index.counters.splits > 0
+        path = str(tmp_path / "split.npz")
+        assert save_load_roundtrip_equal(index, path)
+
+    def test_version_check(self, tmp_path, keys):
+        import json
+        index = AlexIndex.bulk_load(keys[:100])
+        path = str(tmp_path / "v.npz")
+        save_index(index, path)
+        # Corrupt the version field.
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        header = json.loads(bytes(arrays["header"]).decode())
+        header["version"] = 999
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8)
+        with open(path, "wb") as f:
+            np.savez_compressed(f, **arrays)
+        with pytest.raises(ValueError):
+            load_index(path)
+
+    def test_file_size_reasonable(self, tmp_path, keys):
+        index = AlexIndex.bulk_load(keys)
+        path = str(tmp_path / "size.npz")
+        save_index(index, path)
+        # Compressed file should be within a few x of the raw key bytes.
+        assert os.path.getsize(path) < 40 * len(keys)

@@ -1,0 +1,147 @@
+"""Tests for the secondary-index extension (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DuplicateKeyError, KeyNotFoundError
+from repro.ext.secondary import HeapTable, IndexedTable, PrimaryIndex, SecondaryIndex
+
+
+class TestHeapTable:
+    def test_append_fetch_roundtrip(self):
+        heap = HeapTable()
+        rid = heap.append({"x": 1})
+        assert heap.fetch(rid) == {"x": 1}
+        assert len(heap) == 1
+
+    def test_delete_leaves_tombstone(self):
+        heap = HeapTable()
+        rid = heap.append({"x": 1})
+        heap.append({"x": 2})
+        assert heap.delete(rid) == {"x": 1}
+        with pytest.raises(KeyError):
+            heap.fetch(rid)
+        assert len(heap) == 1
+
+    def test_update(self):
+        heap = HeapTable()
+        rid = heap.append({"x": 1})
+        heap.update(rid, {"x": 2})
+        assert heap.fetch(rid)["x"] == 2
+
+    def test_scan_skips_tombstones(self):
+        heap = HeapTable()
+        rids = [heap.append({"i": i}) for i in range(5)]
+        heap.delete(rids[2])
+        assert [r["i"] for _, r in heap.scan()] == [0, 1, 3, 4]
+
+    def test_bad_rid_raises(self):
+        heap = HeapTable()
+        with pytest.raises(KeyError):
+            heap.fetch(0)
+        with pytest.raises(KeyError):
+            heap.fetch(-1)
+
+    def test_records_are_copied(self):
+        heap = HeapTable()
+        record = {"x": 1}
+        rid = heap.append(record)
+        record["x"] = 99
+        assert heap.fetch(rid)["x"] == 1
+
+
+class TestPrimaryIndex:
+    def test_insert_and_lookup(self):
+        index = PrimaryIndex("id")
+        index.insert(10.0, 0)
+        index.insert(20.0, 1)
+        assert index.rid_for(10.0) == 0
+        assert index.rid_for(20.0) == 1
+
+    def test_unique_constraint(self):
+        index = PrimaryIndex("id")
+        index.insert(10.0, 0)
+        with pytest.raises(DuplicateKeyError):
+            index.insert(10.0, 1)
+
+    def test_delete_returns_rid(self):
+        index = PrimaryIndex("id")
+        index.insert(10.0, 7)
+        assert index.delete(10.0) == 7
+        assert len(index) == 0
+
+    def test_range_rids(self):
+        index = PrimaryIndex("id")
+        for i in range(10):
+            index.insert(float(i), i * 100)
+        assert index.range_rids(2.0, 4.0) == [(2.0, 200), (3.0, 300),
+                                              (4.0, 400)]
+
+
+class TestSecondaryIndex:
+    def test_non_unique_values(self):
+        index = SecondaryIndex("age")
+        index.insert(30.0, 0)
+        index.insert(30.0, 1)
+        index.insert(40.0, 2)
+        assert index.rids_for(30.0) == [0, 1]
+        assert len(index) == 3
+
+    def test_delete_pair(self):
+        index = SecondaryIndex("age")
+        index.insert(30.0, 0)
+        index.insert(30.0, 1)
+        index.delete(30.0, 0)
+        assert index.rids_for(30.0) == [1]
+
+    def test_range_rids(self):
+        index = SecondaryIndex("age")
+        for rid, age in enumerate([20.0, 25.0, 25.0, 30.0, 35.0]):
+            index.insert(age, rid)
+        assert index.range_rids(25.0, 30.0) == [(25.0, 1), (25.0, 2),
+                                                (30.0, 3)]
+
+
+class TestIndexedTable:
+    @pytest.fixture
+    def table(self):
+        table = IndexedTable("id", ("age", "score"))
+        rng = np.random.default_rng(3)
+        for i in range(300):
+            table.insert({"id": i, "age": int(rng.integers(20, 30)),
+                          "score": float(i % 7), "name": f"user{i}"})
+        return table
+
+    def test_primary_lookup(self, table):
+        assert table.get(42.0)["name"] == "user42"
+
+    def test_secondary_equality(self, table):
+        hits = table.find_by("score", 3.0)
+        assert all(r["score"] == 3.0 for r in hits)
+        assert len(hits) == len([i for i in range(300) if i % 7 == 3])
+
+    def test_secondary_range(self, table):
+        hits = table.range_by("age", 22.0, 24.0)
+        assert all(22 <= r["age"] <= 24 for r in hits)
+
+    def test_primary_range(self, table):
+        hits = table.range_by("id", 10.0, 12.0)
+        assert [r["id"] for r in hits] == [10, 11, 12]
+
+    def test_delete_maintains_all_indexes(self, table):
+        victim = table.get(100.0)
+        table.delete(100.0)
+        assert len(table) == 299
+        with pytest.raises(KeyNotFoundError):
+            table.get(100.0)
+        assert all(r["id"] != 100
+                   for r in table.find_by("score", victim["score"]))
+
+    def test_duplicate_primary_rolls_back_heap(self, table):
+        with pytest.raises(DuplicateKeyError):
+            table.insert({"id": 5, "age": 25, "score": 1.0})
+        assert len(table) == 300  # heap not polluted by the failed insert
+
+    def test_unknown_secondary_raises(self, table):
+        with pytest.raises(KeyNotFoundError):
+            table.find_by("height", 1.0)

@@ -1,0 +1,159 @@
+"""Failure injection: corrupted structures must be *detected*, and failed
+operations must leave the index unchanged (strong exception safety for the
+paths that promise it)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bptree import BPlusTree
+from repro.core.alex import AlexIndex
+from repro.core.config import ga_armi, ga_srmi
+from repro.core.data_node import GAP_SENTINEL
+from repro.core.errors import DuplicateKeyError, KeyNotFoundError
+from repro.core.rmi import InnerNode
+
+
+@pytest.fixture
+def index():
+    keys = np.unique(np.random.default_rng(151).uniform(0, 1e6, 2000))
+    return AlexIndex.bulk_load(keys, config=ga_armi(max_keys_per_node=256))
+
+
+def snapshot(index):
+    return list(index.items()), len(index)
+
+
+class TestValidateDetectsCorruption:
+    def test_swapped_keys_in_leaf(self, index):
+        leaf = next(iter(index.leaves()))
+        positions = np.flatnonzero(leaf.occupied)
+        leaf.keys[positions[0]], leaf.keys[positions[-1]] = (
+            leaf.keys[positions[-1]], leaf.keys[positions[0]])
+        with pytest.raises(AssertionError):
+            index.validate()
+
+    def test_wrong_num_keys(self, index):
+        next(iter(index.leaves())).num_keys += 1
+        with pytest.raises(AssertionError):
+            index.validate()
+
+    def test_broken_leaf_chain_order(self, index):
+        leaves = list(index.leaves())
+        if len(leaves) < 3:
+            pytest.skip("needs several leaves")
+        # Swap two adjacent leaves in the chain only (tree untouched).
+        a, b = leaves[1], leaves[2]
+        prev_leaf, next_leaf = a.prev_leaf, b.next_leaf
+        prev_leaf.next_leaf = b
+        b.prev_leaf = prev_leaf
+        b.next_leaf = a
+        a.prev_leaf = b
+        a.next_leaf = next_leaf
+        if next_leaf is not None:
+            next_leaf.prev_leaf = a
+        with pytest.raises(AssertionError):
+            index.validate()
+
+    def test_chain_dropped_leaf(self, index):
+        leaves = list(index.leaves())
+        if len(leaves) < 3:
+            pytest.skip("needs several leaves")
+        # Unlink one leaf from the chain while it stays in the tree.
+        victim = leaves[1]
+        victim.prev_leaf.next_leaf = victim.next_leaf
+        victim.next_leaf.prev_leaf = victim.prev_leaf
+        with pytest.raises(AssertionError):
+            index.validate()
+
+    def test_misrouted_child(self, index):
+        root = index._root
+        if not isinstance(root, InnerNode):
+            pytest.skip("single-leaf tree")
+        distinct = root.distinct_children()
+        if len(distinct) < 2:
+            pytest.skip("needs two children")
+        # Point the first slot at the last child: min-key routing breaks.
+        root.children[0] = root.children[-1]
+        with pytest.raises(AssertionError):
+            index.validate()
+
+    def test_stale_total_count(self, index):
+        index._num_keys += 5
+        with pytest.raises(AssertionError):
+            index.validate()
+
+    def test_corrupted_gap_fill_value(self, index):
+        for leaf in index.leaves():
+            gaps = np.flatnonzero(~leaf.occupied)
+            interior = [g for g in gaps if leaf.keys[g] != GAP_SENTINEL]
+            if interior:
+                leaf.keys[interior[0]] -= 1.0
+                break
+        else:
+            pytest.skip("no interior gaps found")
+        with pytest.raises(AssertionError):
+            index.validate()
+
+
+class TestExceptionSafety:
+    def test_duplicate_insert_leaves_index_unchanged(self, index):
+        items, size = snapshot(index)
+        victim = items[123][0]
+        with pytest.raises(DuplicateKeyError):
+            index.insert(victim, "overwrite-attempt")
+        assert snapshot(index) == (items, size)
+        assert index.lookup(victim) == items[123][1]
+
+    def test_failed_delete_leaves_index_unchanged(self, index):
+        items, size = snapshot(index)
+        with pytest.raises(KeyNotFoundError):
+            index.delete(-1e12)
+        assert snapshot(index) == (items, size)
+
+    def test_failed_update_leaves_index_unchanged(self, index):
+        items, size = snapshot(index)
+        with pytest.raises(KeyNotFoundError):
+            index.update(-1e12, "x")
+        assert snapshot(index) == (items, size)
+
+    def test_failed_bulk_load_builds_nothing_usable(self):
+        with pytest.raises(DuplicateKeyError):
+            AlexIndex.bulk_load([1.0, 1.0, 2.0])
+
+    def test_bptree_duplicate_insert_unchanged(self):
+        tree = BPlusTree.bulk_load(np.arange(500.0), page_size=128)
+        before = list(tree.items())
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(250.0)
+        assert list(tree.items()) == before
+        tree.validate()
+
+
+class TestRecoveryAfterHeavyChurn:
+    @pytest.mark.parametrize("factory", [ga_srmi, ga_armi])
+    def test_index_survives_pathological_mix(self, factory):
+        # Churn one narrow key region hard: repeated insert/delete of the
+        # same keys stresses expansion/contraction cycling.
+        index = AlexIndex.bulk_load(np.arange(0.0, 1000.0),
+                                    config=factory(num_models=8,
+                                                   max_keys_per_node=256))
+        hot = np.arange(500.0, 520.0) + 0.5
+        for round_no in range(50):
+            for key in hot:
+                index.insert(float(key))
+            for key in hot:
+                index.delete(float(key))
+        index.validate()
+        assert len(index) == 1000
+
+    def test_interleaved_scan_during_churn(self, index):
+        rng = np.random.default_rng(152)
+        sorted_keys = np.sort([k for k, _ in index.items()])
+        for _ in range(200):
+            key = float(rng.uniform(0, 1e6))
+            if not index.contains(key):
+                index.insert(key)
+            out = index.range_scan(float(rng.choice(sorted_keys)), 20)
+            got = [k for k, _ in out]
+            assert got == sorted(got)
+        index.validate()

@@ -1,0 +1,72 @@
+"""Tests for the hotspot and latest key-selection distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.hotspot import HotspotGenerator, LatestGenerator
+
+
+class TestHotspotGenerator:
+    def test_indexes_in_range(self):
+        gen = HotspotGenerator(1000, seed=1)
+        picks = gen.sample(5000)
+        assert picks.min() >= 0 and picks.max() < 1000
+
+    def test_hot_set_receives_hot_fraction(self):
+        gen = HotspotGenerator(1000, hot_fraction=0.2,
+                               hot_access_fraction=0.8, seed=2)
+        picks = gen.sample(50_000)
+        hot_share = (picks < gen.hot_n).mean()
+        assert hot_share == pytest.approx(0.8, abs=0.02)
+
+    def test_uniform_when_no_hot_skew(self):
+        gen = HotspotGenerator(100, hot_fraction=0.5,
+                               hot_access_fraction=0.5, seed=3)
+        picks = gen.sample(50_000)
+        hot_share = (picks < gen.hot_n).mean()
+        # Cold picks come from the cold half only, so the hot half's share
+        # equals the hot access fraction exactly.
+        assert hot_share == pytest.approx(0.5, abs=0.02)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HotspotGenerator(0)
+        with pytest.raises(ValueError):
+            HotspotGenerator(10, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            HotspotGenerator(10, hot_access_fraction=1.5)
+
+    def test_deterministic(self):
+        a = HotspotGenerator(100, seed=4).sample(100)
+        b = HotspotGenerator(100, seed=4).sample(100)
+        assert np.array_equal(a, b)
+
+
+class TestLatestGenerator:
+    def test_indexes_within_population(self):
+        gen = LatestGenerator(1000, seed=5)
+        picks = gen.sample(2000, population=300)
+        assert picks.min() >= 0 and picks.max() < 300
+
+    def test_most_recent_is_hottest(self):
+        gen = LatestGenerator(1000, seed=6)
+        picks = gen.sample(50_000, population=1000)
+        newest_share = (picks >= 990).mean()
+        oldest_share = (picks < 10).mean()
+        assert newest_share > 5 * max(oldest_share, 1e-9)
+
+    def test_population_grows_over_time(self):
+        gen = LatestGenerator(1000, seed=7)
+        early = gen.sample(1000, population=10)
+        assert early.max() < 10
+        late = gen.sample(1000, population=1000)
+        assert late.max() >= 900
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LatestGenerator(0)
+        gen = LatestGenerator(100)
+        with pytest.raises(ValueError):
+            gen.sample(10, population=0)
+        with pytest.raises(ValueError):
+            gen.sample(10, population=101)

@@ -1,0 +1,155 @@
+"""Cross-module integration tests: full paper-style scenarios end to end."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bench import SystemParams, build_index, run_experiment
+from repro.core.alex import AlexIndex
+from repro.core.config import ga_armi, pma_armi
+from repro.datasets import load, sequential, shifted_halves
+from repro.workloads import (
+    RANGE_SCAN,
+    READ_HEAVY,
+    READ_ONLY,
+    WRITE_HEAVY,
+    WorkloadRunner,
+)
+
+DATASET_NAMES = ["longitudes", "longlat", "lognormal", "ycsb"]
+ALEX_SYSTEMS = ["ALEX-GA-SRMI", "ALEX-GA-ARMI", "ALEX-PMA-SRMI",
+                "ALEX-PMA-ARMI"]
+
+
+class TestAllSystemsAllDatasets:
+    @pytest.mark.parametrize("dataset", DATASET_NAMES)
+    @pytest.mark.parametrize("system", ALEX_SYSTEMS + ["BPlusTree",
+                                                       "LearnedIndex"])
+    def test_read_heavy_workload_completes(self, system, dataset):
+        result = run_experiment(system, dataset, READ_HEAVY,
+                                init_size=1500, num_ops=400,
+                                params=SystemParams(max_keys_per_node=256),
+                                seed=5)
+        assert result.ops == 400
+        assert result.throughput > 0
+
+    @pytest.mark.parametrize("dataset", DATASET_NAMES)
+    def test_alex_index_valid_after_write_heavy(self, dataset):
+        keys = load(dataset, 3000, seed=6)
+        init, inserts = keys[:2000], keys[2000:]
+        index = build_index("ALEX-GA-ARMI", init,
+                            SystemParams(max_keys_per_node=256))
+        runner = WorkloadRunner(index, init.copy(), inserts.copy(), seed=7)
+        runner.run(WRITE_HEAVY, 1500)
+        index.validate()
+
+
+class TestPaperScenarios:
+    def test_read_only_alex_beats_bptree_in_simulated_time(self):
+        # Figure 4a's qualitative claim at reduced scale.
+        from repro.analysis import DEFAULT_COST_MODEL
+        alex = run_experiment("ALEX-GA-SRMI", "ycsb", READ_ONLY,
+                              init_size=4000, num_ops=1500, seed=8)
+        bptree = run_experiment("BPlusTree", "ycsb", READ_ONLY,
+                                init_size=4000, num_ops=1500, seed=8)
+        assert alex.throughput > bptree.throughput
+
+    def test_alex_index_orders_of_magnitude_smaller_than_bptree(self):
+        # Figure 4e's qualitative claim.
+        alex = run_experiment("ALEX-GA-SRMI", "ycsb", READ_ONLY,
+                              init_size=5000, num_ops=100, seed=9)
+        bptree = run_experiment("BPlusTree", "ycsb", READ_ONLY,
+                                init_size=5000, num_ops=100, seed=9)
+        assert alex.index_bytes * 5 < bptree.index_bytes
+
+    def test_learned_index_write_collapse(self):
+        # Section 5.2.2: the Learned Index is orders of magnitude slower on
+        # inserts, which is why Fig. 4b/4c exclude it.
+        alex = run_experiment("ALEX-GA-ARMI", "lognormal", WRITE_HEAVY,
+                              init_size=3000, num_ops=800, seed=10)
+        learned = run_experiment("LearnedIndex", "lognormal", WRITE_HEAVY,
+                                 init_size=3000, num_ops=800, seed=10)
+        assert alex.throughput > 5 * learned.throughput
+
+    def test_distribution_shift_with_splitting(self):
+        # Figure 5b's scenario: init on one half of the key domain, insert
+        # the disjoint other half; ARMI with splitting must stay valid and
+        # reasonably balanced.
+        first, second = shifted_halves(4000, seed=11)
+        config = dataclasses.replace(ga_armi(max_keys_per_node=256),
+                                     split_on_inserts=True)
+        index = AlexIndex.bulk_load(first, config=config)
+        for key in second:
+            index.insert(float(key))
+        index.validate()
+        assert index.counters.splits > 0
+        assert int(index.leaf_sizes().max()) <= 4 * 256
+
+    def test_sequential_inserts_complete_with_pma_armi(self):
+        # Figure 5c: adversarial append-only stream.  ALEX-PMA-ARMI is the
+        # best variant; it must stay correct (performance degrades, which
+        # the bench measures).
+        config = dataclasses.replace(pma_armi(max_keys_per_node=256),
+                                     split_on_inserts=True)
+        keys = sequential(3000)
+        index = AlexIndex.bulk_load(keys[:500], config=config)
+        for key in keys[500:]:
+            index.insert(float(key))
+        index.validate()
+        assert len(index) == 3000
+
+    def test_lifetime_mini(self):
+        # Figure 6 in miniature: insert from 500 to 4000 keys, pausing for
+        # lookups; structure must stay valid throughout and lookup work must
+        # not blow up.
+        from repro.analysis import DEFAULT_COST_MODEL
+        keys = load("longitudes", 4000, seed=12)
+        config = ga_armi(max_keys_per_node=256)
+        index = AlexIndex.bulk_load(keys[:500], config=config)
+        runner = WorkloadRunner(index, keys[:500].copy(), keys[500:].copy(),
+                                seed=13)
+        from repro.workloads import WRITE_ONLY
+        lookup_costs = []
+        while runner.inserts_remaining > 0:
+            runner.run(WRITE_ONLY, 500)
+            index.validate()
+            probe = runner.run(READ_ONLY, 200)
+            lookup_costs.append(
+                DEFAULT_COST_MODEL.nanos_per_op(probe.ops, probe.work))
+        assert len(lookup_costs) >= 7
+        # Lookup cost stays flat-ish over the index's lifetime (Fig. 6).
+        assert lookup_costs[-1] < 4 * lookup_costs[0]
+
+    def test_range_scan_shares_of_work(self):
+        # Figure 4d: scan-heavy workloads spend their time copying payloads,
+        # not searching.
+        result = run_experiment("ALEX-GA-ARMI", "ycsb", RANGE_SCAN,
+                                init_size=3000, num_ops=500, seed=14)
+        assert result.work.payload_bytes_copied > 0
+        assert result.extras["scanned_records"] > result.extras["scans"]
+
+
+class TestMixedOperationSoak:
+    @pytest.mark.parametrize("system", ALEX_SYSTEMS)
+    def test_soak_alex(self, system):
+        rng = np.random.default_rng(15)
+        keys = np.unique(rng.uniform(0, 1e6, 2500))
+        index = build_index(system, keys[:1000],
+                            SystemParams(max_keys_per_node=128))
+        live = set(float(k) for k in keys[:1000])
+        pool = [float(k) for k in keys[1000:]]
+        for step in range(3000):
+            r = rng.random()
+            if r < 0.4 and pool:
+                key = pool.pop()
+                index.insert(key, step)
+                live.add(key)
+            elif r < 0.6 and live:
+                victim = live.pop()
+                index.delete(victim)
+            elif live:
+                sample = next(iter(live))
+                assert index.contains(sample)
+        index.validate()
+        assert len(index) == len(live)

@@ -1,0 +1,70 @@
+"""Tests for the structural introspection report."""
+
+import numpy as np
+import pytest
+
+from repro.core.alex import AlexIndex
+from repro.core.config import ga_armi, ga_srmi
+from repro.core.introspect import format_report, structure_report
+from repro.datasets import longitudes
+
+
+@pytest.fixture
+def index():
+    keys = longitudes(5000, seed=99)
+    return AlexIndex.bulk_load(keys, config=ga_armi(max_keys_per_node=512))
+
+
+class TestStructureReport:
+    def test_counts_match_index(self, index):
+        report = structure_report(index)
+        assert report.num_keys == len(index)
+        assert report.num_leaves == index.num_leaves()
+        assert report.depth == index.depth()
+        assert report.index_bytes == index.index_size_bytes()
+        assert report.data_bytes == index.data_size_bytes()
+
+    def test_leaf_size_stats(self, index):
+        report = structure_report(index)
+        sizes = index.leaf_sizes()
+        assert report.leaf_keys_min == int(sizes.min())
+        assert report.leaf_keys_max == int(sizes.max())
+        assert report.leaf_keys_median == float(np.median(sizes))
+
+    def test_density_within_bounds(self, index):
+        report = structure_report(index)
+        assert 0.0 < report.density_mean <= 1.0
+        assert report.density_min <= report.density_mean
+
+    def test_depth_histogram_sums_to_leaves(self, index):
+        report = structure_report(index)
+        assert sum(report.depth_histogram.values()) == report.num_leaves
+
+    def test_prediction_stats_present(self, index):
+        report = structure_report(index)
+        assert report.exact_prediction_fraction > 0.0
+        assert report.mean_prediction_error >= 0.0
+
+    def test_empty_index(self):
+        report = structure_report(AlexIndex())
+        assert report.num_keys == 0
+        assert report.num_leaves == 1
+        assert report.cold_leaves == 1
+
+    def test_packed_run_tracked_for_gapped_arrays(self):
+        index = AlexIndex.bulk_load(np.arange(500.0),
+                                    config=ga_srmi(num_models=4))
+        report = structure_report(index)
+        assert report.largest_packed_run >= 1
+
+
+class TestFormatReport:
+    def test_renders_every_section(self, index):
+        text = format_report(structure_report(index))
+        for fragment in ("keys:", "leaves:", "density:", "model accuracy:",
+                         "space:"):
+            assert fragment in text
+
+    def test_mentions_counts(self, index):
+        text = format_report(structure_report(index))
+        assert f"{len(index):,}" in text

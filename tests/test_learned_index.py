@@ -1,0 +1,145 @@
+"""Unit tests for the Learned Index baseline (Kraska et al. reimplementation)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.learned_index import LearnedIndex
+from repro.core.errors import DuplicateKeyError, KeyNotFoundError
+
+
+@pytest.fixture
+def keys_1k():
+    rng = np.random.default_rng(51)
+    return np.unique(rng.uniform(0, 1e6, 1000))
+
+
+@pytest.fixture
+def index(keys_1k):
+    return LearnedIndex.bulk_load(keys_1k, num_models=16)
+
+
+class TestConstruction:
+    def test_bulk_load_and_lookup_all(self, index, keys_1k):
+        for key in keys_1k[::17]:
+            index.lookup(float(key))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(DuplicateKeyError):
+            LearnedIndex.bulk_load([3.0, 3.0])
+
+    def test_empty_index(self):
+        index = LearnedIndex(num_models=4)
+        assert len(index) == 0
+        assert not index.contains(1.0)
+
+    def test_bad_model_count_rejected(self):
+        with pytest.raises(ValueError):
+            LearnedIndex(num_models=0)
+
+
+class TestErrorBounds:
+    def test_bounds_cover_worst_prediction(self, index):
+        keys = index.data.view_keys()
+        n = len(keys)
+        for i in range(0, n, 11):
+            leaf = index._leaf_for(float(keys[i]))
+            predicted = leaf.model.predict_pos(float(keys[i]), n)
+            assert predicted - leaf.max_error_left <= i <= predicted + leaf.max_error_right
+
+    def test_bounds_widen_on_insert(self, index):
+        widths_before = [m.max_error_right for m in index.leaf_models]
+        index.insert(123.456)
+        widths_after = [m.max_error_right for m in index.leaf_models]
+        assert all(a == b + 1 for b, a in zip(widths_before, widths_after))
+
+    def test_retrain_resets_staleness(self, keys_1k):
+        index = LearnedIndex.bulk_load(keys_1k, num_models=8,
+                                       retrain_fraction=0.01)
+        retrains_before = index.counters.retrains
+        rng = np.random.default_rng(52)
+        new = np.setdiff1d(np.unique(rng.uniform(0, 1e6, 400)), keys_1k)
+        for key in new[:200]:
+            index.insert(float(key))
+        assert index.counters.retrains > retrains_before
+
+
+class TestNaiveInserts:
+    def test_insert_then_lookup(self, index):
+        index.insert(-5.0, "payload")
+        assert index.lookup(-5.0) == "payload"
+
+    def test_duplicate_raises(self, index, keys_1k):
+        with pytest.raises(DuplicateKeyError):
+            index.insert(float(keys_1k[0]))
+
+    def test_inserts_shift_on_average_half_the_array(self, keys_1k):
+        # The naive strategy of Section 2.3: expected shifts per insert ~ n/2.
+        index = LearnedIndex.bulk_load(keys_1k, num_models=8,
+                                       retrain_fraction=1.0)
+        rng = np.random.default_rng(53)
+        new = np.setdiff1d(np.unique(rng.uniform(0, 1e6, 150)), keys_1k)[:100]
+        before = index.counters.shifts
+        for key in new:
+            index.insert(float(key))
+        per_insert = (index.counters.shifts - before) / len(new)
+        assert per_insert > len(keys_1k) / 8
+
+    def test_many_inserts_remain_correct(self, index, keys_1k):
+        rng = np.random.default_rng(54)
+        new = np.setdiff1d(np.unique(rng.uniform(0, 1e6, 500)), keys_1k)
+        for key in new:
+            index.insert(float(key))
+        for key in new[::23]:
+            assert index.contains(float(key))
+        for key in keys_1k[::41]:
+            assert index.contains(float(key))
+
+
+class TestDeleteUpdate:
+    def test_delete(self, index, keys_1k):
+        index.delete(float(keys_1k[9]))
+        assert not index.contains(float(keys_1k[9]))
+        assert len(index) == len(keys_1k) - 1
+
+    def test_delete_missing_raises(self, index):
+        with pytest.raises(KeyNotFoundError):
+            index.delete(-1.0)
+
+    def test_update(self, index, keys_1k):
+        index.update(float(keys_1k[2]), "v2")
+        assert index.lookup(float(keys_1k[2])) == "v2"
+
+
+class TestRangeOperations:
+    def test_range_scan(self, index, keys_1k):
+        sorted_keys = np.sort(keys_1k)
+        out = index.range_scan(float(sorted_keys[100]), 40)
+        assert [k for k, _ in out] == sorted_keys[100:140].tolist()
+
+    def test_range_query(self, index, keys_1k):
+        sorted_keys = np.sort(keys_1k)
+        out = index.range_query(float(sorted_keys[5]), float(sorted_keys[15]))
+        assert [k for k, _ in out] == sorted_keys[5:16].tolist()
+
+    def test_items_sorted(self, index, keys_1k):
+        assert [k for k, _ in index.items()] == np.sort(keys_1k).tolist()
+
+
+class TestAccounting:
+    def test_index_size_includes_error_bounds(self, keys_1k):
+        few = LearnedIndex.bulk_load(keys_1k, num_models=4)
+        many = LearnedIndex.bulk_load(keys_1k, num_models=64)
+        assert many.index_size_bytes() > few.index_size_bytes()
+        # 32 bytes per leaf model (model + bounds) plus 16 for the root.
+        assert few.index_size_bytes() == 16 + 4 * 32
+
+    def test_data_size_is_dense(self, index, keys_1k):
+        assert index.data_size_bytes() == len(keys_1k) * 16
+
+    def test_prediction_error_for_existing_key(self, index, keys_1k):
+        err = index.prediction_error(float(keys_1k[0]))
+        assert err >= 0
+
+    def test_prediction_error_missing_raises(self, index):
+        with pytest.raises(KeyNotFoundError):
+            index.prediction_error(-1.0)

@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.linear_model."""
+
+import numpy as np
+import pytest
+
+from repro.core.linear_model import LinearModel
+
+
+class TestTrain:
+    def test_perfect_line_recovered(self):
+        keys = np.array([1.0, 2.0, 3.0, 4.0])
+        positions = 2.0 * keys + 5.0
+        model = LinearModel.train(keys, positions)
+        assert model.slope == pytest.approx(2.0)
+        assert model.intercept == pytest.approx(5.0)
+
+    def test_least_squares_on_noisy_data(self):
+        rng = np.random.default_rng(0)
+        keys = np.sort(rng.uniform(0, 100, 200))
+        positions = 3.0 * keys + rng.normal(0, 0.1, 200)
+        model = LinearModel.train(keys, positions)
+        assert model.slope == pytest.approx(3.0, abs=0.01)
+
+    def test_empty_input_gives_flat_model(self):
+        model = LinearModel.train(np.empty(0), np.empty(0))
+        assert model.slope == 0.0
+        assert model.intercept == 0.0
+
+    def test_single_key_predicts_its_position(self):
+        model = LinearModel.train(np.array([7.0]), np.array([3.0]))
+        assert model.predict(7.0) == pytest.approx(3.0)
+        assert model.slope == 0.0
+
+    def test_identical_keys_predict_mean_position(self):
+        model = LinearModel.train(np.array([5.0, 5.0, 5.0]),
+                                  np.array([0.0, 1.0, 2.0]))
+        assert model.slope == 0.0
+        assert model.intercept == pytest.approx(1.0)
+
+    def test_train_accepts_lists(self):
+        model = LinearModel.train([0.0, 1.0], [0.0, 1.0])
+        assert model.slope == pytest.approx(1.0)
+
+
+class TestTrainCdf:
+    def test_uniform_keys_map_to_full_range(self):
+        keys = np.arange(100, dtype=np.float64)
+        model = LinearModel.train_cdf(keys, 100)
+        assert model.predict(0.0) == pytest.approx(0.0, abs=1.0)
+        assert model.predict(99.0) == pytest.approx(99.0, abs=1.0)
+
+    def test_scales_to_requested_positions(self):
+        keys = np.arange(50, dtype=np.float64)
+        model = LinearModel.train_cdf(keys, 200)
+        assert model.slope == pytest.approx(4.0, rel=0.05)
+
+    def test_empty_keys(self):
+        model = LinearModel.train_cdf(np.empty(0), 10)
+        assert model.predict(1.0) == 0.0
+
+    def test_monotone_nondecreasing_slope(self):
+        rng = np.random.default_rng(1)
+        keys = np.sort(rng.lognormal(0, 2, 500))
+        model = LinearModel.train_cdf(keys, 64)
+        assert model.slope >= 0.0
+
+
+class TestTrainEndpoints:
+    def test_interpolates_linearly(self):
+        model = LinearModel.train_endpoints(10.0, 20.0, 100)
+        assert model.predict(10.0) == pytest.approx(0.0)
+        assert model.predict(20.0) == pytest.approx(100.0)
+        assert model.predict(15.0) == pytest.approx(50.0)
+
+    def test_degenerate_range_is_flat(self):
+        model = LinearModel.train_endpoints(5.0, 5.0, 100)
+        assert model.slope == 0.0
+
+
+class TestPredictPos:
+    def test_clamps_low(self):
+        model = LinearModel(slope=1.0, intercept=-100.0)
+        assert model.predict_pos(5.0, 10) == 0
+
+    def test_clamps_high(self):
+        model = LinearModel(slope=1.0, intercept=100.0)
+        assert model.predict_pos(5.0, 10) == 9
+
+    def test_floors_fractional_predictions(self):
+        model = LinearModel(slope=1.0, intercept=0.9)
+        assert model.predict_pos(3.0, 10) == 3
+
+    def test_vectorized_matches_scalar(self):
+        model = LinearModel(slope=0.37, intercept=-4.2)
+        keys = np.linspace(-100, 100, 57)
+        vec = model.predict_pos_vec(keys, 40)
+        scalar = [model.predict_pos(float(k), 40) for k in keys]
+        assert vec.tolist() == scalar
+
+
+class TestScaleAndCopy:
+    def test_scale_multiplies_output(self):
+        model = LinearModel(slope=2.0, intercept=3.0)
+        model.scale(10.0)
+        assert model.predict(1.0) == pytest.approx(50.0)
+
+    def test_copy_is_independent(self):
+        model = LinearModel(slope=1.0, intercept=1.0)
+        clone = model.copy()
+        clone.scale(5.0)
+        assert model.slope == 1.0
+        assert clone.slope == 5.0
+
+    def test_size_bytes_is_two_doubles(self):
+        assert LinearModel().size_bytes() == 16

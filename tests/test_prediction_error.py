@@ -1,0 +1,88 @@
+"""Tests for the prediction-error study (Figure 7 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.prediction_error import (
+    alex_prediction_errors,
+    error_summary,
+    learned_index_prediction_errors,
+    log2_histogram,
+)
+from repro.baselines.learned_index import LearnedIndex
+from repro.core.alex import AlexIndex
+from repro.core.config import ga_srmi
+from repro.datasets import longitudes
+
+
+@pytest.fixture
+def keys():
+    return longitudes(4000, seed=81)
+
+
+class TestAlexErrors:
+    def test_one_error_per_key(self, keys):
+        index = AlexIndex.bulk_load(keys, config=ga_srmi(num_models=16))
+        errors = alex_prediction_errors(index)
+        assert len(errors) == len(keys)
+        assert (errors >= 0).all()
+
+    def test_model_based_inserts_give_low_errors(self, keys):
+        # Figure 7b's claim: after init, ALEX errors are mostly tiny.
+        index = AlexIndex.bulk_load(keys, config=ga_srmi(num_models=16))
+        errors = alex_prediction_errors(index)
+        assert np.median(errors) <= 2
+
+    def test_errors_stay_low_after_inserts(self, keys):
+        # Figure 7c: inserts do not blow the error distribution up.
+        index = AlexIndex.bulk_load(keys[:2000], config=ga_srmi(num_models=16))
+        for key in keys[2000:]:
+            index.insert(float(key))
+        errors = alex_prediction_errors(index)
+        assert np.median(errors) <= 4
+
+    def test_empty_index(self):
+        assert len(alex_prediction_errors(AlexIndex())) == 0
+
+
+class TestLearnedIndexErrors:
+    def test_one_error_per_key(self, keys):
+        index = LearnedIndex.bulk_load(keys, num_models=4)
+        errors = learned_index_prediction_errors(index)
+        assert len(errors) == len(keys)
+
+    def test_alex_beats_learned_index(self, keys):
+        # Figure 7's headline comparison at matched model budgets.
+        alex = AlexIndex.bulk_load(keys, config=ga_srmi(num_models=8))
+        learned = LearnedIndex.bulk_load(keys, num_models=8)
+        alex_errors = alex_prediction_errors(alex)
+        learned_errors = learned_index_prediction_errors(learned)
+        assert alex_errors.mean() < learned_errors.mean()
+        assert (alex_errors == 0).mean() > (learned_errors == 0).mean()
+
+    def test_empty_index(self):
+        assert len(learned_index_prediction_errors(LearnedIndex())) == 0
+
+
+class TestHistogramAndSummary:
+    def test_histogram_counts_sum_to_total(self):
+        errors = np.array([0, 0, 1, 2, 3, 4, 5, 8, 9, 16, 40])
+        hist = log2_histogram(errors)
+        assert sum(count for _, count in hist) == len(errors)
+        assert hist[0] == ("0", 2)
+
+    def test_histogram_bucket_edges(self):
+        hist = dict(log2_histogram(np.array([3, 4, 5, 8, 9])))
+        assert hist["3-4"] == 2
+        assert hist["5-8"] == 2
+        assert hist["9-16"] == 1
+
+    def test_summary_fields(self):
+        errors = np.array([0, 0, 0, 10])
+        summary = error_summary(errors)
+        assert summary["count"] == 4
+        assert summary["exact_fraction"] == pytest.approx(0.75)
+        assert summary["max"] == 10
+
+    def test_summary_empty(self):
+        assert error_summary(np.empty(0, dtype=np.int64))["count"] == 0

@@ -1,0 +1,137 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.alex import AlexIndex
+from repro.core.batch import bulk_insert
+from repro.core.config import AlexConfig, ga_armi
+from repro.core.cursor import Cursor
+from repro.core.stats import Counters
+from repro.ext.adaptive_pma import AdaptivePMANode
+from repro.ext.duplicates import AlexMultimap
+
+SETTINGS = settings(max_examples=30, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+finite_keys = st.floats(min_value=-1e9, max_value=1e9,
+                        allow_nan=False, allow_infinity=False)
+key_lists = st.lists(finite_keys, min_size=0, max_size=80, unique=True)
+
+
+class TestMultimapProperties:
+    @SETTINGS
+    @given(pairs=st.lists(st.tuples(st.integers(0, 20), st.integers(0, 5)),
+                          max_size=150))
+    def test_matches_reference_multimap(self, pairs):
+        multimap = AlexMultimap()
+        reference: dict = {}
+        for raw_key, value in pairs:
+            key = float(raw_key)
+            multimap.insert(key, value)
+            reference.setdefault(key, []).append(value)
+        multimap.validate()
+        assert len(multimap) == sum(len(v) for v in reference.values())
+        for key, values in reference.items():
+            assert multimap.get(key) == values
+        assert list(multimap.items()) == [
+            (k, v) for k in sorted(reference) for v in reference[k]]
+
+    @SETTINGS
+    @given(pairs=st.lists(st.tuples(st.integers(0, 10), st.integers(0, 3)),
+                          min_size=1, max_size=80),
+           remove_fraction=st.floats(0.0, 1.0))
+    def test_removals_mirror_reference(self, pairs, remove_fraction):
+        multimap = AlexMultimap.from_pairs(
+            [(float(k), v) for k, v in pairs])
+        reference: dict = {}
+        for k, v in pairs:
+            reference.setdefault(float(k), []).append(v)
+        to_remove = int(len(pairs) * remove_fraction)
+        removed = 0
+        for key in list(reference):
+            while reference[key] and removed < to_remove:
+                value = reference[key].pop(0)
+                multimap.remove_value(key, value)
+                removed += 1
+            if not reference[key]:
+                del reference[key]
+            if removed >= to_remove:
+                break
+        multimap.validate()
+        for key in reference:
+            assert multimap.get(key) == reference[key]
+
+
+class TestAdaptivePMAProperties:
+    @SETTINGS
+    @given(keys=key_lists)
+    def test_sorted_semantics_preserved(self, keys):
+        node = AdaptivePMANode(AlexConfig(), Counters())
+        node.build(np.empty(0))
+        for key in keys:
+            node.insert(float(key))
+        node.check_invariants()
+        node.check_pma_invariants()
+        assert [k for k, _ in node.iter_items()] == sorted(keys)
+
+    @SETTINGS
+    @given(keys=key_lists, extra=key_lists)
+    def test_lookup_after_mixed_ops(self, keys, extra):
+        node = AdaptivePMANode(AlexConfig(), Counters())
+        node.build(np.sort(np.array(keys, dtype=np.float64)))
+        present = set(keys)
+        for key in extra:
+            if key not in present:
+                node.insert(float(key))
+                present.add(key)
+        for key in sorted(present)[::3]:
+            assert node.contains(float(key))
+        node.check_invariants()
+
+
+class TestBulkInsertProperties:
+    @SETTINGS
+    @given(initial=key_lists, batch=key_lists)
+    def test_equivalent_to_sequential_inserts(self, initial, batch):
+        batch = [k for k in batch if k not in set(initial)]
+        config = ga_armi(max_keys_per_node=64, num_models=4)
+        bulk = AlexIndex.bulk_load(np.array(initial, dtype=np.float64),
+                                   config=config)
+        bulk_insert(bulk, np.array(batch, dtype=np.float64))
+        loop = AlexIndex.bulk_load(np.array(initial, dtype=np.float64),
+                                   config=config)
+        for key in batch:
+            loop.insert(float(key))
+        bulk.validate()
+        assert list(bulk.keys()) == list(loop.keys())
+
+
+class TestCursorProperties:
+    @SETTINGS
+    @given(keys=key_lists, start=finite_keys)
+    def test_cursor_scan_equals_range_scan(self, keys, start):
+        index = AlexIndex.bulk_load(np.array(keys, dtype=np.float64))
+        cursor = Cursor(index, start_key=start)
+        via_cursor = [k for k, _ in cursor.take(25)]
+        via_scan = [k for k, _ in index.range_scan(start, 25)]
+        assert via_cursor == via_scan
+
+    @SETTINGS
+    @given(keys=st.lists(finite_keys, min_size=1, max_size=60, unique=True))
+    def test_forward_then_backward_is_identity(self, keys):
+        index = AlexIndex.bulk_load(np.array(keys, dtype=np.float64))
+        cursor = Cursor(index)
+        forward = []
+        while cursor.valid():
+            forward.append(cursor.key())
+            if not cursor.next():
+                break
+        cursor.seek_last()
+        backward = []
+        while cursor.valid():
+            backward.append(cursor.key())
+            if not cursor.prev():
+                break
+        assert forward == backward[::-1] == sorted(keys)

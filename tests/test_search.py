@@ -1,0 +1,134 @@
+"""Unit tests for repro.core.search (exponential and bounded binary search)."""
+
+import numpy as np
+import pytest
+
+from repro.core.search import binary_search_bounded, exponential_search, lower_bound
+from repro.core.stats import Counters
+
+
+def reference_lower_bound(keys, target, lo, hi):
+    return lo + int(np.searchsorted(keys[lo:hi], target, side="left"))
+
+
+@pytest.fixture
+def sorted_keys():
+    rng = np.random.default_rng(42)
+    return np.sort(rng.uniform(0, 1000, 500))
+
+
+class TestLowerBound:
+    def test_matches_numpy_on_random_targets(self, sorted_keys):
+        rng = np.random.default_rng(1)
+        for target in rng.uniform(-10, 1010, 100):
+            got = lower_bound(sorted_keys, target, 0, len(sorted_keys))
+            want = reference_lower_bound(sorted_keys, target, 0, len(sorted_keys))
+            assert got == want
+
+    def test_exact_keys_found_at_their_position(self, sorted_keys):
+        for i in range(0, len(sorted_keys), 17):
+            assert lower_bound(sorted_keys, sorted_keys[i], 0, len(sorted_keys)) == i
+
+    def test_empty_range(self, sorted_keys):
+        assert lower_bound(sorted_keys, 5.0, 10, 10) == 10
+
+    def test_subrange_respected(self, sorted_keys):
+        got = lower_bound(sorted_keys, -999.0, 100, 200)
+        assert got == 100
+        got = lower_bound(sorted_keys, 1e9, 100, 200)
+        assert got == 200
+
+    def test_counts_logarithmic_comparisons(self, sorted_keys):
+        counters = Counters()
+        lower_bound(sorted_keys, 500.0, 0, len(sorted_keys), counters)
+        assert 1 <= counters.comparisons <= 12  # log2(500) ~ 9
+        assert counters.probes == counters.comparisons
+
+
+class TestExponentialSearch:
+    @pytest.mark.parametrize("hint_offset", [0, 1, -1, 5, -5, 50, -50, 499])
+    def test_matches_lower_bound_for_any_hint(self, sorted_keys, hint_offset):
+        rng = np.random.default_rng(2)
+        n = len(sorted_keys)
+        for target in rng.uniform(-10, 1010, 50):
+            want = reference_lower_bound(sorted_keys, target, 0, n)
+            hint = max(0, min(n - 1, want + hint_offset))
+            got = exponential_search(sorted_keys, target, hint, 0, n)
+            assert got == want
+
+    def test_hint_out_of_range_is_clamped(self, sorted_keys):
+        n = len(sorted_keys)
+        want = reference_lower_bound(sorted_keys, 500.0, 0, n)
+        assert exponential_search(sorted_keys, 500.0, -17, 0, n) == want
+        assert exponential_search(sorted_keys, 500.0, n + 100, 0, n) == want
+
+    def test_empty_range_returns_lo(self, sorted_keys):
+        assert exponential_search(sorted_keys, 5.0, 0, 3, 3) == 3
+
+    def test_target_below_all(self, sorted_keys):
+        assert exponential_search(sorted_keys, -1e9, 250, 0, len(sorted_keys)) == 0
+
+    def test_target_above_all(self, sorted_keys):
+        n = len(sorted_keys)
+        assert exponential_search(sorted_keys, 1e9, 250, 0, n) == n
+
+    def test_cost_scales_with_error_not_size(self, sorted_keys):
+        n = len(sorted_keys)
+        target = float(sorted_keys[300])
+        small, large = Counters(), Counters()
+        exponential_search(sorted_keys, target, 300, 0, n, small)
+        exponential_search(sorted_keys, target, 4, 0, n, large)
+        assert small.probes < large.probes
+
+    def test_exact_hint_costs_few_probes(self, sorted_keys):
+        counters = Counters()
+        exponential_search(sorted_keys, float(sorted_keys[123]), 123, 0,
+                           len(sorted_keys), counters)
+        assert counters.probes <= 4
+
+    def test_works_on_arrays_with_duplicate_runs(self):
+        # Gap-filled arrays contain runs of equal values; search must still
+        # return the leftmost.
+        keys = np.array([1.0, 3.0, 3.0, 3.0, 5.0, 7.0, 7.0, 9.0])
+        for hint in range(len(keys)):
+            assert exponential_search(keys, 3.0, hint, 0, len(keys)) == 1
+            assert exponential_search(keys, 7.0, hint, 0, len(keys)) == 5
+
+
+class TestBinarySearchBounded:
+    def test_finds_key_within_bounds(self, sorted_keys):
+        n = len(sorted_keys)
+        for i in range(0, n, 23):
+            got = binary_search_bounded(sorted_keys, float(sorted_keys[i]),
+                                        min(n - 1, i + 3), 8, 8, 0, n)
+            assert got == i
+
+    def test_widens_right_when_bounds_stale(self, sorted_keys):
+        n = len(sorted_keys)
+        # Hint far left of actual with tiny bounds: must still find it.
+        got = binary_search_bounded(sorted_keys, float(sorted_keys[400]), 10,
+                                    2, 2, 0, n)
+        assert got == 400
+
+    def test_widens_left_when_bounds_stale(self, sorted_keys):
+        n = len(sorted_keys)
+        got = binary_search_bounded(sorted_keys, float(sorted_keys[10]), 400,
+                                    2, 2, 0, n)
+        assert got == 10
+
+    def test_cost_depends_on_bound_width_not_error(self, sorted_keys):
+        n = len(sorted_keys)
+        target = float(sorted_keys[250])
+        tight, wide = Counters(), Counters()
+        binary_search_bounded(sorted_keys, target, 250, 4, 4, 0, n, tight)
+        binary_search_bounded(sorted_keys, target, 250, 200, 200, 0, n, wide)
+        assert wide.probes > tight.probes
+
+    def test_matches_reference_positions(self, sorted_keys):
+        rng = np.random.default_rng(3)
+        n = len(sorted_keys)
+        for target in rng.uniform(-10, 1010, 60):
+            want = reference_lower_bound(sorted_keys, target, 0, n)
+            hint = max(0, min(n - 1, want + int(rng.integers(-20, 21))))
+            got = binary_search_bounded(sorted_keys, target, hint, 32, 32, 0, n)
+            assert got == want

@@ -1,0 +1,70 @@
+"""Unit tests for the dense SortedArray substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sorted_array import SortedArray
+from repro.core.stats import Counters
+
+
+@pytest.fixture
+def array():
+    return SortedArray.from_sorted(np.arange(0, 100, 10, dtype=np.float64),
+                                   [f"p{i}" for i in range(10)], Counters())
+
+
+class TestFromSorted:
+    def test_contents(self, array):
+        assert len(array) == 10
+        assert array.key_at(3) == 30.0
+        assert list(array.items())[0] == (0.0, "p0")
+
+    def test_no_shifts_counted(self, array):
+        assert array.counters.shifts == 0
+
+
+class TestLowerBound:
+    def test_exact_and_between(self, array):
+        assert array.lower_bound(30.0) == 3
+        assert array.lower_bound(35.0) == 4
+        assert array.lower_bound(-1.0) == 0
+        assert array.lower_bound(1e9) == 10
+
+
+class TestInsertAt:
+    def test_inserts_maintain_order(self, array):
+        array.insert_at(array.lower_bound(35.0), 35.0, "new")
+        keys = [k for k, _ in array.items()]
+        assert keys == sorted(keys)
+        assert array.payloads[4] == "new"
+
+    def test_shift_count_equals_suffix_length(self, array):
+        before = array.counters.shifts
+        array.insert_at(2, 15.0, None)   # 8 elements to the right
+        assert array.counters.shifts - before == 8
+
+    def test_append_shifts_nothing(self, array):
+        before = array.counters.shifts
+        array.insert_at(len(array), 999.0, None)
+        assert array.counters.shifts == before
+
+    def test_growth_beyond_capacity(self):
+        array = SortedArray(Counters())
+        for i in range(100):
+            array.insert_at(i, float(i), i)
+        assert len(array) == 100
+        assert [k for k, _ in array.items()] == [float(i) for i in range(100)]
+
+
+class TestDeleteAt:
+    def test_delete_shifts_suffix(self, array):
+        before = array.counters.shifts
+        array.delete_at(0)
+        assert array.counters.shifts - before == 9
+        assert array.key_at(0) == 10.0
+        assert len(array) == 9
+
+    def test_delete_last_is_free(self, array):
+        before = array.counters.shifts
+        array.delete_at(len(array) - 1)
+        assert array.counters.shifts == before

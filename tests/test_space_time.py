@@ -1,0 +1,63 @@
+"""Tests for the space-time frontier analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.space_time import (
+    FrontierPoint,
+    recommend_expansion_factor,
+    space_time_frontier,
+)
+from repro.datasets import load
+
+
+@pytest.fixture(params=["longitudes", "lognormal", "ycsb"])
+def keys(request):
+    return load(request.param, 2000, seed=161)
+
+
+class TestFrontier:
+    def test_one_point_per_c(self, keys):
+        frontier = space_time_frontier(keys, c_values=(1.0, 2.0, 4.0))
+        assert [p.c for p in frontier] == [1.0, 2.0, 4.0]
+
+    def test_space_grows_linearly_with_c(self, keys):
+        frontier = space_time_frontier(keys, c_values=(1.0, 2.0))
+        assert frontier[1].bytes_per_key == pytest.approx(
+            2 * frontier[0].bytes_per_key)
+
+    def test_hit_fraction_trends_up(self, keys):
+        frontier = space_time_frontier(keys, c_values=(1.0, 8.0, 64.0))
+        assert frontier[-1].direct_hit_fraction >= frontier[0].direct_hit_fraction
+
+    def test_probes_trend_down(self, keys):
+        frontier = space_time_frontier(keys, c_values=(1.0, 8.0, 64.0))
+        assert frontier[-1].expected_probes <= frontier[0].expected_probes + 0.25
+
+    def test_hit_fraction_bounds(self, keys):
+        for point in space_time_frontier(keys):
+            assert 0.0 <= point.direct_hit_fraction <= 1.0
+            assert point.expected_probes >= 2.0  # floor of the probe model
+
+    def test_empty_keys(self):
+        frontier = space_time_frontier(np.empty(0), c_values=(1.0,))
+        assert frontier[0].direct_hit_fraction == 0.0
+
+
+class TestRecommendation:
+    def test_recommends_a_sweep_point(self, keys):
+        best = recommend_expansion_factor(keys)
+        assert isinstance(best, FrontierPoint)
+        assert best.c in (1.0, 1.2, 1.43, 2.0, 3.0, 4.0, 8.0)
+
+    def test_uniform_keys_need_no_extra_space(self):
+        # Perfectly linear data: c = 1 already gives all direct hits.
+        keys = np.arange(2000, dtype=np.float64)
+        best = recommend_expansion_factor(keys)
+        assert best.c == 1.0
+        assert best.direct_hit_fraction == pytest.approx(1.0)
+
+    def test_heavy_space_penalty_prefers_small_c(self, keys):
+        frugal = recommend_expansion_factor(keys, space_weight=10.0)
+        lavish = recommend_expansion_factor(keys, space_weight=0.001)
+        assert frugal.c <= lavish.c

@@ -1,0 +1,50 @@
+"""Unit tests for repro.core.stats.Counters."""
+
+from repro.core.stats import Counters
+
+
+class TestCounters:
+    def test_starts_at_zero(self):
+        counters = Counters()
+        assert counters.total_events() == 0
+
+    def test_reset_zeroes_everything(self):
+        counters = Counters(comparisons=5, shifts=3, splits=1)
+        counters.reset()
+        assert counters.total_events() == 0
+
+    def test_snapshot_is_independent(self):
+        counters = Counters(comparisons=5)
+        snap = counters.snapshot()
+        counters.comparisons += 10
+        assert snap.comparisons == 5
+        assert counters.comparisons == 15
+
+    def test_diff_subtracts_fieldwise(self):
+        before = Counters(comparisons=5, shifts=2)
+        after = Counters(comparisons=9, shifts=2, inserts=1)
+        delta = after.diff(before)
+        assert delta.comparisons == 4
+        assert delta.shifts == 0
+        assert delta.inserts == 1
+
+    def test_merge_adds_fieldwise(self):
+        a = Counters(comparisons=1, probes=2)
+        b = Counters(comparisons=10, splits=3)
+        a.merge(b)
+        assert a.comparisons == 11
+        assert a.probes == 2
+        assert a.splits == 3
+
+    def test_as_dict_round_trips(self):
+        counters = Counters(comparisons=7, pointer_follows=2)
+        rebuilt = Counters(**counters.as_dict())
+        assert rebuilt == counters
+
+    def test_total_events_sums_all_fields(self):
+        counters = Counters(comparisons=1, shifts=2, model_inferences=3)
+        assert counters.total_events() == 6
+
+    def test_equality_is_fieldwise(self):
+        assert Counters(comparisons=1) == Counters(comparisons=1)
+        assert Counters(comparisons=1) != Counters(shifts=1)

@@ -1,0 +1,52 @@
+"""Tests for the programmatic experiment suite."""
+
+import pytest
+
+from repro.bench.suite import (
+    HEADLINE_DATASETS,
+    HEADLINE_WORKLOADS,
+    SuiteReport,
+    run_headline_suite,
+)
+from repro.bench import SystemParams
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_headline_suite(init_size=1200, num_ops=600,
+                              params=SystemParams(keys_per_model=128,
+                                                  max_keys_per_node=256),
+                              seed=3)
+
+
+class TestSuiteShape:
+    def test_full_grid_covered(self, report):
+        assert report.cells() == len(HEADLINE_WORKLOADS) * len(HEADLINE_DATASETS)
+        assert len(report.results) == 2 * report.cells()
+
+    def test_by_retrieves_cells(self, report):
+        cell = report.by("read-only", "ycsb", "BPlusTree")
+        assert cell.system == "BPlusTree"
+        with pytest.raises(KeyError):
+            report.by("read-only", "ycsb", "NotASystem")
+
+    def test_ratios_positive(self, report):
+        for ratio in report.throughput_ratios().values():
+            assert ratio > 0
+
+
+class TestHeadlineClaims:
+    def test_alex_wins_most_cells(self, report):
+        assert report.wins() >= report.cells() * 0.75
+
+    def test_max_ratios_in_paper_direction(self, report):
+        assert report.max_throughput_ratio() > 1.3
+        assert report.max_index_size_ratio() > 3.0
+
+
+class TestEmptyReport:
+    def test_accessors_on_empty(self):
+        report = SuiteReport()
+        assert report.results == []
+        assert report.throughput_ratios() == {}
+        assert report.cells() == 0

@@ -1,0 +1,86 @@
+"""Tests for the Section 4 analysis (Theorems 1-3 on model-based inserts)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theorems import (
+    analyze,
+    approx_lower_bound_direct_hits,
+    empirical_direct_hits,
+    lower_bound_direct_hits,
+    min_c_for_all_direct_hits,
+    upper_bound_direct_hits,
+)
+
+
+@pytest.fixture(params=["uniform", "lognormal", "clustered"])
+def keys(request):
+    rng = np.random.default_rng(71)
+    if request.param == "uniform":
+        return np.sort(np.unique(rng.uniform(0, 1000, 200)))
+    if request.param == "lognormal":
+        return np.sort(np.unique(rng.lognormal(0, 1.5, 200)))
+    centers = rng.choice([0.0, 400.0, 900.0], 200)
+    return np.sort(np.unique(centers + rng.normal(0, 5, 200)))
+
+
+class TestTheorem1:
+    def test_c_above_threshold_gives_all_direct_hits(self, keys):
+        c_star = min_c_for_all_direct_hits(keys)
+        if not np.isfinite(c_star) or c_star > 1e7:
+            pytest.skip("threshold impractically large for this draw")
+        assert empirical_direct_hits(keys, c_star * 1.01) == len(keys)
+
+    def test_uniform_keys_hit_at_c_1(self):
+        # Perfectly uniform keys are exactly linear: even c=1 places every
+        # key at its predicted slot.
+        keys = np.arange(100, dtype=np.float64)
+        assert empirical_direct_hits(keys, 1.0) == 100
+        assert min_c_for_all_direct_hits(keys) == pytest.approx(1.0, rel=0.05)
+
+    def test_degenerate_inputs(self):
+        assert min_c_for_all_direct_hits(np.array([1.0])) == 1.0
+        assert empirical_direct_hits(np.empty(0), 2.0) == 0
+
+
+class TestBoundsSandwich:
+    @pytest.mark.parametrize("c", [1.0, 1.2, 1.5, 2.0, 4.0, 8.0])
+    def test_empirical_within_theorem_bounds(self, keys, c):
+        result = analyze(keys, c)
+        assert result.lower <= result.empirical, (
+            f"Theorem 3 violated at c={c}: {result}")
+        assert result.empirical <= result.upper, (
+            f"Theorem 2 violated at c={c}: {result}")
+
+    def test_hits_trend_upward_in_c(self, keys):
+        # Floor alignment makes pointwise monotonicity false in general;
+        # the trend over a decade of c must still be clearly upward
+        # (the paper's space-time trade-off).
+        low = empirical_direct_hits(keys, 1.0)
+        high = empirical_direct_hits(keys, 16.0)
+        assert high >= low
+
+    def test_upper_bound_monotone_in_c(self, keys):
+        uppers = [upper_bound_direct_hits(keys, c) for c in (1.0, 2.0, 8.0)]
+        assert uppers == sorted(uppers)
+
+    def test_approx_lower_between_exact_and_upper_at_high_c(self, keys):
+        c_star = min_c_for_all_direct_hits(keys)
+        if not np.isfinite(c_star) or c_star > 1e7:
+            pytest.skip("threshold impractically large")
+        # When Theorem 1 holds, all three quantities coincide (Section 4).
+        c = c_star * 1.01
+        n = len(keys)
+        assert approx_lower_bound_direct_hits(keys, c) == n
+        assert upper_bound_direct_hits(keys, c) == n
+        assert lower_bound_direct_hits(keys, c) == n
+
+
+class TestEdgeCases:
+    def test_tiny_inputs(self):
+        assert upper_bound_direct_hits(np.array([1.0, 2.0]), 1.0) == 2
+        assert lower_bound_direct_hits(np.array([1.0]), 1.0) == 1
+        assert lower_bound_direct_hits(np.empty(0), 1.0) == 0
+
+    def test_analyze_reports_consistency(self, keys):
+        assert analyze(keys, 2.0).consistent

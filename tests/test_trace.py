@@ -1,0 +1,118 @@
+"""Tests for workload trace record/replay."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bptree import BPlusTree
+from repro.core.alex import AlexIndex
+from repro.workloads import READ_HEAVY, WRITE_HEAVY
+from repro.workloads.trace import (
+    OP_INSERT,
+    OP_LOOKUP,
+    OP_SCAN,
+    Trace,
+    TraceRecorder,
+    record_workload,
+    replay,
+)
+
+
+@pytest.fixture
+def keys():
+    keys = np.unique(np.random.default_rng(81).uniform(0, 1e6, 2000))
+    return keys[:1500], keys[1500:]
+
+
+class TestTraceRecorder:
+    def test_records_all_op_types(self):
+        recorder = TraceRecorder()
+        recorder.lookup(1.0)
+        recorder.insert(2.0)
+        recorder.scan(3.0, 10)
+        recorder.delete(4.0)
+        trace = recorder.finish()
+        assert len(trace) == 4
+        assert trace.summary() == {"lookup": 1, "insert": 1, "scan": 1,
+                                   "delete": 1}
+
+    def test_empty_trace(self):
+        trace = TraceRecorder().finish()
+        assert len(trace) == 0
+        assert list(trace) == []
+
+
+class TestRecordWorkload:
+    def test_respects_spec_mix(self, keys):
+        init, inserts = keys
+        trace = record_workload(init, inserts, READ_HEAVY, 400, seed=1)
+        summary = trace.summary()
+        assert summary["lookup"] == 380
+        assert summary["insert"] == 20
+
+    def test_deterministic_per_seed(self, keys):
+        init, inserts = keys
+        a = record_workload(init, inserts, WRITE_HEAVY, 200, seed=2)
+        b = record_workload(init, inserts, WRITE_HEAVY, 200, seed=2)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.ops, b.ops)
+
+
+class TestReplay:
+    def test_replay_against_alex(self, keys):
+        init, inserts = keys
+        trace = record_workload(init, inserts, WRITE_HEAVY, 300, seed=3)
+        index = AlexIndex.bulk_load(init)
+        result = replay(trace, index)
+        assert result.ops == 300
+        assert result.lookup_misses == 0
+        assert len(index) == len(init) + trace.summary()["insert"]
+        index.validate()
+
+    def test_same_trace_comparable_across_systems(self, keys):
+        init, inserts = keys
+        trace = record_workload(init, inserts, READ_HEAVY, 400, seed=4)
+        alex = AlexIndex.bulk_load(init)
+        bptree = BPlusTree.bulk_load(init)
+        result_a = replay(trace, alex)
+        result_b = replay(trace, bptree)
+        assert result_a.ops == result_b.ops
+        # Identical logical work; different physical work.
+        assert result_a.work.lookups == result_b.work.lookups
+
+    def test_lookup_misses_tolerated(self):
+        trace = Trace(ops=np.array([OP_LOOKUP], dtype=np.int8),
+                      keys=np.array([123.0]),
+                      args=np.array([0], dtype=np.int32))
+        index = AlexIndex.bulk_load([1.0, 2.0])
+        result = replay(trace, index)
+        assert result.lookup_misses == 1
+
+    def test_scan_ops_replayed(self, keys):
+        init, _ = keys
+        recorder = TraceRecorder()
+        recorder.scan(float(np.sort(init)[0]), 25)
+        index = AlexIndex.bulk_load(init)
+        result = replay(recorder.finish(), index)
+        assert result.work.scans == 1
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, keys):
+        init, inserts = keys
+        trace = record_workload(init, inserts, WRITE_HEAVY, 250, seed=5)
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert np.array_equal(loaded.ops, trace.ops)
+        assert np.array_equal(loaded.keys, trace.keys)
+        assert np.array_equal(loaded.args, trace.args)
+        assert np.array_equal(loaded.init_keys, trace.init_keys)
+
+    def test_replay_of_loaded_trace(self, tmp_path, keys):
+        init, inserts = keys
+        trace = record_workload(init, inserts, WRITE_HEAVY, 100, seed=6)
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        index = AlexIndex.bulk_load(init)
+        result = replay(Trace.load(path), index)
+        assert result.ops == 100

@@ -1,0 +1,171 @@
+"""Tests for the Zipfian generator, workload specs, and the runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.alex import AlexIndex
+from repro.workloads import (
+    INSERT,
+    RANGE_SCAN,
+    READ,
+    READ_HEAVY,
+    READ_ONLY,
+    SCAN,
+    WRITE_HEAVY,
+    WRITE_ONLY,
+    WorkloadRunner,
+    WorkloadSpec,
+    ZipfianGenerator,
+    run_workload,
+    scramble_ranks,
+)
+from itertools import islice
+
+
+class TestZipfianGenerator:
+    def test_ranks_in_range(self):
+        gen = ZipfianGenerator(1000, seed=0)
+        ranks = gen.sample(5000)
+        assert ranks.min() >= 0 and ranks.max() < 1000
+
+    def test_rank_zero_hottest(self):
+        gen = ZipfianGenerator(1000, seed=1)
+        ranks = gen.sample(20000)
+        counts = np.bincount(ranks, minlength=1000)
+        assert counts[0] == counts.max()
+        # Zipf(0.99): rank 0 should dominate clearly.
+        assert counts[0] > 5 * counts[100]
+
+    def test_skew_decreases_with_rank(self):
+        gen = ZipfianGenerator(500, seed=2)
+        ranks = gen.sample(50000)
+        counts = np.bincount(ranks, minlength=500)
+        head = counts[:10].sum()
+        tail = counts[250:260].sum()
+        assert head > tail * 5
+
+    def test_deterministic_per_seed(self):
+        a = ZipfianGenerator(100, seed=3).sample(100)
+        b = ZipfianGenerator(100, seed=3).sample(100)
+        assert np.array_equal(a, b)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.5)
+
+    def test_sample_one(self):
+        assert 0 <= ZipfianGenerator(10, seed=4).sample_one() < 10
+
+
+class TestScrambleRanks:
+    def test_output_in_range(self):
+        out = scramble_ranks(np.arange(100), 57)
+        assert out.min() >= 0 and out.max() < 57
+
+    def test_deterministic(self):
+        a = scramble_ranks(np.arange(10), 100)
+        b = scramble_ranks(np.arange(10), 100)
+        assert np.array_equal(a, b)
+
+    def test_spreads_hot_ranks(self):
+        out = scramble_ranks(np.arange(10), 10000)
+        assert len(np.unique(out)) == 10
+        assert out.max() - out.min() > 100
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            scramble_ranks(np.arange(3), 0)
+
+
+class TestWorkloadSpecs:
+    def test_read_heavy_ratio(self):
+        ops = list(islice(READ_HEAVY.schedule(), 40))
+        assert ops.count(READ) == 38
+        assert ops.count(INSERT) == 2
+
+    def test_write_heavy_alternates(self):
+        ops = list(islice(WRITE_HEAVY.schedule(), 10))
+        assert ops == [READ, INSERT] * 5
+
+    def test_read_only_never_inserts(self):
+        ops = list(islice(READ_ONLY.schedule(), 50))
+        assert set(ops) == {READ}
+
+    def test_range_scan_uses_scans(self):
+        ops = list(islice(RANGE_SCAN.schedule(), 20))
+        assert SCAN in ops and READ not in ops
+
+    def test_write_only(self):
+        ops = list(islice(WRITE_ONLY.schedule(), 5))
+        assert set(ops) == {INSERT}
+
+    def test_fractions(self):
+        read_fraction, insert_fraction = READ_HEAVY.fractions()
+        assert read_fraction == pytest.approx(0.95)
+        assert insert_fraction == pytest.approx(0.05)
+
+
+class TestWorkloadRunner:
+    @pytest.fixture
+    def setup(self):
+        rng = np.random.default_rng(61)
+        keys = np.unique(rng.uniform(0, 1e6, 3000))
+        init, inserts = keys[:2000], keys[2000:]
+        index = AlexIndex.bulk_load(init)
+        return index, init, inserts
+
+    def test_op_counts_match_spec(self, setup):
+        index, init, inserts = setup
+        result = run_workload(index, init, inserts, READ_HEAVY, 400, seed=1)
+        assert result.ops == 400
+        assert result.inserts == 20
+        assert result.reads == 380
+
+    def test_inserted_keys_become_lookupable(self, setup):
+        index, init, inserts = setup
+        run_workload(index, init, inserts, WRITE_HEAVY, 600, seed=2)
+        assert len(index) == 2000 + 300
+        index.validate()
+
+    def test_scan_workload_counts_records(self, setup):
+        index, init, inserts = setup
+        result = run_workload(index, init, inserts, RANGE_SCAN, 200, seed=3)
+        assert result.scans > 0
+        assert result.scanned_records >= result.scans
+
+    def test_stops_when_insert_stream_dry(self, setup):
+        index, init, inserts = setup
+        result = run_workload(index, init, inserts[:5], WRITE_HEAVY, 1000,
+                              seed=4)
+        assert result.inserts == 5
+        assert result.ops < 1000
+
+    def test_work_delta_isolated_to_run(self, setup):
+        index, init, inserts = setup
+        first = run_workload(index, init, inserts, READ_ONLY, 100, seed=5)
+        assert first.work.lookups == 100
+        assert first.work.inserts == 0
+
+    def test_lookup_on_empty_pool_raises(self):
+        index = AlexIndex()
+        runner = WorkloadRunner(index, np.empty(0), np.array([1.0]))
+        with pytest.raises(RuntimeError):
+            runner.run(READ_ONLY, 1)
+
+    def test_result_merge_accumulates(self, setup):
+        index, init, inserts = setup
+        runner = WorkloadRunner(index, init, inserts, seed=6)
+        a = runner.run(READ_HEAVY, 100)
+        b = runner.run(READ_HEAVY, 100)
+        a.merge(b)
+        assert a.ops == 200
+        assert a.work.lookups == 190
+
+    def test_custom_spec(self, setup):
+        index, init, inserts = setup
+        spec = WorkloadSpec("custom", reads_per_cycle=3, inserts_per_cycle=2)
+        result = run_workload(index, init, inserts, spec, 50, seed=7)
+        assert result.reads == 30
+        assert result.inserts == 20
