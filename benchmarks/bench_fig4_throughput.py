@@ -76,3 +76,38 @@ def test_fig4_panel(benchmark, spec, init, learned, panel):
         b = results[(dataset, "BPlusTree")]
         assert a.throughput > b.throughput
         assert a.index_bytes * 3 < b.index_bytes
+
+
+READ_BATCH = 256
+
+
+def test_fig4_batched_reads(benchmark):
+    """Batch-engine lever on the read-only panel: issuing reads through
+    ``lookup_many`` amortizes the per-key routing work (one pointer follow
+    per leaf group instead of one per key per level), so the simulated
+    throughput can only improve while the results stay identical."""
+    def run_pair():
+        out = {}
+        for dataset in DATASETS:
+            scalar = run_experiment("ALEX-GA-SRMI", dataset, READ_ONLY,
+                                    init_size=READ_ONLY_INIT,
+                                    num_ops=NUM_OPS, params=PARAMS, seed=17)
+            batched = run_experiment("ALEX-GA-SRMI", dataset, READ_ONLY,
+                                     init_size=READ_ONLY_INIT,
+                                     num_ops=NUM_OPS, params=PARAMS, seed=17,
+                                     read_batch=READ_BATCH)
+            out[dataset] = (scalar, batched)
+        return out
+
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print()
+    rows = [(dataset, f"{s.throughput / 1e6:.2f}",
+             f"{b.throughput / 1e6:.2f}", ratio(b.throughput, s.throughput))
+            for dataset, (s, b) in results.items()]
+    print(format_table(
+        ["dataset", "scalar Mops/s", f"batch{READ_BATCH} Mops/s", "gain"],
+        rows, title="Figure 4a with batched reads (simulated time)"))
+    for dataset, (scalar, batched) in results.items():
+        assert batched.work.pointer_follows < scalar.work.pointer_follows
+        assert batched.throughput >= scalar.throughput
+        assert batched.extras["reads"] == scalar.extras["reads"]

@@ -1,0 +1,57 @@
+"""Batch reads: the vectorized batch engine vs a scalar lookup loop.
+
+ALEX's per-operation cost is a full RMI traversal plus an in-node search.
+When reads arrive in batches (analytics scans, LSM compaction probes,
+multi-get RPCs), :meth:`AlexIndex.lookup_many` executes the whole batch
+through the vectorized engine — one sort, one grouped RMI descent, one
+lock-step search per touched leaf — and returns exactly what a scalar loop
+would, an order of magnitude faster in wall-clock time.
+
+Run: ``python examples/batch_lookup.py``
+"""
+
+import time
+
+import numpy as np
+
+from repro import AlexIndex, ga_armi
+
+
+def main():
+    rng = np.random.default_rng(0)
+    keys = np.unique(rng.uniform(0, 1e12, 220_000))[:200_000]
+    payloads = [f"record-{i}" for i in range(len(keys))]
+    index = AlexIndex.bulk_load(keys, payloads, config=ga_armi())
+    print(f"loaded {len(index):,} keys as {index.variant_name} "
+          f"({index.num_leaves():,} leaves)")
+
+    probes = rng.choice(keys, 50_000, replace=True)
+
+    # One call for the whole batch: results come back in input order.
+    start = time.perf_counter()
+    batch_results = index.lookup_many(probes)
+    batch_seconds = time.perf_counter() - start
+    print(f"lookup_many : {len(probes):,} reads in {batch_seconds:.3f}s "
+          f"({len(probes) / batch_seconds:,.0f} ops/s)")
+
+    # The same reads as a scalar loop (each lookup routes the RMI alone).
+    sample = [float(k) for k in probes[:5_000]]
+    start = time.perf_counter()
+    scalar_results = [index.lookup(k) for k in sample]
+    scalar_seconds = (time.perf_counter() - start) * (len(probes) / len(sample))
+    print(f"scalar loop : ~{scalar_seconds:.3f}s extrapolated "
+          f"({len(probes) / scalar_seconds:,.0f} ops/s)")
+    print(f"speedup     : {scalar_seconds / batch_seconds:.1f}x")
+
+    assert batch_results[:len(sample)] == scalar_results
+    print("results identical to the scalar path")
+
+    # Mixed hit/miss batches: get_many fills a default, contains_many
+    # returns a boolean mask, both aligned with the input order.
+    mixed = np.concatenate([probes[:3], rng.uniform(0, 1e12, 3)])
+    print("get_many    :", index.get_many(mixed, default="<absent>"))
+    print("contains_many:", index.contains_many(mixed).tolist())
+
+
+if __name__ == "__main__":
+    main()

@@ -102,13 +102,19 @@ def run_experiment(system: str, dataset: str, spec: WorkloadSpec,
                    params: SystemParams = SystemParams(),
                    cost_model: CostModel = DEFAULT_COST_MODEL,
                    seed: int = 0,
-                   keys: Optional[np.ndarray] = None) -> ExperimentResult:
+                   keys: Optional[np.ndarray] = None,
+                   read_batch: int = 1) -> ExperimentResult:
     """Full paper procedure for one data point: generate the dataset,
     bulk-load ``init_size`` keys, run ``num_ops`` interleaved operations,
     report simulated throughput and sizes.
 
     ``keys`` overrides dataset generation (used by the distribution-shift
     and sequential-insert benches, which craft their own key orderings).
+
+    ``read_batch > 1`` issues consecutive lookups through the index's
+    batch engine (``lookup_many``) where the operation trace allows,
+    amortizing the per-operation traversal work; systems without a batch
+    API transparently fall back to scalar reads.
     """
     payload_size = DATASETS[dataset].payload_size if dataset in DATASETS else 8
     if keys is None:
@@ -121,7 +127,7 @@ def run_experiment(system: str, dataset: str, spec: WorkloadSpec,
     index = build_index(system, init_keys, params, payload_size=payload_size)
     runner = WorkloadRunner(index, init_keys.copy(), insert_keys.copy(),
                             seed=seed + 1)
-    result = runner.run(spec, num_ops)
+    result = runner.run(spec, num_ops, read_batch=read_batch)
     return ExperimentResult(
         system=system,
         dataset=dataset,

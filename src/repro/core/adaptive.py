@@ -99,6 +99,37 @@ def _make_leaf(keys: np.ndarray, payloads: list, config: AlexConfig,
     return leaf
 
 
+def split_until_fits(leaf: DataNode, parent: Optional[InnerNode],
+                     config: AlexConfig, counters: Counters):
+    """Split ``leaf`` (and any oversized children) until every resulting
+    leaf holds at most ``config.max_keys_per_node`` keys.
+
+    The batch-insert path rebuilds whole leaves at once, so a single merged
+    rebuild can overshoot the node-size bound by far more than one insert's
+    worth; this drives :func:`split_leaf` as a worklist until the bound
+    holds everywhere (degenerate splits are accepted as oversized leaves,
+    exactly like the scalar insert path).
+
+    Returns the inner node that replaced ``leaf``, or ``None`` when no
+    split happened (the caller must re-root the tree when ``parent`` is
+    ``None`` and a node is returned).
+    """
+    replacement = None
+    work = [(leaf, parent)]
+    while work:
+        node, par = work.pop()
+        if node.num_keys <= config.max_keys_per_node:
+            continue
+        inner = split_leaf(node, par, config, counters)
+        if inner is None:
+            continue  # degenerate: the model cannot separate the keys
+        if node is leaf:
+            replacement = inner
+        for child in inner.distinct_children():
+            work.append((child, inner))
+    return replacement
+
+
 def split_leaf(leaf: DataNode, parent: Optional[InnerNode],
                config: AlexConfig, counters: Counters):
     """Node splitting on inserts (Section 3.4.2).

@@ -14,6 +14,19 @@ b'payload'
 
 Keys must be unique (the paper's datasets contain no duplicates and
 Section 7 lists duplicates as an open limitation).
+
+**Batch API.**  Reads also come in batch form — :meth:`AlexIndex.lookup_many`,
+:meth:`AlexIndex.get_many`, and :meth:`AlexIndex.contains_many` accept whole
+key arrays and execute them through the vectorized batch engine: one sort,
+one RMI descent per batch (``route_batch`` groups keys by leaf with
+vectorized model predictions), and one lock-step in-node search per touched
+leaf.  The scalar ``lookup`` / ``get`` / ``contains`` methods are thin
+wrappers over the same engine with a single-element batch, so there is one
+code path to optimize.  Results are identical to a loop over the scalar
+operations; work counters are aggregated once per batch.
+
+>>> index.lookup_many([42.0, 7.0, 13.0])  # doctest: +SKIP
+[b'payload', b'p7', b'p13']
 """
 
 from __future__ import annotations
@@ -26,7 +39,8 @@ from .adaptive import build_adaptive_rmi, split_leaf
 from .config import ADAPTIVE_RMI, AlexConfig
 from .data_node import DataNode
 from .errors import DuplicateKeyError, KeyNotFoundError
-from .rmi import InnerNode, NODE_METADATA_BYTES, build_static_rmi, make_data_node
+from .rmi import (InnerNode, NODE_METADATA_BYTES, build_static_rmi,
+                  make_data_node, route_batch)
 from .stats import Counters
 
 
@@ -99,6 +113,25 @@ class AlexIndex:
             node = node.child_for(key)
         return node, parent
 
+    def _route_many(self, sorted_keys: np.ndarray):
+        """Batch routing: one vectorized RMI descent for a whole sorted key
+        array.  Returns ``(leaf, parent, lo, hi)`` groups in key order (see
+        :func:`repro.core.rmi.route_batch`)."""
+        return route_batch(self._root, sorted_keys)
+
+    @staticmethod
+    def _sort_batch(keys) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Normalize a batch of keys for routing: float64 array plus the
+        argsort order (``None`` when already sorted, the common trace
+        shape, so the engine skips the re-permutation)."""
+        keys = np.asarray(keys, dtype=np.float64)
+        if keys.ndim != 1:
+            raise ValueError(f"batch keys must be 1-D, got shape {keys.shape}")
+        if len(keys) <= 1 or bool((np.diff(keys) >= 0).all()):
+            return keys, None
+        order = np.argsort(keys, kind="stable")
+        return keys[order], order
+
     def first_leaf(self) -> DataNode:
         """Leftmost leaf of the tree (start of the leaf chain)."""
         node = self._root
@@ -152,9 +185,11 @@ class AlexIndex:
 
     def lookup(self, key: float):
         """Return the payload stored for ``key``; raises
-        :class:`KeyNotFoundError` when absent."""
-        leaf, _ = self._route(float(key))
-        return leaf.lookup(float(key))
+        :class:`KeyNotFoundError` when absent.
+
+        Thin wrapper over :meth:`lookup_many` with a single-element batch.
+        """
+        return self.lookup_many(np.array([float(key)]))[0]
 
     def get(self, key: float, default=None):
         """Like :meth:`lookup` but returns ``default`` when absent."""
@@ -164,9 +199,75 @@ class AlexIndex:
             return default
 
     def contains(self, key: float) -> bool:
-        """Whether ``key`` is present."""
-        leaf, _ = self._route(float(key))
-        return leaf.contains(float(key))
+        """Whether ``key`` is present.
+
+        Thin wrapper over :meth:`contains_many` with a single-element batch.
+        """
+        return bool(self.contains_many(np.array([float(key)]))[0])
+
+    # ------------------------------------------------------------------
+    # Batch point operations (the API layer of the batch engine)
+    # ------------------------------------------------------------------
+
+    def lookup_many(self, keys) -> list:
+        """Return the payloads for a whole batch of keys, in input order.
+
+        One sort + one vectorized RMI descent + one lock-step search per
+        touched leaf, instead of a full traversal per key.  Raises
+        :class:`KeyNotFoundError` when any key is absent (no partial
+        result is returned); results are identical to ``[self.lookup(k)
+        for k in keys]``.
+        """
+        skeys, order = self._sort_batch(keys)
+        n = len(skeys)
+        if n == 0:
+            return []
+        out: list = [None] * n
+        for leaf, _, lo, hi in self._route_many(skeys):
+            pos = leaf.find_keys_many(skeys[lo:hi])
+            missing = np.flatnonzero(pos < 0)
+            if missing.size:
+                raise KeyNotFoundError(float(skeys[lo + int(missing[0])]))
+            payloads = leaf.payloads
+            dest = range(lo, hi) if order is None else order[lo:hi].tolist()
+            for j, p in zip(dest, pos.tolist()):
+                out[j] = payloads[p]
+        self.counters.lookups += n
+        return out
+
+    def get_many(self, keys, default=None) -> list:
+        """Like :meth:`lookup_many` but absent keys yield ``default``
+        instead of raising."""
+        skeys, order = self._sort_batch(keys)
+        n = len(skeys)
+        if n == 0:
+            return []
+        out: list = [default] * n
+        found = 0
+        for leaf, _, lo, hi in self._route_many(skeys):
+            pos = leaf.find_keys_many(skeys[lo:hi])
+            payloads = leaf.payloads
+            dest = range(lo, hi) if order is None else order[lo:hi].tolist()
+            for j, p in zip(dest, pos.tolist()):
+                if p >= 0:
+                    out[j] = payloads[p]
+                    found += 1
+        self.counters.lookups += found
+        return out
+
+    def contains_many(self, keys) -> np.ndarray:
+        """Vectorized membership test: a boolean array aligned with the
+        input batch, identical to ``[self.contains(k) for k in keys]``."""
+        skeys, order = self._sort_batch(keys)
+        n = len(skeys)
+        result = np.zeros(n, dtype=bool)
+        for leaf, _, lo, hi in self._route_many(skeys):
+            hits = leaf.find_keys_many(skeys[lo:hi]) >= 0
+            if order is None:
+                result[lo:hi] = hits
+            else:
+                result[order[lo:hi]] = hits
+        return result
 
     def delete(self, key: float) -> None:
         """Remove ``key``; raises :class:`KeyNotFoundError` when absent."""

@@ -7,9 +7,18 @@ route the batch once, group keys by target leaf, and rebuild each touched
 leaf with a single model-based build over the union of its old and new
 keys (Algorithm 3 amortized over the whole group).
 
-``bulk_insert`` implements that, falling back to plain inserts for tiny
-batches.  ``merge_indexes`` builds a fresh index over the union of two
-indexes' contents (the classic way to merge a delta structure).
+``bulk_insert`` implements that on top of the batch execution engine: the
+entire batch is routed with one vectorized RMI descent
+(:meth:`AlexIndex._route_many`), the per-leaf duplicate validation runs as
+one lock-step search per touched leaf, and rebuilt leaves that overshoot
+the adaptive RMI's node-size bound are routed through the split path
+(:func:`repro.core.adaptive.split_until_fits`) exactly as scalar inserts
+would be.  Tiny per-leaf groups fall back to plain inserts.
+
+``merge_indexes`` builds a fresh index over the union of two indexes'
+contents (the classic way to merge a delta structure); its export walks
+the leaf chain and concatenates each leaf's arrays directly instead of
+iterating items one by one.
 """
 
 from __future__ import annotations
@@ -18,12 +27,20 @@ from typing import Optional
 
 import numpy as np
 
+from .adaptive import split_until_fits
 from .alex import AlexIndex
-from .config import AlexConfig
+from .config import ADAPTIVE_RMI, AlexConfig
 from .errors import DuplicateKeyError
 
 #: Below this many keys per touched leaf, plain inserts win.
 _REBUILD_THRESHOLD = 4
+
+
+def _splitting_enabled(index: AlexIndex) -> bool:
+    """Whether the index honors the node-size bound by splitting (mirrors
+    :meth:`AlexIndex._should_split`'s mode test)."""
+    return (index.config.rmi_mode == ADAPTIVE_RMI
+            and (index.config.split_on_inserts or index._cold_start))
 
 
 def bulk_insert(index: AlexIndex, keys, payloads: Optional[list] = None) -> None:
@@ -31,7 +48,10 @@ def bulk_insert(index: AlexIndex, keys, payloads: Optional[list] = None) -> None
 
     Keys may arrive unsorted; duplicates (within the batch or against the
     index) raise :class:`DuplicateKeyError` *before* any mutation, so the
-    operation is all-or-nothing.
+    operation is all-or-nothing.  The whole batch is routed with a single
+    vectorized RMI traversal; each touched leaf is rebuilt once over the
+    union of its old and new keys, then split if the merged leaf exceeds
+    the adaptive RMI's node-size bound (with splitting enabled).
     """
     keys = np.asarray(keys, dtype=np.float64)
     if payloads is None:
@@ -47,35 +67,39 @@ def bulk_insert(index: AlexIndex, keys, payloads: Optional[list] = None) -> None
     if len(dup):
         raise DuplicateKeyError(float(keys[dup[0]]))
 
-    # Route every key and group by target leaf (validation pass: no
-    # duplicates against the index either).
-    groups: dict = {}
-    leaf_refs: dict = {}
-    for i, key in enumerate(keys):
-        leaf, _ = index._route(float(key))
-        if leaf.contains(float(key)):
-            raise DuplicateKeyError(float(key))
-        groups.setdefault(id(leaf), []).append(i)
-        leaf_refs[id(leaf)] = leaf
+    # One vectorized traversal routes the whole batch; the validation pass
+    # (no duplicates against the index either) runs as one lock-step search
+    # per touched leaf.
+    groups = index._route_many(keys)
+    for leaf, _, lo, hi in groups:
+        present = np.flatnonzero(leaf.find_keys_many(keys[lo:hi]) >= 0)
+        if present.size:
+            raise DuplicateKeyError(float(keys[lo + int(present[0])]))
 
-    for leaf_id, positions in groups.items():
-        leaf = leaf_refs[leaf_id]
-        if len(positions) < _REBUILD_THRESHOLD:
-            for i in positions:
-                leaf.insert(float(keys[i]), payloads[i])
+    split_ok = _splitting_enabled(index)
+    for leaf, parent, lo, hi in groups:
+        count = hi - lo
+        if count < _REBUILD_THRESHOLD:
+            # Tiny groups: plain inserts through the index, which also
+            # honors the node-size bound via the scalar split path.
+            for i in range(lo, hi):
+                index.insert(float(keys[i]), payloads[i])
             continue
         old_keys, old_payloads = leaf.export_sorted()
-        new_keys = keys[positions]
-        new_payloads = [payloads[i] for i in positions]
-        merged_keys = np.concatenate([old_keys, new_keys])
-        merged_payloads = old_payloads + new_payloads
+        merged_keys = np.concatenate([old_keys, keys[lo:hi]])
+        merged_payloads = old_payloads + payloads[lo:hi]
         merge_order = np.argsort(merged_keys, kind="stable")
         merged_keys = merged_keys[merge_order]
         merged_payloads = [merged_payloads[j] for j in merge_order]
         leaf._model_based_build(merged_keys, merged_payloads,
                                 leaf._initial_capacity(len(merged_keys)))
-        leaf.counters.inserts += len(positions)
-    index._num_keys += len(keys)
+        leaf.counters.inserts += count
+        index._num_keys += count
+        if split_ok and leaf.num_keys > index.config.max_keys_per_node:
+            inner = split_until_fits(leaf, parent, index.config,
+                                     index.counters)
+            if inner is not None and parent is None:
+                index._root = inner
 
 
 def merge_indexes(left: AlexIndex, right: AlexIndex,
@@ -94,9 +118,14 @@ def merge_indexes(left: AlexIndex, right: AlexIndex,
 
 
 def _export(index: AlexIndex):
-    keys = np.empty(len(index), dtype=np.float64)
-    payloads: list = [None] * len(index)
-    for i, (key, payload) in enumerate(index.items()):
-        keys[i] = key
-        payloads[i] = payload
-    return keys, payloads
+    """``(keys, payloads)`` of the whole index, via a leaf-chain walk that
+    concatenates each leaf's arrays directly (no per-item iteration)."""
+    key_parts: list = []
+    payloads: list = []
+    for leaf in index.leaves():
+        leaf_keys, leaf_payloads = leaf.export_sorted()
+        key_parts.append(leaf_keys)
+        payloads.extend(leaf_payloads)
+    if not key_parts:
+        return np.empty(0, dtype=np.float64), payloads
+    return np.concatenate(key_parts), payloads

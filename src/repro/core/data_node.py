@@ -28,7 +28,8 @@ import numpy as np
 from .config import AlexConfig
 from .errors import DuplicateKeyError, KeyNotFoundError
 from .linear_model import LinearModel
-from .search import exponential_search, lower_bound
+from .search import (exponential_search, exponential_search_many,
+                     lower_bound, lower_bound_many)
 from .stats import Counters
 
 GAP_SENTINEL = np.inf
@@ -96,19 +97,21 @@ class DataNode:
             # "model-based" placement with the identity spacing).
             predicted = ((np.arange(n, dtype=np.float64) * capacity) // max(n, 1)).astype(np.int64)
 
-        last = -1
-        for i in range(n):
-            pos = int(predicted[i])
-            if pos <= last:
-                pos = last + 1
-            # Leave room for the keys still to be placed.
-            max_pos = capacity - (n - i)
-            if pos > max_pos:
-                pos = max_pos
-            new_keys[pos] = keys[i]
-            new_payloads[pos] = payloads[i]
+        if n:
+            # Vectorized collision resolution, equivalent to the sequential
+            # "place at max(predicted, last + 1), capped to leave room for
+            # the rest" loop: the running max(predicted[j] + i - j) gives
+            # each key its shifted slot, and because the room cap increases
+            # by exactly one per key, applying it after the accumulate
+            # yields the same positions the sequential loop would.
+            ar = np.arange(n, dtype=np.int64)
+            pos = np.maximum.accumulate(predicted - ar) + ar
+            pos = np.minimum(pos, capacity - n + ar)
+            new_keys[pos] = keys
             new_occupied[pos] = True
-            last = pos
+            if any(p is not None for p in payloads):
+                for p, payload in zip(pos.tolist(), payloads):
+                    new_payloads[p] = payload
 
         self.keys = new_keys
         self.payloads = new_payloads
@@ -207,6 +210,56 @@ class DataNode:
     def contains(self, key: float) -> bool:
         """Whether ``key`` is present in this node."""
         return self.find_key(key) >= 0
+
+    # ------------------------------------------------------------------
+    # Batch search (the node layer of the batch execution engine)
+    # ------------------------------------------------------------------
+
+    def find_insert_pos_many(self, targets: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`find_insert_pos`: one model-inference pass and
+        one lock-step search for the whole batch of targets."""
+        targets = np.asarray(targets, dtype=np.float64)
+        n = len(targets)
+        if self.model is None:
+            los = np.zeros(n, dtype=np.int64)
+            his = np.full(n, self.capacity, dtype=np.int64)
+            return lower_bound_many(self.keys, targets, los, his,
+                                    self.counters)
+        self.counters.model_inferences += n
+        hints = self.model.predict_pos_vec(targets, self.capacity)
+        return exponential_search_many(self.keys, targets, hints, 0,
+                                       self.capacity, self.counters)
+
+    def find_keys_many(self, targets: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`find_key`: the occupied slot holding each
+        target, or -1 where absent.
+
+        The rare case of the lower bound landing on a gap slot that mirrors
+        the target's value falls back to the scalar rightward walk; every
+        other lane resolves in the vectorized pass.
+        """
+        targets = np.asarray(targets, dtype=np.float64)
+        n = len(targets)
+        if n == 0 or self.capacity == 0:
+            return np.full(n, -1, dtype=np.int64)
+        pos = self.find_insert_pos_many(targets)
+        safe = np.minimum(pos, self.capacity - 1)
+        matched = (pos < self.capacity) & (self.keys[safe] == targets)
+        self.counters.probes += int(matched.sum())
+        result = np.where(matched, pos, np.int64(-1))
+        gap_hits = matched & ~self.occupied[safe]
+        for lane in np.flatnonzero(gap_hits):
+            p = int(pos[lane]) + 1
+            target = targets[lane]
+            found = -1
+            while p < self.capacity and self.keys[p] == target:
+                self.counters.probes += 1
+                if self.occupied[p]:
+                    found = p
+                    break
+                p += 1
+            result[lane] = found
+        return result
 
     def prediction_error(self, key: float) -> int:
         """Distance between the model's predicted slot and the key's actual

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from .data_node import DataNode
 
 
@@ -64,18 +66,17 @@ class GappedArrayNode(DataNode):
         Fully-packed regions are the gapped array's failure mode
         (Section 3.3.1 / Figure 3); benches use this to visualize them.
         """
-        regions = []
-        run_start = None
-        for pos in range(self.capacity):
-            if self.occupied[pos]:
-                if run_start is None:
-                    run_start = pos
-            elif run_start is not None:
-                regions.append((run_start, pos - run_start))
-                run_start = None
-        if run_start is not None:
-            regions.append((run_start, self.capacity - run_start))
-        return regions
+        if self.capacity == 0:
+            return []
+        occ = self.occupied.astype(np.int8)
+        edges = np.diff(occ)
+        starts = np.flatnonzero(edges == 1) + 1
+        ends = np.flatnonzero(edges == -1) + 1
+        if occ[0]:
+            starts = np.concatenate([[0], starts])
+        if occ[-1]:
+            ends = np.concatenate([ends, [self.capacity]])
+        return [(int(s), int(e - s)) for s, e in zip(starts, ends)]
 
     def largest_packed_run(self) -> int:
         """Length of the longest gap-free occupied run."""

@@ -159,12 +159,11 @@ class PMANode(DataNode):
         payloads = [self.payloads[p] for p in positions]
         width = hi - lo
         self.occupied[lo:hi] = False
-        for p in range(lo, hi):
-            self.payloads[p] = None
+        self.payloads[lo:hi] = [None] * width
         targets = lo + (np.arange(count, dtype=np.int64) * width) // count
         self.keys[targets] = keys
         self.occupied[targets] = True
-        for j, target in enumerate(targets):
+        for j, target in enumerate(targets.tolist()):
             self.payloads[target] = payloads[j]
         self.counters.rebalance_moves += count
         self._refill_gap_keys(lo, hi)

@@ -69,6 +69,58 @@ class InnerNode:
         self.counters.pointer_follows += 1
         return child
 
+    def route_slots_many(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`route_slot` over a whole key array."""
+        self.counters.model_inferences += len(keys)
+        return self.model.predict_pos_vec(keys, self.num_slots)
+
+    def child_groups(self, keys: np.ndarray, lo: int, hi: int):
+        """Yield ``(child, group_lo, group_hi)`` for the contiguous run of
+        ``keys[lo:hi]`` each distinct child receives.
+
+        ``keys`` must be sorted; because the model is monotone
+        non-decreasing the slot assignments are sorted too, so the runs of
+        equal slot values partition the batch, and consecutive runs whose
+        slots point at the same child merge into one group.  The cost is
+        ``O(#groups)`` python work regardless of the node's slot count.
+        One pointer follow is charged per *group* — the batch engine's
+        amortization of per-key child dereferences.
+        """
+        slots = self.route_slots_many(keys[lo:hi])
+        changes = np.flatnonzero(np.diff(slots)) + 1
+        starts = np.concatenate([[0], changes]) + lo
+        ends = np.concatenate([changes, [hi - lo]]) + lo
+        children = self.children
+        prev_child = None
+        prev_lo = prev_hi = 0
+        for s, glo, ghi in zip(slots[starts - lo].tolist(), starts.tolist(),
+                               ends.tolist()):
+            child = children[s]
+            if child is prev_child:
+                prev_hi = ghi  # consecutive slots sharing one child merge
+                continue
+            if prev_child is not None:
+                yield prev_child, prev_lo, prev_hi
+            self.counters.pointer_follows += 1
+            prev_child, prev_lo, prev_hi = child, glo, ghi
+        if prev_child is not None:
+            yield prev_child, prev_lo, prev_hi
+
+    def route_many(self, keys: np.ndarray):
+        """Batch routing: descend the subtree below this node for a whole
+        sorted key array in one pass per level.
+
+        Returns ``(leaves, boundaries)`` where ``leaves`` is the list of
+        distinct leaves hit (in key order) and ``boundaries`` has length
+        ``len(leaves) + 1`` such that ``keys[boundaries[i]:boundaries[i+1]]``
+        belong to ``leaves[i]``.
+        """
+        groups = route_batch(self, np.asarray(keys, dtype=np.float64))
+        leaves = [leaf for leaf, _, _, _ in groups]
+        boundaries = np.array([lo for _, _, lo, _ in groups] + [len(keys)],
+                              dtype=np.int64)
+        return leaves, boundaries
+
     def replace_child(self, old, new) -> None:
         """Redirect every slot pointing at ``old`` to ``new`` (used by node
         splitting on inserts)."""
@@ -89,6 +141,30 @@ class InnerNode:
         return (self.model.size_bytes()
                 + self.num_slots * POINTER_BYTES
                 + NODE_METADATA_BYTES)
+
+
+def route_batch(node, keys: np.ndarray, parent: Optional[InnerNode] = None):
+    """Descend from ``node`` for an entire sorted key array at once.
+
+    Returns a list of ``(leaf, parent, lo, hi)`` tuples in key order: the
+    keys ``keys[lo:hi]`` all route to ``leaf``, whose parent inner node is
+    ``parent`` (``None`` when the leaf is the tree root).  The whole batch
+    costs one vectorized model prediction per inner node visited instead of
+    one scalar inference per key per level.
+    """
+    groups: list = []
+    if len(keys) == 0:
+        return groups
+
+    def _descend(nd, par, lo, hi):
+        if not isinstance(nd, InnerNode):
+            groups.append((nd, par, lo, hi))
+            return
+        for child, glo, ghi in nd.child_groups(keys, lo, hi):
+            _descend(child, nd, glo, ghi)
+
+    _descend(node, parent, 0, len(keys))
+    return groups
 
 
 def link_leaves(leaves: List[DataNode]) -> None:

@@ -12,6 +12,13 @@ All routines return the *lower-bound* position: the leftmost index ``i`` in
 exists).  They work on the gap-filled key arrays of the data nodes (where a
 gap slot holds a copy of its nearest real right neighbour), because those
 arrays are non-decreasing by construction.
+
+The ``*_many`` variants are the batch engine's search layer: they take an
+array of targets (and per-target hints / bounds) and run every search in
+lock-step with NumPy, producing positions identical to the scalar routines.
+Counters are aggregated once per batch — the per-lane probe counts are
+summed and charged in a single update — so the algorithmic-work accounting
+matches a loop over the scalar routines exactly.
 """
 
 from __future__ import annotations
@@ -87,6 +94,95 @@ def exponential_search(keys: np.ndarray, target: float, hint: int,
         counters.comparisons += probes
         counters.probes += probes
     return lower_bound(keys, target, search_lo, search_hi, counters)
+
+
+def lower_bound_many(keys: np.ndarray, targets: np.ndarray,
+                     los: np.ndarray, his: np.ndarray,
+                     counters: Counters | None = None) -> np.ndarray:
+    """Vectorized :func:`lower_bound` over per-lane ``[los, his)`` windows.
+
+    Runs every binary search in lock-step: each iteration halves the window
+    of every still-active lane, so the loop runs ``O(log max-width)`` times
+    regardless of how many targets there are.  Returns the same positions
+    (and charges the same total comparison/probe counts) as calling
+    :func:`lower_bound` once per lane.
+    """
+    lo = np.asarray(los, dtype=np.int64).copy()
+    hi = np.asarray(his, dtype=np.int64).copy()
+    steps = 0
+    active = lo < hi
+    while active.any():
+        steps += int(active.sum())
+        mid = (lo + hi) >> 1
+        probe = np.where(active, mid, 0)
+        less = keys[probe] < targets
+        go_right = active & less
+        go_left = active & ~less
+        lo[go_right] = mid[go_right] + 1
+        hi[go_left] = mid[go_left]
+        active = lo < hi
+    if counters is not None:
+        counters.comparisons += steps
+        counters.probes += steps
+    return lo
+
+
+def _grow_brackets(keys: np.ndarray, targets: np.ndarray, hints: np.ndarray,
+                   lanes: np.ndarray, bound: np.ndarray, lo: int, hi: int,
+                   leftward: bool) -> int:
+    """Double ``bound`` (in place) for the ``lanes`` whose exponential
+    bracket has not yet crossed the target, exactly as the scalar doubling
+    loop does.  Returns the number of probes performed."""
+    probes = 0
+    active = lanes
+    while active.size:
+        pos = hints[active] - bound[active] if leftward else hints[active] + bound[active]
+        in_bounds = (pos >= lo) if leftward else (pos < hi)
+        keep = np.zeros(active.size, dtype=bool)
+        idx_in = np.flatnonzero(in_bounds)
+        if idx_in.size:
+            vals = keys[pos[idx_in]]
+            tv = targets[active[idx_in]]
+            keep[idx_in] = (vals >= tv) if leftward else (vals < tv)
+        grow = active[keep]
+        probes += int(grow.size)
+        bound[grow] <<= 1
+        active = grow
+    return probes
+
+
+def exponential_search_many(keys: np.ndarray, targets: np.ndarray,
+                            hints: np.ndarray, lo: int, hi: int,
+                            counters: Counters | None = None) -> np.ndarray:
+    """Vectorized :func:`exponential_search` over arrays of (target, hint).
+
+    All lanes double their brackets in lock-step (one NumPy pass per
+    doubling step over the still-growing lanes), then finish with one
+    lock-step bounded binary search.  Positions and total counter charges
+    are identical to a loop over the scalar routine.
+    """
+    n = len(targets)
+    if hi <= lo:
+        return np.full(n, lo, dtype=np.int64)
+    hints = np.clip(np.asarray(hints, dtype=np.int64), lo, hi - 1)
+    targets = np.asarray(targets, dtype=np.float64)
+
+    leftward = keys[hints] >= targets
+    bound = np.ones(n, dtype=np.int64)
+    probes = n  # the scalar routine's unconditional final probe, per lane
+    probes += _grow_brackets(keys, targets, hints, np.flatnonzero(leftward),
+                             bound, lo, hi, leftward=True)
+    probes += _grow_brackets(keys, targets, hints, np.flatnonzero(~leftward),
+                             bound, lo, hi, leftward=False)
+
+    half = bound >> 1
+    search_lo = np.where(leftward, np.maximum(lo, hints - bound), hints + half)
+    search_hi = np.where(leftward, hints - half + 1,
+                         np.minimum(hi, hints + bound + 1))
+    if counters is not None:
+        counters.comparisons += probes
+        counters.probes += probes
+    return lower_bound_many(keys, targets, search_lo, search_hi, counters)
 
 
 def binary_search_bounded(keys: np.ndarray, target: float, hint: int,

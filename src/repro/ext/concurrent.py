@@ -142,6 +142,23 @@ class ConcurrentAlexIndex:
         with self._lock.read():
             return self._index.contains(key)
 
+    def lookup_many(self, keys) -> list:
+        """Shared-lock batch lookup: one lock acquisition and one batch
+        traversal for the whole key array (see
+        :meth:`AlexIndex.lookup_many`)."""
+        with self._lock.read():
+            return self._index.lookup_many(keys)
+
+    def get_many(self, keys, default=None) -> list:
+        """Shared-lock batch :meth:`AlexIndex.get_many`."""
+        with self._lock.read():
+            return self._index.get_many(keys, default)
+
+    def contains_many(self, keys):
+        """Shared-lock batch membership test."""
+        with self._lock.read():
+            return self._index.contains_many(keys)
+
     def range_scan(self, start_key: float, limit: int) -> list:
         """Shared-lock range scan (consistent snapshot of the chain)."""
         with self._lock.read():

@@ -85,21 +85,45 @@ class WorkloadRunner:
         return float(self._pool[pos])
 
     def run(self, spec: WorkloadSpec, num_ops: int,
-            scan_payload: Optional[int] = None) -> WorkloadResult:
+            scan_payload: Optional[int] = None,
+            read_batch: int = 1) -> WorkloadResult:
         """Execute ``num_ops`` operations of ``spec``; returns tallies and
         the counter delta for exactly this run.
 
         Stops early (with fewer ops) if the insert stream runs dry.
+
+        ``read_batch > 1`` enables batched reads where the trace allows:
+        consecutive lookup operations are buffered (up to ``read_batch``)
+        and issued through the index's ``lookup_many`` in one call; the
+        buffer is flushed whenever an insert or scan interleaves, so the
+        observable per-operation results are identical to scalar execution.
+        Indexes without a ``lookup_many`` method fall back to scalar
+        lookups transparently.
         """
         result = WorkloadResult(spec_name=spec.name)
         before = self.index.counters.snapshot()
         ranks = self._zipf.sample(num_ops)
         scan_lengths = self._rng.integers(1, spec.max_scan_length + 1,
                                           size=num_ops)
+        lookup_many = getattr(self.index, "lookup_many", None)
+        batching = read_batch > 1 and lookup_many is not None
+        pending: list = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            if len(pending) == 1:
+                self.index.lookup(pending[0])
+            else:
+                lookup_many(np.array(pending, dtype=np.float64))
+            result.reads += len(pending)
+            pending.clear()
+
         for i, op in enumerate(islice(spec.schedule(), num_ops)):
             if op == INSERT:
                 if self._next_insert >= len(self._insert_keys):
                     break
+                flush()
                 key = float(self._insert_keys[self._next_insert])
                 self._next_insert += 1
                 self.index.insert(key, scan_payload)
@@ -107,21 +131,29 @@ class WorkloadRunner:
                 self._pool_size += 1
                 result.inserts += 1
             elif op == SCAN:
+                flush()
                 key = self._pick_existing(int(ranks[i]))
                 records = self.index.range_scan(key, int(scan_lengths[i]))
                 result.scanned_records += len(records)
                 result.scans += 1
             else:
                 key = self._pick_existing(int(ranks[i]))
-                self.index.lookup(key)
-                result.reads += 1
+                if batching:
+                    pending.append(key)
+                    if len(pending) >= read_batch:
+                        flush()
+                else:
+                    self.index.lookup(key)
+                    result.reads += 1
             result.ops += 1
+        flush()
         result.work = self.index.counters.snapshot().diff(before)
         return result
 
 
 def run_workload(index, existing_keys: np.ndarray, insert_keys: np.ndarray,
-                 spec: WorkloadSpec, num_ops: int, seed: int = 0) -> WorkloadResult:
+                 spec: WorkloadSpec, num_ops: int, seed: int = 0,
+                 read_batch: int = 1) -> WorkloadResult:
     """One-shot convenience wrapper around :class:`WorkloadRunner`."""
     runner = WorkloadRunner(index, existing_keys, insert_keys, seed=seed)
-    return runner.run(spec, num_ops)
+    return runner.run(spec, num_ops, read_batch=read_batch)

@@ -93,6 +93,44 @@ class TestBulkInsert:
         assert list(batch_index.keys()) == list(loop_index.keys())
 
 
+class TestBulkInsertSplits:
+    """Regression: a rebuilt leaf used to bypass the node-size limit —
+    ``bulk_insert`` called ``_model_based_build`` directly and never split,
+    so a merged leaf could exceed ``max_keys_per_node`` even with node
+    splitting enabled."""
+
+    @pytest.mark.parametrize("factory", [ga_armi, pma_armi],
+                             ids=["ga-armi", "pma-armi"])
+    def test_oversized_rebuilt_leaf_splits(self, factory):
+        config = factory(max_keys_per_node=64, split_on_inserts=True)
+        index = AlexIndex.bulk_load(np.arange(0.0, 64.0), config=config)
+        # The whole batch routes beyond the last leaf's key range, merging
+        # into a single leaf ~10x over the bound.
+        bulk_insert(index, np.arange(1000.0, 1600.0))
+        assert len(index) == 664
+        assert index.leaf_sizes().max() <= 64
+        index.validate()
+        assert index.lookup(1234.0) is None
+        assert index.contains(63.0)
+
+    def test_cold_start_bulk_insert_splits(self):
+        index = AlexIndex(ga_armi(max_keys_per_node=64))
+        keys = np.random.default_rng(9).permutation(np.arange(500.0))
+        bulk_insert(index, keys)
+        assert len(index) == 500
+        assert index.leaf_sizes().max() <= 64
+        index.validate()
+
+    def test_splitting_disabled_keeps_oversized_leaf(self):
+        # With splitting off (the paper's bulk-load default) the old
+        # behavior is intentional: the merged leaf may exceed the bound.
+        config = ga_armi(max_keys_per_node=64, split_on_inserts=False)
+        index = AlexIndex.bulk_load(np.arange(0.0, 64.0), config=config)
+        bulk_insert(index, np.arange(1000.0, 1600.0))
+        assert index.leaf_sizes().max() > 64
+        index.validate()
+
+
 class TestMergeIndexes:
     def test_disjoint_merge(self):
         left = AlexIndex.bulk_load(np.arange(0.0, 100.0),
