@@ -1,0 +1,178 @@
+"""Shard-scaling bench: scatter-gather batch throughput vs shard count.
+
+Builds a :class:`repro.serve.ShardedAlexIndex` over the lognormal dataset
+(the skewed CDF where the router's equal-mass boundaries matter most) at
+several shard counts, drives one large batch read (``lookup_many``) and one
+large batch write (``insert_many``) through each, and records throughput to
+``BENCH_shard.json``.
+
+Three readings per operation, all from the same run:
+
+* ``sim_mops_aggregate`` — total simulated work (counter-based, DESIGN.md
+  Section 6) summed over shards: shows sharding adds no algorithmic
+  overhead (equal-mass boundaries keep per-shard trees shallow, so the
+  aggregate typically *improves* slightly with shards);
+* ``sim_mops_critical_path`` — batch size over the *slowest shard's*
+  simulated time plus the router's carve cost: the scatter-gather service
+  model, where per-shard sub-batches execute in parallel and the batch
+  completes when the last shard finishes.  This is the number that scales
+  with shard count, and ``balance`` (mean/max per-shard time) shows how
+  close the CDF-fitted boundaries get to the ideal ``1/shards`` split;
+* ``wall_seconds`` — honest single-process wall clock, for reference.  On
+  a multi-core host the executor turns critical-path scaling into wall
+  time; on a single core the GIL serializes the shards and wall clock
+  stays flat.
+
+Run: ``python benchmarks/bench_shard_scaling.py [--keys N] [--batch M]
+[--shards 1 2 4 8] [--out BENCH_shard.json]``
+"""
+
+import argparse
+import json
+import math
+import time
+
+import numpy as np
+
+from repro.analysis.cost_model import DEFAULT_COST_MODEL
+from repro.core.alex import AlexIndex
+from repro.core.config import ga_armi
+from repro.datasets import load
+from repro.serve import ShardedAlexIndex
+
+SEED = 7
+
+
+def _sim_nanos(deltas) -> list:
+    return [DEFAULT_COST_MODEL.simulated_nanos(d) for d in deltas]
+
+
+def _op_metrics(batch: int, wall: float, shard_nanos: list,
+                router_nanos: float) -> dict:
+    """The three throughput readings for one batch operation."""
+    total = sum(shard_nanos) + router_nanos
+    worst = max(shard_nanos) + router_nanos
+    busy = [n for n in shard_nanos if n > 0]
+    return {
+        "wall_seconds": round(wall, 4),
+        "wall_ops_per_second": round(batch / wall, 1),
+        "sim_mops_aggregate": round(batch / total * 1e3, 3),
+        "sim_mops_critical_path": round(batch / worst * 1e3, 3),
+        "balance": round((sum(busy) / len(busy)) / max(busy), 3) if busy else 1.0,
+    }
+
+
+def measure_shard_scaling(num_keys: int = 1_000_000,
+                          batch: int = 100_000,
+                          shard_counts=(1, 2, 4, 8),
+                          seed: int = SEED) -> dict:
+    """The acceptance measurement: one batch read and one batch write of
+    ``batch`` keys against a ``num_keys``-key sharded service at each shard
+    count, verifying the sharded results match a single index."""
+    keys = load("lognormal", num_keys + batch, seed=seed)
+    init_keys, insert_keys = keys[:num_keys], keys[num_keys:]
+    rng = np.random.default_rng(seed + 1)
+    probes = rng.choice(init_keys, batch, replace=True)
+
+    # Ground truth for the equivalence check.
+    single = AlexIndex.bulk_load(init_keys,
+                                 list(range(len(init_keys))),
+                                 config=ga_armi())
+    expected_sample = single.lookup_many(probes[:10_000])
+
+    configs = []
+    for num_shards in shard_counts:
+        build_start = time.perf_counter()
+        service = ShardedAlexIndex.bulk_load(
+            init_keys, list(range(len(init_keys))),
+            num_shards=num_shards, config=ga_armi())
+        build_seconds = time.perf_counter() - build_start
+        # The router's carve cost: one vectorized searchsorted over the
+        # batch, log2(shards) comparisons per key (serial, pre-scatter).
+        router_nanos = (batch * math.log2(max(num_shards, 2))
+                        * DEFAULT_COST_MODEL.comparison_ns
+                        if num_shards > 1 else 0.0)
+
+        before = service.shard_counters()
+        read_start = time.perf_counter()
+        got = service.lookup_many(probes)
+        read_wall = time.perf_counter() - read_start
+        read_nanos = _sim_nanos([a.diff(b) for a, b in
+                                 zip(service.shard_counters(), before)])
+        if got[:10_000] != expected_sample:
+            raise AssertionError("sharded and single-index reads disagree")
+
+        before = service.shard_counters()
+        write_start = time.perf_counter()
+        service.insert_many(insert_keys)
+        write_wall = time.perf_counter() - write_start
+        write_nanos = _sim_nanos([a.diff(b) for a, b in
+                                  zip(service.shard_counters(), before)])
+        if len(service) != num_keys + len(insert_keys):
+            raise AssertionError("batch write lost keys")
+
+        configs.append({
+            "shards": num_shards,
+            "build_seconds": round(build_seconds, 4),
+            "max_shard_depth": service.depth(),
+            "read": _op_metrics(batch, read_wall, read_nanos, router_nanos),
+            "write": _op_metrics(len(insert_keys), write_wall, write_nanos,
+                                 router_nanos),
+        })
+        service.close()
+
+    base, best = configs[0], configs[-1]
+    return {
+        "bench": "sharded scatter-gather batch reads/writes vs shard count",
+        "dataset": "lognormal",
+        "variant": "ALEX-GA-ARMI per shard",
+        "num_keys": int(num_keys),
+        "read_batch": int(batch),
+        "write_batch": int(len(insert_keys)),
+        "metric_note": (
+            "sim_* from the counter-based cost model (DESIGN.md §6); "
+            "critical_path = slowest shard + router carve, the parallel "
+            "scatter-gather service model; wall clock is single-process "
+            "and GIL-bound on a single core"),
+        "configs": configs,
+        "read_speedup_over_1_shard": {
+            "sim_aggregate": round(best["read"]["sim_mops_aggregate"]
+                                   / base["read"]["sim_mops_aggregate"], 3),
+            "sim_critical_path": round(
+                best["read"]["sim_mops_critical_path"]
+                / base["read"]["sim_mops_critical_path"], 3),
+        },
+        "write_speedup_over_1_shard": {
+            "sim_aggregate": round(best["write"]["sim_mops_aggregate"]
+                                   / base["write"]["sim_mops_aggregate"], 3),
+            "sim_critical_path": round(
+                best["write"]["sim_mops_critical_path"]
+                / base["write"]["sim_mops_critical_path"], 3),
+        },
+        "results_identical_to_single_index": True,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Measure sharded batch read/write throughput vs shard "
+                    "count and record it to BENCH_shard.json")
+    parser.add_argument("--keys", type=int, default=1_000_000)
+    parser.add_argument("--batch", type=int, default=100_000)
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8])
+    parser.add_argument("--out", default="BENCH_shard.json")
+    args = parser.parse_args()
+    result = measure_shard_scaling(args.keys, args.batch,
+                                   tuple(args.shards))
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(result, indent=2))
+    read_up = result["read_speedup_over_1_shard"]["sim_critical_path"]
+    write_up = result["write_speedup_over_1_shard"]["sim_critical_path"]
+    print(f"\nwrote {args.out}; critical-path speedup over 1 shard: "
+          f"reads {read_up}x, writes {write_up}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,8 +35,9 @@ from .core import (
 )
 from .baselines import BPlusTree, LearnedIndex
 from .analysis import CostModel, DEFAULT_COST_MODEL
+from .serve import ShardRouter, ShardedAlexIndex
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ADAPTIVE_RMI",
@@ -54,6 +55,8 @@ __all__ = [
     "LinearModel",
     "PACKED_MEMORY_ARRAY",
     "STATIC_RMI",
+    "ShardRouter",
+    "ShardedAlexIndex",
     "ga_armi",
     "ga_srmi",
     "pma_armi",

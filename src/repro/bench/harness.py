@@ -20,18 +20,20 @@ from repro.baselines.bptree import BPlusTree
 from repro.baselines.delta_learned_index import DeltaLearnedIndex
 from repro.baselines.learned_index import LearnedIndex
 from repro.core.alex import AlexIndex
-from repro.core.config import ALL_VARIANTS, AlexConfig
+from repro.core.config import ALL_VARIANTS, AlexConfig, ga_armi
 from repro.core.stats import Counters
 from repro.datasets import DATASETS, load
+from repro.serve import ShardedAlexIndex
 from repro.workloads.runner import WorkloadRunner
 from repro.workloads.spec import WorkloadSpec
 
 from .tuning import LEARNED_INDEX_MIN_KEYS_PER_MODEL
 
 #: All systems the harness can build, in the paper's naming (plus the
-#: delta-buffer Learned Index of Section 2.3).
+#: delta-buffer Learned Index of Section 2.3 and the scatter-gather
+#: sharded service of :mod:`repro.serve`).
 SYSTEMS = tuple(ALL_VARIANTS) + ("BPlusTree", "LearnedIndex",
-                                 "DeltaLearnedIndex")
+                                 "DeltaLearnedIndex", "ShardedALEX")
 
 
 @dataclass(frozen=True)
@@ -45,6 +47,8 @@ class SystemParams:
     space_overhead: Optional[float] = None  # ALEX data-space overhead (0.43 default)
     split_on_inserts: bool = False
     learned_keys_per_model: int = LEARNED_INDEX_MIN_KEYS_PER_MODEL
+    num_shards: int = 4                # ShardedALEX partition count
+    shard_workers: Optional[int] = None  # ShardedALEX scatter threads
 
 
 @dataclass
@@ -94,6 +98,21 @@ def build_index(system: str, init_keys: np.ndarray,
         num_models = max(1, n // params.learned_keys_per_model)
         return DeltaLearnedIndex.bulk_load(init_keys, num_models=num_models,
                                            payload_size=payload_size)
+    if system == "ShardedALEX":
+        # Per-shard config: each shard holds ~n / num_shards keys, so its
+        # model budget scales with its share, not the total key count.
+        config = ga_armi(
+            num_models=max(1, (n // max(1, params.num_shards))
+                           // params.keys_per_model),
+            max_keys_per_node=params.max_keys_per_node,
+            split_on_inserts=params.split_on_inserts,
+            payload_size=payload_size,
+        )
+        if params.space_overhead is not None:
+            config = config.with_space_overhead(params.space_overhead)
+        return ShardedAlexIndex.bulk_load(init_keys, config=config,
+                                          num_shards=params.num_shards,
+                                          max_workers=params.shard_workers)
     raise ValueError(f"unknown system {system!r}; choose from {SYSTEMS}")
 
 
@@ -103,7 +122,8 @@ def run_experiment(system: str, dataset: str, spec: WorkloadSpec,
                    cost_model: CostModel = DEFAULT_COST_MODEL,
                    seed: int = 0,
                    keys: Optional[np.ndarray] = None,
-                   read_batch: int = 1) -> ExperimentResult:
+                   read_batch: int = 1,
+                   write_batch: int = 1) -> ExperimentResult:
     """Full paper procedure for one data point: generate the dataset,
     bulk-load ``init_size`` keys, run ``num_ops`` interleaved operations,
     report simulated throughput and sizes.
@@ -113,8 +133,9 @@ def run_experiment(system: str, dataset: str, spec: WorkloadSpec,
 
     ``read_batch > 1`` issues consecutive lookups through the index's
     batch engine (``lookup_many``) where the operation trace allows,
-    amortizing the per-operation traversal work; systems without a batch
-    API transparently fall back to scalar reads.
+    amortizing the per-operation traversal work; ``write_batch > 1`` does
+    the same for consecutive inserts through ``insert_many``.  Systems
+    without a batch API transparently fall back to scalar operations.
     """
     payload_size = DATASETS[dataset].payload_size if dataset in DATASETS else 8
     if keys is None:
@@ -127,7 +148,24 @@ def run_experiment(system: str, dataset: str, spec: WorkloadSpec,
     index = build_index(system, init_keys, params, payload_size=payload_size)
     runner = WorkloadRunner(index, init_keys.copy(), insert_keys.copy(),
                             seed=seed + 1)
-    result = runner.run(spec, num_ops, read_batch=read_batch)
+    shard_counters = getattr(index, "shard_counters", None)
+    shard_before = shard_counters() if shard_counters is not None else None
+    result = runner.run(spec, num_ops, read_batch=read_batch,
+                        write_batch=write_batch)
+    extras = {
+        "reads": result.reads,
+        "inserts": result.inserts,
+        "scans": result.scans,
+        "scanned_records": result.scanned_records,
+    }
+    if shard_before is not None:
+        # Scatter-gather systems also report the parallel service model:
+        # ops over the slowest shard's simulated time (per-shard sub-work
+        # executes concurrently; the batch completes with the last shard).
+        worst = max(cost_model.simulated_nanos(after.diff(before))
+                    for after, before in zip(shard_counters(), shard_before))
+        extras["critical_path_throughput"] = (
+            result.ops / (worst / 1e9) if worst > 0 else float("inf"))
     return ExperimentResult(
         system=system,
         dataset=dataset,
@@ -137,12 +175,7 @@ def run_experiment(system: str, dataset: str, spec: WorkloadSpec,
         index_bytes=index.index_size_bytes(),
         data_bytes=index.data_size_bytes(),
         work=result.work,
-        extras={
-            "reads": result.reads,
-            "inserts": result.inserts,
-            "scans": result.scans,
-            "scanned_records": result.scanned_records,
-        },
+        extras=extras,
     )
 
 

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro info                     # version, variants, systems
     python -m repro datasets [--size N]      # Table 1
     python -m repro compare --dataset ycsb --workload read-heavy
+    python -m repro shards --dataset lognormal --shards 1 2 4 8
     python -m repro errors --dataset longitudes [--size N]
     python -m repro theorems --dataset lognormal --c 1.43 2 8
 
@@ -89,6 +90,33 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shards(args: argparse.Namespace) -> int:
+    spec = WORKLOADS[args.workload]
+    rows = []
+    for num_shards in args.shards:
+        params = SystemParams(keys_per_model=args.keys_per_model,
+                              max_keys_per_node=args.max_keys,
+                              num_shards=num_shards)
+        result = run_experiment("ShardedALEX", args.dataset, spec,
+                                init_size=args.init, num_ops=args.ops,
+                                params=params, seed=args.seed,
+                                read_batch=args.read_batch,
+                                write_batch=args.write_batch)
+        parallel = result.extras["critical_path_throughput"]
+        rows.append((num_shards, f"{result.throughput / 1e6:.3f}",
+                     f"{parallel / 1e6:.3f}",
+                     f"{result.index_bytes:,}", result.extras["reads"],
+                     result.extras["inserts"], result.extras["scans"]))
+    print(format_table(
+        ["shards", "Mops/s (agg)", "Mops/s (parallel)", "index bytes",
+         "reads", "inserts", "scans"],
+        rows, title=f"ShardedALEX scaling: {args.workload} on "
+                    f"{args.dataset} (init={args.init:,}, ops={args.ops:,}, "
+                    f"read_batch={args.read_batch}, "
+                    f"write_batch={args.write_batch})"))
+    return 0
+
+
 def _cmd_errors(args: argparse.Namespace) -> int:
     keys = load(args.dataset, args.size, seed=args.seed)
     alex = AlexIndex.bulk_load(keys, config=ga_armi())
@@ -153,6 +181,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--page-size", type=int, default=256)
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_shard = sub.add_parser(
+        "shards", help="sharded index service throughput vs shard count")
+    p_shard.add_argument("--dataset", choices=sorted(DATASETS),
+                         default="lognormal")
+    p_shard.add_argument("--workload", choices=sorted(WORKLOADS),
+                         default="read-heavy")
+    p_shard.add_argument("--init", type=int, default=20_000)
+    p_shard.add_argument("--ops", type=int, default=5_000)
+    p_shard.add_argument("--shards", type=int, nargs="+",
+                         default=[1, 2, 4, 8])
+    p_shard.add_argument("--read-batch", type=int, default=64)
+    p_shard.add_argument("--write-batch", type=int, default=64)
+    p_shard.add_argument("--keys-per-model", type=int, default=256)
+    p_shard.add_argument("--max-keys", type=int, default=1024)
+    p_shard.add_argument("--seed", type=int, default=0)
+    p_shard.set_defaults(func=_cmd_shards)
 
     p_err = sub.add_parser("errors", help="Figure 7 prediction errors")
     p_err.add_argument("--dataset", choices=sorted(DATASETS),

@@ -15,15 +15,23 @@ b'payload'
 Keys must be unique (the paper's datasets contain no duplicates and
 Section 7 lists duplicates as an open limitation).
 
-**Batch API.**  Reads also come in batch form — :meth:`AlexIndex.lookup_many`,
+**Batch API.**  Point reads come in batch form — :meth:`AlexIndex.lookup_many`,
 :meth:`AlexIndex.get_many`, and :meth:`AlexIndex.contains_many` accept whole
 key arrays and execute them through the vectorized batch engine: one sort,
 one RMI descent per batch (``route_batch`` groups keys by leaf with
 vectorized model predictions), and one lock-step in-node search per touched
-leaf.  The scalar ``lookup`` / ``get`` / ``contains`` methods are thin
-wrappers over the same engine with a single-element batch, so there is one
-code path to optimize.  Results are identical to a loop over the scalar
-operations; work counters are aggregated once per batch.
+leaf.  Writes batch through :meth:`AlexIndex.insert_many` (one routed
+traversal, per-leaf grouped merges with split handling) and range queries
+through :meth:`AlexIndex.range_query_many` (all lower bounds routed in one
+descent, leaf arrays sliced per touched node).  Results are identical to a
+loop over the scalar operations; work counters are aggregated once per
+batch.
+
+The scalar ``lookup`` / ``get`` / ``contains`` methods share the batch
+engine's kernels at lane width one — the same model-predict + exponential
+search the lock-step kernels vectorize — but skip the batch wrappers' array
+construction and sort entirely, so single-key latency is not taxed with
+NumPy constant overhead.
 
 >>> index.lookup_many([42.0, 7.0, 13.0])  # doctest: +SKIP
 [b'payload', b'p7', b'p13']
@@ -35,7 +43,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from .adaptive import build_adaptive_rmi, split_leaf
+from .adaptive import build_adaptive_rmi, split_leaf, split_until_fits
 from .config import ADAPTIVE_RMI, AlexConfig
 from .data_node import DataNode
 from .errors import DuplicateKeyError, KeyNotFoundError
@@ -120,6 +128,26 @@ class AlexIndex:
         return route_batch(self._root, sorted_keys)
 
     @staticmethod
+    def _normalize_batch(keys, payloads: Optional[list]):
+        """Normalize a write batch: float64 keys sorted stably with their
+        payloads aligned (``None``-filled when omitted), raising on length
+        mismatch or in-batch duplicates.  Shared by the single-index and
+        sharded batch-insert paths."""
+        keys = np.asarray(keys, dtype=np.float64)
+        if payloads is None:
+            payloads = [None] * len(keys)
+        elif len(payloads) != len(keys):
+            raise ValueError("payloads length must match keys length")
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        payloads = [payloads[i] for i in order]
+        if len(keys) > 1:
+            dup = np.flatnonzero(np.diff(keys) == 0)
+            if len(dup):
+                raise DuplicateKeyError(float(keys[dup[0]]))
+        return keys, payloads
+
+    @staticmethod
     def _sort_batch(keys) -> Tuple[np.ndarray, Optional[np.ndarray]]:
         """Normalize a batch of keys for routing: float64 array plus the
         argsort order (``None`` when already sorted, the common trace
@@ -187,23 +215,35 @@ class AlexIndex:
         """Return the payload stored for ``key``; raises
         :class:`KeyNotFoundError` when absent.
 
-        Thin wrapper over :meth:`lookup_many` with a single-element batch.
+        Single-key fast path: one scalar descent plus the scalar search
+        kernel (the lane-width-1 counterpart of the batch engine's
+        lock-step search), with no batch array construction or sorting.
+        Results and counter totals match a one-element :meth:`lookup_many`.
         """
-        return self.lookup_many(np.array([float(key)]))[0]
+        key = float(key)
+        leaf, _ = self._route(key)
+        pos = leaf.find_key(key)
+        if pos < 0:
+            raise KeyNotFoundError(key)
+        self.counters.lookups += 1
+        return leaf.payloads[pos]
 
     def get(self, key: float, default=None):
         """Like :meth:`lookup` but returns ``default`` when absent."""
-        try:
-            return self.lookup(key)
-        except KeyNotFoundError:
+        key = float(key)
+        leaf, _ = self._route(key)
+        pos = leaf.find_key(key)
+        if pos < 0:
             return default
+        self.counters.lookups += 1
+        return leaf.payloads[pos]
 
     def contains(self, key: float) -> bool:
-        """Whether ``key`` is present.
-
-        Thin wrapper over :meth:`contains_many` with a single-element batch.
-        """
-        return bool(self.contains_many(np.array([float(key)]))[0])
+        """Whether ``key`` is present (single-key fast path, see
+        :meth:`lookup`)."""
+        key = float(key)
+        leaf, _ = self._route(key)
+        return leaf.find_key(key) >= 0
 
     # ------------------------------------------------------------------
     # Batch point operations (the API layer of the batch engine)
@@ -269,6 +309,85 @@ class AlexIndex:
                 result[order[lo:hi]] = hits
         return result
 
+    #: Below this many new keys per touched leaf, plain inserts win over a
+    #: merge-rebuild of the leaf.
+    _REBUILD_THRESHOLD = 4
+
+    def insert_many(self, keys, payloads: Optional[list] = None) -> None:
+        """Insert a batch of unique new keys in one routed traversal.
+
+        Keys may arrive unsorted; duplicates (within the batch or against
+        the index) raise :class:`DuplicateKeyError` *before* any mutation,
+        so the operation is all-or-nothing.  The whole batch is routed with
+        a single vectorized RMI descent (:meth:`_route_many`); each touched
+        leaf receives its keys as one group — large groups merge-rebuild
+        the leaf over the union of its old and new keys (Algorithm 3
+        amortized over the group), tiny groups fall back to plain inserts —
+        and leaves pushed past the adaptive RMI's node-size bound are split
+        (:func:`repro.core.adaptive.split_until_fits`) exactly as scalar
+        inserts would split them.
+        """
+        keys, payloads = self._normalize_batch(keys, payloads)
+        if len(keys) == 0:
+            return
+
+        # One vectorized traversal routes the whole batch; the validation
+        # pass (no duplicates against the index either) runs as one
+        # lock-step search per touched leaf.
+        groups = self._route_many(keys)
+        for leaf, _, lo, hi in groups:
+            present = np.flatnonzero(leaf.find_keys_many(keys[lo:hi]) >= 0)
+            if present.size:
+                raise DuplicateKeyError(float(keys[lo + int(present[0])]))
+        self._apply_insert_groups(groups, keys, payloads)
+
+    def insert_sorted_unchecked(self, keys: np.ndarray,
+                                payloads: list) -> None:
+        """:meth:`insert_many` minus normalization and validation, for
+        callers that already guarantee the preconditions.
+
+        ``keys`` must be a sorted, duplicate-free float64 array of keys
+        known to be absent from the index, with ``payloads`` aligned; the
+        sharded service's batch-write path validates once across all
+        shards and then applies through this method, instead of paying a
+        second routed validation descent per shard.  Violating the
+        preconditions corrupts the index.
+        """
+        if len(keys) == 0:
+            return
+        self._apply_insert_groups(self._route_many(keys), keys, payloads)
+
+    def _apply_insert_groups(self, groups, keys: np.ndarray,
+                             payloads: list) -> None:
+        """Mutation phase of a validated batch insert: per-leaf grouped
+        merge-rebuilds (plain inserts for tiny groups) with split
+        handling."""
+        split_ok = (self.config.rmi_mode == ADAPTIVE_RMI
+                    and (self.config.split_on_inserts or self._cold_start))
+        for leaf, parent, lo, hi in groups:
+            count = hi - lo
+            if count < self._REBUILD_THRESHOLD:
+                # Tiny groups: plain inserts through the index, which also
+                # honors the node-size bound via the scalar split path.
+                for i in range(lo, hi):
+                    self.insert(float(keys[i]), payloads[i])
+                continue
+            old_keys, old_payloads = leaf.export_sorted()
+            merged_keys = np.concatenate([old_keys, keys[lo:hi]])
+            merged_payloads = old_payloads + payloads[lo:hi]
+            merge_order = np.argsort(merged_keys, kind="stable")
+            merged_keys = merged_keys[merge_order]
+            merged_payloads = [merged_payloads[j] for j in merge_order]
+            leaf._model_based_build(merged_keys, merged_payloads,
+                                    leaf._initial_capacity(len(merged_keys)))
+            leaf.counters.inserts += count
+            self._num_keys += count
+            if split_ok and leaf.num_keys > self.config.max_keys_per_node:
+                inner = split_until_fits(leaf, parent, self.config,
+                                         self.counters)
+                if inner is not None and parent is None:
+                    self._root = inner
+
     def delete(self, key: float) -> None:
         """Remove ``key``; raises :class:`KeyNotFoundError` when absent."""
         leaf, _ = self._route(float(key))
@@ -301,18 +420,57 @@ class AlexIndex:
 
     def range_query(self, lo: float, hi: float) -> list:
         """All ``(key, payload)`` pairs with ``lo <= key <= hi``."""
-        leaf, _ = self._route(float(lo))
+        lo = float(lo)
+        leaf, _ = self._route(lo)
         self.counters.scans += 1
+        return self._collect_range(leaf, leaf.find_insert_pos(lo), float(hi))
+
+    def range_query_many(self, los, his) -> list:
+        """Vectorized :meth:`range_query` for a whole batch of bounds.
+
+        Returns one result list per ``(los[i], his[i])`` pair, in input
+        order, identical to ``[self.range_query(lo, hi) for lo, hi in
+        zip(los, his)]``.  All lower bounds are routed in a single
+        vectorized RMI descent, each touched leaf resolves its start
+        positions with one lock-step search, and the matching records are
+        sliced out of the leaf arrays node by node instead of probing
+        per record.
+        """
+        los = np.asarray(los, dtype=np.float64)
+        his = np.asarray(his, dtype=np.float64)
+        if los.ndim != 1 or los.shape != his.shape:
+            raise ValueError("los and his must be 1-D arrays of equal length")
+        n = len(los)
+        if n == 0:
+            return []
+        sorted_los, order = self._sort_batch(los)
+        out: list = [None] * n
+        self.counters.scans += n
+        for leaf, _, lo, hi in self._route_many(sorted_los):
+            starts = leaf.find_insert_pos_many(sorted_los[lo:hi])
+            for i, start in zip(range(lo, hi), starts.tolist()):
+                q = i if order is None else int(order[i])
+                out[q] = self._collect_range(leaf, int(start), float(his[q]))
+        return out
+
+    def _collect_range(self, leaf: DataNode, pos: int, hi: float) -> list:
+        """Collect ``(key, payload)`` pairs from ``leaf[pos:]`` onward along
+        the leaf chain while keys stay ``<= hi`` (vectorized per-node
+        slicing shared by the scalar and batch range queries)."""
         out: list = []
-        pos = leaf.find_insert_pos(float(lo))
         node: Optional[DataNode] = leaf
         while node is not None:
-            for p in np.flatnonzero(node.occupied[pos:]) + pos:
-                key = float(node.keys[p])
-                if key > hi:
+            occ = np.flatnonzero(node.occupied[pos:]) + pos
+            if occ.size:
+                seg_keys = node.keys[occ]
+                cut = int(np.searchsorted(seg_keys, hi, side="right"))
+                payloads = node.payloads
+                for k, p in zip(seg_keys[:cut].tolist(), occ[:cut].tolist()):
+                    out.append((k, payloads[p]))
+                node.counters.payload_bytes_copied += (
+                    cut * self.config.payload_size)
+                if cut < occ.size:
                     return out
-                out.append((key, node.payloads[p]))
-                node.counters.payload_bytes_copied += self.config.payload_size
             node = node.next_leaf
             pos = 0
             self.counters.pointer_follows += 1

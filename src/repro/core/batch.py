@@ -7,11 +7,12 @@ route the batch once, group keys by target leaf, and rebuild each touched
 leaf with a single model-based build over the union of its old and new
 keys (Algorithm 3 amortized over the whole group).
 
-``bulk_insert`` implements that on top of the batch execution engine: the
-entire batch is routed with one vectorized RMI descent
-(:meth:`AlexIndex._route_many`), the per-leaf duplicate validation runs as
-one lock-step search per touched leaf, and rebuilt leaves that overshoot
-the adaptive RMI's node-size bound are routed through the split path
+``bulk_insert`` is the functional spelling of
+:meth:`repro.core.alex.AlexIndex.insert_many`, which implements that on top
+of the batch execution engine: the entire batch is routed with one
+vectorized RMI descent, the per-leaf duplicate validation runs as one
+lock-step search per touched leaf, and rebuilt leaves that overshoot the
+adaptive RMI's node-size bound are routed through the split path
 (:func:`repro.core.adaptive.split_until_fits`) exactly as scalar inserts
 would be.  Tiny per-leaf groups fall back to plain inserts.
 
@@ -27,79 +28,17 @@ from typing import Optional
 
 import numpy as np
 
-from .adaptive import split_until_fits
 from .alex import AlexIndex
-from .config import ADAPTIVE_RMI, AlexConfig
-from .errors import DuplicateKeyError
-
-#: Below this many keys per touched leaf, plain inserts win.
-_REBUILD_THRESHOLD = 4
-
-
-def _splitting_enabled(index: AlexIndex) -> bool:
-    """Whether the index honors the node-size bound by splitting (mirrors
-    :meth:`AlexIndex._should_split`'s mode test)."""
-    return (index.config.rmi_mode == ADAPTIVE_RMI
-            and (index.config.split_on_inserts or index._cold_start))
+from .config import AlexConfig
 
 
 def bulk_insert(index: AlexIndex, keys, payloads: Optional[list] = None) -> None:
     """Insert a batch of unique new keys into ``index`` efficiently.
 
-    Keys may arrive unsorted; duplicates (within the batch or against the
-    index) raise :class:`DuplicateKeyError` *before* any mutation, so the
-    operation is all-or-nothing.  The whole batch is routed with a single
-    vectorized RMI traversal; each touched leaf is rebuilt once over the
-    union of its old and new keys, then split if the merged leaf exceeds
-    the adaptive RMI's node-size bound (with splitting enabled).
+    Alias for :meth:`AlexIndex.insert_many` (kept for callers that treat
+    batch loading as a free function rather than an index method).
     """
-    keys = np.asarray(keys, dtype=np.float64)
-    if payloads is None:
-        payloads = [None] * len(keys)
-    elif len(payloads) != len(keys):
-        raise ValueError("payloads length must match keys length")
-    if len(keys) == 0:
-        return
-    order = np.argsort(keys, kind="stable")
-    keys = keys[order]
-    payloads = [payloads[i] for i in order]
-    dup = np.flatnonzero(np.diff(keys) == 0)
-    if len(dup):
-        raise DuplicateKeyError(float(keys[dup[0]]))
-
-    # One vectorized traversal routes the whole batch; the validation pass
-    # (no duplicates against the index either) runs as one lock-step search
-    # per touched leaf.
-    groups = index._route_many(keys)
-    for leaf, _, lo, hi in groups:
-        present = np.flatnonzero(leaf.find_keys_many(keys[lo:hi]) >= 0)
-        if present.size:
-            raise DuplicateKeyError(float(keys[lo + int(present[0])]))
-
-    split_ok = _splitting_enabled(index)
-    for leaf, parent, lo, hi in groups:
-        count = hi - lo
-        if count < _REBUILD_THRESHOLD:
-            # Tiny groups: plain inserts through the index, which also
-            # honors the node-size bound via the scalar split path.
-            for i in range(lo, hi):
-                index.insert(float(keys[i]), payloads[i])
-            continue
-        old_keys, old_payloads = leaf.export_sorted()
-        merged_keys = np.concatenate([old_keys, keys[lo:hi]])
-        merged_payloads = old_payloads + payloads[lo:hi]
-        merge_order = np.argsort(merged_keys, kind="stable")
-        merged_keys = merged_keys[merge_order]
-        merged_payloads = [merged_payloads[j] for j in merge_order]
-        leaf._model_based_build(merged_keys, merged_payloads,
-                                leaf._initial_capacity(len(merged_keys)))
-        leaf.counters.inserts += count
-        index._num_keys += count
-        if split_ok and leaf.num_keys > index.config.max_keys_per_node:
-            inner = split_until_fits(leaf, parent, index.config,
-                                     index.counters)
-            if inner is not None and parent is None:
-                index._root = inner
+    index.insert_many(keys, payloads)
 
 
 def merge_indexes(left: AlexIndex, right: AlexIndex,
@@ -110,14 +49,14 @@ def merge_indexes(left: AlexIndex, right: AlexIndex,
     otherwise).  The result uses ``config`` (default: ``left``'s config).
     """
     config = config or left.config
-    left_keys, left_payloads = _export(left)
-    right_keys, right_payloads = _export(right)
+    left_keys, left_payloads = export_arrays(left)
+    right_keys, right_payloads = export_arrays(right)
     keys = np.concatenate([left_keys, right_keys])
     payloads = left_payloads + right_payloads
     return AlexIndex.bulk_load(keys, payloads, config=config)
 
 
-def _export(index: AlexIndex):
+def export_arrays(index: AlexIndex):
     """``(keys, payloads)`` of the whole index, via a leaf-chain walk that
     concatenates each leaf's arrays directly (no per-item iteration)."""
     key_parts: list = []

@@ -169,6 +169,13 @@ class ConcurrentAlexIndex:
         with self._lock.read():
             return self._index.range_query(lo, hi)
 
+    def range_query_many(self, los, his) -> list:
+        """Shared-lock batch range query: one lock acquisition and one
+        routed descent for all lower bounds (see
+        :meth:`AlexIndex.range_query_many`)."""
+        with self._lock.read():
+            return self._index.range_query_many(los, his)
+
     def __len__(self) -> int:
         with self._lock.read():
             return len(self._index)
@@ -187,6 +194,13 @@ class ConcurrentAlexIndex:
         """Exclusive-lock insert (may expand or split nodes safely)."""
         with self._lock.write():
             self._index.insert(key, payload)
+
+    def insert_many(self, keys, payloads=None) -> None:
+        """Exclusive-lock batch insert: one lock acquisition and one routed
+        traversal for the whole batch (see :meth:`AlexIndex.insert_many`);
+        all-or-nothing on duplicates."""
+        with self._lock.write():
+            self._index.insert_many(keys, payloads)
 
     def delete(self, key: float) -> None:
         """Exclusive-lock delete."""

@@ -1,0 +1,50 @@
+"""The sharded index service: ALEX scaled out by key-range partitioning.
+
+The paper's Section 7 sketches how ALEX lives inside a DBMS — concurrent
+access under locks — and :mod:`repro.ext.concurrent` provides the coarse
+end of that design space: one index, one reader/writer lock, every write
+serialized.  This subsystem is the scale-out end: a
+:class:`ShardedAlexIndex` partitions the key space into N independent
+:class:`~repro.core.alex.AlexIndex` shards and scatter-gathers batched
+reads, writes, and range scans across them, so traffic to different key
+ranges proceeds in parallel.
+
+**The router.**  A :class:`ShardRouter` fits *near-equal-mass* boundaries
+at bulk load from the empirical CDF of the loaded keys
+(:func:`repro.datasets.cdf.empirical_cdf`): boundary ``s`` sits at CDF
+mass ``s / N``, so skewed key distributions still yield balanced shards —
+the same piecewise-linear reading of the CDF that ALEX's adaptive RMI
+discovers recursively, applied once at the serving tier.  Scalar requests
+route through a :class:`~repro.core.linear_model.LinearModel` prediction
+corrected against the exact boundaries (ALEX's model-plus-search idiom);
+batches are sorted once and carved into contiguous per-shard runs with a
+single ``searchsorted``, mirroring :func:`repro.core.rmi.route_batch` one
+level up.
+
+**Locking granularity.**  Two levels of writer-preferring reader/writer
+locks (:class:`repro.ext.concurrent.ReadWriteLock`): a *structure* lock,
+held shared by every request and exclusively by shard splits, pins the
+router and shard list; a *per-shard* lock serializes writers within one
+shard while readers share.  Writes to different shards hold different
+locks and therefore no longer serialize; cross-shard batch inserts take
+the involved shards' write locks in ascending shard order (no deadlocks)
+and validate every sub-batch before any shard mutates (all-or-nothing).
+
+**Rebalance policy.**  The serving layer tallies per-shard accesses
+(:class:`ShardStats`).  Under skewed traffic — e.g. the
+:class:`repro.workloads.hotspot.HotspotGenerator` access pattern — one
+shard's lock becomes the system's bottleneck; :meth:`ShardedAlexIndex
+.rebalance` detects a shard absorbing at least a configurable fraction of
+all accesses and splits it in two at its median key, doubling the lock
+granularity exactly where the traffic is.  Splits quiesce the service
+through the structure lock and preserve all contents.
+"""
+
+from .router import ShardRouter
+from .sharded import ShardedAlexIndex, ShardStats
+
+__all__ = [
+    "ShardRouter",
+    "ShardStats",
+    "ShardedAlexIndex",
+]

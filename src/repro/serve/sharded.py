@@ -1,0 +1,714 @@
+"""The sharded index service: partitioned ALEX shards behind one facade.
+
+:class:`ShardedAlexIndex` partitions the key space into N independent
+:class:`~repro.core.alex.AlexIndex` shards behind a
+:class:`~repro.serve.router.ShardRouter` fitted at bulk load.  Batch
+operations scatter-gather: the request batch is sorted once, carved into
+contiguous per-shard sub-batches (``ShardRouter.split_batch``), and each
+sub-batch executes through the shard's vectorized batch engine — in
+parallel via a ``ThreadPoolExecutor`` when more than one worker is
+configured.  Writes to different shards hold different locks, so they no
+longer serialize the way the single coarse-locked
+:class:`~repro.ext.concurrent.ConcurrentAlexIndex` forces them to.
+
+Locking granularity (two levels):
+
+* a *structure* reader/writer lock, held shared by every operation and
+  exclusively by shard splits, so the router and shard list never change
+  under an in-flight request;
+* one *shard* reader/writer lock per shard — lookups and scans share it,
+  inserts/deletes/updates take it exclusively — acquired only for the
+  shards a request actually touches.
+
+Cross-shard batch inserts stay all-or-nothing: the write locks of every
+involved shard are taken (in shard order, so concurrent batches cannot
+deadlock), all sub-batches are validated against their shards, and only
+then does any shard mutate.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.alex import AlexIndex
+from repro.core.batch import export_arrays
+from repro.core.config import AlexConfig
+from repro.core.errors import DuplicateKeyError, KeyNotFoundError
+from repro.core.stats import Counters
+from repro.ext.concurrent import ReadWriteLock
+
+from .router import ShardRouter
+
+
+@dataclass
+class ShardStats:
+    """Per-shard access tallies maintained by the serving layer (the input
+    to the hot-shard rebalance policy)."""
+
+    reads: int = 0
+    writes: int = 0
+    scans: int = 0
+
+    def __post_init__(self) -> None:
+        # Read locks are shared, so concurrent batches tally the same
+        # shard; a mutex keeps the read-modify-write increments exact.
+        self._mutex = threading.Lock()
+
+    def add(self, reads: int = 0, writes: int = 0, scans: int = 0) -> None:
+        """Atomically add to the tallies (one call per sub-batch)."""
+        with self._mutex:
+            self.reads += reads
+            self.writes += writes
+            self.scans += scans
+
+    @property
+    def accesses(self) -> int:
+        """Total operations routed to the shard."""
+        return self.reads + self.writes + self.scans
+
+    def reset(self) -> None:
+        with self._mutex:
+            self.reads = self.writes = self.scans = 0
+
+
+class ShardedAlexIndex:
+    """A scatter-gather facade over key-range-partitioned ALEX shards.
+
+    Build with :meth:`bulk_load`, which fits the shard router's equal-mass
+    boundaries from the loaded keys' empirical CDF.  Every batch operation
+    of the single-index API is available and returns results identical to a
+    single :class:`AlexIndex` over the same data; scalar operations route
+    through the same locks with a single-shard touch.
+
+    Parameters
+    ----------
+    config:
+        The per-shard :class:`AlexConfig` (each shard is an independent
+        ALEX with its own RMI).
+    router:
+        Key-space partitioner; defaults to a single shard.
+    max_workers:
+        Scatter-gather thread count.  Defaults to one worker per core (at
+        most one per shard); with a single worker, sub-batches execute
+        inline — on a single-core host the fan-out is then pure overhead,
+        so the facade skips the pool entirely.
+    """
+
+    def __init__(self, config: Optional[AlexConfig] = None,
+                 router: Optional[ShardRouter] = None,
+                 max_workers: Optional[int] = None,
+                 shards: Optional[List[AlexIndex]] = None):
+        self.config = config or AlexConfig()
+        self.router = router or ShardRouter(np.empty(0))
+        if shards is None:
+            shards = [AlexIndex(self.config)
+                      for _ in range(self.router.num_shards)]
+        elif len(shards) != self.router.num_shards:
+            raise ValueError(f"{len(shards)} shards for a "
+                             f"{self.router.num_shards}-range router")
+        self.shards: List[AlexIndex] = shards
+        self._shard_locks: List[ReadWriteLock] = [
+            ReadWriteLock() for _ in self.shards
+        ]
+        self._structure_lock = ReadWriteLock()
+        self.stats: List[ShardStats] = [ShardStats() for _ in self.shards]
+        if max_workers is None:
+            max_workers = min(self.router.num_shards, os.cpu_count() or 1)
+        self.max_workers = max(1, max_workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_guard = threading.Lock()
+
+    @classmethod
+    def bulk_load(cls, keys, payloads: Optional[list] = None,
+                  num_shards: int = 8,
+                  config: Optional[AlexConfig] = None,
+                  max_workers: Optional[int] = None) -> "ShardedAlexIndex":
+        """Partition ``keys`` into ``num_shards`` near-equal-mass shards
+        and bulk-load each one.
+
+        The router's boundaries are fitted from the keys' empirical CDF, so
+        skewed distributions still produce balanced shards.  Raises
+        :class:`DuplicateKeyError` on repeated keys, like
+        :meth:`AlexIndex.bulk_load`.
+        """
+        keys, payloads = AlexIndex._normalize_batch(keys, payloads)
+        router = ShardRouter.fit(keys, num_shards)
+        config = config or AlexConfig()
+        edges = ([0] + np.searchsorted(keys, router.boundaries,
+                                       side="left").tolist() + [len(keys)])
+        shards = [
+            AlexIndex.bulk_load(keys[edges[s]:edges[s + 1]],
+                                payloads[edges[s]:edges[s + 1]],
+                                config=config)
+            for s in range(router.num_shards)
+        ]
+        return cls(config=config, router=router, max_workers=max_workers,
+                   shards=shards)
+
+    # ------------------------------------------------------------------
+    # Scatter-gather plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Current shard count (grows when hot shards split)."""
+        return len(self.shards)
+
+    def _executor(self) -> Optional[ThreadPoolExecutor]:
+        """The shared worker pool (created lazily; ``None`` when scatter
+        runs inline)."""
+        if self.max_workers <= 1:
+            return None
+        with self._pool_guard:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="alex-shard")
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the scatter-gather worker pool (idempotent)."""
+        with self._pool_guard:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "ShardedAlexIndex":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def _scatter(self, tasks: list) -> list:
+        """Run the per-shard task thunks, in parallel when a pool exists,
+        and gather their results in task order.
+
+        Tasks must be lock-free: the caller acquires every involved shard
+        lock *before* scattering (see :meth:`_acquire_shards`).  A task
+        that blocked on a lock inside the bounded shared pool could
+        otherwise starve the very caller holding that lock of pool slots —
+        a deadlock.  All futures are awaited before the first exception
+        propagates, so no task is still touching a shard when the caller
+        releases the locks.
+        """
+        pool = self._executor() if len(tasks) > 1 else None
+        if pool is None:
+            return [task() for task in tasks]
+        futures = [pool.submit(task) for task in tasks]
+        wait(futures)
+        return [f.result() for f in futures]
+
+    def _acquire_shards(self, shard_ids: List[int], write: bool) -> None:
+        """Lock the given shards, in ascending shard order so concurrent
+        batches can never acquire in conflicting orders (no deadlocks)."""
+        for s in shard_ids:
+            if write:
+                self._shard_locks[s].acquire_write()
+            else:
+                self._shard_locks[s].acquire_read()
+
+    def _release_shards(self, shard_ids: List[int], write: bool) -> None:
+        for s in shard_ids:
+            if write:
+                self._shard_locks[s].release_write()
+            else:
+                self._shard_locks[s].release_read()
+
+    def _locked_scatter(self, shard_ids: List[int], tasks: list,
+                        write: bool = False) -> list:
+        """Hold the given shard locks around one scatter of lock-free
+        tasks (the shared body of every single-phase batch operation)."""
+        self._acquire_shards(shard_ids, write)
+        try:
+            return self._scatter(tasks)
+        finally:
+            self._release_shards(shard_ids, write)
+
+    @staticmethod
+    def _sort_batch(keys) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        return AlexIndex._sort_batch(keys)
+
+    # ------------------------------------------------------------------
+    # Batch reads (scatter-gather through the per-shard batch engines)
+    # ------------------------------------------------------------------
+
+    def _scatter_read(self, skeys: np.ndarray, method: str, *extra):
+        """The shared scatter-read skeleton: carve the sorted batch into
+        per-shard groups, call ``shard.<method>(sub_batch, *extra)`` for
+        each under the shared locks, and return ``(groups, results)``."""
+        with self._structure_lock.read():
+            groups = list(self.router.split_batch(skeys))
+
+            def run(shard: int, lo: int, hi: int):
+                result = getattr(self.shards[shard], method)(
+                    skeys[lo:hi], *extra)
+                self.stats[shard].add(reads=hi - lo)
+                return result
+
+            return groups, self._locked_scatter(
+                [s for s, _, _ in groups],
+                [(lambda s=s, lo=lo, hi=hi: run(s, lo, hi))
+                 for s, lo, hi in groups])
+
+    @staticmethod
+    def _stitch(groups: list, results: list, out: list,
+                order: Optional[np.ndarray]) -> list:
+        """Write per-shard result lists back into input order."""
+        for (_, lo, hi), sub in zip(groups, results):
+            dest = range(lo, hi) if order is None else order[lo:hi].tolist()
+            for j, payload in zip(dest, sub):
+                out[j] = payload
+        return out
+
+    def lookup_many(self, keys) -> list:
+        """Batch lookup across shards; raises :class:`KeyNotFoundError`
+        when any key is absent.  Identical to
+        :meth:`AlexIndex.lookup_many` over the same data."""
+        skeys, order = self._sort_batch(keys)
+        if len(skeys) == 0:
+            return []
+        groups, results = self._scatter_read(skeys, "lookup_many")
+        return self._stitch(groups, results, [None] * len(skeys), order)
+
+    def get_many(self, keys, default=None) -> list:
+        """Batch :meth:`AlexIndex.get_many` across shards."""
+        skeys, order = self._sort_batch(keys)
+        if len(skeys) == 0:
+            return []
+        groups, results = self._scatter_read(skeys, "get_many", default)
+        return self._stitch(groups, results, [default] * len(skeys), order)
+
+    def contains_many(self, keys) -> np.ndarray:
+        """Vectorized membership test across shards."""
+        skeys, order = self._sort_batch(keys)
+        n = len(skeys)
+        result = np.zeros(n, dtype=bool)
+        if n == 0:
+            return result
+        groups, results = self._scatter_read(skeys, "contains_many")
+        for (_, lo, hi), hits in zip(groups, results):
+            if order is None:
+                result[lo:hi] = hits
+            else:
+                result[order[lo:hi]] = hits
+        return result
+
+    # ------------------------------------------------------------------
+    # Batch writes
+    # ------------------------------------------------------------------
+
+    def insert_many(self, keys, payloads: Optional[list] = None) -> None:
+        """Batch insert across shards, all-or-nothing.
+
+        The batch is sorted once, carved into per-shard sub-batches, and
+        validated against *every* involved shard before *any* shard
+        mutates; each sub-batch then executes through
+        :meth:`AlexIndex.insert_many` under its shard's write lock, in
+        parallel when a worker pool is configured.  Shards not touched by
+        the batch keep serving reads and writes throughout.
+        """
+        keys, payloads = AlexIndex._normalize_batch(keys, payloads)
+        if len(keys) == 0:
+            return
+
+        with self._structure_lock.read():
+            groups = list(self.router.split_batch(keys))
+            shard_ids = [s for s, _, _ in groups]
+            self._acquire_shards(shard_ids, write=True)
+            try:
+                def validate(shard: int, lo: int, hi: int):
+                    present = self.shards[shard].contains_many(keys[lo:hi])
+                    hit = np.flatnonzero(present)
+                    return float(keys[lo + int(hit[0])]) if hit.size else None
+
+                clashes = self._scatter([
+                    (lambda s=s, lo=lo, hi=hi: validate(s, lo, hi))
+                    for s, lo, hi in groups
+                ])
+                for clash in clashes:
+                    if clash is not None:
+                        raise DuplicateKeyError(clash)
+
+                def apply(shard: int, lo: int, hi: int) -> None:
+                    # Sorted, deduplicated, and validated above — the
+                    # unchecked path skips a second routed validation.
+                    self.shards[shard].insert_sorted_unchecked(
+                        keys[lo:hi], payloads[lo:hi])
+                    self.stats[shard].add(writes=hi - lo)
+
+                self._scatter([
+                    (lambda s=s, lo=lo, hi=hi: apply(s, lo, hi))
+                    for s, lo, hi in groups
+                ])
+            finally:
+                self._release_shards(shard_ids, write=True)
+
+    # ------------------------------------------------------------------
+    # Scalar operations (single-shard touch under the same locks)
+    # ------------------------------------------------------------------
+
+    def _shard_of(self, key: float) -> int:
+        return self.router.shard_for(key)
+
+    def insert(self, key: float, payload=None) -> None:
+        """Insert one key (exclusive lock on its shard only)."""
+        key = float(key)
+        with self._structure_lock.read():
+            s = self._shard_of(key)
+            with self._shard_locks[s].write():
+                self.shards[s].insert(key, payload)
+                self.stats[s].add(writes=1)
+
+    def delete(self, key: float) -> None:
+        """Remove one key; raises :class:`KeyNotFoundError` when absent."""
+        key = float(key)
+        with self._structure_lock.read():
+            s = self._shard_of(key)
+            with self._shard_locks[s].write():
+                self.shards[s].delete(key)
+                self.stats[s].add(writes=1)
+
+    def update(self, key: float, payload) -> None:
+        """Replace the payload of an existing key."""
+        key = float(key)
+        with self._structure_lock.read():
+            s = self._shard_of(key)
+            with self._shard_locks[s].write():
+                self.shards[s].update(key, payload)
+                self.stats[s].add(writes=1)
+
+    def upsert(self, key: float, payload) -> None:
+        """Insert or update one key."""
+        key = float(key)
+        with self._structure_lock.read():
+            s = self._shard_of(key)
+            with self._shard_locks[s].write():
+                self.shards[s].upsert(key, payload)
+                self.stats[s].add(writes=1)
+
+    def lookup(self, key: float):
+        """Shared-lock single-key lookup on the owning shard."""
+        key = float(key)
+        with self._structure_lock.read():
+            s = self._shard_of(key)
+            with self._shard_locks[s].read():
+                # Tally before the probe: misses are accesses too, exactly
+                # as the batch reads count them.
+                self.stats[s].add(reads=1)
+                return self.shards[s].lookup(key)
+
+    def get(self, key: float, default=None):
+        """Like :meth:`lookup` but returns ``default`` when absent."""
+        try:
+            return self.lookup(key)
+        except KeyNotFoundError:
+            return default
+
+    def contains(self, key: float) -> bool:
+        """Whether ``key`` is present."""
+        key = float(key)
+        with self._structure_lock.read():
+            s = self._shard_of(key)
+            with self._shard_locks[s].read():
+                self.stats[s].add(reads=1)
+                return self.shards[s].contains(key)
+
+    # ------------------------------------------------------------------
+    # Range operations
+    # ------------------------------------------------------------------
+
+    def range_scan(self, start_key: float, limit: int) -> list:
+        """Up to ``limit`` pairs with key >= ``start_key``, in key order,
+        continuing across shard boundaries as needed."""
+        start_key = float(start_key)
+        out: list = []
+        with self._structure_lock.read():
+            first = self._shard_of(start_key)
+            for s in range(first, len(self.shards)):
+                with self._shard_locks[s].read():
+                    chunk = self.shards[s].range_scan(start_key,
+                                                      limit - len(out))
+                    self.stats[s].add(scans=1)
+                out.extend(chunk)
+                if len(out) >= limit:
+                    break
+        return out
+
+    def range_query(self, lo: float, hi: float) -> list:
+        """All pairs with ``lo <= key <= hi``, scatter-gathered from the
+        shards whose ranges the interval touches and concatenated in shard
+        (= key) order."""
+        lo, hi = float(lo), float(hi)
+        if hi < lo:
+            return []
+        with self._structure_lock.read():
+            first, last = self.router.shard_span(lo, hi)
+            shard_ids = list(range(first, last + 1))
+
+            def run(shard: int) -> list:
+                result = self.shards[shard].range_query(lo, hi)
+                self.stats[shard].add(scans=1)
+                return result
+
+            chunks = self._locked_scatter(
+                shard_ids, [(lambda s=s: run(s)) for s in shard_ids])
+        out: list = []
+        for chunk in chunks:
+            out.extend(chunk)
+        return out
+
+    def range_query_many(self, los, his) -> list:
+        """Vectorized :meth:`range_query` for a batch of intervals.
+
+        Each shard executes one :meth:`AlexIndex.range_query_many` over the
+        sub-batch of intervals that touch its range; per-query results are
+        stitched back together in shard order, so the output is identical
+        to a single index's batch range query.
+        """
+        los = np.asarray(los, dtype=np.float64)
+        his = np.asarray(his, dtype=np.float64)
+        if los.ndim != 1 or los.shape != his.shape:
+            raise ValueError("los and his must be 1-D arrays of equal length")
+        n = len(los)
+        if n == 0:
+            return []
+        out: list = [[] for _ in range(n)]
+        with self._structure_lock.read():
+            lo_shards = self.router.shard_for_many(los)
+            hi_shards = self.router.shard_for_many(np.maximum(los, his))
+            jobs = []
+            for s in range(len(self.shards)):
+                touched = np.flatnonzero((lo_shards <= s) & (hi_shards >= s))
+                if touched.size:
+                    jobs.append((s, touched))
+
+            def run(shard: int, touched: np.ndarray) -> list:
+                result = self.shards[shard].range_query_many(
+                    los[touched], his[touched])
+                self.stats[shard].add(scans=len(touched))
+                return result
+
+            results = self._locked_scatter(
+                [s for s, _ in jobs],
+                [(lambda s=s, t=t: run(s, t)) for s, t in jobs])
+        for (_, touched), sub in zip(jobs, results):  # shards in key order
+            for q, chunk in zip(touched.tolist(), sub):
+                out[q].extend(chunk)
+        return out
+
+    # ------------------------------------------------------------------
+    # Shard statistics and the hot-shard rebalance hook
+    # ------------------------------------------------------------------
+
+    def shard_stats(self) -> list:
+        """One dict per shard: key range, key count, structure size, and
+        the serving-layer access tallies (the rebalance policy's input)."""
+        with self._structure_lock.read():
+            rows = []
+            for s, (shard, stats) in enumerate(zip(self.shards, self.stats)):
+                with self._shard_locks[s].read():
+                    lo, hi = self.router.key_range(s)
+                    rows.append({
+                        "shard": s,
+                        "key_lo": lo,
+                        "key_hi": hi,
+                        "num_keys": len(shard),
+                        "leaves": shard.num_leaves(),
+                        "depth": shard.depth(),
+                        "reads": stats.reads,
+                        "writes": stats.writes,
+                        "scans": stats.scans,
+                        "accesses": stats.accesses,
+                    })
+            return rows
+
+    def hottest_shard(self) -> Tuple[int, float]:
+        """``(shard_id, access_fraction)`` of the most-accessed shard
+        (fraction of all accesses since the last stats reset)."""
+        with self._structure_lock.read():
+            accesses = [stats.accesses for stats in self.stats]
+            total = sum(accesses)
+            if total == 0:
+                return 0, 0.0
+            hot = int(np.argmax(accesses))
+            return hot, accesses[hot] / total
+
+    def reset_stats(self) -> None:
+        """Zero the per-shard access tallies."""
+        with self._structure_lock.read():
+            for stats in self.stats:
+                stats.reset()
+
+    def rebalance(self, hot_access_fraction: float = 0.5,
+                  min_accesses: int = 1024) -> Optional[int]:
+        """Split the hottest shard when it absorbs a disproportionate share
+        of traffic (e.g. under :class:`repro.workloads.hotspot
+        .HotspotGenerator` access skew).
+
+        When one shard received at least ``hot_access_fraction`` of all
+        accesses (and at least ``min_accesses`` accesses were recorded
+        overall), that shard is split in two at its median key, halving the
+        work a single shard lock serializes.  Returns the id of the shard
+        that was split, or ``None`` when no shard is hot enough (or the hot
+        shard is too small to split).  Access tallies reset after a split
+        so the policy re-evaluates fresh traffic.
+        """
+        # Decision and split happen under one exclusive structure hold, so
+        # a concurrent split cannot shift shard ids between picking the
+        # hot shard and cutting it.
+        with self._structure_lock.write():
+            accesses = [stats.accesses for stats in self.stats]
+            total = sum(accesses)
+            if total < min_accesses:
+                return None
+            hot = int(np.argmax(accesses))
+            if accesses[hot] / total < hot_access_fraction:
+                return None
+            if not self._split_locked(hot):
+                return None
+            for stats in self.stats:
+                stats.reset()
+            return hot
+
+    def split_shard(self, shard: int) -> bool:
+        """Split shard ``shard`` at its median key into two shards
+        (quiesces the service: takes the structure lock exclusively).
+
+        Returns ``False`` when the shard holds fewer than two keys (there
+        is no median to cut at).
+        """
+        with self._structure_lock.write():
+            return self._split_locked(shard)
+
+    def _split_locked(self, shard: int) -> bool:
+        """Body of :meth:`split_shard`; the structure lock must be held
+        exclusively."""
+        if not 0 <= shard < len(self.shards):
+            raise IndexError(f"no shard {shard}")
+        victim = self.shards[shard]
+        if len(victim) < 2:
+            return False
+        keys, payloads = export_arrays(victim)
+        median = float(keys[len(keys) // 2])
+        cut = int(np.searchsorted(keys, median, side="left"))
+        left = AlexIndex.bulk_load(keys[:cut], payloads[:cut],
+                                   config=self.config)
+        right = AlexIndex.bulk_load(keys[cut:], payloads[cut:],
+                                    config=self.config)
+        # The victim's accumulated work history moves to its left half so
+        # aggregate counters stay monotone across splits (a diff spanning
+        # a rebalance must never go negative).
+        left.counters.merge(victim.counters)
+        self.router = self.router.with_boundary(median)
+        self.shards[shard:shard + 1] = [left, right]
+        self._shard_locks[shard:shard + 1] = [ReadWriteLock(),
+                                              ReadWriteLock()]
+        self.stats[shard:shard + 1] = [ShardStats(), ShardStats()]
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection and accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def counters(self) -> Counters:
+        """Aggregate work counters across all shards (a fresh merged
+        snapshot; use ``.snapshot()``/``.diff()`` as with a single index).
+
+        Accuracy contract: work counters are exact for any single-client
+        usage and for writes (exclusive locks).  Concurrent *readers* of
+        the same shard share its lock and mutate the shard's unsynchronized
+        :class:`Counters` together, so read tallies may undercount under
+        multi-client read contention — they are a measurement instrument,
+        not correctness state, and guarding them would put a mutex on the
+        core engine's hottest path.  The serving-layer :class:`ShardStats`
+        (which feed the rebalance policy) are mutex-guarded and exact."""
+        merged = Counters()
+        for shard in self.shards:
+            merged.merge(shard.counters)
+        return merged
+
+    def shard_counters(self) -> List[Counters]:
+        """Per-shard counter snapshots, in shard order (the input to
+        critical-path scaling measurements).
+
+        The list's shape changes when a shard splits (the victim's history
+        moves to its left half), so measurements that might span a
+        rebalance should diff the aggregate :attr:`counters` instead of
+        zipping two per-shard lists."""
+        return [shard.counters.snapshot() for shard in self.shards]
+
+    def __len__(self) -> int:
+        with self._structure_lock.read():
+            return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, key) -> bool:
+        return self.contains(float(key))
+
+    def _map_shards(self, fn) -> list:
+        """Apply ``fn`` to every shard under its shared lock (structure
+        pinned), in shard order."""
+        with self._structure_lock.read():
+            out = []
+            for s, shard in enumerate(self.shards):
+                with self._shard_locks[s].read():
+                    out.append(fn(shard))
+            return out
+
+    def items(self) -> Iterator[Tuple[float, object]]:
+        """All ``(key, payload)`` pairs in key order (a consistent
+        per-shard snapshot taken under the shared locks)."""
+        for chunk in self._map_shards(lambda shard: list(shard.items())):
+            yield from chunk
+
+    def keys(self) -> Iterator[float]:
+        """All keys in key order."""
+        for key, _ in self.items():
+            yield key
+
+    def num_leaves(self) -> int:
+        """Total data nodes across shards."""
+        return sum(self._map_shards(lambda shard: shard.num_leaves()))
+
+    def depth(self) -> int:
+        """Maximum RMI depth over the shards (the router adds one
+        searchsorted hop on top)."""
+        return max(self._map_shards(lambda shard: shard.depth()))
+
+    def index_size_bytes(self) -> int:
+        """Index footprint: per-shard models and pointers plus the router's
+        boundary array."""
+        return (sum(self._map_shards(lambda shard: shard.index_size_bytes()))
+                + 8 * len(self.router.boundaries))
+
+    def data_size_bytes(self) -> int:
+        """Data footprint summed over shards."""
+        return sum(self._map_shards(lambda shard: shard.data_size_bytes()))
+
+    def validate(self) -> None:
+        """Validate every shard plus the router invariants: shard count
+        matches the router, and each non-empty shard's keys lie inside its
+        assigned range."""
+        with self._structure_lock.write():
+            if len(self.shards) != self.router.num_shards:
+                raise AssertionError(
+                    f"{len(self.shards)} shards but router expects "
+                    f"{self.router.num_shards}")
+            for s, shard in enumerate(self.shards):
+                shard.validate()
+                if len(shard) == 0:
+                    continue
+                lo, hi = self.router.key_range(s)
+                first = next(iter(shard.keys()))
+                last = max(shard.keys())
+                if not (lo <= first and last < hi):
+                    raise AssertionError(
+                        f"shard {s} holds keys [{first}, {last}] outside "
+                        f"its range [{lo}, {hi})")

@@ -86,7 +86,7 @@ class WorkloadRunner:
 
     def run(self, spec: WorkloadSpec, num_ops: int,
             scan_payload: Optional[int] = None,
-            read_batch: int = 1) -> WorkloadResult:
+            read_batch: int = 1, write_batch: int = 1) -> WorkloadResult:
         """Execute ``num_ops`` operations of ``spec``; returns tallies and
         the counter delta for exactly this run.
 
@@ -97,8 +97,11 @@ class WorkloadRunner:
         and issued through the index's ``lookup_many`` in one call; the
         buffer is flushed whenever an insert or scan interleaves, so the
         observable per-operation results are identical to scalar execution.
-        Indexes without a ``lookup_many`` method fall back to scalar
-        lookups transparently.
+        ``write_batch > 1`` does the same for consecutive inserts through
+        the index's ``insert_many`` (the write buffer is flushed before any
+        read or scan executes, so every operation still sees exactly the
+        keys a scalar execution would).  Indexes without the batch methods
+        fall back to scalar operations transparently.
         """
         result = WorkloadResult(spec_name=spec.name)
         before = self.index.counters.snapshot()
@@ -107,7 +110,10 @@ class WorkloadRunner:
                                           size=num_ops)
         lookup_many = getattr(self.index, "lookup_many", None)
         batching = read_batch > 1 and lookup_many is not None
+        insert_many = getattr(self.index, "insert_many", None)
+        wbatching = write_batch > 1 and insert_many is not None
         pending: list = []
+        pending_writes: list = []
 
         def flush() -> None:
             if not pending:
@@ -119,6 +125,17 @@ class WorkloadRunner:
             result.reads += len(pending)
             pending.clear()
 
+        def flush_writes() -> None:
+            if not pending_writes:
+                return
+            if len(pending_writes) == 1:
+                self.index.insert(pending_writes[0], scan_payload)
+            else:
+                insert_many(np.array(pending_writes, dtype=np.float64),
+                            [scan_payload] * len(pending_writes))
+            result.inserts += len(pending_writes)
+            pending_writes.clear()
+
         for i, op in enumerate(islice(spec.schedule(), num_ops)):
             if op == INSERT:
                 if self._next_insert >= len(self._insert_keys):
@@ -126,17 +143,24 @@ class WorkloadRunner:
                 flush()
                 key = float(self._insert_keys[self._next_insert])
                 self._next_insert += 1
-                self.index.insert(key, scan_payload)
                 self._pool[self._pool_size] = key
                 self._pool_size += 1
-                result.inserts += 1
+                if wbatching:
+                    pending_writes.append(key)
+                    if len(pending_writes) >= write_batch:
+                        flush_writes()
+                else:
+                    self.index.insert(key, scan_payload)
+                    result.inserts += 1
             elif op == SCAN:
                 flush()
+                flush_writes()
                 key = self._pick_existing(int(ranks[i]))
                 records = self.index.range_scan(key, int(scan_lengths[i]))
                 result.scanned_records += len(records)
                 result.scans += 1
             else:
+                flush_writes()
                 key = self._pick_existing(int(ranks[i]))
                 if batching:
                     pending.append(key)
@@ -147,13 +171,15 @@ class WorkloadRunner:
                     result.reads += 1
             result.ops += 1
         flush()
+        flush_writes()
         result.work = self.index.counters.snapshot().diff(before)
         return result
 
 
 def run_workload(index, existing_keys: np.ndarray, insert_keys: np.ndarray,
                  spec: WorkloadSpec, num_ops: int, seed: int = 0,
-                 read_batch: int = 1) -> WorkloadResult:
+                 read_batch: int = 1, write_batch: int = 1) -> WorkloadResult:
     """One-shot convenience wrapper around :class:`WorkloadRunner`."""
     runner = WorkloadRunner(index, existing_keys, insert_keys, seed=seed)
-    return runner.run(spec, num_ops, read_batch=read_batch)
+    return runner.run(spec, num_ops, read_batch=read_batch,
+                      write_batch=write_batch)

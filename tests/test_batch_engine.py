@@ -239,6 +239,99 @@ class TestBulkInsertEquivalence:
         batched.validate()
 
 
+class TestInsertManyEquivalence:
+    """insert_many (the method bulk_insert now delegates to) must leave the
+    index identical to a scalar insert loop, split handling included."""
+
+    @pytest.mark.parametrize("variant", CONFIGS, ids=list(CONFIGS))
+    def test_method_matches_scalar_inserts_with_splits(self, variant):
+        rng = np.random.default_rng(_seed(("insert_many", variant)))
+        keys = np.unique(rng.uniform(0, 1e9, 4000))
+        init, batch = keys[:2500], keys[2500:]
+        rng.shuffle(batch)
+
+        batched = AlexIndex.bulk_load(init, config=CONFIGS[variant]())
+        batched.insert_many(batch, [f"b{i}" for i in range(len(batch))])
+
+        scalar = AlexIndex.bulk_load(init, config=CONFIGS[variant]())
+        for i, key in enumerate(batch):
+            scalar.insert(float(key), f"b{i}")
+
+        assert list(batched.keys()) == list(scalar.keys())
+        assert len(batched) == len(scalar)
+        batched.validate()
+
+    def test_all_or_nothing_on_duplicates(self):
+        from repro.core.errors import DuplicateKeyError
+
+        rng = np.random.default_rng(_seed("atomic"))
+        keys = np.unique(rng.uniform(0, 1e9, 1000))
+        index = AlexIndex.bulk_load(keys, config=ga_armi())
+        before = list(index.keys())
+        poisoned = np.concatenate([rng.uniform(2e9, 3e9, 50), keys[:1]])
+        with pytest.raises(DuplicateKeyError):
+            index.insert_many(poisoned)
+        assert list(index.keys()) == before
+
+
+@pytest.mark.parametrize("variant", CONFIGS, ids=list(CONFIGS))
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+class TestRangeQueryManyEquivalence:
+    def test_matches_scalar_range_query(self, variant, batch_size):
+        rng = np.random.default_rng(_seed(("rq", variant, batch_size)))
+        index, keys = build_bulk_loaded(CONFIGS[variant](), rng)
+        los = rng.uniform(-1e8, 1.1e9, batch_size)
+        his = los + rng.uniform(0, 2e8, batch_size)
+        his[::7] = los[::7] - 1.0  # inverted bounds yield empty results
+        batch = index.range_query_many(los, his)
+        scalar = [index.range_query(float(lo), float(hi))
+                  for lo, hi in zip(los, his)]
+        assert batch == scalar
+
+    def test_unsorted_bounds_return_in_input_order(self, variant,
+                                                   batch_size):
+        rng = np.random.default_rng(_seed(("rqo", variant, batch_size)))
+        index, keys = build_bulk_loaded(CONFIGS[variant](), rng)
+        los = rng.choice(keys, batch_size, replace=True)[::-1].copy()
+        his = los + 5e7
+        batch = index.range_query_many(los, his)
+        for result, lo, hi in zip(batch, los, his):
+            assert result == index.range_query(float(lo), float(hi))
+
+
+class TestScalarFastPath:
+    """The single-key fast path must stay observationally identical to the
+    batch engine with a one-element batch."""
+
+    @pytest.mark.parametrize("variant", CONFIGS, ids=list(CONFIGS))
+    def test_results_match_single_element_batches(self, variant):
+        rng = np.random.default_rng(_seed(("fast", variant)))
+        index, keys = build_bulk_loaded(CONFIGS[variant](), rng)
+        for key in probe_mix(keys, rng, 60):
+            key = float(key)
+            assert (index.get(key, "MISS")
+                    == index.get_many(np.array([key]), "MISS")[0])
+            assert index.contains(key) == bool(
+                index.contains_many(np.array([key]))[0])
+        for key in rng.choice(keys, 40):
+            key = float(key)
+            assert index.lookup(key) == index.lookup_many(np.array([key]))[0]
+        with pytest.raises(KeyNotFoundError):
+            index.lookup(-777.0)
+
+    def test_lookup_counter_parity_with_batch(self):
+        rng = np.random.default_rng(_seed("fastcnt"))
+        index, keys = build_bulk_loaded(ga_armi(), rng)
+        hits = rng.choice(keys, 100, replace=True)
+        index.counters.reset()
+        for key in hits:
+            index.lookup(float(key))
+        scalar_lookups = index.counters.lookups
+        index.counters.reset()
+        index.lookup_many(hits)
+        assert index.counters.lookups == scalar_lookups == 100
+
+
 class TestWorkloadRunnerBatching:
     def test_batched_reads_identical_tallies(self):
         from repro.workloads import READ_HEAVY
@@ -262,3 +355,28 @@ class TestWorkloadRunnerBatching:
         # Batching only amortizes traversal work; it never adds any.
         assert (tallies[64].work.pointer_follows
                 <= tallies[1].work.pointer_follows)
+
+    def test_batched_writes_identical_contents_and_tallies(self):
+        from repro.workloads import WRITE_HEAVY
+        from repro.workloads.runner import run_workload
+
+        rng = np.random.default_rng(2424)
+        keys = np.unique(rng.uniform(0, 1e8, 3500))
+        init, inserts = keys[:2500], keys[2500:]
+
+        contents = {}
+        tallies = {}
+        for write_batch in (1, 64):
+            index = AlexIndex.bulk_load(init, config=ga_armi())
+            result = run_workload(index, init.copy(), inserts.copy(),
+                                  WRITE_HEAVY, 900, seed=5,
+                                  write_batch=write_batch)
+            tallies[write_batch] = result
+            contents[write_batch] = list(index.keys())
+            index.validate()
+        assert tallies[1].inserts == tallies[64].inserts
+        assert tallies[1].reads == tallies[64].reads
+        assert tallies[1].scans == tallies[64].scans
+        assert tallies[1].scanned_records == tallies[64].scanned_records
+        assert tallies[1].ops == tallies[64].ops
+        assert contents[1] == contents[64]

@@ -1,0 +1,382 @@
+"""Property-based equivalence tests for the sharded index service.
+
+A :class:`ShardedAlexIndex` must be observationally identical to a single
+:class:`AlexIndex` over the same data — for every batch operation, every
+scalar operation, and any interleaving of reads, writes, deletes, and range
+queries — regardless of the shard count.  These tests drive seeded-random
+scenarios across shard counts {1, 3, 8}, skewed and uniform key sets, and
+the threaded scatter-gather pool, plus the router's partitioning and the
+hot-shard rebalance policy.
+"""
+
+import threading
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.alex import AlexIndex
+from repro.core.config import ga_armi, pma_srmi
+from repro.core.errors import DuplicateKeyError, KeyNotFoundError
+from repro.serve import ShardRouter, ShardedAlexIndex
+from repro.workloads.hotspot import HotspotGenerator
+
+SHARD_COUNTS = (1, 3, 8)
+
+
+def _seed(parts) -> int:
+    """Deterministic per-case seed (str hash() is randomized per run)."""
+    return zlib.crc32(repr(parts).encode())
+
+
+def skewed_keys(rng, n):
+    return np.unique(rng.lognormal(0, 2, n + 200) * 1e6)[:n]
+
+
+def build_pair(rng, n=4000, num_shards=3, config=None):
+    """A sharded service and a single index over identical data."""
+    config = config or ga_armi(max_keys_per_node=256)
+    keys = skewed_keys(rng, n)
+    payloads = [f"p{i}" for i in range(len(keys))]
+    service = ShardedAlexIndex.bulk_load(keys, payloads,
+                                         num_shards=num_shards,
+                                         config=config)
+    single = AlexIndex.bulk_load(keys, payloads, config=config)
+    return service, single, keys
+
+
+def probe_mix(keys, rng, size):
+    """Half present keys, half uniform-random (mostly absent), shuffled."""
+    hits = rng.choice(keys, size - size // 2, replace=True)
+    misses = rng.uniform(-1e6, keys.max() * 1.1, size // 2)
+    probes = np.concatenate([hits, misses])
+    rng.shuffle(probes)
+    return probes
+
+
+class TestShardRouter:
+    def test_equal_mass_on_skewed_keys(self):
+        keys = skewed_keys(np.random.default_rng(1), 20_000)
+        router = ShardRouter.fit(keys, 8)
+        assert router.num_shards == 8
+        masses = router.mass(keys)
+        assert masses.max() - masses.min() < 0.01
+
+    def test_scalar_matches_vectorized(self):
+        rng = np.random.default_rng(2)
+        keys = skewed_keys(rng, 5_000)
+        router = ShardRouter.fit(keys, 7)
+        # Random keys, the boundaries themselves, and their neighbourhoods.
+        probes = np.concatenate([
+            rng.uniform(-1e6, keys.max() * 1.2, 500),
+            router.boundaries,
+            np.nextafter(router.boundaries, -np.inf),
+            np.nextafter(router.boundaries, np.inf),
+        ])
+        vec = router.shard_for_many(probes)
+        assert [router.shard_for(float(k)) for k in probes] == vec.tolist()
+
+    def test_split_batch_tiles_and_agrees(self):
+        rng = np.random.default_rng(3)
+        keys = skewed_keys(rng, 3_000)
+        router = ShardRouter.fit(keys, 5)
+        batch = np.sort(probe_mix(keys, rng, 800))
+        expected_lo = 0
+        prev_shard = -1
+        for shard, lo, hi in router.split_batch(batch):
+            assert lo == expected_lo and hi > lo
+            assert shard > prev_shard
+            assert (router.shard_for_many(batch[lo:hi]) == shard).all()
+            expected_lo, prev_shard = hi, shard
+        assert expected_lo == len(batch)
+
+    def test_key_range_and_with_boundary(self):
+        router = ShardRouter([10.0, 20.0])
+        assert router.key_range(0) == (-np.inf, 10.0)
+        assert router.key_range(1) == (10.0, 20.0)
+        assert router.key_range(2) == (20.0, np.inf)
+        grown = router.with_boundary(15.0)
+        assert grown.num_shards == 4
+        assert grown.shard_for(15.0) == 2 and grown.shard_for(14.9) == 1
+        with pytest.raises(ValueError):
+            router.with_boundary(10.0)
+
+    def test_degenerate_fits(self):
+        assert ShardRouter.fit(np.empty(0), 4).num_shards == 1
+        assert ShardRouter.fit(np.arange(100.0), 1).num_shards == 1
+        # More shards than keys: collapses instead of creating empty cuts.
+        tiny = ShardRouter.fit(np.array([1.0, 2.0]), 8)
+        assert tiny.num_shards <= 3
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+class TestBatchEquivalence:
+    def test_batch_reads_match_single_index(self, num_shards):
+        rng = np.random.default_rng(_seed(("reads", num_shards)))
+        service, single, keys = build_pair(rng, num_shards=num_shards)
+        probes = probe_mix(keys, rng, 900)
+
+        assert service.get_many(probes, "MISS") == single.get_many(probes,
+                                                                   "MISS")
+        assert (service.contains_many(probes).tolist()
+                == single.contains_many(probes).tolist())
+        hits = rng.choice(keys, 700, replace=True)
+        assert service.lookup_many(hits) == single.lookup_many(hits)
+
+    def test_lookup_many_raises_on_any_miss(self, num_shards):
+        rng = np.random.default_rng(_seed(("miss", num_shards)))
+        service, _, keys = build_pair(rng, num_shards=num_shards)
+        probes = rng.choice(keys, 50, replace=True)
+        probes[17] = -4321.0  # guaranteed absent
+        with pytest.raises(KeyNotFoundError):
+            service.lookup_many(probes)
+
+    def test_insert_many_matches_single_index(self, num_shards):
+        rng = np.random.default_rng(_seed(("ins", num_shards)))
+        service, single, keys = build_pair(rng, num_shards=num_shards)
+        new = np.setdiff1d(np.unique(rng.uniform(0, keys.max() * 1.2, 1500)),
+                           keys)[:1000]
+        rng.shuffle(new)
+        payloads = [f"n{i}" for i in range(len(new))]
+        service.insert_many(new, payloads)
+        single.insert_many(new, payloads)
+        assert len(service) == len(single)
+        assert list(service.items()) == list(single.items())
+        service.validate()
+
+    def test_insert_many_all_or_nothing(self, num_shards):
+        rng = np.random.default_rng(_seed(("atomic", num_shards)))
+        service, _, keys = build_pair(rng, num_shards=num_shards)
+        before = list(service.items())
+        fresh = np.setdiff1d(np.unique(rng.uniform(0, keys.max(), 400)),
+                             keys)[:200]
+        # One existing key poisons the whole batch, scattered shards or not.
+        batch = np.concatenate([fresh, keys[len(keys) // 2:len(keys) // 2 + 1]])
+        rng.shuffle(batch)
+        with pytest.raises(DuplicateKeyError):
+            service.insert_many(batch)
+        assert list(service.items()) == before
+        with pytest.raises(DuplicateKeyError):  # in-batch duplicate
+            service.insert_many(np.array([fresh[0], fresh[1], fresh[0]]))
+        assert list(service.items()) == before
+
+    def test_range_queries_match_single_index(self, num_shards):
+        rng = np.random.default_rng(_seed(("range", num_shards)))
+        service, single, keys = build_pair(rng, num_shards=num_shards)
+        los = rng.uniform(keys.min(), keys.max(), 80)
+        his = los + rng.uniform(0, (keys.max() - keys.min()) / 3, 80)
+        his[::11] = los[::11] - 1.0  # inverted bounds yield empty results
+        assert service.range_query_many(los, his) == \
+            single.range_query_many(los, his)
+        for lo, hi in zip(los[:10], his[:10]):
+            assert service.range_query(lo, hi) == single.range_query(lo, hi)
+        for start in rng.choice(keys, 8, replace=False):
+            assert (service.range_scan(float(start), 150)
+                    == single.range_scan(float(start), 150))
+
+    def test_empty_batches(self, num_shards):
+        rng = np.random.default_rng(_seed(("empty", num_shards)))
+        service, _, _ = build_pair(rng, n=500, num_shards=num_shards)
+        assert service.lookup_many(np.empty(0)) == []
+        assert service.get_many([]) == []
+        assert service.contains_many([]).tolist() == []
+        assert service.range_query_many([], []) == []
+        service.insert_many(np.empty(0))  # no-op
+
+
+class TestRandomInterleavings:
+    """Sharded vs single under a random mixed op stream, op for op."""
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("config_name,config", [
+        ("ga-armi", lambda: ga_armi(max_keys_per_node=128,
+                                    split_on_inserts=True)),
+        ("pma-srmi", lambda: pma_srmi(num_models=16)),
+    ], ids=["ga-armi", "pma-srmi"])
+    def test_mixed_stream_equivalence(self, num_shards, config_name, config):
+        rng = np.random.default_rng(_seed((config_name, num_shards)))
+        service, single, keys = build_pair(rng, n=1200,
+                                           num_shards=num_shards,
+                                           config=config())
+        live = list(keys)
+        fresh = iter(np.setdiff1d(
+            np.unique(rng.uniform(0, keys.max() * 1.3, 2000)),
+            keys).tolist())
+        for step in range(400):
+            op = rng.integers(0, 8)
+            if op == 0:  # insert
+                key = next(fresh)
+                service.insert(key, f"i{step}")
+                single.insert(key, f"i{step}")
+                live.append(key)
+            elif op == 1 and live:  # delete
+                key = live.pop(int(rng.integers(len(live))))
+                service.delete(key)
+                single.delete(key)
+            elif op == 2 and live:  # update
+                key = live[int(rng.integers(len(live)))]
+                service.update(key, f"u{step}")
+                single.update(key, f"u{step}")
+            elif op == 3:  # upsert (sometimes new, sometimes live)
+                if rng.random() < 0.5 and live:
+                    key = live[int(rng.integers(len(live)))]
+                else:
+                    key = next(fresh)
+                    live.append(key)
+                service.upsert(key, f"s{step}")
+                single.upsert(key, f"s{step}")
+            elif op == 4:  # point reads (hit or miss)
+                key = (live[int(rng.integers(len(live)))]
+                       if rng.random() < 0.7 and live
+                       else float(rng.uniform(0, keys.max())))
+                assert service.get(key, "MISS") == single.get(key, "MISS")
+                assert service.contains(key) == single.contains(key)
+            elif op == 5 and live:  # range query
+                lo = live[int(rng.integers(len(live)))]
+                assert (service.range_query(lo, lo * 1.2)
+                        == single.range_query(lo, lo * 1.2))
+            elif op == 6 and live:  # range scan
+                start = live[int(rng.integers(len(live)))]
+                assert (service.range_scan(start, 40)
+                        == single.range_scan(start, 40))
+            else:  # small batch read
+                probes = rng.uniform(0, keys.max() * 1.2, 25)
+                assert (service.get_many(probes, None)
+                        == single.get_many(probes, None))
+        assert len(service) == len(single)
+        assert list(service.items()) == list(single.items())
+        service.validate()
+
+    def test_shard_count_invariance(self):
+        """The same op stream produces bit-identical observations at every
+        shard count."""
+        observations = {}
+        for num_shards in SHARD_COUNTS:
+            rng = np.random.default_rng(99)
+            service, _, keys = build_pair(rng, n=1500,
+                                          num_shards=num_shards)
+            trace = []
+            new = np.setdiff1d(np.unique(rng.uniform(0, keys.max(), 900)),
+                               keys)[:500]
+            service.insert_many(new)
+            trace.append(service.get_many(probe_mix(keys, rng, 300), "-"))
+            trace.append(service.contains_many(
+                probe_mix(keys, rng, 300)).tolist())
+            los = rng.uniform(keys.min(), keys.max(), 30)
+            trace.append(service.range_query_many(los, los * 1.1))
+            trace.append(list(service.items()))
+            observations[num_shards] = trace
+        baseline = observations[SHARD_COUNTS[0]]
+        for num_shards in SHARD_COUNTS[1:]:
+            assert observations[num_shards] == baseline
+
+
+class TestRebalance:
+    def _hot_service(self, rng, num_shards=4):
+        service, _, keys = build_pair(rng, n=4000, num_shards=num_shards)
+        sorted_keys = np.sort(keys)
+        hotspot = HotspotGenerator(len(keys), hot_fraction=0.15,
+                                   hot_access_fraction=0.9, seed=5)
+        for _ in range(10):
+            service.lookup_many(sorted_keys[hotspot.sample(400)])
+        return service, keys
+
+    def test_hotspot_traffic_concentrates_and_splits(self):
+        service, keys = self._hot_service(np.random.default_rng(41))
+        before_items = list(service.items())
+        hot, fraction = service.hottest_shard()
+        assert fraction > 0.5  # 90% of accesses hit 15% of the key space
+        split = service.rebalance(hot_access_fraction=0.5, min_accesses=1000)
+        assert split == hot
+        assert service.num_shards == 5
+        assert list(service.items()) == before_items
+        assert all(stats.accesses == 0 for stats in service.stats)
+        service.validate()
+
+    def test_rebalance_noop_below_thresholds(self):
+        service, keys = self._hot_service(np.random.default_rng(42))
+        assert service.rebalance(min_accesses=10 ** 9) is None
+        assert service.rebalance(hot_access_fraction=1.01) is None
+        assert service.num_shards == 4
+
+    def test_split_shard_too_small(self):
+        service = ShardedAlexIndex.bulk_load(np.array([5.0]), num_shards=1)
+        assert not service.split_shard(0)
+        with pytest.raises(IndexError):
+            service.split_shard(3)
+
+    def test_shard_stats_shape(self):
+        service, keys = self._hot_service(np.random.default_rng(43))
+        rows = service.shard_stats()
+        assert [row["shard"] for row in rows] == list(range(4))
+        assert sum(row["num_keys"] for row in rows) == len(service)
+        assert sum(row["reads"] for row in rows) == 4000
+        assert rows[0]["key_lo"] == -np.inf
+        assert rows[-1]["key_hi"] == np.inf
+
+
+class TestConcurrency:
+    def test_parallel_writers_and_readers(self):
+        rng = np.random.default_rng(77)
+        keys = np.unique(rng.uniform(0, 1e9, 6000))[:5000]
+        service = ShardedAlexIndex.bulk_load(keys, num_shards=4,
+                                             config=ga_armi(),
+                                             max_workers=4)
+        lanes = np.setdiff1d(np.unique(rng.uniform(0, 1e9, 5000)),
+                             keys)[:3200].reshape(4, 800)
+        errors = []
+
+        def writer(lane):
+            try:
+                for chunk in np.split(lanes[lane], 8):
+                    service.insert_many(chunk)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(20):
+                    probes = rng.choice(keys, 200)
+                    assert all(p is None
+                               for p in service.get_many(probes, None))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=writer, args=(lane,))
+                    for lane in range(4)]
+                   + [threading.Thread(target=reader) for _ in range(2)])
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        service.close()
+        assert not errors
+        assert len(service) == 5000 + 3200
+        expected = np.sort(np.concatenate([keys, lanes.ravel()]))
+        assert np.array_equal(np.fromiter(service.keys(), dtype=np.float64),
+                              expected)
+        service.validate()
+
+
+class TestWorkloadIntegration:
+    def test_run_workload_on_sharded_index(self):
+        from repro.workloads import READ_HEAVY
+        from repro.workloads.runner import run_workload
+
+        rng = np.random.default_rng(4242)
+        keys = np.unique(rng.uniform(0, 1e8, 3000))
+        init, inserts = keys[:2500], keys[2500:]
+
+        tallies = {}
+        for num_shards in (1, 4):
+            service = ShardedAlexIndex.bulk_load(
+                init, num_shards=num_shards, config=ga_armi())
+            result = run_workload(service, init.copy(), inserts.copy(),
+                                  READ_HEAVY, 900, seed=3,
+                                  read_batch=32, write_batch=32)
+            service.validate()
+            tallies[num_shards] = result
+        assert tallies[1].ops == tallies[4].ops
+        assert tallies[1].reads == tallies[4].reads
+        assert tallies[1].inserts == tallies[4].inserts
+        assert tallies[1].scanned_records == tallies[4].scanned_records
