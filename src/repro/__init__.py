@@ -19,11 +19,14 @@ paper-vs-measured results of every table and figure.
 from .core import (
     ADAPTIVE_RMI,
     ALL_VARIANTS,
+    AdaptationPolicy,
     AlexConfig,
     AlexIndex,
+    CostModelPolicy,
     Counters,
     DuplicateKeyError,
     GAPPED_ARRAY,
+    HeuristicPolicy,
     KeyNotFoundError,
     LinearModel,
     PACKED_MEMORY_ARRAY,
@@ -42,14 +45,17 @@ __version__ = "1.1.0"
 __all__ = [
     "ADAPTIVE_RMI",
     "ALL_VARIANTS",
+    "AdaptationPolicy",
     "AlexConfig",
     "AlexIndex",
     "BPlusTree",
     "CostModel",
+    "CostModelPolicy",
     "Counters",
     "DEFAULT_COST_MODEL",
     "DuplicateKeyError",
     "GAPPED_ARRAY",
+    "HeuristicPolicy",
     "KeyNotFoundError",
     "LearnedIndex",
     "LinearModel",

@@ -36,6 +36,7 @@ class CostModel:
     contraction_ns: float = 200.0
     split_ns: float = 500.0
     retrain_ns: float = 100.0
+    merge_ns: float = 500.0
 
     def simulated_nanos(self, work: Counters) -> float:
         """Total simulated nanoseconds for the recorded work."""
@@ -54,6 +55,7 @@ class CostModel:
             + work.contractions * self.contraction_ns
             + work.splits * self.split_ns
             + work.retrains * self.retrain_ns
+            + work.merges * self.merge_ns
         )
 
     def simulated_seconds(self, work: Counters) -> float:

@@ -30,6 +30,23 @@ from repro.core.alex import AlexIndex
 from repro.core.rmi import InnerNode
 
 
+def expected_search_probes(n: int) -> float:
+    """Expected exponential-search probes in a freshly model-based-built
+    node of ``n`` keys.
+
+    The probe count of Algorithm 3's search is ``≈ 2*log2(err+1) + 2``
+    (bracket growth + bounded binary search) plus one occupancy
+    verification; right after a model-based build the prediction error of
+    a near-linear CDF segment drifts like ``sqrt(n)`` (the random-walk
+    deviation of the empirical CDF around its linear fit), which is the
+    size-dependent estimate the adaptation policy
+    (:class:`repro.core.policy.CostModelPolicy`) prices SMO candidates
+    with before any per-node measurements exist.
+    """
+    err = np.sqrt(max(float(n), 1.0))
+    return float(2.0 * np.log2(err + 1.0) + 2.0 + 1.0)
+
+
 @dataclass(frozen=True)
 class LookupCostPrediction:
     """Predicted per-lookup work, in events and simulated nanoseconds."""

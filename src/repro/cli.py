@@ -6,6 +6,7 @@ Subcommands::
     python -m repro datasets [--size N]      # Table 1
     python -m repro compare --dataset ycsb --workload read-heavy
     python -m repro shards --dataset lognormal --shards 1 2 4 8
+    python -m repro adapt --scenario grow-shrink   # policy SMO report
     python -m repro errors --dataset longitudes [--size N]
     python -m repro theorems --dataset lognormal --c 1.43 2 8
 
@@ -37,8 +38,10 @@ from .bench import (
 )
 from .core.alex import AlexIndex
 from .core.config import ALL_VARIANTS, ga_armi
+from .core.policy import CostModelPolicy, HeuristicPolicy
 from .datasets import DATASETS, linear_fit_error, load, local_nonlinearity
 from .workloads import WORKLOADS
+from .workloads.adaptation import SCENARIOS, run_adaptation_scenario
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -114,6 +117,50 @@ def _cmd_shards(args: argparse.Namespace) -> int:
                     f"{args.dataset} (init={args.init:,}, ops={args.ops:,}, "
                     f"read_batch={args.read_batch}, "
                     f"write_batch={args.write_batch})"))
+    return 0
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    """Compare the adaptation policies on a structure-stressing scenario
+    and report each policy's structural decisions."""
+    policies = {
+        "heuristic": HeuristicPolicy,
+        "cost-model": CostModelPolicy,
+    }
+    chosen = args.policies or list(policies)
+    for name in chosen:
+        if name not in policies:
+            print(f"error: unknown policy {name!r} "
+                  f"(choose from {', '.join(policies)})", file=sys.stderr)
+            return 2
+    rows = []
+    logs = {}
+    for name in chosen:
+        policy = policies[name]()
+        result = run_adaptation_scenario(policy, args.scenario,
+                                         num_keys=args.keys,
+                                         num_ops=args.ops, seed=args.seed)
+        smo = result["smo_counts"]
+        rows.append((name, f"{result['sim_mops']:.3f}",
+                     f"{result['index_bytes']:,}",
+                     f"{result['data_bytes']:,}",
+                     result["leaves"], result["depth"],
+                     smo.get("expand", 0), smo.get("split_sideways", 0),
+                     smo.get("split_down", 0), smo.get("retrain", 0),
+                     smo.get("merge", 0)))
+        logs[name] = list(policy.decisions)
+    print(format_table(
+        ["policy", "Mops/s (sim)", "index bytes", "data bytes", "leaves",
+         "depth", "expand", "sideways", "down", "retrain", "merge"],
+        rows, title=f"adaptation policies on {args.scenario} "
+                    f"(init={args.keys:,}, ops={args.ops:,})"))
+    if args.decisions:
+        for name in chosen:
+            tail = logs[name][-args.decisions:]
+            print(f"\nlast {len(tail)} {name} decisions:")
+            for d in tail:
+                print(f"  [{d.site}] {d.action:15s} size={d.size:6d}  "
+                      f"{d.reason}")
     return 0
 
 
@@ -198,6 +245,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument("--max-keys", type=int, default=1024)
     p_shard.add_argument("--seed", type=int, default=0)
     p_shard.set_defaults(func=_cmd_shards)
+
+    p_adapt = sub.add_parser(
+        "adapt", help="adaptation policy comparison and SMO report")
+    p_adapt.add_argument("--scenario", choices=SCENARIOS,
+                         default="grow-shrink")
+    p_adapt.add_argument("--keys", type=int, default=8_000)
+    p_adapt.add_argument("--ops", type=int, default=8_000)
+    p_adapt.add_argument("--policies", nargs="*", default=None,
+                         help="subset of: heuristic, cost-model")
+    p_adapt.add_argument("--decisions", type=int, default=0,
+                         help="also print the last N logged decisions "
+                              "per policy")
+    p_adapt.add_argument("--seed", type=int, default=0)
+    p_adapt.set_defaults(func=_cmd_adapt)
 
     p_err = sub.add_parser("errors", help="Figure 7 prediction errors")
     p_err.add_argument("--dataset", choices=sorted(DATASETS),

@@ -18,8 +18,25 @@ from .errors import DuplicateKeyError, IndexError_, KeyNotFoundError
 from .gapped_array import GappedArrayNode
 from .linear_model import LinearModel
 from .pma import PMANode, next_power_of_two
+from .policy import (
+    AdaptationPolicy,
+    CostModelPolicy,
+    HeuristicPolicy,
+    NodePressure,
+    PolicyDecision,
+    PressureEvent,
+    SMO_EXPAND,
+    SMO_MERGE,
+    SMO_NONE,
+    SMO_RETRAIN,
+    SMO_SPLIT_DOWN,
+    SMO_SPLIT_SIDEWAYS,
+    ShardDecision,
+    ShardSummary,
+)
 from .rmi import InnerNode, build_static_rmi
-from .adaptive import build_adaptive_rmi, split_leaf
+from .adaptive import (build_adaptive_rmi, merge_leaves, split_leaf,
+                       split_leaf_sideways)
 from .batch import bulk_insert, merge_indexes
 from .cursor import Cursor, CursorInvalidatedError
 from .introspect import StructureReport, format_report, structure_report
@@ -29,9 +46,23 @@ from .stats import Counters
 __all__ = [
     "ADAPTIVE_RMI",
     "ALL_VARIANTS",
+    "AdaptationPolicy",
     "AlexConfig",
     "AlexIndex",
+    "CostModelPolicy",
     "Counters",
+    "HeuristicPolicy",
+    "NodePressure",
+    "PolicyDecision",
+    "PressureEvent",
+    "SMO_EXPAND",
+    "SMO_MERGE",
+    "SMO_NONE",
+    "SMO_RETRAIN",
+    "SMO_SPLIT_DOWN",
+    "SMO_SPLIT_SIDEWAYS",
+    "ShardDecision",
+    "ShardSummary",
     "Cursor",
     "CursorInvalidatedError",
     "DataNode",
@@ -57,9 +88,11 @@ __all__ = [
     "ga_srmi",
     "lower_bound",
     "merge_indexes",
+    "merge_leaves",
     "next_power_of_two",
     "pma_armi",
     "pma_srmi",
     "split_leaf",
+    "split_leaf_sideways",
     "structure_report",
 ]

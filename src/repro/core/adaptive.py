@@ -17,6 +17,7 @@ import numpy as np
 from .config import AlexConfig
 from .data_node import DataNode
 from .linear_model import LinearModel
+from .policy import DEFAULT_POLICY
 from .rmi import InnerNode, link_leaves, make_data_node, partition_by_model
 from .stats import Counters
 
@@ -27,34 +28,35 @@ _MAX_DEPTH = 32
 
 
 def build_adaptive_rmi(keys: np.ndarray, payloads: list, config: AlexConfig,
-                       counters: Counters):
+                       counters: Counters, policy=None):
     """Algorithm 4: build an adaptively-shaped RMI over sorted ``keys``.
 
-    Returns ``(root, leaves)``.  The root receives enough partitions that
-    each holds ``max_keys_per_node`` keys in expectation; non-root inner
-    nodes use the fixed ``config.inner_partitions``.  Oversized partitions
-    recurse into a deeper inner node; undersized partitions are merged with
-    their successors until just below the bound.
+    Returns ``(root, leaves)``.  The fanout of each inner node is chosen
+    by the adaptation ``policy`` (heuristic default: enough root
+    partitions that each holds ``max_keys_per_node`` keys in expectation,
+    the fixed ``config.inner_partitions`` below the root).  Oversized
+    partitions recurse into a deeper inner node; undersized partitions are
+    merged with their successors until just below the bound.
     """
     keys = np.asarray(keys, dtype=np.float64)
+    policy = policy or DEFAULT_POLICY
     leaves: List[DataNode] = []
-    root = _initialize(keys, payloads, config, counters, leaves, depth=0)
+    root = _initialize(keys, payloads, config, counters, policy, leaves,
+                       depth=0)
     link_leaves(leaves)
     return root, leaves
 
 
 def _initialize(keys: np.ndarray, payloads: list, config: AlexConfig,
-                counters: Counters, leaves: List[DataNode], depth: int):
+                counters: Counters, policy, leaves: List[DataNode],
+                depth: int):
     """Recursive body of Algorithm 4; appends created leaves in key order."""
     n = len(keys)
     max_keys = config.max_keys_per_node
     if n <= max_keys or depth >= _MAX_DEPTH:
-        return _make_leaf(keys, payloads, config, counters, leaves)
+        return _make_leaf(keys, payloads, config, counters, policy, leaves)
 
-    if depth == 0:
-        num_partitions = max(2, -(-n // max_keys))  # ceil(n / max_keys)
-    else:
-        num_partitions = config.inner_partitions
+    num_partitions = policy.initial_fanout(n, depth, config)
     model = LinearModel.train_cdf(keys, num_partitions)
     counters.retrains += 1
     bounds = partition_by_model(keys, model, num_partitions)
@@ -62,7 +64,7 @@ def _initialize(keys: np.ndarray, payloads: list, config: AlexConfig,
     if int(sizes.max()) == n:
         # Degenerate: the model routes every key to one partition, so
         # recursing cannot make progress.  Accept an oversized leaf.
-        return _make_leaf(keys, payloads, config, counters, leaves)
+        return _make_leaf(keys, payloads, config, counters, policy, leaves)
 
     children: List[object] = [None] * num_partitions
     s = 0
@@ -71,7 +73,7 @@ def _initialize(keys: np.ndarray, payloads: list, config: AlexConfig,
         if size > max_keys:
             lo, hi = int(bounds[s]), int(bounds[s + 1])
             children[s] = _initialize(keys[lo:hi], payloads[lo:hi], config,
-                                      counters, leaves, depth + 1)
+                                      counters, policy, leaves, depth + 1)
             s += 1
             continue
         # Merge this partition with its successors until just below the
@@ -83,7 +85,7 @@ def _initialize(keys: np.ndarray, payloads: list, config: AlexConfig,
             e += 1
         lo, hi = int(bounds[s]), int(bounds[e])
         leaf = _make_leaf(keys[lo:hi], payloads[lo:hi], config, counters,
-                          leaves)
+                          policy, leaves)
         for slot in range(s, e):
             children[slot] = leaf
         s = e
@@ -91,9 +93,10 @@ def _initialize(keys: np.ndarray, payloads: list, config: AlexConfig,
 
 
 def _make_leaf(keys: np.ndarray, payloads: list, config: AlexConfig,
-               counters: Counters, leaves: List[DataNode]) -> DataNode:
+               counters: Counters, policy,
+               leaves: List[DataNode]) -> DataNode:
     """Build one data node and register it in the in-order leaf list."""
-    leaf = make_data_node(config, counters)
+    leaf = make_data_node(config, counters, policy)
     leaf.build(keys, list(payloads))
     leaves.append(leaf)
     return leaf
@@ -132,12 +135,16 @@ def split_until_fits(leaf: DataNode, parent: Optional[InnerNode],
 
 def split_leaf(leaf: DataNode, parent: Optional[InnerNode],
                config: AlexConfig, counters: Counters):
-    """Node splitting on inserts (Section 3.4.2).
+    """Node splitting on inserts — the *split down* SMO (Section 3.4.2).
 
     The leaf's model becomes an inner model with ``config.split_fanout``
     children; the data is redistributed to the children *according to the
     original node's model* (its output range rescaled from the array size
     to the fanout).  No rebalancing happens — ALEX is not height-balanced.
+    The tree deepens locally by one level, so every future access to this
+    key range pays one more pointer follow and model inference (the cost
+    the :class:`repro.core.policy.CostModelPolicy` weighs against *split
+    sideways* and *expand in place*).
 
     Returns the new :class:`InnerNode`, or ``None`` when the split would be
     degenerate (every key lands in one child), in which case the caller
@@ -159,7 +166,7 @@ def split_leaf(leaf: DataNode, parent: Optional[InnerNode],
     children: List[DataNode] = []
     for s in range(fanout):
         lo, hi = int(bounds[s]), int(bounds[s + 1])
-        child = make_data_node(config, counters)
+        child = make_data_node(config, counters, leaf.policy)
         child.build(keys[lo:hi], payloads[lo:hi])
         children.append(child)
 
@@ -180,3 +187,108 @@ def split_leaf(leaf: DataNode, parent: Optional[InnerNode],
     if parent is not None:
         parent.replace_child(leaf, inner)
     return inner
+
+
+def split_leaf_sideways(leaf: DataNode, parent: Optional[InnerNode],
+                        config: AlexConfig, counters: Counters):
+    """The *split sideways* SMO (Section 3.4.2): divide ``leaf`` into two
+    leaves under its existing parent by splitting the run of parent
+    pointer slots that map to it.
+
+    No new level is created — future traversal cost is unchanged — so
+    this SMO needs the parent to give the leaf at least two slots (and a
+    non-degenerate key split between them).  The keys are partitioned by
+    the *parent's* model, which is exactly how future lookups will route,
+    so each new leaf receives precisely the keys that will be sent to it.
+
+    Returns the ``(left, right)`` leaves, or ``None`` when sideways
+    splitting is infeasible (no parent, a single slot, or all keys
+    routing to one side) — callers fall back to :func:`split_leaf`.
+    """
+    if parent is None:
+        return None
+    slots = [i for i, child in enumerate(parent.children) if child is leaf]
+    if len(slots) < 2:
+        return None
+    keys, payloads = leaf.export_sorted()
+    if len(keys) < 2:
+        return None
+    slot_of = parent.model.predict_pos_vec(keys, parent.num_slots)
+    # Cut at the slot boundary that divides the keys most evenly.
+    cuts = np.searchsorted(slot_of, np.array(slots[1:], dtype=np.int64))
+    best = int(np.argmin(np.abs(cuts - len(keys) / 2)))
+    cut, cut_slot = int(cuts[best]), slots[1 + best]
+    if cut == 0 or cut == len(keys):
+        return None
+
+    left = make_data_node(config, counters, leaf.policy)
+    left.build(keys[:cut], payloads[:cut])
+    right = make_data_node(config, counters, leaf.policy)
+    right.build(keys[cut:], payloads[cut:])
+
+    # Chain splice: the pair replaces the single leaf in place.
+    left.prev_leaf = leaf.prev_leaf
+    if leaf.prev_leaf is not None:
+        leaf.prev_leaf.next_leaf = left
+    right.next_leaf = leaf.next_leaf
+    if leaf.next_leaf is not None:
+        leaf.next_leaf.prev_leaf = right
+    left.next_leaf = right
+    right.prev_leaf = left
+
+    # Slots before the cut boundary keep routing left, the rest right.
+    for slot in slots:
+        parent.children[slot] = left if slot < cut_slot else right
+    counters.splits += 1
+    return left, right
+
+
+def merge_leaves(leaf: DataNode, parent: Optional[InnerNode],
+                 config: AlexConfig, counters: Counters,
+                 max_keys: Optional[int] = None):
+    """The *merge* SMO — the delete-side inverse of a sideways split.
+
+    Folds ``leaf`` into an adjacent sibling leaf under the **same**
+    parent: the union of both leaves' records is rebuilt model-based into
+    one node that takes over both slot runs and the chain positions.
+    Deletes are the paper's open follow-up (Section 7, "delete-heavy
+    workloads"); without this SMO a shrinking index keeps every leaf it
+    ever split into.
+
+    The merged node never exceeds ``max_keys`` (default: the node-size
+    bound; policies pass a smaller cap to keep hysteresis between the
+    merge and split triggers) — a candidate sibling that would overshoot
+    is skipped.  Returns the merged leaf, or ``None`` when no same-parent
+    adjacent sibling qualifies.
+    """
+    if parent is None:
+        return None
+    if max_keys is None:
+        max_keys = config.max_keys_per_node
+    for sibling in (leaf.prev_leaf, leaf.next_leaf):
+        if sibling is None or sibling is leaf:
+            continue
+        if leaf.num_keys + sibling.num_keys > max_keys:
+            continue
+        if not any(child is sibling for child in parent.children):
+            continue  # different parent: slots cannot be re-pointed
+        left, right = ((sibling, leaf) if sibling is leaf.prev_leaf
+                       else (leaf, sibling))
+        left_keys, left_payloads = left.export_sorted()
+        right_keys, right_payloads = right.export_sorted()
+        merged = make_data_node(config, counters, leaf.policy)
+        merged.build(np.concatenate([left_keys, right_keys]),
+                     left_payloads + right_payloads)
+
+        merged.prev_leaf = left.prev_leaf
+        if left.prev_leaf is not None:
+            left.prev_leaf.next_leaf = merged
+        merged.next_leaf = right.next_leaf
+        if right.next_leaf is not None:
+            right.next_leaf.prev_leaf = merged
+
+        parent.replace_child(left, merged)
+        parent.replace_child(right, merged)
+        counters.merges += 1
+        return merged
+    return None

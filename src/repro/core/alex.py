@@ -21,11 +21,13 @@ key arrays and execute them through the vectorized batch engine: one sort,
 one RMI descent per batch (``route_batch`` groups keys by leaf with
 vectorized model predictions), and one lock-step in-node search per touched
 leaf.  Writes batch through :meth:`AlexIndex.insert_many` (one routed
-traversal, per-leaf grouped merges with split handling) and range queries
-through :meth:`AlexIndex.range_query_many` (all lower bounds routed in one
-descent, leaf arrays sliced per touched node).  Results are identical to a
-loop over the scalar operations; work counters are aggregated once per
-batch.
+traversal, per-leaf grouped merges with split handling) and
+:meth:`AlexIndex.delete_many` / :meth:`AlexIndex.erase_many` (one routed
+traversal, per-leaf grouped removal rebuilds, all-or-nothing validation),
+and range queries through :meth:`AlexIndex.range_query_many` (all lower
+bounds routed in one descent, leaf arrays sliced per touched node).
+Results are identical to a loop over the scalar operations; work counters
+are aggregated once per batch.
 
 The scalar ``lookup`` / ``get`` / ``contains`` methods share the batch
 engine's kernels at lane width one — the same model-predict + exponential
@@ -43,10 +45,15 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from .adaptive import build_adaptive_rmi, split_leaf, split_until_fits
+from .adaptive import (build_adaptive_rmi, merge_leaves, split_leaf,
+                       split_leaf_sideways, split_until_fits)
 from .config import ADAPTIVE_RMI, AlexConfig
 from .data_node import DataNode
 from .errors import DuplicateKeyError, KeyNotFoundError
+from .policy import (AdaptationPolicy, EV_DELETE, EV_INSERT, EV_READ,
+                     HeuristicPolicy, PressureEvent, SMO_EXPAND, SMO_MERGE,
+                     SMO_NONE, SMO_RETRAIN, SMO_SPLIT_DOWN,
+                     SMO_SPLIT_SIDEWAYS)
 from .rmi import (InnerNode, NODE_METADATA_BYTES, build_static_rmi,
                   make_data_node, route_batch)
 from .stats import Counters
@@ -58,13 +65,24 @@ class AlexIndex:
     Create an empty index and fill it incrementally (a "cold start",
     Section 3.4.2), or :meth:`bulk_load` a sorted key array, which is how
     the paper initializes every experiment.
+
+    Every structural decision — leaf expand/contract, split sideways,
+    split down, catastrophic retrain, leaf merge, and the adaptive RMI's
+    initial fanout — routes through one
+    :class:`repro.core.policy.AdaptationPolicy` object.  The default
+    :class:`~repro.core.policy.HeuristicPolicy` reproduces the classic
+    fixed-threshold behaviour; pass a
+    :class:`~repro.core.policy.CostModelPolicy` for the paper's
+    expected-cost-driven adaptation (Section 3.4).
     """
 
-    def __init__(self, config: Optional[AlexConfig] = None):
+    def __init__(self, config: Optional[AlexConfig] = None,
+                 policy: Optional[AdaptationPolicy] = None):
         self.config = config or AlexConfig()
+        self.policy = policy or HeuristicPolicy()
         self.counters = Counters()
         self._num_keys = 0
-        leaf = make_data_node(self.config, self.counters)
+        leaf = make_data_node(self.config, self.counters, self.policy)
         leaf.build(np.empty(0), [])
         self._root: object = leaf
         # A cold-started adaptive index must be able to grow by splitting
@@ -77,13 +95,14 @@ class AlexIndex:
 
     @classmethod
     def bulk_load(cls, keys, payloads: Optional[list] = None,
-                  config: Optional[AlexConfig] = None) -> "AlexIndex":
+                  config: Optional[AlexConfig] = None,
+                  policy: Optional[AdaptationPolicy] = None) -> "AlexIndex":
         """Build an index over ``keys`` (need not be pre-sorted).
 
         ``payloads[i]`` is stored with ``keys[i]``; payloads default to
         ``None``.  Raises :class:`DuplicateKeyError` on repeated keys.
         """
-        index = cls(config)
+        index = cls(config, policy=policy)
         keys = np.asarray(keys, dtype=np.float64)
         if payloads is None:
             payloads = [None] * len(keys)
@@ -98,10 +117,10 @@ class AlexIndex:
                 raise DuplicateKeyError(float(keys[dup[0]]))
         if index.config.rmi_mode == ADAPTIVE_RMI:
             root, _ = build_adaptive_rmi(keys, payloads, index.config,
-                                         index.counters)
+                                         index.counters, index.policy)
         else:
             root, _ = build_static_rmi(keys, payloads, index.config,
-                                       index.counters)
+                                       index.counters, index.policy)
         index._root = root
         index._num_keys = len(keys)
         index._cold_start = False
@@ -120,6 +139,18 @@ class AlexIndex:
             parent = node
             node = node.child_for(key)
         return node, parent
+
+    def _route_path(self, key: float) -> Tuple[DataNode, List[InnerNode]]:
+        """Like :meth:`_route` but returns the whole inner-node path (root
+        first, parent last; empty for a root leaf) — the delete-side SMOs
+        need it to collapse inner nodes left with a single child after
+        leaf merges."""
+        node = self._root
+        path: List[InnerNode] = []
+        while isinstance(node, InnerNode):
+            path.append(node)
+            node = node.child_for(key)
+        return node, path
 
     def _route_many(self, sorted_keys: np.ndarray):
         """Batch routing: one vectorized RMI descent for a whole sorted key
@@ -146,6 +177,19 @@ class AlexIndex:
             if len(dup):
                 raise DuplicateKeyError(float(keys[dup[0]]))
         return keys, payloads
+
+    @staticmethod
+    def _normalize_delete_batch(keys) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Normalize a delete batch: float64 keys sorted, raising
+        :class:`KeyNotFoundError` on in-batch duplicates (the second
+        removal of the same key could never succeed).  Shared by the
+        single-index and sharded batch-delete paths."""
+        skeys, order = AlexIndex._sort_batch(keys)
+        if len(skeys) > 1:
+            dup = np.flatnonzero(np.diff(skeys) == 0)
+            if len(dup):
+                raise KeyNotFoundError(float(skeys[dup[0]]))
+        return skeys, order
 
     @staticmethod
     def _sort_batch(keys) -> Tuple[np.ndarray, Optional[np.ndarray]]:
@@ -190,26 +234,113 @@ class AlexIndex:
     def insert(self, key: float, payload=None) -> None:
         """Insert a new key.  Raises :class:`DuplicateKeyError` if present.
 
-        With the adaptive RMI (and splitting enabled or a cold start), a
-        leaf pushed past ``max_keys_per_node`` is split before the insert
-        (Section 3.4.2).
+        The adaptation policy picks the pre-insert SMO (Section 3.4.2):
+        under the default :class:`~repro.core.policy.HeuristicPolicy` a
+        leaf pushed past ``max_keys_per_node`` is split down before the
+        insert (when the adaptive RMI has splitting enabled or the index
+        is cold-started), exactly the classic behaviour; the cost-model
+        policy may instead expand in place, split sideways, or retrain.
         """
         key = float(key)
         leaf, parent = self._route(key)
-        if self._should_split(leaf):
+        action = self.policy.choose_insert_smo(leaf, parent, self)
+        if action != SMO_NONE and self._apply_leaf_smo(action, leaf, parent):
+            leaf, parent = self._route(key)
+        if self.policy.tracks_pressure:
+            c = self.counters
+            before_shifts = c.shifts
+            before_probes = c.probes + c.comparisons
+            leaf.insert(key, payload)
+            self.policy.record(leaf, PressureEvent(
+                EV_INSERT, 1, c.probes + c.comparisons - before_probes,
+                c.shifts - before_shifts, searches=1))
+        else:
+            leaf.insert(key, payload)
+        self._num_keys += 1
+
+    def _apply_leaf_smo(self, action: str, leaf: DataNode,
+                        parent: Optional[InnerNode],
+                        path: Optional[List[InnerNode]] = None) -> bool:
+        """Run one policy-chosen SMO on ``leaf`` (mutation mechanics only;
+        the decision already happened).  Returns whether the tree shape
+        changed, i.e. whether the caller must re-route.
+
+        A degenerate sideways split (single parent slot, or every key on
+        one side) falls back to a split down, mirroring how a degenerate
+        split down is accepted as an oversized leaf.  ``path`` (the full
+        inner-node route to ``leaf``) enables the merge-up collapse after
+        a leaf merge; without it merges still work but inner nodes with a
+        single child are kept.
+        """
+        if action == SMO_EXPAND:
+            leaf.expand()  # resets the drift window via _model_based_build
+            self.policy.note_applied(action)
+            return False
+        if action == SMO_RETRAIN:
+            leaf.retrain()  # resets the drift window via _model_based_build
+            self.policy.note_applied(action)
+            return False
+        if action == SMO_SPLIT_SIDEWAYS:
+            if split_leaf_sideways(leaf, parent, self.config,
+                                   self.counters) is not None:
+                self.policy.note_applied(SMO_SPLIT_SIDEWAYS)
+                return True
+            action = SMO_SPLIT_DOWN  # degenerate sideways: fall back
+        if action == SMO_SPLIT_DOWN:
             inner = split_leaf(leaf, parent, self.config, self.counters)
             if inner is not None:
                 if parent is None:
                     self._root = inner
-                leaf, parent = self._route(key)
-        leaf.insert(key, payload)
-        self._num_keys += 1
+                self.policy.note_applied(SMO_SPLIT_DOWN)
+            return inner is not None
+        if action == SMO_MERGE:
+            merged = merge_leaves(leaf, parent, self.config, self.counters,
+                                  self.policy.max_merged_keys(self.config))
+            if merged is not None:
+                if path:
+                    self._collapse_path(merged, path)
+                self.policy.note_applied(SMO_MERGE)
+            return merged is not None
+        return False
 
-    def _should_split(self, leaf: DataNode) -> bool:
-        splitting = self.config.split_on_inserts or self._cold_start
-        return (self.config.rmi_mode == ADAPTIVE_RMI
-                and splitting
-                and leaf.num_keys + 1 > self.config.max_keys_per_node)
+    def _collapse_path(self, node: DataNode, path: List[InnerNode]) -> None:
+        """Merge *up* (the inverse of split down): splice out every inner
+        node on ``path`` whose slots all point at ``node`` after a leaf
+        merge, restoring the traversal depth the splits added."""
+        for i in range(len(path) - 1, -1, -1):
+            inner = path[i]
+            if not all(child is node for child in inner.children):
+                break
+            if i == 0:
+                self._root = node
+            else:
+                path[i - 1].replace_child(inner, node)
+        return
+
+    def _find_key_observed(self, leaf: DataNode, key: float) -> int:
+        """``leaf.find_key`` plus a read :class:`PressureEvent` carrying
+        the search-iteration cost, when the policy tracks pressure."""
+        if not self.policy.tracks_pressure:
+            return leaf.find_key(key)
+        c = self.counters
+        before = c.probes + c.comparisons
+        pos = leaf.find_key(key)
+        self.policy.record(leaf, PressureEvent(
+            EV_READ, 1, c.probes + c.comparisons - before, 0))
+        return pos
+
+    def _find_keys_many_observed(self, leaf: DataNode,
+                                 targets: np.ndarray) -> np.ndarray:
+        """Batch counterpart of :meth:`_find_key_observed`: one event per
+        touched leaf with the whole group's count and search cost."""
+        if not self.policy.tracks_pressure:
+            return leaf.find_keys_many(targets)
+        c = self.counters
+        before = c.probes + c.comparisons
+        pos = leaf.find_keys_many(targets)
+        self.policy.record(leaf, PressureEvent(
+            EV_READ, len(targets), c.probes + c.comparisons - before, 0))
+        return pos
 
     def lookup(self, key: float):
         """Return the payload stored for ``key``; raises
@@ -222,7 +353,7 @@ class AlexIndex:
         """
         key = float(key)
         leaf, _ = self._route(key)
-        pos = leaf.find_key(key)
+        pos = self._find_key_observed(leaf, key)
         if pos < 0:
             raise KeyNotFoundError(key)
         self.counters.lookups += 1
@@ -232,7 +363,7 @@ class AlexIndex:
         """Like :meth:`lookup` but returns ``default`` when absent."""
         key = float(key)
         leaf, _ = self._route(key)
-        pos = leaf.find_key(key)
+        pos = self._find_key_observed(leaf, key)
         if pos < 0:
             return default
         self.counters.lookups += 1
@@ -243,7 +374,7 @@ class AlexIndex:
         :meth:`lookup`)."""
         key = float(key)
         leaf, _ = self._route(key)
-        return leaf.find_key(key) >= 0
+        return self._find_key_observed(leaf, key) >= 0
 
     # ------------------------------------------------------------------
     # Batch point operations (the API layer of the batch engine)
@@ -264,7 +395,7 @@ class AlexIndex:
             return []
         out: list = [None] * n
         for leaf, _, lo, hi in self._route_many(skeys):
-            pos = leaf.find_keys_many(skeys[lo:hi])
+            pos = self._find_keys_many_observed(leaf, skeys[lo:hi])
             missing = np.flatnonzero(pos < 0)
             if missing.size:
                 raise KeyNotFoundError(float(skeys[lo + int(missing[0])]))
@@ -285,7 +416,7 @@ class AlexIndex:
         out: list = [default] * n
         found = 0
         for leaf, _, lo, hi in self._route_many(skeys):
-            pos = leaf.find_keys_many(skeys[lo:hi])
+            pos = self._find_keys_many_observed(leaf, skeys[lo:hi])
             payloads = leaf.payloads
             dest = range(lo, hi) if order is None else order[lo:hi].tolist()
             for j, p in zip(dest, pos.tolist()):
@@ -302,7 +433,7 @@ class AlexIndex:
         n = len(skeys)
         result = np.zeros(n, dtype=bool)
         for leaf, _, lo, hi in self._route_many(skeys):
-            hits = leaf.find_keys_many(skeys[lo:hi]) >= 0
+            hits = self._find_keys_many_observed(leaf, skeys[lo:hi]) >= 0
             if order is None:
                 result[lo:hi] = hits
             else:
@@ -361,14 +492,13 @@ class AlexIndex:
                              payloads: list) -> None:
         """Mutation phase of a validated batch insert: per-leaf grouped
         merge-rebuilds (plain inserts for tiny groups) with split
-        handling."""
-        split_ok = (self.config.rmi_mode == ADAPTIVE_RMI
-                    and (self.config.split_on_inserts or self._cold_start))
+        handling (the oversized-rebuild decision routes through the
+        adaptation policy)."""
         for leaf, parent, lo, hi in groups:
             count = hi - lo
             if count < self._REBUILD_THRESHOLD:
                 # Tiny groups: plain inserts through the index, which also
-                # honors the node-size bound via the scalar split path.
+                # honors the node-size bound via the scalar SMO path.
                 for i in range(lo, hi):
                     self.insert(float(keys[i]), payloads[i])
                 continue
@@ -382,17 +512,143 @@ class AlexIndex:
                                     leaf._initial_capacity(len(merged_keys)))
             leaf.counters.inserts += count
             self._num_keys += count
-            if split_ok and leaf.num_keys > self.config.max_keys_per_node:
+            if self.policy.tracks_pressure:
+                # _model_based_build reset the drift window; record the
+                # batch afterwards so the write mix it represents
+                # survives into the fresh window (searches=0: a rebuild
+                # places keys without searching).
+                self.policy.record(leaf, PressureEvent(EV_INSERT, count))
+            if self.policy.should_split_oversized(leaf, self):
+                before_splits = self.counters.splits
                 inner = split_until_fits(leaf, parent, self.config,
                                          self.counters)
                 if inner is not None and parent is None:
                     self._root = inner
+                for _ in range(self.counters.splits - before_splits):
+                    self.policy.note_applied(SMO_SPLIT_DOWN)
 
     def delete(self, key: float) -> None:
-        """Remove ``key``; raises :class:`KeyNotFoundError` when absent."""
-        leaf, _ = self._route(float(key))
-        leaf.delete(float(key))
+        """Remove ``key``; raises :class:`KeyNotFoundError` when absent.
+
+        After the delete the adaptation policy may fold an underfull leaf
+        into a same-parent sibling (:func:`repro.core.adaptive
+        .merge_leaves`, the delete-side SMO; the default heuristic never
+        merges, matching the classic behaviour).
+        """
+        key = float(key)
+        leaf, path = self._route_path(key)
+        parent = path[-1] if path else None
+        leaf.delete(key)
         self._num_keys -= 1
+        if self.policy.tracks_pressure:
+            self.policy.record(leaf, PressureEvent(EV_DELETE, 1))
+        action = self.policy.choose_delete_smo(leaf, parent, self)
+        if action != SMO_NONE:
+            self._apply_leaf_smo(action, leaf, parent, path)
+
+    def delete_many(self, keys) -> None:
+        """Remove a batch of keys in one routed traversal, all-or-nothing.
+
+        The batch is sorted and routed with a single vectorized RMI
+        descent (:meth:`_route_many`), every key is located with one
+        lock-step search per touched leaf *before* any mutation (a missing
+        key — or a duplicate within the batch, whose second removal could
+        not succeed — raises :class:`KeyNotFoundError` with nothing
+        deleted), and each touched leaf then applies its whole group at
+        once: large groups rebuild the leaf over the surviving records
+        (the delete-side mirror of :meth:`insert_many`'s merge-rebuild),
+        tiny groups fall back to scalar deletes.  Delete-side SMOs (leaf
+        contraction and policy-chosen merges) run after the batch lands.
+        """
+        skeys, _ = self._normalize_delete_batch(keys)
+        if len(skeys) == 0:
+            return
+        groups = self._route_many(skeys)
+        positions = []
+        for leaf, _, lo, hi in groups:
+            pos = leaf.find_keys_many(skeys[lo:hi])
+            missing = np.flatnonzero(pos < 0)
+            if missing.size:
+                raise KeyNotFoundError(float(skeys[lo + int(missing[0])]))
+            positions.append(pos)
+        self._apply_delete_groups(groups, skeys, positions)
+
+    def erase_many(self, keys) -> int:
+        """Like :meth:`delete_many` but absent keys are skipped instead of
+        raising; returns the number of keys actually removed (the
+        C++ ALEX ``erase`` contract, batched)."""
+        skeys, _ = self._sort_batch(keys)
+        if len(skeys) == 0:
+            return 0
+        if len(skeys) > 1:
+            # The second copy of an in-batch duplicate is "already absent".
+            skeys = skeys[np.concatenate([[True], np.diff(skeys) > 0])]
+        groups = self._route_many(skeys)
+        positions = [leaf.find_keys_many(skeys[lo:hi])
+                     for leaf, _, lo, hi in groups]
+        return self._apply_delete_groups(groups, skeys, positions)
+
+    def delete_sorted_unchecked(self, keys: np.ndarray) -> None:
+        """:meth:`delete_many` minus normalization and validation, for
+        callers that already guarantee the preconditions (sorted,
+        duplicate-free float64 keys all present in the index) — the
+        sharded service's batch-delete path validates once across all
+        shards and applies through this, mirroring
+        :meth:`insert_sorted_unchecked`."""
+        if len(keys) == 0:
+            return
+        groups = self._route_many(keys)
+        positions = [leaf.find_keys_many(keys[lo:hi])
+                     for leaf, _, lo, hi in groups]
+        self._apply_delete_groups(groups, keys, positions)
+
+    def _apply_delete_groups(self, groups, keys: np.ndarray,
+                             positions: list) -> int:
+        """Mutation phase of a batch delete: apply each leaf's group
+        (scalar deletes for tiny groups, one rebuild over the survivors
+        otherwise), then run the policy's delete-side SMOs.
+
+        ``positions[g]`` holds each key's occupied slot in its leaf, -1
+        where the key should be skipped (the :meth:`erase_many` path).
+        SMOs are deferred until every group has landed: a merge replaces
+        leaves, which would invalidate the handles later groups carry.
+        """
+        deleted = 0
+        touched: list = []
+        for (leaf, parent, lo, hi), pos in zip(groups, positions):
+            present = pos >= 0
+            count = int(present.sum())
+            if count == 0:
+                continue
+            if count < self._REBUILD_THRESHOLD:
+                for i in np.flatnonzero(present):
+                    leaf.delete(float(keys[lo + int(i)]))
+            else:
+                keep = leaf.occupied.copy()
+                keep[pos[present]] = False
+                kept = np.flatnonzero(keep)
+                new_keys = leaf.keys[kept].copy()
+                new_payloads = [leaf.payloads[p] for p in kept]
+                leaf._model_based_build(new_keys, new_payloads,
+                                        leaf._initial_capacity(len(new_keys)))
+                leaf.counters.deletes += count
+            deleted += count
+            self._num_keys -= count
+            if self.policy.tracks_pressure:
+                self.policy.record(leaf, PressureEvent(EV_DELETE, count))
+            touched.append(float(keys[lo]))
+        for probe_key in touched:
+            # A batch delete can leave a leaf far below the merge floor;
+            # keep merging (each step folds in one sibling) until the
+            # policy is satisfied or no candidate remains.
+            for _ in range(64):
+                leaf, path = self._route_path(probe_key)
+                parent = path[-1] if path else None
+                action = self.policy.choose_delete_smo(leaf, parent, self)
+                if action == SMO_NONE or not self._apply_leaf_smo(
+                        action, leaf, parent, path):
+                    break
+        return deleted
 
     def update(self, key: float, payload) -> None:
         """Replace the payload of an existing key."""

@@ -28,6 +28,7 @@ import numpy as np
 from .config import AlexConfig
 from .errors import DuplicateKeyError, KeyNotFoundError
 from .linear_model import LinearModel
+from .policy import DEFAULT_POLICY, AdaptationPolicy
 from .search import (exponential_search, exponential_search_many,
                      lower_bound, lower_bound_many)
 from .stats import Counters
@@ -42,9 +43,16 @@ class DataNode:
     #: minimum capacity a node is ever allocated
     MIN_CAPACITY = 8
 
-    def __init__(self, config: AlexConfig, counters: Counters):
+    def __init__(self, config: AlexConfig, counters: Counters,
+                 policy: Optional[AdaptationPolicy] = None):
         self.config = config
         self.counters = counters
+        # Structural decisions (expand/contract here; splits and merges at
+        # the index level) route through the adaptation policy layer.
+        self.policy = policy or DEFAULT_POLICY
+        # Per-node EMA pressure state, populated lazily by policies that
+        # track it (repro.core.policy.NodePressure).
+        self.pressure = None
         self.capacity = 0
         self.num_keys = 0
         self.keys = np.empty(0, dtype=np.float64)
@@ -121,6 +129,10 @@ class DataNode:
         self.model = model
         self.counters.build_moves += n
         self._refill_gap_keys(0, capacity)
+        # Every rebuild — bulk build, expansion, contraction, retrain,
+        # batch merge-rebuild — lands here, so this is the one place the
+        # adaptation policy's per-node drift window is invalidated.
+        self.policy.note_smo(self, "rebuild")
 
     def _refill_gap_keys(self, lo: int, hi: int) -> None:
         """Rewrite gap slots in ``[lo, hi)`` with their nearest real right
@@ -381,11 +393,10 @@ class DataNode:
         self._maybe_contract()
 
     def _maybe_contract(self) -> None:
-        """Shrink the arrays when density falls below half the build density
-        (the symmetric counterpart of expansion, Section 3.2)."""
-        if self.capacity <= self.MIN_CAPACITY:
-            return
-        if self.num_keys >= self.capacity * self.config.density_at_build / 2:
+        """Shrink the arrays when the adaptation policy says so (the
+        heuristic default: density below half the build density, the
+        symmetric counterpart of expansion, Section 3.2)."""
+        if not self.policy.should_contract(self):
             return
         keys, payloads = self.export_sorted()
         self._model_based_build(keys, payloads, self._initial_capacity(len(keys)))
@@ -449,6 +460,20 @@ class DataNode:
     def density(self) -> float:
         """Fraction of slots currently holding real keys."""
         return self.num_keys / self.capacity if self.capacity else 0.0
+
+    def density_bound(self) -> float:
+        """Upper density limit this layout tolerates before an insert must
+        open new space (GA: ``d``, Section 3.3.1; the PMA overrides this
+        with its root-window bound)."""
+        return self.config.density_upper
+
+    def retrain(self) -> None:
+        """Catastrophic retrain (Section 3.4.2): rebuild the node
+        model-based at its current capacity.  Chosen by the cost-model
+        policy when the model has drifted far from the data but the
+        allocation is still right-sized."""
+        keys, payloads = self.export_sorted()
+        self._model_based_build(keys, payloads, self.capacity)
 
     def min_key(self) -> float:
         """Smallest real key (raises when empty)."""

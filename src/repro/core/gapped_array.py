@@ -34,8 +34,12 @@ class GappedArrayNode(DataNode):
 
     def insert(self, key: float, payload=None) -> None:
         """Algorithm 1: expand if needed, find the corrected insert position,
-        make a gap if the slot is occupied, and place the key."""
-        if self.num_keys + 1 > self.config.density_upper * self.capacity:
+        make a gap if the slot is occupied, and place the key.
+
+        The expand decision routes through the adaptation policy (the
+        heuristic default reproduces the density-bound check of §3.3.1).
+        """
+        if self.policy.should_expand(self):
             self.expand()
         ip = self.find_insert_pos(key)
         self._check_duplicate(key, ip)

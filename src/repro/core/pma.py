@@ -81,8 +81,13 @@ class PMANode(DataNode):
         """Insert at the model-predicted (corrected) position; open a slot
         within the position's segment, rebalancing up the implicit tree when
         the segment has no gap; expand (doubling, model-based rebuild) when
-        even the root window is too dense."""
-        if self.num_keys + 1 > self.config.pma_root_density * self.capacity:
+        even the root window is too dense.
+
+        The pre-insert expand decision routes through the adaptation
+        policy (heuristic default: the root-density bound); the mid-loop
+        expands below are mechanical necessities, not policy choices.
+        """
+        if self.policy.should_expand(self):
             self.expand()
         ip = self.find_insert_pos(key)
         self._check_duplicate(key, ip)
@@ -171,6 +176,11 @@ class PMANode(DataNode):
     # ------------------------------------------------------------------
     # Expansion (Algorithm 3, ALEX-flavoured)
     # ------------------------------------------------------------------
+
+    def density_bound(self) -> float:
+        """The PMA's pre-insert pressure point is the *root window* bound
+        (the whole array is the root window)."""
+        return self.config.pma_root_density
 
     def expand(self) -> None:
         """Double the capacity and rebuild with model-based inserts."""

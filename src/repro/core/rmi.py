@@ -31,11 +31,16 @@ NODE_METADATA_BYTES = 16
 POINTER_BYTES = 8
 
 
-def make_data_node(config: AlexConfig, counters: Counters) -> DataNode:
-    """Instantiate an empty leaf of the configured layout."""
+def make_data_node(config: AlexConfig, counters: Counters,
+                   policy=None) -> DataNode:
+    """Instantiate an empty leaf of the configured layout.
+
+    ``policy`` is the :class:`repro.core.policy.AdaptationPolicy` the leaf
+    consults for expand/contract decisions (default: the shared heuristic).
+    """
     if config.node_layout == GAPPED_ARRAY:
-        return GappedArrayNode(config, counters)
-    return PMANode(config, counters)
+        return GappedArrayNode(config, counters, policy)
+    return PMANode(config, counters, policy)
 
 
 class InnerNode:
@@ -193,7 +198,7 @@ def partition_by_model(keys: np.ndarray, model: LinearModel,
 
 
 def build_static_rmi(keys: np.ndarray, payloads: list, config: AlexConfig,
-                     counters: Counters):
+                     counters: Counters, policy=None):
     """Build a two-level static RMI over sorted ``keys``.
 
     Returns ``(root, leaves)`` where ``root`` is an :class:`InnerNode` with
@@ -202,7 +207,7 @@ def build_static_rmi(keys: np.ndarray, payloads: list, config: AlexConfig,
     n = len(keys)
     num_models = config.num_models
     if n == 0:
-        leaf = make_data_node(config, counters)
+        leaf = make_data_node(config, counters, policy)
         leaf.build(np.empty(0), [])
         return leaf, [leaf]
     keys = np.asarray(keys, dtype=np.float64)
@@ -213,7 +218,7 @@ def build_static_rmi(keys: np.ndarray, payloads: list, config: AlexConfig,
     children: List[object] = []
     for s in range(num_models):
         lo, hi = int(bounds[s]), int(bounds[s + 1])
-        leaf = make_data_node(config, counters)
+        leaf = make_data_node(config, counters, policy)
         leaf.build(keys[lo:hi], payloads[lo:hi])
         leaves.append(leaf)
         children.append(leaf)

@@ -46,7 +46,11 @@ class Counters:
     expansions / contractions:
         Data-node array expansions and contractions.
     splits:
-        Data-node splits (adaptive RMI, node splitting on inserts).
+        Data-node splits (adaptive RMI, node splitting on inserts —
+        sideways or down, Section 3.4.2).
+    merges:
+        Data-node merges (underfull sibling leaves folded into one, the
+        delete-side inverse of a split).
     retrains:
         Linear-model retraining events.
     inserts / lookups / deletes / scans:
@@ -71,6 +75,7 @@ class Counters:
     lookups: int = 0
     deletes: int = 0
     scans: int = 0
+    merges: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

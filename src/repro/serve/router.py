@@ -133,6 +133,14 @@ class ShardRouter:
             raise ValueError(f"boundary {key} already exists")
         return ShardRouter(np.sort(np.append(self.boundaries, key)))
 
+    def without_boundary(self, shard: int) -> "ShardRouter":
+        """A new router with the boundary between shards ``shard`` and
+        ``shard + 1`` removed (the cold-shard merge hook; the two ranges
+        fuse into one).  The inverse of :meth:`with_boundary`."""
+        if not 0 <= shard < len(self.boundaries):
+            raise ValueError(f"no boundary after shard {shard}")
+        return ShardRouter(np.delete(self.boundaries, shard))
+
     def mass(self, keys) -> np.ndarray:
         """Fraction of ``keys`` each shard would receive — the router's
         balance diagnostic (uniform = perfectly equal-mass)."""

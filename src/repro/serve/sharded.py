@@ -20,10 +20,21 @@ Locking granularity (two levels):
   inserts/deletes/updates take it exclusively — acquired only for the
   shards a request actually touches.
 
-Cross-shard batch inserts stay all-or-nothing: the write locks of every
-involved shard are taken (in shard order, so concurrent batches cannot
-deadlock), all sub-batches are validated against their shards, and only
-then does any shard mutate.
+Cross-shard batch inserts and deletes stay all-or-nothing: the write
+locks of every involved shard are taken (in shard order, so concurrent
+batches cannot deadlock), all sub-batches are validated against their
+shards, and only then does any shard mutate.
+
+Serving-tier structural adaptation routes through the same
+:class:`~repro.core.policy.AdaptationPolicy` object the shards' trees
+consult: :meth:`ShardedAlexIndex.rebalance` hands the policy per-shard
+access tallies and applies the SMO it picks — a hot-shard median *split*
+(halving what one shard lock serializes) or, under
+:class:`~repro.core.policy.CostModelPolicy`, a cold-shard *merge* (the
+inverse, folding an adjacent pair whose combined traffic fell far below a
+fair share).  After either SMO the access windows decay rather than reset,
+and a split divides the victim's tallies between its halves, so the next
+policy evaluation is never biased by stale or wiped windows.
 """
 
 from __future__ import annotations
@@ -40,16 +51,24 @@ from repro.core.alex import AlexIndex
 from repro.core.batch import export_arrays
 from repro.core.config import AlexConfig
 from repro.core.errors import DuplicateKeyError, KeyNotFoundError
+from repro.core.policy import (AdaptationPolicy, HeuristicPolicy,
+                               ShardSummary)
 from repro.core.stats import Counters
 from repro.ext.concurrent import ReadWriteLock
 
 from .router import ShardRouter
 
+#: Factor applied to every shard's access tallies after a structural
+#: change (split or merge): the observation window renormalizes instead of
+#: carrying raw counts into a layout they no longer describe, and instead
+#: of being wiped entirely (which would blind the next policy evaluation).
+STATS_DECAY = 0.5
+
 
 @dataclass
 class ShardStats:
     """Per-shard access tallies maintained by the serving layer (the input
-    to the hot-shard rebalance policy)."""
+    to the shard split/merge policy)."""
 
     reads: int = 0
     writes: int = 0
@@ -75,6 +94,35 @@ class ShardStats:
     def reset(self) -> None:
         with self._mutex:
             self.reads = self.writes = self.scans = 0
+
+    def decay(self, factor: float = STATS_DECAY) -> None:
+        """Scale the tallies in place (window renormalization after a
+        structural change)."""
+        with self._mutex:
+            self.reads = int(self.reads * factor)
+            self.writes = int(self.writes * factor)
+            self.scans = int(self.scans * factor)
+
+    def split(self) -> Tuple["ShardStats", "ShardStats"]:
+        """Two fresh stats objects carrying half this shard's tallies each
+        (a split shard's history divides between its halves — neither half
+        starts blind, and the total is preserved up to rounding)."""
+        with self._mutex:
+            left = ShardStats(self.reads // 2, self.writes // 2,
+                              self.scans // 2)
+            right = ShardStats(self.reads - left.reads,
+                               self.writes - left.writes,
+                               self.scans - left.scans)
+        return left, right
+
+    def merged_with(self, other: "ShardStats") -> "ShardStats":
+        """A fresh stats object carrying both shards' tallies (the merge
+        counterpart of :meth:`split`, keeping totals symmetric)."""
+        with self._mutex:
+            reads, writes, scans = self.reads, self.writes, self.scans
+        with other._mutex:
+            return ShardStats(reads + other.reads, writes + other.writes,
+                              scans + other.scans)
 
 
 class ShardedAlexIndex:
@@ -103,11 +151,15 @@ class ShardedAlexIndex:
     def __init__(self, config: Optional[AlexConfig] = None,
                  router: Optional[ShardRouter] = None,
                  max_workers: Optional[int] = None,
-                 shards: Optional[List[AlexIndex]] = None):
+                 shards: Optional[List[AlexIndex]] = None,
+                 policy: Optional[AdaptationPolicy] = None):
         self.config = config or AlexConfig()
+        # One adaptation policy serves every layer: the shards' leaf/tree
+        # SMOs and this facade's shard split/merge decisions.
+        self.policy = policy or HeuristicPolicy()
         self.router = router or ShardRouter(np.empty(0))
         if shards is None:
-            shards = [AlexIndex(self.config)
+            shards = [AlexIndex(self.config, policy=self.policy)
                       for _ in range(self.router.num_shards)]
         elif len(shards) != self.router.num_shards:
             raise ValueError(f"{len(shards)} shards for a "
@@ -128,7 +180,9 @@ class ShardedAlexIndex:
     def bulk_load(cls, keys, payloads: Optional[list] = None,
                   num_shards: int = 8,
                   config: Optional[AlexConfig] = None,
-                  max_workers: Optional[int] = None) -> "ShardedAlexIndex":
+                  max_workers: Optional[int] = None,
+                  policy: Optional[AdaptationPolicy] = None
+                  ) -> "ShardedAlexIndex":
         """Partition ``keys`` into ``num_shards`` near-equal-mass shards
         and bulk-load each one.
 
@@ -140,16 +194,17 @@ class ShardedAlexIndex:
         keys, payloads = AlexIndex._normalize_batch(keys, payloads)
         router = ShardRouter.fit(keys, num_shards)
         config = config or AlexConfig()
+        policy = policy or HeuristicPolicy()
         edges = ([0] + np.searchsorted(keys, router.boundaries,
                                        side="left").tolist() + [len(keys)])
         shards = [
             AlexIndex.bulk_load(keys[edges[s]:edges[s + 1]],
                                 payloads[edges[s]:edges[s + 1]],
-                                config=config)
+                                config=config, policy=policy)
             for s in range(router.num_shards)
         ]
         return cls(config=config, router=router, max_workers=max_workers,
-                   shards=shards)
+                   shards=shards, policy=policy)
 
     # ------------------------------------------------------------------
     # Scatter-gather plumbing
@@ -350,6 +405,70 @@ class ShardedAlexIndex:
             finally:
                 self._release_shards(shard_ids, write=True)
 
+    def delete_many(self, keys) -> None:
+        """Batch delete across shards, all-or-nothing.
+
+        The mirror of :meth:`insert_many` for the delete-heavy half of a
+        workload: the batch is sorted once, carved into per-shard
+        sub-batches, validated against *every* involved shard (a missing
+        key, or an in-batch duplicate whose second removal could not
+        succeed, raises :class:`KeyNotFoundError` before any shard
+        mutates), and then applied through each shard's batched
+        delete engine (:meth:`AlexIndex.delete_sorted_unchecked`) under
+        its write lock.
+        """
+        keys, _ = AlexIndex._normalize_delete_batch(keys)
+        if len(keys) == 0:
+            return
+
+        with self._structure_lock.read():
+            groups = list(self.router.split_batch(keys))
+            shard_ids = [s for s, _, _ in groups]
+            self._acquire_shards(shard_ids, write=True)
+            try:
+                def validate(shard: int, lo: int, hi: int):
+                    present = self.shards[shard].contains_many(keys[lo:hi])
+                    miss = np.flatnonzero(~present)
+                    return float(keys[lo + int(miss[0])]) if miss.size else None
+
+                for missing in self._scatter([
+                    (lambda s=s, lo=lo, hi=hi: validate(s, lo, hi))
+                    for s, lo, hi in groups
+                ]):
+                    if missing is not None:
+                        raise KeyNotFoundError(missing)
+
+                def apply(shard: int, lo: int, hi: int) -> None:
+                    self.shards[shard].delete_sorted_unchecked(keys[lo:hi])
+                    self.stats[shard].add(writes=hi - lo)
+
+                self._scatter([
+                    (lambda s=s, lo=lo, hi=hi: apply(s, lo, hi))
+                    for s, lo, hi in groups
+                ])
+            finally:
+                self._release_shards(shard_ids, write=True)
+
+    def erase_many(self, keys) -> int:
+        """Like :meth:`delete_many` but absent keys are skipped; returns
+        the number of keys removed across all shards."""
+        keys = np.unique(np.asarray(keys, dtype=np.float64))
+        if len(keys) == 0:
+            return 0
+        with self._structure_lock.read():
+            groups = list(self.router.split_batch(keys))
+
+            def run(shard: int, lo: int, hi: int) -> int:
+                removed = self.shards[shard].erase_many(keys[lo:hi])
+                self.stats[shard].add(writes=removed)
+                return removed
+
+            return sum(self._locked_scatter(
+                [s for s, _, _ in groups],
+                [(lambda s=s, lo=lo, hi=hi: run(s, lo, hi))
+                 for s, lo, hi in groups],
+                write=True))
+
     # ------------------------------------------------------------------
     # Scalar operations (single-shard touch under the same locks)
     # ------------------------------------------------------------------
@@ -548,34 +667,46 @@ class ShardedAlexIndex:
 
     def rebalance(self, hot_access_fraction: float = 0.5,
                   min_accesses: int = 1024) -> Optional[int]:
-        """Split the hottest shard when it absorbs a disproportionate share
-        of traffic (e.g. under :class:`repro.workloads.hotspot
-        .HotspotGenerator` access skew).
+        """Run one serving-tier adaptation step: consult the policy and
+        apply the shard SMO it picks — a hot-shard *split* or (under
+        :class:`~repro.core.policy.CostModelPolicy`) a cold-shard *merge*.
 
-        When one shard received at least ``hot_access_fraction`` of all
-        accesses (and at least ``min_accesses`` accesses were recorded
-        overall), that shard is split in two at its median key, halving the
-        work a single shard lock serializes.  Returns the id of the shard
-        that was split, or ``None`` when no shard is hot enough (or the hot
-        shard is too small to split).  Access tallies reset after a split
-        so the policy re-evaluates fresh traffic.
+        The default heuristic policy splits the shard that received at
+        least ``hot_access_fraction`` of all accesses (once at least
+        ``min_accesses`` accesses were recorded overall) in two at its
+        median key, halving the work a single shard lock serializes — e.g.
+        under :class:`repro.workloads.hotspot.HotspotGenerator` access
+        skew.  The cost-model policy additionally merges the coldest
+        adjacent shard pair when its combined traffic falls far below a
+        fair share — the inverse SMO, undoing splits a moving hotspot has
+        left behind.
+
+        Returns the id of the shard that was split (or the left shard of a
+        merged pair), or ``None`` when the policy sees nothing to do (or
+        the chosen victim is too small to split).  After a structural
+        change every shard's access tallies are *decayed* by
+        ``STATS_DECAY`` rather than wiped or carried raw, so the next
+        evaluation blends the old window with fresh traffic.
         """
-        # Decision and split happen under one exclusive structure hold, so
-        # a concurrent split cannot shift shard ids between picking the
-        # hot shard and cutting it.
+        # Decision and SMO happen under one exclusive structure hold, so a
+        # concurrent change cannot shift shard ids between picking the
+        # victim and acting on it.
         with self._structure_lock.write():
-            accesses = [stats.accesses for stats in self.stats]
-            total = sum(accesses)
-            if total < min_accesses:
+            summaries = [ShardSummary(stats.accesses, len(shard))
+                         for stats, shard in zip(self.stats, self.shards)]
+            decision = self.policy.choose_shard_smo(
+                summaries, hot_access_fraction, min_accesses)
+            if decision is None:
                 return None
-            hot = int(np.argmax(accesses))
-            if accesses[hot] / total < hot_access_fraction:
-                return None
-            if not self._split_locked(hot):
-                return None
+            if decision.action == "split":
+                if not self._split_locked(decision.shard):
+                    return None
+            else:
+                self._merge_locked(decision.shard)
+            self.policy.note_applied(f"shard_{decision.action}")
             for stats in self.stats:
-                stats.reset()
-            return hot
+                stats.decay()
+            return decision.shard
 
     def split_shard(self, shard: int) -> bool:
         """Split shard ``shard`` at its median key into two shards
@@ -586,6 +717,15 @@ class ShardedAlexIndex:
         """
         with self._structure_lock.write():
             return self._split_locked(shard)
+
+    def merge_shards(self, shard: int) -> None:
+        """Merge shards ``shard`` and ``shard + 1`` into one (quiesces the
+        service: takes the structure lock exclusively) — the inverse of
+        :meth:`split_shard`.  The merged shard is rebuilt over the union
+        of both key ranges and inherits both halves' access tallies and
+        work-counter history."""
+        with self._structure_lock.write():
+            self._merge_locked(shard)
 
     def _split_locked(self, shard: int) -> bool:
         """Body of :meth:`split_shard`; the structure lock must be held
@@ -599,9 +739,9 @@ class ShardedAlexIndex:
         median = float(keys[len(keys) // 2])
         cut = int(np.searchsorted(keys, median, side="left"))
         left = AlexIndex.bulk_load(keys[:cut], payloads[:cut],
-                                   config=self.config)
+                                   config=self.config, policy=self.policy)
         right = AlexIndex.bulk_load(keys[cut:], payloads[cut:],
-                                    config=self.config)
+                                    config=self.config, policy=self.policy)
         # The victim's accumulated work history moves to its left half so
         # aggregate counters stay monotone across splits (a diff spanning
         # a rebalance must never go negative).
@@ -610,8 +750,34 @@ class ShardedAlexIndex:
         self.shards[shard:shard + 1] = [left, right]
         self._shard_locks[shard:shard + 1] = [ReadWriteLock(),
                                               ReadWriteLock()]
-        self.stats[shard:shard + 1] = [ShardStats(), ShardStats()]
+        # Each half inherits half the victim's access window: neither
+        # starts blind, and the fleet-wide tally total is preserved (the
+        # fix for stale windows biasing the next policy evaluation).
+        self.stats[shard:shard + 1] = list(self.stats[shard].split())
         return True
+
+    def _merge_locked(self, shard: int) -> None:
+        """Body of :meth:`merge_shards`; the structure lock must be held
+        exclusively."""
+        if not 0 <= shard < len(self.shards) - 1:
+            raise IndexError(f"no shard pair ({shard}, {shard + 1})")
+        left, right = self.shards[shard], self.shards[shard + 1]
+        left_keys, left_payloads = export_arrays(left)
+        right_keys, right_payloads = export_arrays(right)
+        merged = AlexIndex.bulk_load(
+            np.concatenate([left_keys, right_keys]),
+            left_payloads + right_payloads,
+            config=self.config, policy=self.policy)
+        # Both halves' work history survives in the merged shard, keeping
+        # aggregate counters monotone (symmetric with _split_locked).
+        merged.counters.merge(left.counters)
+        merged.counters.merge(right.counters)
+        self.router = self.router.without_boundary(shard)
+        self.shards[shard:shard + 2] = [merged]
+        self._shard_locks[shard:shard + 2] = [ReadWriteLock()]
+        self.stats[shard:shard + 2] = [
+            self.stats[shard].merged_with(self.stats[shard + 1])
+        ]
 
     # ------------------------------------------------------------------
     # Introspection and accounting

@@ -1,6 +1,14 @@
 """YCSB-style workloads of the paper's evaluation (Section 5.1.2)."""
 
 from .runner import WorkloadResult, WorkloadRunner, run_workload
+from .adaptation import (
+    SCENARIOS,
+    build_trace,
+    grow_then_shrink_trace,
+    replay_trace,
+    run_adaptation_scenario,
+    shifting_hotspot_trace,
+)
 from .hotspot import HotspotGenerator, LatestGenerator
 from .trace import ReplayResult, Trace, TraceRecorder, record_workload, replay
 from .spec import (
@@ -21,6 +29,12 @@ __all__ = [
     "DEFAULT_THETA",
     "HotspotGenerator",
     "INSERT",
+    "SCENARIOS",
+    "build_trace",
+    "grow_then_shrink_trace",
+    "replay_trace",
+    "run_adaptation_scenario",
+    "shifting_hotspot_trace",
     "LatestGenerator",
     "RANGE_SCAN",
     "READ",

@@ -66,6 +66,28 @@ class TestCompare:
         assert "unknown system" in capsys.readouterr().err
 
 
+class TestAdapt:
+    def test_compares_policies_and_logs_decisions(self, capsys):
+        code = main(["adapt", "--scenario", "grow-shrink",
+                     "--keys", "2000", "--ops", "2000", "--decisions", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "heuristic" in out
+        assert "cost-model" in out
+        assert "merge" in out
+        assert "decisions:" in out
+
+    def test_unknown_policy_rejected(self, capsys):
+        code = main(["adapt", "--policies", "nope",
+                     "--keys", "2000", "--ops", "2000"])
+        assert code == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adapt", "--scenario", "nope"])
+
+
 class TestErrors:
     def test_prints_error_summary(self, capsys):
         assert main(["errors", "--dataset", "longitudes",

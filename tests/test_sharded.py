@@ -271,6 +271,35 @@ class TestRandomInterleavings:
             assert observations[num_shards] == baseline
 
 
+class TestBatchDeletes:
+    def test_delete_many_matches_single_index(self):
+        rng = np.random.default_rng(21)
+        service, single, keys = build_pair(rng)
+        victims = rng.permutation(keys)[:1500]
+        service.delete_many(victims)
+        single.delete_many(victims)
+        assert list(service.items()) == list(single.items())
+        assert len(service) == len(single) == len(keys) - 1500
+        service.validate()
+
+    def test_delete_many_all_or_nothing_across_shards(self):
+        rng = np.random.default_rng(22)
+        service, _, keys = build_pair(rng)
+        bogus = np.append(rng.permutation(keys)[:50], [-1.0])
+        with pytest.raises(KeyNotFoundError):
+            service.delete_many(bogus)
+        assert len(service) == len(keys)  # no shard mutated
+
+    def test_erase_many_returns_removed_count(self):
+        rng = np.random.default_rng(23)
+        service, _, keys = build_pair(rng)
+        victims = rng.permutation(keys)[:200]
+        removed = service.erase_many(np.append(victims, [-1.0, -2.0]))
+        assert removed == 200
+        assert len(service) == len(keys) - 200
+        assert service.erase_many(victims) == 0  # already gone
+
+
 class TestRebalance:
     def _hot_service(self, rng, num_shards=4):
         service, _, keys = build_pair(rng, n=4000, num_shards=num_shards)
@@ -284,14 +313,51 @@ class TestRebalance:
     def test_hotspot_traffic_concentrates_and_splits(self):
         service, keys = self._hot_service(np.random.default_rng(41))
         before_items = list(service.items())
+        before_accesses = sum(stats.accesses for stats in service.stats)
         hot, fraction = service.hottest_shard()
         assert fraction > 0.5  # 90% of accesses hit 15% of the key space
+        hot_accesses = service.stats[hot].accesses
         split = service.rebalance(hot_access_fraction=0.5, min_accesses=1000)
         assert split == hot
         assert service.num_shards == 5
         assert list(service.items()) == before_items
-        assert all(stats.accesses == 0 for stats in service.stats)
+        # The observation window decays instead of being wiped (or carried
+        # raw): the victim's tallies divide between its halves, then every
+        # shard's window shrinks by the decay factor.
+        after_accesses = sum(stats.accesses for stats in service.stats)
+        assert 0 < after_accesses <= before_accesses // 2 + len(service.stats)
+        halves = (service.stats[hot].accesses
+                  + service.stats[hot + 1].accesses)
+        assert abs(halves - hot_accesses // 2) <= 2
         service.validate()
+
+    def test_split_divides_stats_between_halves(self):
+        service, keys = self._hot_service(np.random.default_rng(44))
+        hot, _ = service.hottest_shard()
+        tallies = service.stats[hot]
+        reads, accesses = tallies.reads, tallies.accesses
+        others = [s.accesses for i, s in enumerate(service.stats)
+                  if i != hot]
+        assert service.split_shard(hot)
+        left, right = service.stats[hot], service.stats[hot + 1]
+        assert left.reads + right.reads == reads
+        assert left.accesses + right.accesses == accesses
+        # A direct split_shard renormalizes nothing else: the other
+        # windows are untouched and the fleet-wide total is preserved.
+        assert [s.accesses for i, s in enumerate(service.stats)
+                if i not in (hot, hot + 1)] == others
+
+    def test_merge_shards_is_split_inverse(self):
+        service, keys = self._hot_service(np.random.default_rng(45))
+        before_items = list(service.items())
+        total_accesses = sum(stats.accesses for stats in service.stats)
+        service.merge_shards(1)
+        assert service.num_shards == 3
+        assert list(service.items()) == before_items
+        assert sum(stats.accesses for stats in service.stats) == total_accesses
+        service.validate()
+        with pytest.raises(IndexError):
+            service.merge_shards(service.num_shards - 1)
 
     def test_rebalance_noop_below_thresholds(self):
         service, keys = self._hot_service(np.random.default_rng(42))

@@ -169,3 +169,42 @@ class TestWorkloadRunner:
         result = run_workload(index, init, inserts, spec, 50, seed=7)
         assert result.reads == 30
         assert result.inserts == 20
+
+
+class TestAdaptationTraces:
+    def test_traces_are_deterministic(self):
+        from repro.workloads.adaptation import build_trace
+        for scenario in ("grow-shrink", "hotspot-shift"):
+            a_init, a_chunks = build_trace(scenario, 1000, 1000, seed=5)
+            b_init, b_chunks = build_trace(scenario, 1000, 1000, seed=5)
+            assert np.array_equal(a_init, b_init)
+            assert len(a_chunks) == len(b_chunks)
+            for (op_a, keys_a), (op_b, keys_b) in zip(a_chunks, b_chunks):
+                assert op_a == op_b
+                assert np.array_equal(keys_a, keys_b)
+
+    def test_grow_shrink_ends_small(self):
+        from repro.core.policy import HeuristicPolicy
+        from repro.workloads.adaptation import run_adaptation_scenario
+        result = run_adaptation_scenario(HeuristicPolicy(), "grow-shrink",
+                                         num_keys=2000, num_ops=2000,
+                                         seed=1)
+        # the wave (1000) plus 80% of the base is deleted
+        assert result["final_keys"] == 2000 + 1000 - 1000 - 1600
+        assert result["sim_mops"] > 0
+
+    def test_hotspot_shift_inserts_are_sequential_per_phase(self):
+        from repro.workloads.adaptation import shifting_hotspot_trace
+        _, chunks = shifting_hotspot_trace(1000, 1000, seed=2, shifts=2)
+        inserts = [keys for op, keys in chunks if op == "insert"]
+        assert inserts and all(len(k) <= 2 for k in inserts)
+        flat = np.concatenate(inserts)
+        # within each phase the cursor only advances; a phase boundary is
+        # the single place the sequence may restart
+        drops = int((np.diff(flat) < 0).sum())
+        assert drops <= 1
+
+    def test_unknown_scenario_raises(self):
+        from repro.workloads.adaptation import build_trace
+        with pytest.raises(ValueError):
+            build_trace("nope", 100, 100)
