@@ -1,0 +1,45 @@
+"""Shared CLI behavior for the bench scripts in this directory.
+
+Every ``bench_*.py`` that records a ``BENCH_*.json`` artifact uses the
+same output contract:
+
+* ``--out PATH``  — where the JSON artifact is written (each script's
+  default is its committed baseline name, e.g. ``BENCH_shard.json``);
+* ``--quiet``     — suppress the full JSON dump on stdout and print only
+  the one-line summary (CI uses this instead of piping to
+  ``/dev/null``).
+
+Scripts import this module by file-system neighborhood (``import
+_common``), which works because Python puts a script's own directory on
+``sys.path`` — no package install required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+
+def add_output_arguments(parser: argparse.ArgumentParser,
+                         default_out: str) -> None:
+    """Attach the uniform ``--out`` / ``--quiet`` options."""
+    parser.add_argument("--out", default=default_out,
+                        help=f"output JSON path (default: {default_out})")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the summary line, not the full "
+                             "JSON result")
+
+
+def emit(result: dict, args: argparse.Namespace, summary: str) -> None:
+    """Write the artifact and report per the uniform output contract."""
+    parent = os.path.dirname(args.out)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    if not args.quiet:
+        print(json.dumps(result, indent=2))
+        print()
+    print(f"wrote {args.out}; {summary}")

@@ -23,12 +23,12 @@ The bench asserts the acceptance criterion: the cost-model policy beats
 the heuristic on at least one scenario in space or simulated throughput.
 
 Run: ``python benchmarks/bench_adaptation.py [--keys N] [--ops M]
-[--seed S] [--out BENCH_adapt.json]``
+[--seed S] [--out BENCH_adapt.json] [--quiet]``
 """
 
 import argparse
-import json
 
+import _common
 from repro.core.policy import CostModelPolicy, HeuristicPolicy
 from repro.workloads.adaptation import SCENARIOS, run_adaptation_scenario
 
@@ -88,23 +88,19 @@ def main() -> None:
     parser.add_argument("--keys", type=int, default=20_000)
     parser.add_argument("--ops", type=int, default=20_000)
     parser.add_argument("--seed", type=int, default=SEED)
-    parser.add_argument("--out", default="BENCH_adapt.json")
+    _common.add_output_arguments(parser, "BENCH_adapt.json")
     args = parser.parse_args()
     result = measure_adaptation(args.keys, args.ops, args.seed)
-    with open(args.out, "w") as fh:
-        json.dump(result, fh, indent=2)
-        fh.write("\n")
-    print(json.dumps(result, indent=2))
     assert result["cost_model_wins_on"], (
         "CostModelPolicy beat HeuristicPolicy on no scenario — the "
         "adaptation engine regressed")
-    for scenario, data in result["scenarios"].items():
-        c = data["comparison"]
-        print(f"\n{scenario}: throughput x{c['throughput_ratio']}, "
-              f"space x{c['space_ratio']} "
-              f"(index bytes x{c['index_bytes_ratio']})")
-    print(f"wrote {args.out}; cost model wins on: "
-          f"{', '.join(result['cost_model_wins_on'])}")
+    ratios = "; ".join(
+        f"{scenario}: throughput x{data['comparison']['throughput_ratio']}"
+        f", space x{data['comparison']['space_ratio']}"
+        for scenario, data in result["scenarios"].items())
+    _common.emit(result, args,
+                 f"cost model wins on: "
+                 f"{', '.join(result['cost_model_wins_on'])} ({ratios})")
 
 
 if __name__ == "__main__":

@@ -10,7 +10,6 @@ probe and the periodic full merges.
 Run: ``pytest benchmarks/bench_delta_baseline.py --benchmark-only -s``
 """
 
-import numpy as np
 
 from repro.analysis import DEFAULT_COST_MODEL
 from repro.baselines.delta_learned_index import DeltaLearnedIndex

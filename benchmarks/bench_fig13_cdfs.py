@@ -8,7 +8,6 @@ looks smooth globally.
 Run: ``pytest benchmarks/bench_fig13_cdfs.py --benchmark-only -s``
 """
 
-import numpy as np
 
 from repro.bench import format_table
 from repro.datasets import (

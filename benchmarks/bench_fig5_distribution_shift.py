@@ -8,7 +8,6 @@ domain disjoint from everything the models were trained on.  ALEX-GA-ARMI
 Run: ``pytest benchmarks/bench_fig5_distribution_shift.py --benchmark-only -s``
 """
 
-import numpy as np
 
 from repro.analysis import DEFAULT_COST_MODEL
 from repro.bench import SystemParams, build_index, format_table

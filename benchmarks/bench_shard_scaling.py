@@ -1,10 +1,14 @@
-"""Shard-scaling bench: scatter-gather batch throughput vs shard count.
+"""Shard-scaling bench: scatter-gather batch throughput vs shard count,
+for both execution backends.
 
 Builds a :class:`repro.serve.ShardedAlexIndex` over the lognormal dataset
 (the skewed CDF where the router's equal-mass boundaries matter most) at
-several shard counts, drives one large batch read (``lookup_many``) and one
-large batch write (``insert_many``) through each, and records throughput to
-``BENCH_shard.json``.
+several shard counts *and under each requested execution backend*
+(``thread`` — in-process scatter-gather, GIL-bound for Python-level work;
+``process`` — one long-lived worker process per shard with shared-memory
+batch transport), drives one large batch read (``lookup_many``) and one
+large batch write (``insert_many``) through each, and records throughput
+to ``BENCH_shard.json``.
 
 Three readings per operation, all from the same run:
 
@@ -15,25 +19,32 @@ Three readings per operation, all from the same run:
 * ``sim_mops_critical_path`` — batch size over the *slowest shard's*
   simulated time plus the router's carve cost: the scatter-gather service
   model, where per-shard sub-batches execute in parallel and the batch
-  completes when the last shard finishes.  This is the number that scales
-  with shard count, and ``balance`` (mean/max per-shard time) shows how
-  close the CDF-fitted boundaries get to the ideal ``1/shards`` split;
-* ``wall_seconds`` — honest single-process wall clock, for reference.  On
-  a multi-core host the executor turns critical-path scaling into wall
-  time; on a single core the GIL serializes the shards and wall clock
-  stays flat.
+  completes when the last shard finishes.  ``balance`` (mean/max
+  per-shard time) shows how close the CDF-fitted boundaries get to the
+  ideal ``1/shards`` split;
+* ``wall_seconds`` — honest wall clock.  Under the thread backend on one
+  core the GIL serializes the shards and wall clock stays flat; under the
+  process backend the workers run on real cores, so on a multi-core host
+  the critical-path scaling shows up as wall time (``cpu_count`` is
+  recorded so single-core results are not misread as a regression).
+
+``process_vs_thread`` summarizes the wall-clock ratio between the
+backends at the largest common shard count — the "did the GIL actually
+get beaten" number.
 
 Run: ``python benchmarks/bench_shard_scaling.py [--keys N] [--batch M]
-[--shards 1 2 4 8] [--out BENCH_shard.json]``
+[--shards 1 2 4 8] [--backends thread process] [--out BENCH_shard.json]
+[--quiet]``
 """
 
 import argparse
-import json
 import math
+import os
 import time
 
 import numpy as np
 
+import _common
 from repro.analysis.cost_model import DEFAULT_COST_MODEL
 from repro.core.alex import AlexIndex
 from repro.core.config import ga_armi
@@ -62,116 +73,163 @@ def _op_metrics(batch: int, wall: float, shard_nanos: list,
     }
 
 
+def _speedups(rows: list) -> dict:
+    """Per-operation speedups of the last row over the first (1-shard)."""
+    base, best = rows[0], rows[-1]
+    out = {}
+    for op in ("read", "write"):
+        out[f"{op}_speedup_over_1_shard"] = {
+            "sim_aggregate": round(best[op]["sim_mops_aggregate"]
+                                   / base[op]["sim_mops_aggregate"], 3),
+            "sim_critical_path": round(
+                best[op]["sim_mops_critical_path"]
+                / base[op]["sim_mops_critical_path"], 3),
+            "wall": round(best[op]["wall_ops_per_second"]
+                          / base[op]["wall_ops_per_second"], 3),
+        }
+    return out
+
+
 def measure_shard_scaling(num_keys: int = 1_000_000,
                           batch: int = 100_000,
                           shard_counts=(1, 2, 4, 8),
-                          seed: int = SEED) -> dict:
+                          seed: int = SEED,
+                          backends=("thread", "process")) -> dict:
     """The acceptance measurement: one batch read and one batch write of
-    ``batch`` keys against a ``num_keys``-key sharded service at each shard
-    count, verifying the sharded results match a single index."""
+    ``batch`` keys against a ``num_keys``-key sharded service at each
+    shard count under each backend, verifying the sharded results match a
+    single index."""
     keys = load("lognormal", num_keys + batch, seed=seed)
     init_keys, insert_keys = keys[:num_keys], keys[num_keys:]
     rng = np.random.default_rng(seed + 1)
     probes = rng.choice(init_keys, batch, replace=True)
+    check = min(10_000, batch)
 
     # Ground truth for the equivalence check.
     single = AlexIndex.bulk_load(init_keys,
                                  list(range(len(init_keys))),
                                  config=ga_armi())
-    expected_sample = single.lookup_many(probes[:10_000])
+    expected_sample = single.lookup_many(probes[:check])
 
     configs = []
-    for num_shards in shard_counts:
-        build_start = time.perf_counter()
-        service = ShardedAlexIndex.bulk_load(
-            init_keys, list(range(len(init_keys))),
-            num_shards=num_shards, config=ga_armi())
-        build_seconds = time.perf_counter() - build_start
-        # The router's carve cost: one vectorized searchsorted over the
-        # batch, log2(shards) comparisons per key (serial, pre-scatter).
-        router_nanos = (batch * math.log2(max(num_shards, 2))
-                        * DEFAULT_COST_MODEL.comparison_ns
-                        if num_shards > 1 else 0.0)
+    for backend in backends:
+        for num_shards in shard_counts:
+            build_start = time.perf_counter()
+            service = ShardedAlexIndex.bulk_load(
+                init_keys, list(range(len(init_keys))),
+                num_shards=num_shards, config=ga_armi(), backend=backend)
+            build_seconds = time.perf_counter() - build_start
+            # The router's carve cost: one vectorized searchsorted over
+            # the batch, log2(shards) comparisons per key (serial,
+            # pre-scatter).
+            router_nanos = (batch * math.log2(max(num_shards, 2))
+                            * DEFAULT_COST_MODEL.comparison_ns
+                            if num_shards > 1 else 0.0)
 
-        before = service.shard_counters()
-        read_start = time.perf_counter()
-        got = service.lookup_many(probes)
-        read_wall = time.perf_counter() - read_start
-        read_nanos = _sim_nanos([a.diff(b) for a, b in
-                                 zip(service.shard_counters(), before)])
-        if got[:10_000] != expected_sample:
-            raise AssertionError("sharded and single-index reads disagree")
+            before = service.shard_counters()
+            read_start = time.perf_counter()
+            got = service.lookup_many(probes)
+            read_wall = time.perf_counter() - read_start
+            read_nanos = _sim_nanos([a.diff(b) for a, b in
+                                     zip(service.shard_counters(), before)])
+            if got[:check] != expected_sample:
+                raise AssertionError(
+                    "sharded and single-index reads disagree")
 
-        before = service.shard_counters()
-        write_start = time.perf_counter()
-        service.insert_many(insert_keys)
-        write_wall = time.perf_counter() - write_start
-        write_nanos = _sim_nanos([a.diff(b) for a, b in
-                                  zip(service.shard_counters(), before)])
-        if len(service) != num_keys + len(insert_keys):
-            raise AssertionError("batch write lost keys")
+            before = service.shard_counters()
+            write_start = time.perf_counter()
+            service.insert_many(insert_keys)
+            write_wall = time.perf_counter() - write_start
+            write_nanos = _sim_nanos([a.diff(b) for a, b in
+                                      zip(service.shard_counters(), before)])
+            if len(service) != num_keys + len(insert_keys):
+                raise AssertionError("batch write lost keys")
 
-        configs.append({
-            "shards": num_shards,
-            "build_seconds": round(build_seconds, 4),
-            "max_shard_depth": service.depth(),
-            "read": _op_metrics(batch, read_wall, read_nanos, router_nanos),
-            "write": _op_metrics(len(insert_keys), write_wall, write_nanos,
-                                 router_nanos),
-        })
-        service.close()
+            configs.append({
+                "backend": backend,
+                "shards": num_shards,
+                "build_seconds": round(build_seconds, 4),
+                "max_shard_depth": service.depth(),
+                "read": _op_metrics(batch, read_wall, read_nanos,
+                                    router_nanos),
+                "write": _op_metrics(len(insert_keys), write_wall,
+                                     write_nanos, router_nanos),
+            })
+            service.close()
 
-    base, best = configs[0], configs[-1]
-    return {
-        "bench": "sharded scatter-gather batch reads/writes vs shard count",
+    by_backend = {b: [row for row in configs if row["backend"] == b]
+                  for b in backends}
+    result = {
+        "bench": "sharded scatter-gather batch reads/writes vs shard "
+                 "count and execution backend",
         "dataset": "lognormal",
         "variant": "ALEX-GA-ARMI per shard",
         "num_keys": int(num_keys),
         "read_batch": int(batch),
         "write_batch": int(len(insert_keys)),
+        "cpu_count": os.cpu_count() or 1,
         "metric_note": (
             "sim_* from the counter-based cost model (DESIGN.md §6); "
             "critical_path = slowest shard + router carve, the parallel "
-            "scatter-gather service model; wall clock is single-process "
-            "and GIL-bound on a single core"),
+            "scatter-gather service model; thread-backend wall clock is "
+            "single-process and GIL-bound, process-backend wall clock "
+            "runs one worker process per shard and scales with real "
+            "cores (see cpu_count)"),
         "configs": configs,
-        "read_speedup_over_1_shard": {
-            "sim_aggregate": round(best["read"]["sim_mops_aggregate"]
-                                   / base["read"]["sim_mops_aggregate"], 3),
-            "sim_critical_path": round(
-                best["read"]["sim_mops_critical_path"]
-                / base["read"]["sim_mops_critical_path"], 3),
-        },
-        "write_speedup_over_1_shard": {
-            "sim_aggregate": round(best["write"]["sim_mops_aggregate"]
-                                   / base["write"]["sim_mops_aggregate"], 3),
-            "sim_critical_path": round(
-                best["write"]["sim_mops_critical_path"]
-                / base["write"]["sim_mops_critical_path"], 3),
-        },
         "results_identical_to_single_index": True,
     }
+    # Back-compatible speedup summary from the thread rows (the regression
+    # gate's scale-invariant metrics), plus per-backend summaries.
+    primary = by_backend.get("thread") or configs
+    result.update(_speedups(primary))
+    result["speedups_by_backend"] = {
+        b: _speedups(rows) for b, rows in by_backend.items() if rows
+    }
+    if "thread" in by_backend and "process" in by_backend:
+        # The GIL verdict: wall-clock ratio at the largest common count.
+        common = (set(r["shards"] for r in by_backend["thread"])
+                  & set(r["shards"] for r in by_backend["process"]))
+        at = max(common)
+        t = next(r for r in by_backend["thread"] if r["shards"] == at)
+        p = next(r for r in by_backend["process"] if r["shards"] == at)
+        result["process_vs_thread"] = {
+            "shards": at,
+            "read_wall_speedup": round(
+                p["read"]["wall_ops_per_second"]
+                / t["read"]["wall_ops_per_second"], 3),
+            "write_wall_speedup": round(
+                p["write"]["wall_ops_per_second"]
+                / t["write"]["wall_ops_per_second"], 3),
+        }
+    return result
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(
         description="Measure sharded batch read/write throughput vs shard "
-                    "count and record it to BENCH_shard.json")
+                    "count and backend, and record it to BENCH_shard.json")
     parser.add_argument("--keys", type=int, default=1_000_000)
     parser.add_argument("--batch", type=int, default=100_000)
     parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8])
-    parser.add_argument("--out", default="BENCH_shard.json")
+    parser.add_argument("--backends", nargs="+",
+                        choices=("thread", "process"),
+                        default=["thread", "process"])
+    _common.add_output_arguments(parser, "BENCH_shard.json")
     args = parser.parse_args()
     result = measure_shard_scaling(args.keys, args.batch,
-                                   tuple(args.shards))
-    with open(args.out, "w") as fh:
-        json.dump(result, fh, indent=2)
-        fh.write("\n")
-    print(json.dumps(result, indent=2))
+                                   tuple(args.shards),
+                                   backends=tuple(args.backends))
     read_up = result["read_speedup_over_1_shard"]["sim_critical_path"]
     write_up = result["write_speedup_over_1_shard"]["sim_critical_path"]
-    print(f"\nwrote {args.out}; critical-path speedup over 1 shard: "
-          f"reads {read_up}x, writes {write_up}x")
+    summary = (f"critical-path speedup over 1 shard: reads {read_up}x, "
+               f"writes {write_up}x")
+    pvt = result.get("process_vs_thread")
+    if pvt is not None:
+        summary += (f"; process-vs-thread wall clock at {pvt['shards']} "
+                    f"shards: reads {pvt['read_wall_speedup']}x, writes "
+                    f"{pvt['write_wall_speedup']}x "
+                    f"({result['cpu_count']} cores)")
+    _common.emit(result, args, summary)
 
 
 if __name__ == "__main__":

@@ -9,7 +9,6 @@ heuristic and checks it lands in a sane band.
 Run: ``pytest benchmarks/bench_space_time_frontier.py --benchmark-only -s``
 """
 
-import numpy as np
 
 from repro.analysis.space_time import (
     recommend_expansion_factor,

@@ -8,7 +8,6 @@ ycsb near-linear, lognormal skewed.
 Run: ``pytest benchmarks/bench_table1_datasets.py --benchmark-only -s``
 """
 
-import numpy as np
 
 from repro.datasets import (
     DATASETS,

@@ -24,12 +24,12 @@ or:  ``python benchmarks/bench_wallclock_micro.py [--keys N] [--probes M]``
 """
 
 import argparse
-import json
 import time
 
 import numpy as np
 import pytest
 
+import _common
 from repro.baselines.bptree import BPlusTree
 from repro.baselines.learned_index import LearnedIndex
 from repro.core.alex import AlexIndex
@@ -195,15 +195,11 @@ def main() -> None:
     parser.add_argument("--keys", type=int, default=1_000_000)
     parser.add_argument("--probes", type=int, default=100_000)
     parser.add_argument("--scalar-sample", type=int, default=10_000)
-    parser.add_argument("--out", default="BENCH_batch.json")
+    _common.add_output_arguments(parser, "BENCH_batch.json")
     args = parser.parse_args()
     result = measure_batch_speedup(args.keys, args.probes,
                                    args.scalar_sample)
-    with open(args.out, "w") as fh:
-        json.dump(result, fh, indent=2)
-        fh.write("\n")
-    print(json.dumps(result, indent=2))
-    print(f"\nwrote {args.out}; speedup {result['speedup']}x")
+    _common.emit(result, args, f"speedup {result['speedup']}x")
 
 
 if __name__ == "__main__":

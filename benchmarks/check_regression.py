@@ -1,0 +1,161 @@
+"""Perf regression gate: compare fresh smoke benches against baselines.
+
+CI produces small "smoke" versions of the three bench artifacts
+(``BENCH_batch.json``, ``BENCH_shard.json``, ``BENCH_adapt.json``) and
+this script compares them against the baselines committed at the repo
+root.  Absolute throughput numbers are meaningless across machines and
+problem sizes, so only **scale-invariant ratio metrics** are gated — the
+batch-vs-scalar speedup, the sharded critical-path speedups, and the
+cost-model-vs-heuristic policy ratios.  Each fresh metric must reach
+``tolerance`` × its baseline (for lower-is-better metrics: stay under
+baseline ÷ ``tolerance``).
+
+The tolerance knob defaults to **0.5** — deliberately loose, because CI
+runners are noisy and the smoke sizes are tiny; it exists to catch "the
+batch engine stopped being vectorized" (a 60x speedup collapsing to 2x),
+not a 10% wobble.  Tighten it locally with ``--tolerance 0.8`` or the
+``BENCH_TOLERANCE`` environment variable.
+
+Run: ``python benchmarks/check_regression.py --baseline-dir .
+--fresh-dir ci-bench [--tolerance 0.5] [--files BENCH_shard.json ...]``
+
+Exit status: 0 when every gated metric passes (missing metrics are
+reported but not fatal — e.g. a baseline recorded before a metric
+existed), 1 on any regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One gated reading inside a bench artifact."""
+
+    label: str
+    path: tuple                 # nested dict keys
+    higher_is_better: bool = True
+
+
+#: The scale-invariant metrics gated per artifact.
+GATED = {
+    "BENCH_batch.json": [
+        Metric("batch vs scalar lookup speedup", ("speedup",)),
+    ],
+    "BENCH_shard.json": [
+        Metric("read critical-path speedup over 1 shard",
+               ("read_speedup_over_1_shard", "sim_critical_path")),
+        Metric("write critical-path speedup over 1 shard",
+               ("write_speedup_over_1_shard", "sim_critical_path")),
+    ],
+    "BENCH_adapt.json": [
+        Metric("cost-model throughput ratio (grow-shrink)",
+               ("scenarios", "grow-shrink", "comparison",
+                "throughput_ratio")),
+        Metric("cost-model space ratio (grow-shrink)",
+               ("scenarios", "grow-shrink", "comparison", "space_ratio"),
+               higher_is_better=False),
+        Metric("cost-model throughput ratio (hotspot-shift)",
+               ("scenarios", "hotspot-shift", "comparison",
+                "throughput_ratio")),
+    ],
+}
+
+
+def _dig(data: dict, path: tuple) -> Optional[float]:
+    for key in path:
+        if not isinstance(data, dict) or key not in data:
+            return None
+        data = data[key]
+    return float(data) if isinstance(data, (int, float)) else None
+
+
+def check_file(name: str, baseline_dir: str, fresh_dir: str,
+               tolerance: float) -> tuple:
+    """Gate one artifact; returns ``(num_checked, failures, notes)``."""
+    failures, notes = [], []
+    paths = {}
+    for role, directory in (("baseline", baseline_dir), ("fresh", fresh_dir)):
+        path = os.path.join(directory, name)
+        if not os.path.exists(path):
+            notes.append(f"{name}: no {role} at {path} — skipped")
+            return 0, failures, notes
+        with open(path) as fh:
+            paths[role] = json.load(fh)
+    checked = 0
+    for metric in GATED.get(name, []):
+        base = _dig(paths["baseline"], metric.path)
+        fresh = _dig(paths["fresh"], metric.path)
+        if base is None or fresh is None:
+            notes.append(f"{name}: {metric.label} missing in "
+                         f"{'baseline' if base is None else 'fresh'} "
+                         "result — not gated")
+            continue
+        checked += 1
+        if metric.higher_is_better:
+            floor = base * tolerance
+            ok = fresh >= floor
+            bound = f">= {floor:.3f}"
+        else:
+            ceiling = base / tolerance
+            ok = fresh <= ceiling
+            bound = f"<= {ceiling:.3f}"
+        verdict = "ok" if ok else "REGRESSION"
+        line = (f"{name}: {metric.label}: fresh {fresh:.3f} vs baseline "
+                f"{base:.3f} (need {bound}) — {verdict}")
+        print(line)
+        if not ok:
+            failures.append(line)
+    return checked, failures, notes
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a fresh smoke bench regresses against the "
+                    "committed baseline beyond the tolerance")
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory holding the committed BENCH_*.json "
+                             "baselines (default: repo root)")
+    parser.add_argument("--fresh-dir", required=True,
+                        help="directory holding the freshly produced "
+                             "smoke BENCH_*.json artifacts")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get("BENCH_TOLERANCE",
+                                                     "0.5")),
+                        help="required fraction of the baseline metric "
+                             "(default 0.5, or $BENCH_TOLERANCE; CI "
+                             "runners are noisy — this catches collapses, "
+                             "not wobbles)")
+    parser.add_argument("--files", nargs="+", default=sorted(GATED),
+                        help="artifact names to gate (default: all known)")
+    args = parser.parse_args()
+    if not 0 < args.tolerance <= 1:
+        parser.error("--tolerance must be in (0, 1]")
+
+    total, all_failures, all_notes = 0, [], []
+    for name in args.files:
+        checked, failures, notes = check_file(
+            name, args.baseline_dir, args.fresh_dir, args.tolerance)
+        total += checked
+        all_failures.extend(failures)
+        all_notes.extend(notes)
+    for note in all_notes:
+        print(f"note: {note}")
+    if all_failures:
+        print(f"\n{len(all_failures)} regression(s) at tolerance "
+              f"{args.tolerance}:", file=sys.stderr)
+        for line in all_failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nall {total} gated metrics within tolerance {args.tolerance}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,7 @@ def main():
          "B+Tree Mops/s", "throughput ratio", "index-size ratio"],
         rows, title="Figure 4 grid (simulated-time throughput)"))
 
-    print(f"\nheadline summary:")
+    print("\nheadline summary:")
     print(f"  ALEX wins {report.wins()}/{report.cells()} cells")
     print(f"  best throughput ratio vs B+Tree: "
           f"{report.max_throughput_ratio():.2f}x "

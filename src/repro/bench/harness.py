@@ -20,7 +20,7 @@ from repro.baselines.bptree import BPlusTree
 from repro.baselines.delta_learned_index import DeltaLearnedIndex
 from repro.baselines.learned_index import LearnedIndex
 from repro.core.alex import AlexIndex
-from repro.core.config import ALL_VARIANTS, AlexConfig, ga_armi
+from repro.core.config import ALL_VARIANTS, ga_armi
 from repro.core.stats import Counters
 from repro.datasets import DATASETS, load
 from repro.serve import ShardedAlexIndex
@@ -49,6 +49,7 @@ class SystemParams:
     learned_keys_per_model: int = LEARNED_INDEX_MIN_KEYS_PER_MODEL
     num_shards: int = 4                # ShardedALEX partition count
     shard_workers: Optional[int] = None  # ShardedALEX scatter threads
+    shard_backend: str = "thread"      # ShardedALEX executor: thread|process
 
 
 @dataclass
@@ -112,7 +113,8 @@ def build_index(system: str, init_keys: np.ndarray,
             config = config.with_space_overhead(params.space_overhead)
         return ShardedAlexIndex.bulk_load(init_keys, config=config,
                                           num_shards=params.num_shards,
-                                          max_workers=params.shard_workers)
+                                          max_workers=params.shard_workers,
+                                          backend=params.shard_backend)
     raise ValueError(f"unknown system {system!r}; choose from {SYSTEMS}")
 
 
@@ -123,7 +125,8 @@ def run_experiment(system: str, dataset: str, spec: WorkloadSpec,
                    seed: int = 0,
                    keys: Optional[np.ndarray] = None,
                    read_batch: int = 1,
-                   write_batch: int = 1) -> ExperimentResult:
+                   write_batch: int = 1,
+                   delete_batch: int = 1) -> ExperimentResult:
     """Full paper procedure for one data point: generate the dataset,
     bulk-load ``init_size`` keys, run ``num_ops`` interleaved operations,
     report simulated throughput and sizes.
@@ -134,8 +137,10 @@ def run_experiment(system: str, dataset: str, spec: WorkloadSpec,
     ``read_batch > 1`` issues consecutive lookups through the index's
     batch engine (``lookup_many``) where the operation trace allows,
     amortizing the per-operation traversal work; ``write_batch > 1`` does
-    the same for consecutive inserts through ``insert_many``.  Systems
-    without a batch API transparently fall back to scalar operations.
+    the same for consecutive inserts through ``insert_many``, and
+    ``delete_batch > 1`` for consecutive deletes through ``delete_many``
+    (delete-scheduling specs only).  Systems without a batch API
+    transparently fall back to scalar operations.
     """
     payload_size = DATASETS[dataset].payload_size if dataset in DATASETS else 8
     if keys is None:
@@ -151,12 +156,13 @@ def run_experiment(system: str, dataset: str, spec: WorkloadSpec,
     shard_counters = getattr(index, "shard_counters", None)
     shard_before = shard_counters() if shard_counters is not None else None
     result = runner.run(spec, num_ops, read_batch=read_batch,
-                        write_batch=write_batch)
+                        write_batch=write_batch, delete_batch=delete_batch)
     extras = {
         "reads": result.reads,
         "inserts": result.inserts,
         "scans": result.scans,
         "scanned_records": result.scanned_records,
+        "deletes": result.deletes,
     }
     if shard_before is not None:
         # Scatter-gather systems also report the parallel service model:
@@ -166,14 +172,21 @@ def run_experiment(system: str, dataset: str, spec: WorkloadSpec,
                     for after, before in zip(shard_counters(), shard_before))
         extras["critical_path_throughput"] = (
             result.ops / (worst / 1e9) if worst > 0 else float("inf"))
+    index_bytes = index.index_size_bytes()
+    data_bytes = index.data_size_bytes()
+    closer = getattr(index, "close", None)
+    if closer is not None:
+        # Release the sharded service's executors (worker pool, or the
+        # process backend's shard worker processes).
+        closer()
     return ExperimentResult(
         system=system,
         dataset=dataset,
         workload=spec.name,
         ops=result.ops,
         throughput=cost_model.throughput(result.ops, result.work),
-        index_bytes=index.index_size_bytes(),
-        data_bytes=index.data_size_bytes(),
+        index_bytes=index_bytes,
+        data_bytes=data_bytes,
         work=result.work,
         extras=extras,
     )

@@ -5,7 +5,8 @@ Subcommands::
     python -m repro info                     # version, variants, systems
     python -m repro datasets [--size N]      # Table 1
     python -m repro compare --dataset ycsb --workload read-heavy
-    python -m repro shards --dataset lognormal --shards 1 2 4 8
+    python -m repro shards --dataset lognormal --shards 1 2 4 8 \
+        [--backend thread|process]
     python -m repro adapt --scenario grow-shrink   # policy SMO report
     python -m repro errors --dataset longitudes [--size N]
     python -m repro theorems --dataset lognormal --c 1.43 2 8
@@ -99,7 +100,8 @@ def _cmd_shards(args: argparse.Namespace) -> int:
     for num_shards in args.shards:
         params = SystemParams(keys_per_model=args.keys_per_model,
                               max_keys_per_node=args.max_keys,
-                              num_shards=num_shards)
+                              num_shards=num_shards,
+                              shard_backend=args.backend)
         result = run_experiment("ShardedALEX", args.dataset, spec,
                                 init_size=args.init, num_ops=args.ops,
                                 params=params, seed=args.seed,
@@ -113,7 +115,8 @@ def _cmd_shards(args: argparse.Namespace) -> int:
     print(format_table(
         ["shards", "Mops/s (agg)", "Mops/s (parallel)", "index bytes",
          "reads", "inserts", "scans"],
-        rows, title=f"ShardedALEX scaling: {args.workload} on "
+        rows, title=f"ShardedALEX scaling [{args.backend} backend]: "
+                    f"{args.workload} on "
                     f"{args.dataset} (init={args.init:,}, ops={args.ops:,}, "
                     f"read_batch={args.read_batch}, "
                     f"write_batch={args.write_batch})"))
@@ -239,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument("--ops", type=int, default=5_000)
     p_shard.add_argument("--shards", type=int, nargs="+",
                          default=[1, 2, 4, 8])
+    p_shard.add_argument("--backend", choices=("thread", "process"),
+                         default="thread",
+                         help="shard execution backend: in-process "
+                              "threads (GIL-bound) or one worker process "
+                              "per shard (real multi-core wall clock)")
     p_shard.add_argument("--read-batch", type=int, default=64)
     p_shard.add_argument("--write-batch", type=int, default=64)
     p_shard.add_argument("--keys-per-model", type=int, default=256)

@@ -20,6 +20,12 @@ class DuplicateKeyError(IndexError_):
         super().__init__(f"key {key!r} is already present")
         self.key = key
 
+    def __reduce__(self):
+        # Rebuild from the key, not the formatted message, so the error
+        # survives a pickle round-trip (worker process -> parent) with
+        # ``.key`` intact.
+        return (type(self), (self.key,))
+
 
 class KeyNotFoundError(IndexError_):
     """Raised when an operation requires a key that is not in the index."""
@@ -27,3 +33,6 @@ class KeyNotFoundError(IndexError_):
     def __init__(self, key: float):
         super().__init__(f"key {key!r} not found")
         self.key = key
+
+    def __reduce__(self):
+        return (type(self), (self.key,))

@@ -241,6 +241,18 @@ class AdaptationPolicy:
         # concurrently under different shard locks.
         self._bookkeeping = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        # Policies travel to shard worker processes (the sharded
+        # service's process backend) carrying their configuration; only
+        # the bookkeeping lock is process-local.
+        state = self.__dict__.copy()
+        state.pop("_bookkeeping", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._bookkeeping = threading.Lock()
+
     # -- observation ----------------------------------------------------
 
     def record(self, node, event: PressureEvent) -> None:

@@ -1,0 +1,216 @@
+"""Shared-memory storage views: picklable, attachable leaf array snapshots.
+
+ALEX keeps every leaf's keys and payloads in contiguous arrays, which map
+naturally onto POSIX shared memory: a :class:`SharedArray` is a picklable
+*handle* (segment name + shape + dtype) to a NumPy array living in a
+:class:`multiprocessing.shared_memory.SharedMemory` segment, so a parent
+process and a long-lived shard worker can exchange whole key batches and
+leaf snapshots by sending only the handle over a pipe — the array bytes
+are never copied through the pipe, and the receiver maps them zero-copy.
+
+:class:`ShardStorageView` bundles one shard's ``(keys, payloads)`` into
+such segments.  Keys are always a ``float64`` :class:`SharedArray`;
+payloads take the cheapest faithful encoding:
+
+* ``none``    — every payload is ``None`` (nothing is stored);
+* ``numeric`` — a homogeneous int/float column, stored as a second array
+  (zero-copy like the keys, round-tripping through ``tolist``);
+* ``pickle``  — arbitrary objects, pickled into a byte segment (one copy,
+  but still transported out-of-band of the pipe).
+
+Lifecycle contract: the *creator* of a view owns the segments and must
+``unlink`` them exactly once, after every attaching process is done
+reading (the process backend acks each message before its creator
+unlinks).  Attachers only ever ``close``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without claiming ownership.
+
+    Python 3.13 grew ``track=False`` so attaching does not register the
+    segment with the resource tracker at all.  On older versions the
+    attach *does* register — but every attacher here is a spawn child of
+    the segment creator, so both talk to the same tracker process and the
+    re-registration is an idempotent set-add; the creator's single
+    ``unlink`` keeps the bookkeeping exact.  (Do **not** unregister
+    manually on attach: with a shared tracker that would erase the
+    creator's registration and make its later unlink double-free.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def _unregister_segment(segment: shared_memory.SharedMemory) -> None:
+    """Drop the creator's tracker registration after a cross-process
+    unlink (3.13+ attachers are untracked, so their ``unlink`` does not
+    unregister; without this the shared tracker would warn about — and
+    try to re-unlink — an already-destroyed segment at exit)."""
+    if getattr(segment, "_track", True):
+        return  # a tracked handle's unlink() already unregistered
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedArray:
+    """A picklable handle to a NumPy array in a shared-memory segment.
+
+    Only ``(name, shape, dtype)`` travel through pickle; the mapping is
+    re-established lazily by :meth:`array` in whichever process unpickled
+    the handle.
+    """
+
+    def __init__(self, name: str, shape: Tuple[int, ...], dtype: str):
+        self.name = name
+        self.shape = tuple(shape)
+        self.dtype = dtype
+        self._segment: Optional[shared_memory.SharedMemory] = None
+        self._owner = False
+
+    def __getstate__(self) -> dict:
+        return {"name": self.name, "shape": self.shape, "dtype": self.dtype}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._segment = None
+        self._owner = False
+
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedArray":
+        """Copy ``array`` into a fresh shared segment and return the
+        owning handle (the creator must eventually :meth:`unlink`)."""
+        array = np.ascontiguousarray(array)
+        segment = shared_memory.SharedMemory(create=True,
+                                             size=max(1, array.nbytes))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        handle = cls(segment.name, array.shape, array.dtype.str)
+        handle._segment = segment
+        handle._owner = True
+        return handle
+
+    def array(self) -> np.ndarray:
+        """The shared array, mapped zero-copy (attaches on first use in a
+        non-creator process).  The view is only valid until :meth:`close`."""
+        if self._segment is None:
+            self._segment = _attach_segment(self.name)
+        return np.ndarray(self.shape, dtype=np.dtype(self.dtype),
+                          buffer=self._segment.buf)
+
+    def copy(self) -> np.ndarray:
+        """An independent copy, safe to keep after the segment is gone."""
+        return np.array(self.array(), copy=True)
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator-side, exactly once)."""
+        segment = self._segment
+        if segment is None:
+            try:
+                segment = _attach_segment(self.name)
+            except FileNotFoundError:
+                return
+        try:
+            segment.close()
+            segment.unlink()
+            _unregister_segment(segment)
+        except FileNotFoundError:
+            pass
+        self._segment = None
+
+
+#: Payload encodings a :class:`ShardStorageView` distinguishes.
+PAYLOAD_NONE = "none"
+PAYLOAD_NUMERIC = "numeric"
+PAYLOAD_PICKLE = "pickle"
+
+
+class ShardStorageView:
+    """One shard's ``(keys, payloads)`` packed into shared memory.
+
+    The picklable unit the process backend ships between parent and
+    workers: provisioning a worker, snapshotting a shard for a split or
+    merge, and re-provisioning after either all move whole shards through
+    these views instead of the pipe.
+    """
+
+    def __init__(self, keys: SharedArray, payload_kind: str,
+                 payload_data: Optional[SharedArray]):
+        self.keys = keys
+        self.payload_kind = payload_kind
+        self.payload_data = payload_data
+
+    @classmethod
+    def pack(cls, keys: np.ndarray,
+             payloads: Optional[list]) -> "ShardStorageView":
+        """Copy one shard's contents into fresh shared segments."""
+        keys_handle = SharedArray.create(
+            np.asarray(keys, dtype=np.float64))
+        if payloads is None or all(p is None for p in payloads):
+            return cls(keys_handle, PAYLOAD_NONE, None)
+        # Only a *homogeneous* int or float column takes the array path,
+        # so every payload round-trips with its exact Python type.
+        if {type(p) for p in payloads} in ({int}, {float}):
+            try:
+                column = np.asarray(payloads)
+            except (ValueError, OverflowError):
+                column = None  # e.g. ints beyond int64
+            if (column is not None and column.ndim == 1
+                    and column.dtype.kind in "if"):
+                return cls(keys_handle, PAYLOAD_NUMERIC,
+                           SharedArray.create(column))
+        blob = np.frombuffer(pickle.dumps(payloads, protocol=-1),
+                             dtype=np.uint8)
+        return cls(keys_handle, PAYLOAD_PICKLE, SharedArray.create(blob))
+
+    def keys_view(self) -> np.ndarray:
+        """The key array, mapped zero-copy (valid until :meth:`close`)."""
+        return self.keys.array()
+
+    def unpack(self, copy: bool = True) -> Tuple[np.ndarray, Optional[list]]:
+        """``(keys, payloads)`` reconstructed from the segments.
+
+        With ``copy=True`` (the default) the keys are duplicated out of
+        shared memory, so the result outlives the segments.
+        """
+        keys = self.keys.copy() if copy else self.keys_view()
+        if self.payload_kind == PAYLOAD_NONE:
+            payloads = None if len(keys) == 0 else [None] * len(keys)
+            return keys, payloads
+        if self.payload_kind == PAYLOAD_NUMERIC:
+            return keys, self.payload_data.array().tolist()
+        return keys, pickle.loads(self.payload_data.array().tobytes())
+
+    def _handles(self) -> List[SharedArray]:
+        handles = [self.keys]
+        if self.payload_data is not None:
+            handles.append(self.payload_data)
+        return handles
+
+    def close(self) -> None:
+        """Drop this process's mappings."""
+        for handle in self._handles():
+            handle.close()
+
+    def unlink(self) -> None:
+        """Destroy the segments (creator-side, exactly once)."""
+        for handle in self._handles():
+            handle.unlink()

@@ -24,9 +24,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
-import numpy as np
-
-from repro.baselines.bptree import BPlusTree, _Inner, _Leaf
+from repro.baselines.bptree import BPlusTree, _Inner
 from repro.core.alex import AlexIndex
 from repro.core.config import AlexConfig
 

@@ -17,7 +17,6 @@ re-train models.
 from __future__ import annotations
 
 import dataclasses
-import io
 import json
 import pickle
 from typing import List

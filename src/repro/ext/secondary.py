@@ -17,7 +17,7 @@ both index roles.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.alex import AlexIndex
 from repro.core.config import AlexConfig

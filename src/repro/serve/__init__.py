@@ -38,13 +38,30 @@ shard's lock becomes the system's bottleneck; :meth:`ShardedAlexIndex
 all accesses and splits it in two at its median key, doubling the lock
 granularity exactly where the traffic is.  Splits quiesce the service
 through the structure lock and preserve all contents.
+
+**Execution backends.**  Where the shards live is pluggable
+(``ShardedAlexIndex(backend="thread" | "process")``): the
+:class:`ThreadBackend` keeps them in-process behind a shared
+``ThreadPoolExecutor`` (GIL-bound for Python-level work), while the
+:class:`ProcessBackend` hosts each shard in a long-lived worker process —
+batches travel through :mod:`multiprocessing.shared_memory`
+(:mod:`repro.core.shm`) with pipe-based RPC carrying only offsets, so
+batch reads map the request keys zero-copy and scatter-gather runs on
+real cores.  The facade's locking, routing, statistics, and two-phase
+all-or-nothing writes are identical under both.
 """
 
+from .backend import ExecutionBackend, ThreadBackend, make_backend
 from .router import ShardRouter
 from .sharded import ShardedAlexIndex, ShardStats
+from .worker import ProcessBackend
 
 __all__ = [
+    "ExecutionBackend",
+    "ProcessBackend",
     "ShardRouter",
     "ShardStats",
     "ShardedAlexIndex",
+    "ThreadBackend",
+    "make_backend",
 ]

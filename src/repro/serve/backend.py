@@ -1,0 +1,317 @@
+"""Pluggable execution backends for the sharded index service.
+
+:class:`~repro.serve.sharded.ShardedAlexIndex` is a *facade*: it owns the
+router, the two-level lock hierarchy, the per-shard access statistics, and
+the adaptation policy — but it never touches a shard directly.  Every
+shard operation goes through an :class:`ExecutionBackend`, which decides
+*where the shard's ALEX tree lives and which parallelism executes it*:
+
+* :class:`ThreadBackend` — shards are in-process :class:`AlexIndex`
+  objects; scatter-gather fans out over a shared ``ThreadPoolExecutor``
+  (the original PR 2 design).  Cheap and zero-setup, but Python-level
+  work is GIL-serialized, so multi-core hardware only helps the NumPy
+  kernels.
+* :class:`~repro.serve.worker.ProcessBackend` — each shard lives in a
+  long-lived worker process (``multiprocessing`` spawn context).  Batches
+  travel through :mod:`multiprocessing.shared_memory` segments
+  (:mod:`repro.core.shm`), carved sub-batches are dispatched over
+  pipe-based RPC, and the workers execute truly in parallel — real
+  multi-core wall clock for Python-heavy batch work.
+
+The backend contract is deliberately narrow — provision, RPC (``call`` /
+``scatter`` / ``scatter_batch``), snapshot, and replace — so the facade's
+locking, routing, statistics, and all-or-nothing write orchestration are
+*identical* under both backends, and the equivalence test suite runs
+byte-for-byte the same against either.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ThreadPoolExecutor, wait
+from contextlib import contextmanager
+from threading import Lock
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.alex import AlexIndex
+from repro.core.batch import export_arrays
+from repro.core.config import AlexConfig
+from repro.core.policy import AdaptationPolicy
+from repro.core.stats import Counters
+
+#: A scatter job against the current shared batch:
+#: ``(shard, method, lo, hi, extra_args)`` — the shard runs
+#: ``method(batch[lo:hi], *extra_args)``.
+BatchJob = Tuple[int, str, int, int, tuple]
+
+#: A plain RPC: ``(shard, method, args)``.
+Call = Tuple[int, str, tuple]
+
+
+def _op_key_bounds(index: AlexIndex):
+    """``(first_key, last_key)`` or ``(None, None)`` when empty.
+
+    Walks the leaf chain and reads each non-empty leaf's sorted edge
+    keys — no boxed-float list of the whole shard is ever materialized.
+    """
+    first = last = None
+    for leaf in index.leaves():
+        leaf_keys, _ = leaf.export_sorted()
+        if len(leaf_keys):
+            if first is None:
+                first = float(leaf_keys[0])
+            last = float(leaf_keys[-1])
+    return first, last
+
+
+#: Named operations that are not plain index methods.  Both backends
+#: resolve methods through :func:`run_shard_op`, so a worker process and
+#: an in-process thread execute the exact same code against a shard.
+SHARD_OPS = {
+    "num_keys": lambda index: len(index),
+    "items_list": lambda index: list(index.items()),
+    "counters_snapshot": lambda index: index.counters.snapshot(),
+    "key_bounds": _op_key_bounds,
+    "introspect": lambda index: {
+        "num_keys": len(index),
+        "leaves": index.num_leaves(),
+        "depth": index.depth(),
+    },
+    # The executor-side policy's identity and tunables (diagnostic: lets
+    # callers confirm a configured policy crossed the process boundary).
+    "policy_config": lambda index: {
+        "type": type(index.policy).__name__,
+        **{knob: getattr(index.policy, knob)
+           for knob in ("drift_factor", "cold_factor")
+           if hasattr(index.policy, knob)},
+    },
+}
+
+
+def run_shard_op(index: AlexIndex, method: str, *args):
+    """Execute one named operation against a shard index."""
+    op = SHARD_OPS.get(method)
+    if op is not None:
+        return op(index, *args)
+    return getattr(index, method)(*args)
+
+
+def build_shard(keys: np.ndarray, payloads: Optional[list],
+                config: AlexConfig, policy: AdaptationPolicy) -> AlexIndex:
+    """Bulk-load one shard (empty parts become empty indexes)."""
+    if len(keys) == 0:
+        return AlexIndex(config, policy=policy)
+    return AlexIndex.bulk_load(keys, payloads, config=config, policy=policy)
+
+
+class ExecutionBackend(abc.ABC):
+    """Where shards live and how scattered sub-batches execute.
+
+    The facade holds every lock before invoking the backend; backend
+    implementations only move data and run shard methods.  ``parts``
+    throughout are ``(keys, payloads)`` tuples in shard order.
+    """
+
+    name: str = "?"
+
+    @abc.abstractmethod
+    def provision(self, parts: Sequence[tuple]) -> None:
+        """Create one shard executor per ``(keys, payloads)`` part."""
+
+    @abc.abstractmethod
+    def adopt(self, indexes: List[AlexIndex]) -> None:
+        """Take ownership of prebuilt in-process shard indexes
+        (contents *and* work-counter history carry over)."""
+
+    @abc.abstractmethod
+    def call(self, shard: int, method: str, *args):
+        """Run one operation on one shard and return its result."""
+
+    @abc.abstractmethod
+    def scatter(self, calls: Sequence[Call]) -> list:
+        """Run the calls (one per involved shard) in parallel where the
+        backend can, returning results in call order.  All calls complete
+        before the first raised exception propagates."""
+
+    @abc.abstractmethod
+    def scatter_batch(self, batch, jobs: Sequence[BatchJob]) -> list:
+        """Like :meth:`scatter` for jobs carving one shared key batch:
+        each job runs ``method(batch[lo:hi], *extra)`` on its shard.  The
+        process backend ships ``batch`` through shared memory once and
+        sends only offsets over the pipes.  ``batch`` is either a raw key
+        array or the token :meth:`publish` yielded for it."""
+
+    @contextmanager
+    def publish(self, batch: np.ndarray):
+        """Pin one key batch for several :meth:`scatter_batch` calls (the
+        two-phase write pattern: validate, then apply, over the same
+        keys).  Yields the token to pass as ``batch``; the default is a
+        no-op pass-through, while the process backend copies the keys to
+        a shared segment once and unlinks it on exit."""
+        yield batch
+
+    @abc.abstractmethod
+    def snapshot(self, shard: int) -> Tuple[np.ndarray, Optional[list]]:
+        """The shard's full sorted ``(keys, payloads)`` contents."""
+
+    @abc.abstractmethod
+    def replace(self, start: int, stop: int, parts: Sequence[tuple],
+                inherit: Sequence[Sequence[int]]) -> None:
+        """Replace shards ``[start, stop)`` with fresh shards bulk-loaded
+        from ``parts`` — the re-provisioning step of a shard split or
+        merge.  ``inherit[i]`` lists the *old* shard ids whose work
+        counters merge into new part ``i`` (so aggregate counters stay
+        monotone across SMOs)."""
+
+    @abc.abstractmethod
+    def counters(self, shard: int) -> Counters:
+        """A snapshot of the shard's work counters."""
+
+    @property
+    @abc.abstractmethod
+    def num_shards(self) -> int:
+        """Current shard executor count."""
+
+    def local_indexes(self) -> List[AlexIndex]:
+        """The in-process shard objects, when the backend has them (the
+        thread backend's escape hatch for tests and tooling)."""
+        raise NotImplementedError(
+            f"the {self.name!r} backend does not host shards in-process; "
+            "use snapshot()")
+
+    def close(self) -> None:
+        """Release executors, pools, workers, and shared segments."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class ThreadBackend(ExecutionBackend):
+    """In-process shards scattered over a shared thread pool.
+
+    The PR 2 scatter-gather, extracted behind the backend interface: one
+    :class:`AlexIndex` per shard, sub-batches submitted as lock-free
+    thunks to a lazily created ``ThreadPoolExecutor``.  With one worker
+    (or one task) everything runs inline — on a single core the fan-out
+    would be pure overhead.
+    """
+
+    name = "thread"
+
+    def __init__(self, config: AlexConfig, policy: AdaptationPolicy,
+                 max_workers: int = 1):
+        self._config = config
+        self._policy = policy
+        self.max_workers = max(1, max_workers)
+        self.indexes: List[AlexIndex] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_guard = Lock()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def provision(self, parts: Sequence[tuple]) -> None:
+        self.indexes = [build_shard(keys, payloads, self._config,
+                                    self._policy)
+                        for keys, payloads in parts]
+
+    def adopt(self, indexes: List[AlexIndex]) -> None:
+        self.indexes = list(indexes)
+
+    def close(self) -> None:
+        with self._pool_guard:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    # -- execution ----------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.indexes)
+
+    def local_indexes(self) -> List[AlexIndex]:
+        return self.indexes
+
+    def _executor(self) -> Optional[ThreadPoolExecutor]:
+        if self.max_workers <= 1:
+            return None
+        with self._pool_guard:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="alex-shard")
+        return self._pool
+
+    def _run_tasks(self, tasks: list) -> list:
+        """Run thunks, in parallel when a pool exists; gather in order.
+
+        Tasks must be lock-free: the facade acquires every involved shard
+        lock *before* scattering.  A task that blocked on a lock inside
+        the bounded shared pool could starve the very caller holding that
+        lock of pool slots — a deadlock.  All futures are awaited before
+        the first exception propagates, so no task is still touching a
+        shard when the caller releases the locks.
+        """
+        pool = self._executor() if len(tasks) > 1 else None
+        if pool is None:
+            return [task() for task in tasks]
+        futures = [pool.submit(task) for task in tasks]
+        wait(futures)
+        return [f.result() for f in futures]
+
+    def call(self, shard: int, method: str, *args):
+        return run_shard_op(self.indexes[shard], method, *args)
+
+    def scatter(self, calls: Sequence[Call]) -> list:
+        return self._run_tasks([
+            (lambda s=shard, m=method, a=args:
+             run_shard_op(self.indexes[s], m, *a))
+            for shard, method, args in calls
+        ])
+
+    def scatter_batch(self, batch: np.ndarray,
+                      jobs: Sequence[BatchJob]) -> list:
+        return self._run_tasks([
+            (lambda s=shard, m=method, lo=lo, hi=hi, e=extra:
+             run_shard_op(self.indexes[s], m, batch[lo:hi], *e))
+            for shard, method, lo, hi, extra in jobs
+        ])
+
+    # -- structure ----------------------------------------------------
+
+    def snapshot(self, shard: int) -> Tuple[np.ndarray, Optional[list]]:
+        return export_arrays(self.indexes[shard])
+
+    def replace(self, start: int, stop: int, parts: Sequence[tuple],
+                inherit: Sequence[Sequence[int]]) -> None:
+        fresh = []
+        for (keys, payloads), sources in zip(parts, inherit):
+            index = build_shard(keys, payloads, self._config, self._policy)
+            for old in sources:
+                index.counters.merge(self.indexes[old].counters)
+            fresh.append(index)
+        self.indexes[start:stop] = fresh
+
+    def counters(self, shard: int) -> Counters:
+        return self.indexes[shard].counters.snapshot()
+
+
+def make_backend(backend, config: AlexConfig, policy: AdaptationPolicy,
+                 max_workers: int = 1) -> ExecutionBackend:
+    """Resolve a backend spec — ``"thread"``, ``"process"``, or an
+    already-constructed :class:`ExecutionBackend` — into an instance."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend == "thread":
+        return ThreadBackend(config, policy, max_workers=max_workers)
+    if backend == "process":
+        from .worker import ProcessBackend
+        return ProcessBackend(config, policy, max_workers=max_workers)
+    raise ValueError(f"unknown backend {backend!r}; "
+                     "choose 'thread' or 'process'")

@@ -5,25 +5,35 @@
 :class:`~repro.serve.router.ShardRouter` fitted at bulk load.  Batch
 operations scatter-gather: the request batch is sorted once, carved into
 contiguous per-shard sub-batches (``ShardRouter.split_batch``), and each
-sub-batch executes through the shard's vectorized batch engine — in
-parallel via a ``ThreadPoolExecutor`` when more than one worker is
-configured.  Writes to different shards hold different locks, so they no
-longer serialize the way the single coarse-locked
+sub-batch executes through the shard's vectorized batch engine.  *Where*
+the shards live and *what parallelism* executes the sub-batches is
+pluggable (``backend="thread" | "process"``):
+
+* the :class:`~repro.serve.backend.ThreadBackend` keeps shards in-process
+  and fans out over a ``ThreadPoolExecutor`` — cheap, but GIL-serialized
+  for Python-level work;
+* the :class:`~repro.serve.worker.ProcessBackend` hosts each shard in a
+  long-lived worker process, ships batches through shared memory
+  (zero-copy reads), and achieves real multi-core wall-clock scaling.
+
+Writes to different shards hold different locks, so they never serialize
+the way the single coarse-locked
 :class:`~repro.ext.concurrent.ConcurrentAlexIndex` forces them to.
 
-Locking granularity (two levels):
+Locking granularity (two levels, identical under both backends):
 
 * a *structure* reader/writer lock, held shared by every operation and
-  exclusively by shard splits, so the router and shard list never change
-  under an in-flight request;
+  exclusively by shard splits/merges, so the router and shard list never
+  change under an in-flight request;
 * one *shard* reader/writer lock per shard — lookups and scans share it,
   inserts/deletes/updates take it exclusively — acquired only for the
   shards a request actually touches.
 
-Cross-shard batch inserts and deletes stay all-or-nothing: the write
-locks of every involved shard are taken (in shard order, so concurrent
-batches cannot deadlock), all sub-batches are validated against their
-shards, and only then does any shard mutate.
+Cross-shard batch inserts and deletes stay all-or-nothing under both
+backends (two-phase): the write locks of every involved shard are taken
+(in shard order, so concurrent batches cannot deadlock), all sub-batches
+are *validated* on every involved shard executor, and only then does any
+shard *apply* its sub-batch.
 
 Serving-tier structural adaptation routes through the same
 :class:`~repro.core.policy.AdaptationPolicy` object the shards' trees
@@ -32,23 +42,24 @@ access tallies and applies the SMO it picks — a hot-shard median *split*
 (halving what one shard lock serializes) or, under
 :class:`~repro.core.policy.CostModelPolicy`, a cold-shard *merge* (the
 inverse, folding an adjacent pair whose combined traffic fell far below a
-fair share).  After either SMO the access windows decay rather than reset,
-and a split divides the victim's tallies between its halves, so the next
-policy evaluation is never biased by stale or wiped windows.
+fair share).  Either SMO re-provisions the affected shard executors
+through the backend (the process backend retires the old workers and
+spawns fresh ones over new shared segments).  After either SMO the access
+windows decay rather than reset, and a split divides the victim's tallies
+between its halves, so the next policy evaluation is never biased by
+stale or wiped windows.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.alex import AlexIndex
-from repro.core.batch import export_arrays
 from repro.core.config import AlexConfig
 from repro.core.errors import DuplicateKeyError, KeyNotFoundError
 from repro.core.policy import (AdaptationPolicy, HeuristicPolicy,
@@ -56,6 +67,7 @@ from repro.core.policy import (AdaptationPolicy, HeuristicPolicy,
 from repro.core.stats import Counters
 from repro.ext.concurrent import ReadWriteLock
 
+from .backend import ExecutionBackend, make_backend
 from .router import ShardRouter
 
 #: Factor applied to every shard's access tallies after a structural
@@ -142,46 +154,70 @@ class ShardedAlexIndex:
     router:
         Key-space partitioner; defaults to a single shard.
     max_workers:
-        Scatter-gather thread count.  Defaults to one worker per core (at
-        most one per shard); with a single worker, sub-batches execute
-        inline — on a single-core host the fan-out is then pure overhead,
-        so the facade skips the pool entirely.
+        Thread-backend scatter-gather thread count.  Defaults to one
+        worker per core (at most one per shard); with a single worker,
+        sub-batches execute inline — on a single-core host the fan-out is
+        then pure overhead, so the thread backend skips the pool entirely.
+        The process backend always runs one worker process per shard.
+    shards:
+        Prebuilt in-process shard indexes to take over (must match the
+        router's shard count).  With the process backend their contents
+        and counter history migrate into the workers.
+    policy:
+        The adaptation policy consulted for every structural decision,
+        from leaf SMOs inside the shards up to shard split/merge.
+    backend:
+        ``"thread"`` (default), ``"process"``, or a constructed
+        :class:`~repro.serve.backend.ExecutionBackend`.
     """
 
     def __init__(self, config: Optional[AlexConfig] = None,
                  router: Optional[ShardRouter] = None,
                  max_workers: Optional[int] = None,
                  shards: Optional[List[AlexIndex]] = None,
-                 policy: Optional[AdaptationPolicy] = None):
+                 policy: Optional[AdaptationPolicy] = None,
+                 backend: "str | ExecutionBackend" = "thread",
+                 parts: Optional[list] = None):
         self.config = config or AlexConfig()
         # One adaptation policy serves every layer: the shards' leaf/tree
         # SMOs and this facade's shard split/merge decisions.
         self.policy = policy or HeuristicPolicy()
         self.router = router or ShardRouter(np.empty(0))
-        if shards is None:
-            shards = [AlexIndex(self.config, policy=self.policy)
-                      for _ in range(self.router.num_shards)]
-        elif len(shards) != self.router.num_shards:
-            raise ValueError(f"{len(shards)} shards for a "
-                             f"{self.router.num_shards}-range router")
-        self.shards: List[AlexIndex] = shards
+        num_shards = self.router.num_shards
+        if max_workers is None:
+            max_workers = min(num_shards, os.cpu_count() or 1)
+        self.max_workers = max(1, max_workers)
+        self._backend = make_backend(backend, config=self.config,
+                                     policy=self.policy,
+                                     max_workers=self.max_workers)
+        if shards is not None and parts is not None:
+            raise ValueError("pass prebuilt shards or raw parts, not both")
+        if shards is not None:
+            if len(shards) != num_shards:
+                raise ValueError(f"{len(shards)} shards for a "
+                                 f"{num_shards}-range router")
+            self._backend.adopt(shards)
+        else:
+            if parts is None:
+                parts = [(np.empty(0), None)] * num_shards
+            elif len(parts) != num_shards:
+                raise ValueError(f"{len(parts)} parts for a "
+                                 f"{num_shards}-range router")
+            self._backend.provision(parts)
         self._shard_locks: List[ReadWriteLock] = [
-            ReadWriteLock() for _ in self.shards
+            ReadWriteLock() for _ in range(num_shards)
         ]
         self._structure_lock = ReadWriteLock()
-        self.stats: List[ShardStats] = [ShardStats() for _ in self.shards]
-        if max_workers is None:
-            max_workers = min(self.router.num_shards, os.cpu_count() or 1)
-        self.max_workers = max(1, max_workers)
-        self._pool: Optional[ThreadPoolExecutor] = None
-        self._pool_guard = threading.Lock()
+        self.stats: List[ShardStats] = [ShardStats()
+                                        for _ in range(num_shards)]
 
     @classmethod
     def bulk_load(cls, keys, payloads: Optional[list] = None,
                   num_shards: int = 8,
                   config: Optional[AlexConfig] = None,
                   max_workers: Optional[int] = None,
-                  policy: Optional[AdaptationPolicy] = None
+                  policy: Optional[AdaptationPolicy] = None,
+                  backend: "str | ExecutionBackend" = "thread"
                   ) -> "ShardedAlexIndex":
         """Partition ``keys`` into ``num_shards`` near-equal-mass shards
         and bulk-load each one.
@@ -189,22 +225,19 @@ class ShardedAlexIndex:
         The router's boundaries are fitted from the keys' empirical CDF, so
         skewed distributions still produce balanced shards.  Raises
         :class:`DuplicateKeyError` on repeated keys, like
-        :meth:`AlexIndex.bulk_load`.
+        :meth:`AlexIndex.bulk_load`.  With ``backend="process"`` each
+        shard bulk-loads inside its own worker process (the parts travel
+        through shared memory, and the per-shard builds run in parallel).
         """
         keys, payloads = AlexIndex._normalize_batch(keys, payloads)
         router = ShardRouter.fit(keys, num_shards)
-        config = config or AlexConfig()
-        policy = policy or HeuristicPolicy()
         edges = ([0] + np.searchsorted(keys, router.boundaries,
                                        side="left").tolist() + [len(keys)])
-        shards = [
-            AlexIndex.bulk_load(keys[edges[s]:edges[s + 1]],
-                                payloads[edges[s]:edges[s + 1]],
-                                config=config, policy=policy)
-            for s in range(router.num_shards)
-        ]
+        parts = [(keys[edges[s]:edges[s + 1]],
+                  payloads[edges[s]:edges[s + 1]])
+                 for s in range(router.num_shards)]
         return cls(config=config, router=router, max_workers=max_workers,
-                   shards=shards, policy=policy)
+                   policy=policy, backend=backend, parts=parts)
 
     # ------------------------------------------------------------------
     # Scatter-gather plumbing
@@ -213,26 +246,24 @@ class ShardedAlexIndex:
     @property
     def num_shards(self) -> int:
         """Current shard count (grows when hot shards split)."""
-        return len(self.shards)
+        return len(self.stats)
 
-    def _executor(self) -> Optional[ThreadPoolExecutor]:
-        """The shared worker pool (created lazily; ``None`` when scatter
-        runs inline)."""
-        if self.max_workers <= 1:
-            return None
-        with self._pool_guard:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.max_workers,
-                    thread_name_prefix="alex-shard")
-        return self._pool
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend hosting the shards."""
+        return self._backend
+
+    @property
+    def shards(self) -> List[AlexIndex]:
+        """The in-process shard indexes (thread backend only; the process
+        backend hosts shards in workers — use :meth:`items` or the
+        backend's ``snapshot``)."""
+        return self._backend.local_indexes()
 
     def close(self) -> None:
-        """Shut down the scatter-gather worker pool (idempotent)."""
-        with self._pool_guard:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
+        """Shut down the execution backend — the thread backend's worker
+        pool, or the process backend's shard workers (idempotent)."""
+        self._backend.close()
 
     def __enter__(self) -> "ShardedAlexIndex":
         return self
@@ -240,25 +271,6 @@ class ShardedAlexIndex:
     def __exit__(self, *exc) -> bool:
         self.close()
         return False
-
-    def _scatter(self, tasks: list) -> list:
-        """Run the per-shard task thunks, in parallel when a pool exists,
-        and gather their results in task order.
-
-        Tasks must be lock-free: the caller acquires every involved shard
-        lock *before* scattering (see :meth:`_acquire_shards`).  A task
-        that blocked on a lock inside the bounded shared pool could
-        otherwise starve the very caller holding that lock of pool slots —
-        a deadlock.  All futures are awaited before the first exception
-        propagates, so no task is still touching a shard when the caller
-        releases the locks.
-        """
-        pool = self._executor() if len(tasks) > 1 else None
-        if pool is None:
-            return [task() for task in tasks]
-        futures = [pool.submit(task) for task in tasks]
-        wait(futures)
-        return [f.result() for f in futures]
 
     def _acquire_shards(self, shard_ids: List[int], write: bool) -> None:
         """Lock the given shards, in ascending shard order so concurrent
@@ -276,13 +288,17 @@ class ShardedAlexIndex:
             else:
                 self._shard_locks[s].release_read()
 
-    def _locked_scatter(self, shard_ids: List[int], tasks: list,
-                        write: bool = False) -> list:
-        """Hold the given shard locks around one scatter of lock-free
-        tasks (the shared body of every single-phase batch operation)."""
+    def _locked_scatter_batch(self, batch: np.ndarray, groups: list,
+                              method: str, extra: tuple = (),
+                              write: bool = False) -> list:
+        """Hold the involved shard locks around one backend scatter of the
+        carved ``batch`` (the shared body of every single-phase batch
+        operation)."""
+        shard_ids = [s for s, _, _ in groups]
+        jobs = [(s, method, lo, hi, extra) for s, lo, hi in groups]
         self._acquire_shards(shard_ids, write)
         try:
-            return self._scatter(tasks)
+            return self._backend.scatter_batch(batch, jobs)
         finally:
             self._release_shards(shard_ids, write)
 
@@ -296,21 +312,16 @@ class ShardedAlexIndex:
 
     def _scatter_read(self, skeys: np.ndarray, method: str, *extra):
         """The shared scatter-read skeleton: carve the sorted batch into
-        per-shard groups, call ``shard.<method>(sub_batch, *extra)`` for
-        each under the shared locks, and return ``(groups, results)``."""
+        per-shard groups, run ``shard.<method>(sub_batch, *extra)`` on
+        each executor under the shared locks, and return
+        ``(groups, results)``."""
         with self._structure_lock.read():
             groups = list(self.router.split_batch(skeys))
-
-            def run(shard: int, lo: int, hi: int):
-                result = getattr(self.shards[shard], method)(
-                    skeys[lo:hi], *extra)
-                self.stats[shard].add(reads=hi - lo)
-                return result
-
-            return groups, self._locked_scatter(
-                [s for s, _, _ in groups],
-                [(lambda s=s, lo=lo, hi=hi: run(s, lo, hi))
-                 for s, lo, hi in groups])
+            results = self._locked_scatter_batch(skeys, groups, method,
+                                                 extra)
+            for s, lo, hi in groups:
+                self.stats[s].add(reads=hi - lo)
+            return groups, results
 
     @staticmethod
     def _stitch(groups: list, results: list, out: list,
@@ -364,10 +375,10 @@ class ShardedAlexIndex:
 
         The batch is sorted once, carved into per-shard sub-batches, and
         validated against *every* involved shard before *any* shard
-        mutates; each sub-batch then executes through
-        :meth:`AlexIndex.insert_many` under its shard's write lock, in
-        parallel when a worker pool is configured.  Shards not touched by
-        the batch keep serving reads and writes throughout.
+        mutates (two-phase, on whichever backend hosts the shards); each
+        sub-batch then executes through the shard's batched insert engine
+        under its shard's write lock.  Shards not touched by the batch
+        keep serving reads and writes throughout.
         """
         keys, payloads = AlexIndex._normalize_batch(keys, payloads)
         if len(keys) == 0:
@@ -378,30 +389,29 @@ class ShardedAlexIndex:
             shard_ids = [s for s, _, _ in groups]
             self._acquire_shards(shard_ids, write=True)
             try:
-                def validate(shard: int, lo: int, hi: int):
-                    present = self.shards[shard].contains_many(keys[lo:hi])
-                    hit = np.flatnonzero(present)
-                    return float(keys[lo + int(hit[0])]) if hit.size else None
+                # One published batch serves both phases (the process
+                # backend copies the keys to shared memory exactly once).
+                with self._backend.publish(keys) as batch:
+                    # Phase 1: validate on every involved shard executor.
+                    present_per_shard = self._backend.scatter_batch(
+                        batch, [(s, "contains_many", lo, hi, ())
+                                for s, lo, hi in groups])
+                    for (s, lo, hi), present in zip(groups,
+                                                    present_per_shard):
+                        hit = np.flatnonzero(present)
+                        if hit.size:
+                            raise DuplicateKeyError(
+                                float(keys[lo + int(hit[0])]))
 
-                clashes = self._scatter([
-                    (lambda s=s, lo=lo, hi=hi: validate(s, lo, hi))
-                    for s, lo, hi in groups
-                ])
-                for clash in clashes:
-                    if clash is not None:
-                        raise DuplicateKeyError(clash)
-
-                def apply(shard: int, lo: int, hi: int) -> None:
-                    # Sorted, deduplicated, and validated above — the
-                    # unchecked path skips a second routed validation.
-                    self.shards[shard].insert_sorted_unchecked(
-                        keys[lo:hi], payloads[lo:hi])
-                    self.stats[shard].add(writes=hi - lo)
-
-                self._scatter([
-                    (lambda s=s, lo=lo, hi=hi: apply(s, lo, hi))
-                    for s, lo, hi in groups
-                ])
+                    # Phase 2: apply.  Sorted, deduplicated, and
+                    # validated above — the unchecked path skips a second
+                    # routed validation.
+                    self._backend.scatter_batch(
+                        batch, [(s, "insert_sorted_unchecked", lo, hi,
+                                 (payloads[lo:hi],))
+                                for s, lo, hi in groups])
+                for s, lo, hi in groups:
+                    self.stats[s].add(writes=hi - lo)
             finally:
                 self._release_shards(shard_ids, write=True)
 
@@ -413,9 +423,8 @@ class ShardedAlexIndex:
         sub-batches, validated against *every* involved shard (a missing
         key, or an in-batch duplicate whose second removal could not
         succeed, raises :class:`KeyNotFoundError` before any shard
-        mutates), and then applied through each shard's batched
-        delete engine (:meth:`AlexIndex.delete_sorted_unchecked`) under
-        its write lock.
+        mutates), and then applied through each shard's batched delete
+        engine under its write lock.
         """
         keys, _ = AlexIndex._normalize_delete_batch(keys)
         if len(keys) == 0:
@@ -426,26 +435,22 @@ class ShardedAlexIndex:
             shard_ids = [s for s, _, _ in groups]
             self._acquire_shards(shard_ids, write=True)
             try:
-                def validate(shard: int, lo: int, hi: int):
-                    present = self.shards[shard].contains_many(keys[lo:hi])
-                    miss = np.flatnonzero(~present)
-                    return float(keys[lo + int(miss[0])]) if miss.size else None
+                with self._backend.publish(keys) as batch:
+                    present_per_shard = self._backend.scatter_batch(
+                        batch, [(s, "contains_many", lo, hi, ())
+                                for s, lo, hi in groups])
+                    for (s, lo, hi), present in zip(groups,
+                                                    present_per_shard):
+                        miss = np.flatnonzero(~present)
+                        if miss.size:
+                            raise KeyNotFoundError(
+                                float(keys[lo + int(miss[0])]))
 
-                for missing in self._scatter([
-                    (lambda s=s, lo=lo, hi=hi: validate(s, lo, hi))
-                    for s, lo, hi in groups
-                ]):
-                    if missing is not None:
-                        raise KeyNotFoundError(missing)
-
-                def apply(shard: int, lo: int, hi: int) -> None:
-                    self.shards[shard].delete_sorted_unchecked(keys[lo:hi])
-                    self.stats[shard].add(writes=hi - lo)
-
-                self._scatter([
-                    (lambda s=s, lo=lo, hi=hi: apply(s, lo, hi))
-                    for s, lo, hi in groups
-                ])
+                    self._backend.scatter_batch(
+                        batch, [(s, "delete_sorted_unchecked", lo, hi, ())
+                                for s, lo, hi in groups])
+                for s, lo, hi in groups:
+                    self.stats[s].add(writes=hi - lo)
             finally:
                 self._release_shards(shard_ids, write=True)
 
@@ -457,17 +462,11 @@ class ShardedAlexIndex:
             return 0
         with self._structure_lock.read():
             groups = list(self.router.split_batch(keys))
-
-            def run(shard: int, lo: int, hi: int) -> int:
-                removed = self.shards[shard].erase_many(keys[lo:hi])
-                self.stats[shard].add(writes=removed)
-                return removed
-
-            return sum(self._locked_scatter(
-                [s for s, _, _ in groups],
-                [(lambda s=s, lo=lo, hi=hi: run(s, lo, hi))
-                 for s, lo, hi in groups],
-                write=True))
+            removed_per_shard = self._locked_scatter_batch(
+                keys, groups, "erase_many", write=True)
+            for (s, _, _), removed in zip(groups, removed_per_shard):
+                self.stats[s].add(writes=removed)
+            return sum(removed_per_shard)
 
     # ------------------------------------------------------------------
     # Scalar operations (single-shard touch under the same locks)
@@ -482,7 +481,7 @@ class ShardedAlexIndex:
         with self._structure_lock.read():
             s = self._shard_of(key)
             with self._shard_locks[s].write():
-                self.shards[s].insert(key, payload)
+                self._backend.call(s, "insert", key, payload)
                 self.stats[s].add(writes=1)
 
     def delete(self, key: float) -> None:
@@ -491,7 +490,7 @@ class ShardedAlexIndex:
         with self._structure_lock.read():
             s = self._shard_of(key)
             with self._shard_locks[s].write():
-                self.shards[s].delete(key)
+                self._backend.call(s, "delete", key)
                 self.stats[s].add(writes=1)
 
     def update(self, key: float, payload) -> None:
@@ -500,7 +499,7 @@ class ShardedAlexIndex:
         with self._structure_lock.read():
             s = self._shard_of(key)
             with self._shard_locks[s].write():
-                self.shards[s].update(key, payload)
+                self._backend.call(s, "update", key, payload)
                 self.stats[s].add(writes=1)
 
     def upsert(self, key: float, payload) -> None:
@@ -509,7 +508,7 @@ class ShardedAlexIndex:
         with self._structure_lock.read():
             s = self._shard_of(key)
             with self._shard_locks[s].write():
-                self.shards[s].upsert(key, payload)
+                self._backend.call(s, "upsert", key, payload)
                 self.stats[s].add(writes=1)
 
     def lookup(self, key: float):
@@ -521,7 +520,7 @@ class ShardedAlexIndex:
                 # Tally before the probe: misses are accesses too, exactly
                 # as the batch reads count them.
                 self.stats[s].add(reads=1)
-                return self.shards[s].lookup(key)
+                return self._backend.call(s, "lookup", key)
 
     def get(self, key: float, default=None):
         """Like :meth:`lookup` but returns ``default`` when absent."""
@@ -537,7 +536,7 @@ class ShardedAlexIndex:
             s = self._shard_of(key)
             with self._shard_locks[s].read():
                 self.stats[s].add(reads=1)
-                return self.shards[s].contains(key)
+                return self._backend.call(s, "contains", key)
 
     # ------------------------------------------------------------------
     # Range operations
@@ -550,10 +549,10 @@ class ShardedAlexIndex:
         out: list = []
         with self._structure_lock.read():
             first = self._shard_of(start_key)
-            for s in range(first, len(self.shards)):
+            for s in range(first, self.num_shards):
                 with self._shard_locks[s].read():
-                    chunk = self.shards[s].range_scan(start_key,
-                                                      limit - len(out))
+                    chunk = self._backend.call(s, "range_scan", start_key,
+                                               limit - len(out))
                     self.stats[s].add(scans=1)
                 out.extend(chunk)
                 if len(out) >= limit:
@@ -570,14 +569,14 @@ class ShardedAlexIndex:
         with self._structure_lock.read():
             first, last = self.router.shard_span(lo, hi)
             shard_ids = list(range(first, last + 1))
-
-            def run(shard: int) -> list:
-                result = self.shards[shard].range_query(lo, hi)
-                self.stats[shard].add(scans=1)
-                return result
-
-            chunks = self._locked_scatter(
-                shard_ids, [(lambda s=s: run(s)) for s in shard_ids])
+            self._acquire_shards(shard_ids, write=False)
+            try:
+                chunks = self._backend.scatter(
+                    [(s, "range_query", (lo, hi)) for s in shard_ids])
+            finally:
+                self._release_shards(shard_ids, write=False)
+            for s in shard_ids:
+                self.stats[s].add(scans=1)
         out: list = []
         for chunk in chunks:
             out.extend(chunk)
@@ -603,20 +602,20 @@ class ShardedAlexIndex:
             lo_shards = self.router.shard_for_many(los)
             hi_shards = self.router.shard_for_many(np.maximum(los, his))
             jobs = []
-            for s in range(len(self.shards)):
+            for s in range(self.num_shards):
                 touched = np.flatnonzero((lo_shards <= s) & (hi_shards >= s))
                 if touched.size:
                     jobs.append((s, touched))
-
-            def run(shard: int, touched: np.ndarray) -> list:
-                result = self.shards[shard].range_query_many(
-                    los[touched], his[touched])
-                self.stats[shard].add(scans=len(touched))
-                return result
-
-            results = self._locked_scatter(
-                [s for s, _ in jobs],
-                [(lambda s=s, t=t: run(s, t)) for s, t in jobs])
+            shard_ids = [s for s, _ in jobs]
+            self._acquire_shards(shard_ids, write=False)
+            try:
+                results = self._backend.scatter(
+                    [(s, "range_query_many", (los[t], his[t]))
+                     for s, t in jobs])
+            finally:
+                self._release_shards(shard_ids, write=False)
+            for s, touched in jobs:
+                self.stats[s].add(scans=len(touched))
         for (_, touched), sub in zip(jobs, results):  # shards in key order
             for q, chunk in zip(touched.tolist(), sub):
                 out[q].extend(chunk)
@@ -631,16 +630,18 @@ class ShardedAlexIndex:
         the serving-layer access tallies (the rebalance policy's input)."""
         with self._structure_lock.read():
             rows = []
-            for s, (shard, stats) in enumerate(zip(self.shards, self.stats)):
+            for s in range(self.num_shards):
                 with self._shard_locks[s].read():
                     lo, hi = self.router.key_range(s)
+                    shape = self._backend.call(s, "introspect")
+                    stats = self.stats[s]
                     rows.append({
                         "shard": s,
                         "key_lo": lo,
                         "key_hi": hi,
-                        "num_keys": len(shard),
-                        "leaves": shard.num_leaves(),
-                        "depth": shard.depth(),
+                        "num_keys": shape["num_keys"],
+                        "leaves": shape["leaves"],
+                        "depth": shape["depth"],
                         "reads": stats.reads,
                         "writes": stats.writes,
                         "scans": stats.scans,
@@ -692,8 +693,11 @@ class ShardedAlexIndex:
         # concurrent change cannot shift shard ids between picking the
         # victim and acting on it.
         with self._structure_lock.write():
-            summaries = [ShardSummary(stats.accesses, len(shard))
-                         for stats, shard in zip(self.stats, self.shards)]
+            summaries = [
+                ShardSummary(stats.accesses,
+                             self._backend.call(s, "num_keys"))
+                for s, stats in enumerate(self.stats)
+            ]
             decision = self.policy.choose_shard_smo(
                 summaries, hot_access_fraction, min_accesses)
             if decision is None:
@@ -730,24 +734,23 @@ class ShardedAlexIndex:
     def _split_locked(self, shard: int) -> bool:
         """Body of :meth:`split_shard`; the structure lock must be held
         exclusively."""
-        if not 0 <= shard < len(self.shards):
+        if not 0 <= shard < self.num_shards:
             raise IndexError(f"no shard {shard}")
-        victim = self.shards[shard]
-        if len(victim) < 2:
+        keys, payloads = self._backend.snapshot(shard)
+        if len(keys) < 2:
             return False
-        keys, payloads = export_arrays(victim)
         median = float(keys[len(keys) // 2])
         cut = int(np.searchsorted(keys, median, side="left"))
-        left = AlexIndex.bulk_load(keys[:cut], payloads[:cut],
-                                   config=self.config, policy=self.policy)
-        right = AlexIndex.bulk_load(keys[cut:], payloads[cut:],
-                                    config=self.config, policy=self.policy)
+        if payloads is None:
+            payloads = [None] * len(keys)
         # The victim's accumulated work history moves to its left half so
         # aggregate counters stay monotone across splits (a diff spanning
         # a rebalance must never go negative).
-        left.counters.merge(victim.counters)
+        self._backend.replace(shard, shard + 1,
+                              [(keys[:cut], payloads[:cut]),
+                               (keys[cut:], payloads[cut:])],
+                              inherit=[[shard], []])
         self.router = self.router.with_boundary(median)
-        self.shards[shard:shard + 1] = [left, right]
         self._shard_locks[shard:shard + 1] = [ReadWriteLock(),
                                               ReadWriteLock()]
         # Each half inherits half the victim's access window: neither
@@ -759,21 +762,22 @@ class ShardedAlexIndex:
     def _merge_locked(self, shard: int) -> None:
         """Body of :meth:`merge_shards`; the structure lock must be held
         exclusively."""
-        if not 0 <= shard < len(self.shards) - 1:
+        if not 0 <= shard < self.num_shards - 1:
             raise IndexError(f"no shard pair ({shard}, {shard + 1})")
-        left, right = self.shards[shard], self.shards[shard + 1]
-        left_keys, left_payloads = export_arrays(left)
-        right_keys, right_payloads = export_arrays(right)
-        merged = AlexIndex.bulk_load(
-            np.concatenate([left_keys, right_keys]),
-            left_payloads + right_payloads,
-            config=self.config, policy=self.policy)
+        left_keys, left_payloads = self._backend.snapshot(shard)
+        right_keys, right_payloads = self._backend.snapshot(shard + 1)
+        if left_payloads is None:
+            left_payloads = [None] * len(left_keys)
+        if right_payloads is None:
+            right_payloads = [None] * len(right_keys)
         # Both halves' work history survives in the merged shard, keeping
         # aggregate counters monotone (symmetric with _split_locked).
-        merged.counters.merge(left.counters)
-        merged.counters.merge(right.counters)
+        self._backend.replace(
+            shard, shard + 2,
+            [(np.concatenate([left_keys, right_keys]),
+              left_payloads + right_payloads)],
+            inherit=[[shard, shard + 1]])
         self.router = self.router.without_boundary(shard)
-        self.shards[shard:shard + 2] = [merged]
         self._shard_locks[shard:shard + 2] = [ReadWriteLock()]
         self.stats[shard:shard + 2] = [
             self.stats[shard].merged_with(self.stats[shard + 1])
@@ -794,11 +798,13 @@ class ShardedAlexIndex:
         :class:`Counters` together, so read tallies may undercount under
         multi-client read contention — they are a measurement instrument,
         not correctness state, and guarding them would put a mutex on the
-        core engine's hottest path.  The serving-layer :class:`ShardStats`
-        (which feed the rebalance policy) are mutex-guarded and exact."""
+        core engine's hottest path.  (Process-hosted shards are immune:
+        each worker is single-threaded.)  The serving-layer
+        :class:`ShardStats` (which feed the rebalance policy) are
+        mutex-guarded and exact."""
         merged = Counters()
-        for shard in self.shards:
-            merged.merge(shard.counters)
+        for s in range(self.num_shards):
+            merged.merge(self._backend.counters(s))
         return merged
 
     def shard_counters(self) -> List[Counters]:
@@ -809,29 +815,30 @@ class ShardedAlexIndex:
         moves to its left half), so measurements that might span a
         rebalance should diff the aggregate :attr:`counters` instead of
         zipping two per-shard lists."""
-        return [shard.counters.snapshot() for shard in self.shards]
+        return [self._backend.counters(s) for s in range(self.num_shards)]
 
     def __len__(self) -> int:
         with self._structure_lock.read():
-            return sum(len(shard) for shard in self.shards)
+            return sum(self._backend.call(s, "num_keys")
+                       for s in range(self.num_shards))
 
     def __contains__(self, key) -> bool:
         return self.contains(float(key))
 
-    def _map_shards(self, fn) -> list:
-        """Apply ``fn`` to every shard under its shared lock (structure
+    def _map_shards(self, method: str, *args) -> list:
+        """Run a shard op on every shard under its shared lock (structure
         pinned), in shard order."""
         with self._structure_lock.read():
             out = []
-            for s, shard in enumerate(self.shards):
+            for s in range(self.num_shards):
                 with self._shard_locks[s].read():
-                    out.append(fn(shard))
+                    out.append(self._backend.call(s, method, *args))
             return out
 
     def items(self) -> Iterator[Tuple[float, object]]:
         """All ``(key, payload)`` pairs in key order (a consistent
         per-shard snapshot taken under the shared locks)."""
-        for chunk in self._map_shards(lambda shard: list(shard.items())):
+        for chunk in self._map_shards("items_list"):
             yield from chunk
 
     def keys(self) -> Iterator[float]:
@@ -841,39 +848,42 @@ class ShardedAlexIndex:
 
     def num_leaves(self) -> int:
         """Total data nodes across shards."""
-        return sum(self._map_shards(lambda shard: shard.num_leaves()))
+        return sum(self._map_shards("num_leaves"))
 
     def depth(self) -> int:
         """Maximum RMI depth over the shards (the router adds one
         searchsorted hop on top)."""
-        return max(self._map_shards(lambda shard: shard.depth()))
+        return max(self._map_shards("depth"))
 
     def index_size_bytes(self) -> int:
         """Index footprint: per-shard models and pointers plus the router's
         boundary array."""
-        return (sum(self._map_shards(lambda shard: shard.index_size_bytes()))
+        return (sum(self._map_shards("index_size_bytes"))
                 + 8 * len(self.router.boundaries))
 
     def data_size_bytes(self) -> int:
         """Data footprint summed over shards."""
-        return sum(self._map_shards(lambda shard: shard.data_size_bytes()))
+        return sum(self._map_shards("data_size_bytes"))
 
     def validate(self) -> None:
         """Validate every shard plus the router invariants: shard count
         matches the router, and each non-empty shard's keys lie inside its
         assigned range."""
         with self._structure_lock.write():
-            if len(self.shards) != self.router.num_shards:
+            if self.num_shards != self.router.num_shards:
                 raise AssertionError(
-                    f"{len(self.shards)} shards but router expects "
+                    f"{self.num_shards} shards but router expects "
                     f"{self.router.num_shards}")
-            for s, shard in enumerate(self.shards):
-                shard.validate()
-                if len(shard) == 0:
+            if self._backend.num_shards != self.num_shards:
+                raise AssertionError(
+                    f"backend hosts {self._backend.num_shards} shards "
+                    f"but the facade tracks {self.num_shards}")
+            for s in range(self.num_shards):
+                self._backend.call(s, "validate")
+                first, last = self._backend.call(s, "key_bounds")
+                if first is None:
                     continue
                 lo, hi = self.router.key_range(s)
-                first = next(iter(shard.keys()))
-                last = max(shard.keys())
                 if not (lo <= first and last < hi):
                     raise AssertionError(
                         f"shard {s} holds keys [{first}, {last}] outside "

@@ -1,0 +1,372 @@
+"""Process-hosted shards: true multi-core wall clock for the service.
+
+The thread backend's scatter-gather is GIL-serialized for Python-level
+work, so its critical-path speedups only materialize as wall clock inside
+NumPy kernels.  :class:`ProcessBackend` hosts each shard's ALEX tree in a
+**long-lived worker process** instead:
+
+* workers are spawned once (``multiprocessing`` *spawn* context — no
+  forked locks, no inherited arenas) and live until the service closes or
+  a shard split/merge re-provisions them;
+* whole-shard contents move through :class:`repro.core.shm
+  .ShardStorageView` shared-memory segments — provisioning, snapshots,
+  and re-provisioning never push key/payload arrays through a pipe;
+* each batch operation publishes its sorted key array once as a
+  :class:`repro.core.shm.SharedArray`; the per-shard RPC messages carry
+  only ``(method, lo, hi)`` offsets, and every worker maps its sub-batch
+  **zero-copy** out of the same segment;
+* replies (payload lists, hit masks, removed counts) return over the
+  pipe, and the facade's two-phase write orchestration — validate on all
+  involved workers, then apply — runs unchanged, so cross-shard batch
+  writes stay all-or-nothing.
+
+The worker executes shard methods through the same
+:func:`repro.serve.backend.run_shard_op` dispatcher the thread backend
+uses, so both backends run identical shard code.  Each worker receives a
+pickled *copy* of the facade's configured
+:class:`~repro.core.policy.AdaptationPolicy` (same class, same knobs —
+cost model, drift factors, reserves — with the decision log cleared):
+leaf/tree SMO decisions are per-shard state and live with the shard,
+while shard split/merge decisions stay in the parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+from contextlib import contextmanager
+from multiprocessing.reduction import ForkingPickler
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.alex import AlexIndex
+from repro.core.batch import export_arrays
+from repro.core.config import AlexConfig
+from repro.core.policy import AdaptationPolicy
+from repro.core.shm import SharedArray, ShardStorageView
+from repro.core.stats import Counters
+
+from .backend import (BatchJob, Call, ExecutionBackend, build_shard,
+                      run_shard_op)
+
+#: Batch methods that mutate the shard.  Their key slices are copied out
+#: of the shared request segment before execution, so a rebuilt leaf can
+#: never retain a view into a segment the parent is about to unlink.
+#: Read methods slice the segment directly — that is the zero-copy path.
+_MUTATING_BATCH_METHODS = frozenset({
+    "insert_many", "insert_sorted_unchecked",
+    "delete_many", "delete_sorted_unchecked", "erase_many",
+})
+
+
+def _worker_main(conn, config: AlexConfig,
+                 policy: AdaptationPolicy) -> None:
+    """One shard's RPC loop (the spawn target; runs until ``close``).
+
+    Protocol (one request, one ``("ok", result)`` / ``("err", exc)``
+    reply): ``("load", view, seed_counters)`` builds the index from a
+    shared-memory view; ``("call", method, args)`` runs a shard op;
+    ``("batch", handle, method, lo, hi, extra)`` runs a batch method over
+    a zero-copy slice of the shared request segment; ``("snapshot",)``
+    packs the shard's contents into a fresh view the parent unlinks;
+    ``("close",)`` acks and exits.
+    """
+    # This process's policy copy arrived through spawn pickling with the
+    # facade's full configuration; only the parent's decision history is
+    # dropped — this worker's log should describe this shard.
+    policy.decisions.clear()
+    policy.smo_counts.clear()
+    index: Optional[AlexIndex] = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent died; daemon exit
+            break
+        op = message[0]
+        try:
+            if op == "load":
+                view, seed = message[1], message[2]
+                keys, payloads = view.unpack(copy=True)
+                view.close()
+                index = build_shard(keys, payloads, config, policy)
+                if seed is not None:
+                    index.counters.merge(seed)
+                reply = ("ok", None)
+            elif op == "call":
+                method, args = message[1], message[2]
+                reply = ("ok", run_shard_op(index, method, *args))
+            elif op == "batch":
+                handle, method, lo, hi, extra = message[1:]
+                try:
+                    batch = handle.array()[lo:hi]
+                    if method in _MUTATING_BATCH_METHODS:
+                        batch = batch.copy()
+                    result = run_shard_op(index, method, batch, *extra)
+                finally:
+                    # Unmap even when the method raises (e.g. a missing
+                    # key in lookup_many) — a stale mapping would outlive
+                    # the parent's unlink.
+                    handle.close()
+                reply = ("ok", result)
+            elif op == "snapshot":
+                view = ShardStorageView.pack(*export_arrays(index))
+                view.close()
+                reply = ("ok", view)
+            elif op == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                raise ValueError(f"unknown worker op {op!r}")
+        except BaseException as exc:
+            reply = ("err", exc)
+        conn.send(reply)
+    conn.close()
+
+
+class _WorkerHandle:
+    """Parent-side handle: process, pipe, and a send/recv pairing lock."""
+
+    __slots__ = ("process", "conn", "lock")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+
+
+class ProcessBackend(ExecutionBackend):
+    """One long-lived worker process per shard, batches via shared memory.
+
+    ``max_workers`` is accepted for interface symmetry but unused: the
+    process count always equals the shard count (each worker *is* its
+    shard), and the operating system schedules them across cores.
+    """
+
+    name = "process"
+
+    def __init__(self, config: AlexConfig, policy: AdaptationPolicy,
+                 max_workers: int = 1):
+        self._config = config
+        # The configured policy instance itself travels to every worker
+        # (spawn pickles it; AdaptationPolicy excludes its lock), so
+        # cost-model parameters, drift factors, and reserves survive the
+        # process boundary — each worker unpickles an independent copy.
+        self._policy = policy
+        self.max_workers = max_workers
+        self._ctx = mp.get_context("spawn")
+        self._workers: List[_WorkerHandle] = []
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _spawn(self, keys: np.ndarray, payloads: Optional[list],
+               seed: Optional[Counters] = None) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._config, self._policy),
+            daemon=True, name="alex-shard-worker")
+        process.start()
+        child_conn.close()
+        worker = _WorkerHandle(process, parent_conn)
+        view = ShardStorageView.pack(keys, payloads)
+        try:
+            self._request(worker, ("load", view, seed))
+        finally:
+            view.unlink()
+        return worker
+
+    def provision(self, parts: Sequence[tuple]) -> None:
+        self._workers = [self._spawn(keys, payloads)
+                         for keys, payloads in parts]
+
+    def adopt(self, indexes: List[AlexIndex]) -> None:
+        # Prebuilt in-process shards move wholesale into workers; their
+        # work-counter history seeds the workers' counters so aggregate
+        # tallies stay monotone across the handoff.
+        self._workers = [
+            self._spawn(*export_arrays(index),
+                        seed=index.counters.snapshot())
+            for index in indexes
+        ]
+
+    @staticmethod
+    def _retire(worker: _WorkerHandle) -> None:
+        """Ask one worker to exit and reap its process (shared by
+        :meth:`close` and the split/merge re-provisioning path)."""
+        with worker.lock:
+            try:
+                worker.conn.send(("close",))
+                worker.conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            worker.conn.close()
+        worker.process.join(timeout=5)
+        if worker.process.is_alive():  # pragma: no cover
+            worker.process.terminate()
+            worker.process.join(timeout=5)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            self._retire(worker)
+        self._workers = []
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- RPC plumbing -------------------------------------------------
+
+    @staticmethod
+    def _receive(worker: _WorkerHandle) -> tuple:
+        try:
+            return worker.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise RuntimeError(
+                "shard worker process died mid-request") from exc
+
+    def _request(self, worker: _WorkerHandle, message: tuple):
+        """One send/recv round trip (raises what the worker raised)."""
+        with worker.lock:
+            worker.conn.send(message)
+            status, value = self._receive(worker)
+        if status == "err":
+            raise value
+        return value
+
+    def _multi(self, messages: Sequence[Tuple[int, tuple]]) -> list:
+        """Pipelined fan-out: send every message, then gather every reply.
+
+        Worker pipe locks are taken in ascending shard order (the same
+        discipline as the facade's shard locks), so concurrent fan-outs
+        cannot deadlock; the workers execute their requests genuinely in
+        parallel between our send and recv passes.  All replies are
+        gathered before the first worker-raised exception propagates,
+        matching the thread backend's wait-then-raise semantics.
+
+        Every message is *pickled up front*, before anything is sent: an
+        unpicklable argument (say, a lambda payload in an apply batch)
+        raises here with zero requests in flight, so it can never leave
+        some shards applied and others not, nor strand a reply in a pipe.
+        After that, a worker that dies mid-fan-out becomes an error
+        *result* while the surviving workers' replies are still drained —
+        every pipe ends the fan-out with exactly as many replies consumed
+        as requests sent, so one crash cannot desynchronize another
+        shard's protocol.
+        """
+        blobs = [(shard, ForkingPickler.dumps(message))
+                 for shard, message in messages]
+        involved = sorted({shard for shard, _ in messages})
+        for shard in involved:
+            self._workers[shard].lock.acquire()
+        try:
+            replies = []
+            for shard, blob in blobs:
+                try:
+                    self._workers[shard].conn.send_bytes(blob)
+                except (BrokenPipeError, OSError) as exc:
+                    replies.append(("err", RuntimeError(
+                        f"shard {shard} worker process is gone: {exc}")))
+                    continue
+                replies.append(None)  # reply slot, filled below
+            for i, (shard, _) in enumerate(messages):
+                if replies[i] is not None:
+                    continue  # send already failed; nothing to receive
+                try:
+                    replies[i] = self._receive(self._workers[shard])
+                except RuntimeError as exc:
+                    replies[i] = ("err", exc)
+        finally:
+            for shard in reversed(involved):
+                self._workers[shard].lock.release()
+        results, first_error = [], None
+        for status, value in replies:
+            if status == "err":
+                if first_error is None:
+                    first_error = value
+                results.append(None)
+            else:
+                results.append(value)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # -- execution ----------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._workers)
+
+    def call(self, shard: int, method: str, *args):
+        return self._request(self._workers[shard], ("call", method, args))
+
+    def scatter(self, calls: Sequence[Call]) -> list:
+        if len(calls) == 1:
+            shard, method, args = calls[0]
+            return [self.call(shard, method, *args)]
+        return self._multi([(shard, ("call", method, args))
+                            for shard, method, args in calls])
+
+    def scatter_batch(self, batch, jobs: Sequence[BatchJob]) -> list:
+        if isinstance(batch, SharedArray):  # already published
+            return self._scatter_published(batch, jobs)
+        handle = SharedArray.create(np.ascontiguousarray(batch))
+        try:
+            return self._scatter_published(handle, jobs)
+        finally:
+            handle.unlink()
+
+    def _scatter_published(self, handle: SharedArray,
+                           jobs: Sequence[BatchJob]) -> list:
+        return self._multi([
+            (shard, ("batch", handle, method, lo, hi, extra))
+            for shard, method, lo, hi, extra in jobs
+        ])
+
+    @contextmanager
+    def publish(self, batch: np.ndarray):
+        """One shared segment serving several scatter_batch calls — the
+        two-phase writes copy their keys to shared memory once instead of
+        once per phase."""
+        handle = SharedArray.create(np.ascontiguousarray(batch))
+        try:
+            yield handle
+        finally:
+            handle.unlink()
+
+    # -- structure ----------------------------------------------------
+
+    def snapshot(self, shard: int) -> Tuple[np.ndarray, Optional[list]]:
+        view = self._request(self._workers[shard], ("snapshot",))
+        try:
+            return view.unpack(copy=True)
+        finally:
+            view.unlink()
+
+    def replace(self, start: int, stop: int, parts: Sequence[tuple],
+                inherit: Sequence[Sequence[int]]) -> None:
+        """Re-provision the shard SMO's affected workers: seed counters
+        are collected from the outgoing workers, fresh workers are
+        spawned over the parts' shared segments, and the outgoing
+        processes (and their segments) are retired."""
+        seeds = []
+        for sources in inherit:
+            seed = Counters()
+            for old in sources:
+                seed.merge(self.counters(old))
+            seeds.append(seed if sources else None)
+        fresh = [self._spawn(keys, payloads, seed)
+                 for (keys, payloads), seed in zip(parts, seeds)]
+        outgoing = self._workers[start:stop]
+        self._workers[start:stop] = fresh
+        for worker in outgoing:
+            self._retire(worker)
+
+    def counters(self, shard: int) -> Counters:
+        return self.call(shard, "counters_snapshot")

@@ -12,6 +12,8 @@ from .adaptation import (
 from .hotspot import HotspotGenerator, LatestGenerator
 from .trace import ReplayResult, Trace, TraceRecorder, record_workload, replay
 from .spec import (
+    DELETE,
+    DELETE_HEAVY,
     INSERT,
     RANGE_SCAN,
     READ,
@@ -27,6 +29,8 @@ from .zipf import DEFAULT_THETA, ZipfianGenerator, scramble_ranks
 
 __all__ = [
     "DEFAULT_THETA",
+    "DELETE",
+    "DELETE_HEAVY",
     "HotspotGenerator",
     "INSERT",
     "SCENARIOS",

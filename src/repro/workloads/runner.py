@@ -3,10 +3,12 @@
 Reproduces the paper's measurement procedure (Section 5.1.2): initialize an
 index with a fixed number of keys, then run the interleaved operation
 stream; lookup keys are drawn Zipfian from the keys currently in the index,
-inserts consume a disjoint stream of new keys, and scans read a uniform
-number of subsequent keys (max 100).  Instead of a 60-second wall-clock
-budget, the runner executes a fixed operation count and reports the
-operation counters, from which the cost model derives throughput.
+inserts consume a disjoint stream of new keys, deletes remove a
+Zipfian-selected key currently in the index (and retire it from the lookup
+pool), and scans read a uniform number of subsequent keys (max 100).
+Instead of a 60-second wall-clock budget, the runner executes a fixed
+operation count and reports the operation counters, from which the cost
+model derives throughput.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ import numpy as np
 
 from repro.core.stats import Counters
 
-from .spec import INSERT, SCAN, WorkloadSpec
+from .spec import DELETE, INSERT, SCAN, WorkloadSpec
 from .zipf import ZipfianGenerator, scramble_ranks
 
 
@@ -33,6 +35,7 @@ class WorkloadResult:
     inserts: int = 0
     scans: int = 0
     scanned_records: int = 0
+    deletes: int = 0
     work: Counters = field(default_factory=Counters)
 
     def merge(self, other: "WorkloadResult") -> None:
@@ -42,6 +45,7 @@ class WorkloadResult:
         self.inserts += other.inserts
         self.scans += other.scans
         self.scanned_records += other.scanned_records
+        self.deletes += other.deletes
         self.work.merge(other.work)
 
 
@@ -84,24 +88,41 @@ class WorkloadRunner:
         pos = scramble_ranks(np.array([rank]), self._pool_size)[0]
         return float(self._pool[pos])
 
+    def _take_existing(self, rank: int) -> float:
+        """Pick a pool key like :meth:`_pick_existing` and retire it (the
+        delete path: the key leaves the lookup pool the moment the delete
+        is scheduled, so no later read or delete can target it again)."""
+        pos = scramble_ranks(np.array([rank]), self._pool_size)[0]
+        key = float(self._pool[pos])
+        self._pool_size -= 1
+        self._pool[pos] = self._pool[self._pool_size]
+        return key
+
     def run(self, spec: WorkloadSpec, num_ops: int,
             scan_payload: Optional[int] = None,
-            read_batch: int = 1, write_batch: int = 1) -> WorkloadResult:
+            read_batch: int = 1, write_batch: int = 1,
+            delete_batch: int = 1) -> WorkloadResult:
         """Execute ``num_ops`` operations of ``spec``; returns tallies and
         the counter delta for exactly this run.
 
-        Stops early (with fewer ops) if the insert stream runs dry.
+        Stops early (with fewer ops) if the insert stream runs dry, or if
+        a delete finds the key pool empty.
 
         ``read_batch > 1`` enables batched reads where the trace allows:
         consecutive lookup operations are buffered (up to ``read_batch``)
         and issued through the index's ``lookup_many`` in one call; the
-        buffer is flushed whenever an insert or scan interleaves, so the
-        observable per-operation results are identical to scalar execution.
-        ``write_batch > 1`` does the same for consecutive inserts through
-        the index's ``insert_many`` (the write buffer is flushed before any
-        read or scan executes, so every operation still sees exactly the
-        keys a scalar execution would).  Indexes without the batch methods
-        fall back to scalar operations transparently.
+        buffer is flushed whenever an insert, delete, or scan interleaves,
+        so the observable per-operation results are identical to scalar
+        execution.  ``write_batch > 1`` does the same for consecutive
+        inserts through the index's ``insert_many`` (the write buffer is
+        flushed before any read, delete, or scan executes, so every
+        operation still sees exactly the keys a scalar execution would),
+        and ``delete_batch > 1`` for consecutive deletes through
+        ``delete_many``.  A delete buffer never holds a key that a
+        pending read or insert could touch (deleted keys leave the pool
+        when scheduled and insert keys are fresh), so only scans force a
+        delete flush.  Indexes without the batch methods fall back to
+        scalar operations transparently.
         """
         result = WorkloadResult(spec_name=spec.name)
         before = self.index.counters.snapshot()
@@ -112,8 +133,11 @@ class WorkloadRunner:
         batching = read_batch > 1 and lookup_many is not None
         insert_many = getattr(self.index, "insert_many", None)
         wbatching = write_batch > 1 and insert_many is not None
+        delete_many = getattr(self.index, "delete_many", None)
+        dbatching = delete_batch > 1 and delete_many is not None
         pending: list = []
         pending_writes: list = []
+        pending_deletes: list = []
 
         def flush() -> None:
             if not pending:
@@ -136,6 +160,16 @@ class WorkloadRunner:
             result.inserts += len(pending_writes)
             pending_writes.clear()
 
+        def flush_deletes() -> None:
+            if not pending_deletes:
+                return
+            if len(pending_deletes) == 1:
+                self.index.delete(pending_deletes[0])
+            else:
+                delete_many(np.array(pending_deletes, dtype=np.float64))
+            result.deletes += len(pending_deletes)
+            pending_deletes.clear()
+
         for i, op in enumerate(islice(spec.schedule(), num_ops)):
             if op == INSERT:
                 if self._next_insert >= len(self._insert_keys):
@@ -152,9 +186,26 @@ class WorkloadRunner:
                 else:
                     self.index.insert(key, scan_payload)
                     result.inserts += 1
+            elif op == DELETE:
+                if self._pool_size == 0:
+                    break
+                # Reads scheduled before this delete must execute first
+                # (they may target the victim), and the victim itself may
+                # still sit in the insert buffer.
+                flush()
+                flush_writes()
+                key = self._take_existing(int(ranks[i]))
+                if dbatching:
+                    pending_deletes.append(key)
+                    if len(pending_deletes) >= delete_batch:
+                        flush_deletes()
+                else:
+                    self.index.delete(key)
+                    result.deletes += 1
             elif op == SCAN:
                 flush()
                 flush_writes()
+                flush_deletes()
                 key = self._pick_existing(int(ranks[i]))
                 records = self.index.range_scan(key, int(scan_lengths[i]))
                 result.scanned_records += len(records)
@@ -172,14 +223,16 @@ class WorkloadRunner:
             result.ops += 1
         flush()
         flush_writes()
+        flush_deletes()
         result.work = self.index.counters.snapshot().diff(before)
         return result
 
 
 def run_workload(index, existing_keys: np.ndarray, insert_keys: np.ndarray,
                  spec: WorkloadSpec, num_ops: int, seed: int = 0,
-                 read_batch: int = 1, write_batch: int = 1) -> WorkloadResult:
+                 read_batch: int = 1, write_batch: int = 1,
+                 delete_batch: int = 1) -> WorkloadResult:
     """One-shot convenience wrapper around :class:`WorkloadRunner`."""
     runner = WorkloadRunner(index, existing_keys, insert_keys, seed=seed)
     return runner.run(spec, num_ops, read_batch=read_batch,
-                      write_batch=write_batch)
+                      write_batch=write_batch, delete_batch=delete_batch)

@@ -4,6 +4,14 @@ Section 5.1.2 defines (1) read-only, (2) read-heavy 95/5, (3) write-heavy
 50/50, and (4) range-scan 95/5 — roughly YCSB Workloads C, B, A and E.
 Reads and inserts are interleaved deterministically: 19 reads then 1 insert
 for the 95/5 workloads, alternating read/insert for 50/50.
+
+Beyond the paper's four, specs may also schedule *deletes*
+(``deletes_per_cycle``): each delete removes a Zipfian-selected key
+currently in the index, exercising the delete-side SMOs (leaf merges,
+merge-up collapses, shard re-provisioning) that insert-only workloads
+never trigger.  ``delete-heavy`` keeps the key count roughly stationary
+(every cycle inserts as many keys as it deletes) while making 80% of
+operations writes.
 """
 
 from __future__ import annotations
@@ -14,15 +22,17 @@ from typing import Iterator, Tuple
 READ = "read"
 INSERT = "insert"
 SCAN = "scan"
+DELETE = "delete"
 
 
 @dataclass(frozen=True)
 class WorkloadSpec:
     """One benchmark workload.
 
-    ``reads_per_cycle`` reads (or scans, when ``scans`` is true) followed by
-    ``inserts_per_cycle`` inserts, repeated — the paper's interleaving that
-    "simulates real-time usage".
+    ``reads_per_cycle`` reads (or scans, when ``scans`` is true) followed
+    by ``inserts_per_cycle`` inserts and ``deletes_per_cycle`` deletes,
+    repeated — the paper's interleaving that "simulates real-time usage",
+    extended with a delete phase for churn workloads.
     """
 
     name: str
@@ -31,20 +41,26 @@ class WorkloadSpec:
     scans: bool = False
     max_scan_length: int = 100
     ycsb_equivalent: str = ""
+    deletes_per_cycle: int = 0
 
     def schedule(self) -> Iterator[str]:
         """Yield the infinite operation sequence (``read``/``insert``/
-        ``scan``)."""
+        ``scan``/``delete``)."""
         read_op = SCAN if self.scans else READ
         while True:
             for _ in range(self.reads_per_cycle):
                 yield read_op
             for _ in range(self.inserts_per_cycle):
                 yield INSERT
+            for _ in range(self.deletes_per_cycle):
+                yield DELETE
 
     def fractions(self) -> Tuple[float, float]:
-        """``(read_fraction, insert_fraction)`` of the cycle."""
-        cycle = self.reads_per_cycle + self.inserts_per_cycle
+        """``(read_fraction, insert_fraction)`` of the cycle (deletes
+        count toward the cycle length; use :attr:`deletes_per_cycle` for
+        their share)."""
+        cycle = (self.reads_per_cycle + self.inserts_per_cycle
+                 + self.deletes_per_cycle)
         if cycle == 0:
             return 1.0, 0.0
         return self.reads_per_cycle / cycle, self.inserts_per_cycle / cycle
@@ -60,8 +76,12 @@ RANGE_SCAN = WorkloadSpec("range-scan", reads_per_cycle=19, inserts_per_cycle=1,
                           scans=True, ycsb_equivalent="E")
 WRITE_ONLY = WorkloadSpec("write-only", reads_per_cycle=0, inserts_per_cycle=1,
                           ycsb_equivalent="inserts")
+DELETE_HEAVY = WorkloadSpec("delete-heavy", reads_per_cycle=1,
+                            inserts_per_cycle=2, deletes_per_cycle=2,
+                            ycsb_equivalent="churn")
 
 WORKLOADS = {
     spec.name: spec
-    for spec in (READ_ONLY, READ_HEAVY, WRITE_HEAVY, RANGE_SCAN, WRITE_ONLY)
+    for spec in (READ_ONLY, READ_HEAVY, WRITE_HEAVY, RANGE_SCAN, WRITE_ONLY,
+                 DELETE_HEAVY)
 }

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.core.stats import Counters
 from repro.workloads.runner import WorkloadRunner
-from repro.workloads.spec import INSERT, SCAN, WorkloadSpec
+from repro.workloads.spec import WorkloadSpec
 
 #: Operation codes in the on-disk format.
 OP_LOOKUP = 0

@@ -1,7 +1,6 @@
 """Unit tests for repro.core.adaptive (Algorithm 4 init + node splitting)."""
 
 import numpy as np
-import pytest
 
 from repro.core.adaptive import build_adaptive_rmi, split_leaf
 from repro.core.config import AlexConfig, ADAPTIVE_RMI

@@ -6,7 +6,6 @@ import pytest
 from repro.core.errors import KeyNotFoundError
 from repro.ext.paged import (
     BufferPool,
-    DEFAULT_PAGE_BYTES,
     PagedAlexIndex,
     PagedBPlusTree,
 )

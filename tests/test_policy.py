@@ -23,7 +23,7 @@ from repro.core.config import ga_armi, pma_armi
 from repro.core.errors import KeyNotFoundError
 from repro.core.policy import (CostModelPolicy, HeuristicPolicy,
                                NodePressure, PressureEvent, ShardSummary,
-                               SMO_MERGE, SMO_NONE, EV_INSERT, EV_READ)
+                               SMO_NONE, EV_INSERT, EV_READ)
 from repro.core.rmi import InnerNode
 
 SETTINGS = settings(max_examples=25, deadline=None,

@@ -1,7 +1,6 @@
 """Unit tests for repro.core.rmi (inner nodes, static RMI builder)."""
 
 import numpy as np
-import pytest
 
 from repro.core.config import AlexConfig, STATIC_RMI, PACKED_MEMORY_ARRAY
 from repro.core.linear_model import LinearModel

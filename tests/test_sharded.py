@@ -3,10 +3,11 @@
 A :class:`ShardedAlexIndex` must be observationally identical to a single
 :class:`AlexIndex` over the same data — for every batch operation, every
 scalar operation, and any interleaving of reads, writes, deletes, and range
-queries — regardless of the shard count.  These tests drive seeded-random
-scenarios across shard counts {1, 3, 8}, skewed and uniform key sets, and
-the threaded scatter-gather pool, plus the router's partitioning and the
-hot-shard rebalance policy.
+queries — regardless of the shard count *and of the execution backend*.
+These tests drive seeded-random scenarios across shard counts {1, 3, 8},
+skewed and uniform key sets, and both the threaded scatter-gather pool and
+the process backend's shared-memory workers, plus the router's
+partitioning and the hot-shard rebalance policy.
 """
 
 import threading
@@ -23,6 +24,14 @@ from repro.workloads.hotspot import HotspotGenerator
 
 SHARD_COUNTS = (1, 3, 8)
 
+#: The equivalence grid: every shard count under the thread backend, plus
+#: one mid-size process-backend case per test (worker processes are
+#: expensive to spawn, so the process backend rides the representative
+#: configuration while the cheap thread backend covers the count sweep).
+BACKEND_CASES = [(1, "thread"), (3, "thread"), (8, "thread"),
+                 (3, "process")]
+BACKEND_IDS = [f"{b}-{n}shards" for n, b in BACKEND_CASES]
+
 
 def _seed(parts) -> int:
     """Deterministic per-case seed (str hash() is randomized per run)."""
@@ -33,14 +42,14 @@ def skewed_keys(rng, n):
     return np.unique(rng.lognormal(0, 2, n + 200) * 1e6)[:n]
 
 
-def build_pair(rng, n=4000, num_shards=3, config=None):
+def build_pair(rng, n=4000, num_shards=3, config=None, backend="thread"):
     """A sharded service and a single index over identical data."""
     config = config or ga_armi(max_keys_per_node=256)
     keys = skewed_keys(rng, n)
     payloads = [f"p{i}" for i in range(len(keys))]
     service = ShardedAlexIndex.bulk_load(keys, payloads,
                                          num_shards=num_shards,
-                                         config=config)
+                                         config=config, backend=backend)
     single = AlexIndex.bulk_load(keys, payloads, config=config)
     return service, single, keys
 
@@ -109,11 +118,13 @@ class TestShardRouter:
         assert tiny.num_shards <= 3
 
 
-@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("num_shards,backend", BACKEND_CASES,
+                         ids=BACKEND_IDS)
 class TestBatchEquivalence:
-    def test_batch_reads_match_single_index(self, num_shards):
+    def test_batch_reads_match_single_index(self, num_shards, backend):
         rng = np.random.default_rng(_seed(("reads", num_shards)))
-        service, single, keys = build_pair(rng, num_shards=num_shards)
+        service, single, keys = build_pair(rng, num_shards=num_shards,
+                                           backend=backend)
         probes = probe_mix(keys, rng, 900)
 
         assert service.get_many(probes, "MISS") == single.get_many(probes,
@@ -122,18 +133,22 @@ class TestBatchEquivalence:
                 == single.contains_many(probes).tolist())
         hits = rng.choice(keys, 700, replace=True)
         assert service.lookup_many(hits) == single.lookup_many(hits)
+        service.close()
 
-    def test_lookup_many_raises_on_any_miss(self, num_shards):
+    def test_lookup_many_raises_on_any_miss(self, num_shards, backend):
         rng = np.random.default_rng(_seed(("miss", num_shards)))
-        service, _, keys = build_pair(rng, num_shards=num_shards)
+        service, _, keys = build_pair(rng, num_shards=num_shards,
+                                      backend=backend)
         probes = rng.choice(keys, 50, replace=True)
         probes[17] = -4321.0  # guaranteed absent
         with pytest.raises(KeyNotFoundError):
             service.lookup_many(probes)
+        service.close()
 
-    def test_insert_many_matches_single_index(self, num_shards):
+    def test_insert_many_matches_single_index(self, num_shards, backend):
         rng = np.random.default_rng(_seed(("ins", num_shards)))
-        service, single, keys = build_pair(rng, num_shards=num_shards)
+        service, single, keys = build_pair(rng, num_shards=num_shards,
+                                           backend=backend)
         new = np.setdiff1d(np.unique(rng.uniform(0, keys.max() * 1.2, 1500)),
                            keys)[:1000]
         rng.shuffle(new)
@@ -143,10 +158,12 @@ class TestBatchEquivalence:
         assert len(service) == len(single)
         assert list(service.items()) == list(single.items())
         service.validate()
+        service.close()
 
-    def test_insert_many_all_or_nothing(self, num_shards):
+    def test_insert_many_all_or_nothing(self, num_shards, backend):
         rng = np.random.default_rng(_seed(("atomic", num_shards)))
-        service, _, keys = build_pair(rng, num_shards=num_shards)
+        service, _, keys = build_pair(rng, num_shards=num_shards,
+                                      backend=backend)
         before = list(service.items())
         fresh = np.setdiff1d(np.unique(rng.uniform(0, keys.max(), 400)),
                              keys)[:200]
@@ -159,10 +176,12 @@ class TestBatchEquivalence:
         with pytest.raises(DuplicateKeyError):  # in-batch duplicate
             service.insert_many(np.array([fresh[0], fresh[1], fresh[0]]))
         assert list(service.items()) == before
+        service.close()
 
-    def test_range_queries_match_single_index(self, num_shards):
+    def test_range_queries_match_single_index(self, num_shards, backend):
         rng = np.random.default_rng(_seed(("range", num_shards)))
-        service, single, keys = build_pair(rng, num_shards=num_shards)
+        service, single, keys = build_pair(rng, num_shards=num_shards,
+                                           backend=backend)
         los = rng.uniform(keys.min(), keys.max(), 80)
         his = los + rng.uniform(0, (keys.max() - keys.min()) / 3, 80)
         his[::11] = los[::11] - 1.0  # inverted bounds yield empty results
@@ -173,31 +192,39 @@ class TestBatchEquivalence:
         for start in rng.choice(keys, 8, replace=False):
             assert (service.range_scan(float(start), 150)
                     == single.range_scan(float(start), 150))
+        service.close()
 
-    def test_empty_batches(self, num_shards):
+    def test_empty_batches(self, num_shards, backend):
         rng = np.random.default_rng(_seed(("empty", num_shards)))
-        service, _, _ = build_pair(rng, n=500, num_shards=num_shards)
+        service, _, _ = build_pair(rng, n=500, num_shards=num_shards,
+                                   backend=backend)
         assert service.lookup_many(np.empty(0)) == []
         assert service.get_many([]) == []
         assert service.contains_many([]).tolist() == []
         assert service.range_query_many([], []) == []
         service.insert_many(np.empty(0))  # no-op
+        service.close()
 
 
 class TestRandomInterleavings:
     """Sharded vs single under a random mixed op stream, op for op."""
 
-    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("num_shards,backend", BACKEND_CASES,
+                             ids=BACKEND_IDS)
     @pytest.mark.parametrize("config_name,config", [
         ("ga-armi", lambda: ga_armi(max_keys_per_node=128,
                                     split_on_inserts=True)),
         ("pma-srmi", lambda: pma_srmi(num_models=16)),
     ], ids=["ga-armi", "pma-srmi"])
-    def test_mixed_stream_equivalence(self, num_shards, config_name, config):
+    def test_mixed_stream_equivalence(self, num_shards, backend,
+                                      config_name, config):
+        if backend == "process" and config_name != "ga-armi":
+            pytest.skip("one process-backend interleaving case is enough")
         rng = np.random.default_rng(_seed((config_name, num_shards)))
         service, single, keys = build_pair(rng, n=1200,
                                            num_shards=num_shards,
-                                           config=config())
+                                           config=config(),
+                                           backend=backend)
         live = list(keys)
         fresh = iter(np.setdiff1d(
             np.unique(rng.uniform(0, keys.max() * 1.3, 2000)),
@@ -246,15 +273,19 @@ class TestRandomInterleavings:
         assert len(service) == len(single)
         assert list(service.items()) == list(single.items())
         service.validate()
+        service.close()
 
     def test_shard_count_invariance(self):
         """The same op stream produces bit-identical observations at every
-        shard count."""
+        shard count and on either execution backend."""
+        cases = [(n, "thread") for n in SHARD_COUNTS] + [(3, "process")]
         observations = {}
-        for num_shards in SHARD_COUNTS:
+        for case in cases:
+            num_shards, backend = case
             rng = np.random.default_rng(99)
             service, _, keys = build_pair(rng, n=1500,
-                                          num_shards=num_shards)
+                                          num_shards=num_shards,
+                                          backend=backend)
             trace = []
             new = np.setdiff1d(np.unique(rng.uniform(0, keys.max(), 900)),
                                keys)[:500]
@@ -265,39 +296,44 @@ class TestRandomInterleavings:
             los = rng.uniform(keys.min(), keys.max(), 30)
             trace.append(service.range_query_many(los, los * 1.1))
             trace.append(list(service.items()))
-            observations[num_shards] = trace
-        baseline = observations[SHARD_COUNTS[0]]
-        for num_shards in SHARD_COUNTS[1:]:
-            assert observations[num_shards] == baseline
+            observations[case] = trace
+            service.close()
+        baseline = observations[cases[0]]
+        for case in cases[1:]:
+            assert observations[case] == baseline
 
 
+@pytest.mark.parametrize("backend", ["thread", "process"])
 class TestBatchDeletes:
-    def test_delete_many_matches_single_index(self):
+    def test_delete_many_matches_single_index(self, backend):
         rng = np.random.default_rng(21)
-        service, single, keys = build_pair(rng)
+        service, single, keys = build_pair(rng, backend=backend)
         victims = rng.permutation(keys)[:1500]
         service.delete_many(victims)
         single.delete_many(victims)
         assert list(service.items()) == list(single.items())
         assert len(service) == len(single) == len(keys) - 1500
         service.validate()
+        service.close()
 
-    def test_delete_many_all_or_nothing_across_shards(self):
+    def test_delete_many_all_or_nothing_across_shards(self, backend):
         rng = np.random.default_rng(22)
-        service, _, keys = build_pair(rng)
+        service, _, keys = build_pair(rng, backend=backend)
         bogus = np.append(rng.permutation(keys)[:50], [-1.0])
         with pytest.raises(KeyNotFoundError):
             service.delete_many(bogus)
         assert len(service) == len(keys)  # no shard mutated
+        service.close()
 
-    def test_erase_many_returns_removed_count(self):
+    def test_erase_many_returns_removed_count(self, backend):
         rng = np.random.default_rng(23)
-        service, _, keys = build_pair(rng)
+        service, _, keys = build_pair(rng, backend=backend)
         victims = rng.permutation(keys)[:200]
         removed = service.erase_many(np.append(victims, [-1.0, -2.0]))
         assert removed == 200
         assert len(service) == len(keys) - 200
         assert service.erase_many(victims) == 0  # already gone
+        service.close()
 
 
 class TestRebalance:
@@ -434,15 +470,172 @@ class TestWorkloadIntegration:
         init, inserts = keys[:2500], keys[2500:]
 
         tallies = {}
-        for num_shards in (1, 4):
+        for num_shards, backend in ((1, "thread"), (4, "thread"),
+                                    (4, "process")):
             service = ShardedAlexIndex.bulk_load(
-                init, num_shards=num_shards, config=ga_armi())
+                init, num_shards=num_shards, config=ga_armi(),
+                backend=backend)
             result = run_workload(service, init.copy(), inserts.copy(),
                                   READ_HEAVY, 900, seed=3,
                                   read_batch=32, write_batch=32)
             service.validate()
-            tallies[num_shards] = result
-        assert tallies[1].ops == tallies[4].ops
-        assert tallies[1].reads == tallies[4].reads
-        assert tallies[1].inserts == tallies[4].inserts
-        assert tallies[1].scanned_records == tallies[4].scanned_records
+            service.close()
+            tallies[num_shards, backend] = result
+        base = tallies[1, "thread"]
+        for other in ((4, "thread"), (4, "process")):
+            assert tallies[other].ops == base.ops
+            assert tallies[other].reads == base.reads
+            assert tallies[other].inserts == base.inserts
+            assert tallies[other].scanned_records == base.scanned_records
+
+
+class TestProcessBackend:
+    """Process-backend specifics: worker lifecycle, shard SMO
+    re-provisioning, counter continuity, and parent-side concurrency."""
+
+    def test_rebalance_splits_and_reprovisions_workers(self):
+        rng = np.random.default_rng(51)
+        service, _, keys = build_pair(rng, n=2500, num_shards=3,
+                                      backend="process")
+        with service:
+            sorted_keys = np.sort(keys)
+            hotspot = HotspotGenerator(len(keys), hot_fraction=0.15,
+                                       hot_access_fraction=0.9, seed=5)
+            for _ in range(8):
+                service.lookup_many(sorted_keys[hotspot.sample(400)])
+            before_items = list(service.items())
+            hot, fraction = service.hottest_shard()
+            assert fraction > 0.5
+            split = service.rebalance(hot_access_fraction=0.5,
+                                      min_accesses=1000)
+            assert split == hot
+            assert service.num_shards == 4
+            assert list(service.items()) == before_items
+            service.validate()
+            # The inverse SMO re-provisions again and restores the layout.
+            service.merge_shards(split)
+            assert service.num_shards == 3
+            assert list(service.items()) == before_items
+            service.validate()
+
+    def test_counters_survive_reprovisioning(self):
+        rng = np.random.default_rng(52)
+        service, _, keys = build_pair(rng, n=1500, num_shards=2,
+                                      backend="process")
+        with service:
+            service.lookup_many(rng.choice(keys, 300, replace=True))
+            before = service.counters
+            assert before.lookups == 300
+            assert service.split_shard(0)
+            # A diff spanning the SMO must never go negative: the victim's
+            # history moved into its left half.
+            after = service.counters
+            delta = after.diff(before)
+            assert delta.lookups == 0
+            assert after.lookups == 300
+
+    def test_worker_exceptions_carry_key(self):
+        rng = np.random.default_rng(53)
+        service, _, keys = build_pair(rng, n=800, num_shards=2,
+                                      backend="process")
+        with service:
+            with pytest.raises(KeyNotFoundError) as info:
+                service.lookup(-123.5)
+            assert info.value.key == -123.5
+            dup = float(keys[10])
+            with pytest.raises(DuplicateKeyError) as info:
+                service.insert(dup, "again")
+            assert info.value.key == dup
+
+    def test_configured_policy_reaches_workers(self):
+        from repro.core.policy import CostModelPolicy
+        rng = np.random.default_rng(57)
+        policy = CostModelPolicy(drift_factor=4.5, cold_factor=0.8)
+        keys = skewed_keys(rng, 600)
+        service = ShardedAlexIndex.bulk_load(
+            keys, num_shards=2, config=ga_armi(max_keys_per_node=256),
+            policy=policy, backend="process")
+        with service:
+            # The worker's policy copy must carry the facade's knobs, not
+            # class defaults (the parent-side template is pickled whole).
+            remote = service.backend.call(
+                0, "policy_config")
+            assert remote == {"type": "CostModelPolicy",
+                              "drift_factor": 4.5, "cold_factor": 0.8}
+
+    def test_unpicklable_payload_keeps_service_consistent(self):
+        rng = np.random.default_rng(58)
+        service, _, keys = build_pair(rng, n=800, num_shards=2,
+                                      backend="process")
+        with service:
+            before = len(service)
+            fresh = np.setdiff1d(
+                np.unique(rng.uniform(0, keys.max(), 50)), keys)[:4]
+            # A payload that cannot cross the process boundary must fail
+            # the whole batch up front: no shard applies, and the RPC
+            # protocol stays in sync for every later operation.
+            with pytest.raises(Exception):
+                service.insert_many(fresh, ["ok", "ok", lambda: None, "ok"])
+            assert len(service) == before  # all-or-nothing held
+            assert service.contains_many(fresh).tolist() == [False] * 4
+            service.validate()
+
+    def test_shards_property_unavailable(self):
+        rng = np.random.default_rng(54)
+        service, _, _ = build_pair(rng, n=600, num_shards=2,
+                                   backend="process")
+        with service:
+            with pytest.raises(NotImplementedError):
+                service.shards
+            assert service.backend.name == "process"
+
+    def test_close_is_idempotent_and_workers_exit(self):
+        rng = np.random.default_rng(55)
+        service, _, keys = build_pair(rng, n=600, num_shards=2,
+                                      backend="process")
+        workers = [w.process for w in service.backend._workers]
+        assert all(p.is_alive() for p in workers)
+        service.close()
+        service.close()
+        assert all(not p.is_alive() for p in workers)
+
+    def test_parallel_writers_and_readers_through_pipes(self):
+        rng = np.random.default_rng(56)
+        keys = np.unique(rng.uniform(0, 1e9, 3500))[:3000]
+        service = ShardedAlexIndex.bulk_load(keys, num_shards=3,
+                                             config=ga_armi(),
+                                             backend="process")
+        lanes = np.setdiff1d(np.unique(rng.uniform(0, 1e9, 3000)),
+                             keys)[:1200].reshape(3, 400)
+        errors = []
+
+        def writer(lane):
+            try:
+                for chunk in np.split(lanes[lane], 4):
+                    service.insert_many(chunk)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader():
+            try:
+                for _ in range(10):
+                    probes = rng.choice(keys, 150)
+                    assert all(p is None
+                               for p in service.get_many(probes, None))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=writer, args=(lane,))
+                    for lane in range(3)]
+                   + [threading.Thread(target=reader) for _ in range(2)])
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(service) == 3000 + 1200
+        expected = np.sort(np.concatenate([keys, lanes.ravel()]))
+        assert np.array_equal(np.fromiter(service.keys(), dtype=np.float64),
+                              expected)
+        service.validate()
+        service.close()

@@ -7,9 +7,7 @@ from repro.baselines.bptree import BPlusTree
 from repro.core.alex import AlexIndex
 from repro.workloads import READ_HEAVY, WRITE_HEAVY
 from repro.workloads.trace import (
-    OP_INSERT,
     OP_LOOKUP,
-    OP_SCAN,
     Trace,
     TraceRecorder,
     record_workload,

@@ -5,12 +5,15 @@ import pytest
 
 from repro.core.alex import AlexIndex
 from repro.workloads import (
+    DELETE,
+    DELETE_HEAVY,
     INSERT,
     RANGE_SCAN,
     READ,
     READ_HEAVY,
     READ_ONLY,
     SCAN,
+    WORKLOADS,
     WRITE_HEAVY,
     WRITE_ONLY,
     WorkloadRunner,
@@ -106,6 +109,19 @@ class TestWorkloadSpecs:
         assert read_fraction == pytest.approx(0.95)
         assert insert_fraction == pytest.approx(0.05)
 
+    def test_delete_heavy_schedule_and_fractions(self):
+        assert "delete-heavy" in WORKLOADS
+        cycle = (DELETE_HEAVY.reads_per_cycle
+                 + DELETE_HEAVY.inserts_per_cycle
+                 + DELETE_HEAVY.deletes_per_cycle)
+        ops = list(islice(DELETE_HEAVY.schedule(), 2 * cycle))
+        assert ops == [READ, INSERT, INSERT, DELETE, DELETE] * 2
+        read_fraction, insert_fraction = DELETE_HEAVY.fractions()
+        assert read_fraction == pytest.approx(0.2)
+        assert insert_fraction == pytest.approx(0.4)
+        # The key count is stationary: every cycle deletes what it inserts.
+        assert DELETE_HEAVY.inserts_per_cycle == DELETE_HEAVY.deletes_per_cycle
+
 
 class TestWorkloadRunner:
     @pytest.fixture
@@ -169,6 +185,94 @@ class TestWorkloadRunner:
         result = run_workload(index, init, inserts, spec, 50, seed=7)
         assert result.reads == 30
         assert result.inserts == 20
+
+
+class TestDeleteWorkloads:
+    @pytest.fixture
+    def setup(self):
+        rng = np.random.default_rng(62)
+        keys = np.unique(rng.uniform(0, 1e6, 3000))
+        init, inserts = keys[:2000], keys[2000:]
+        index = AlexIndex.bulk_load(init)
+        return index, init, inserts
+
+    def test_delete_heavy_op_counts(self, setup):
+        index, init, inserts = setup
+        result = run_workload(index, init, inserts, DELETE_HEAVY, 500,
+                              seed=1)
+        assert result.ops == 500
+        assert result.reads == 100
+        assert result.inserts == 200
+        assert result.deletes == 200
+        assert result.work.deletes == 200
+        assert len(index) == 2000  # stationary key count
+        index.validate()
+
+    def test_deleted_keys_leave_the_lookup_pool(self, setup):
+        index, init, inserts = setup
+        # Deletes only: every op retires a pool key; nothing ever looks
+        # up a deleted key (the runner would raise KeyNotFoundError).
+        spec = WorkloadSpec("drain", reads_per_cycle=1,
+                            inserts_per_cycle=0, deletes_per_cycle=3)
+        result = run_workload(index, init, inserts, spec, 400, seed=2)
+        assert result.deletes == 300
+        assert len(index) == 2000 - 300
+        index.validate()
+
+    def test_delete_drains_pool_and_stops(self):
+        rng = np.random.default_rng(63)
+        keys = np.unique(rng.uniform(0, 1e6, 40))
+        index = AlexIndex.bulk_load(keys)
+        spec = WorkloadSpec("all-deletes", reads_per_cycle=0,
+                            inserts_per_cycle=0, deletes_per_cycle=1)
+        result = run_workload(index, keys, np.empty(0), spec, 1000, seed=3)
+        assert result.deletes == len(keys)
+        assert result.ops == len(keys)  # stopped early, pool empty
+        assert len(index) == 0
+
+    def test_batched_deletes_match_scalar_execution(self, setup):
+        _, init, inserts = setup
+        scalar = AlexIndex.bulk_load(init)
+        batched = AlexIndex.bulk_load(init)
+        a = run_workload(scalar, init.copy(), inserts.copy(),
+                         DELETE_HEAVY, 800, seed=4)
+        b = run_workload(batched, init.copy(), inserts.copy(),
+                         DELETE_HEAVY, 800, seed=4,
+                         read_batch=16, write_batch=16, delete_batch=16)
+        assert (a.reads, a.inserts, a.deletes) == (b.reads, b.inserts,
+                                                   b.deletes)
+        assert list(scalar.items()) == list(batched.items())
+        scalar.validate()
+        batched.validate()
+
+    def test_result_merge_accumulates_deletes(self, setup):
+        index, init, inserts = setup
+        runner = WorkloadRunner(index, init, inserts, seed=5)
+        a = runner.run(DELETE_HEAVY, 100)
+        b = runner.run(DELETE_HEAVY, 100)
+        a.merge(b)
+        assert a.deletes == 80
+
+    @pytest.mark.parametrize("system,backend", [
+        ("ALEX-GA-ARMI", None),
+        ("ShardedALEX", "thread"),
+    ])
+    def test_mixed_insert_delete_through_run_experiment(self, system,
+                                                        backend):
+        from repro.bench import SystemParams, run_experiment
+        params = (SystemParams() if backend is None
+                  else SystemParams(shard_backend=backend))
+        result = run_experiment(system, "lognormal", DELETE_HEAVY,
+                                init_size=2500, num_ops=1200,
+                                params=params, seed=6,
+                                read_batch=8, write_batch=8,
+                                delete_batch=8)
+        assert result.ops == 1200
+        assert result.extras["deletes"] == 480
+        assert result.extras["inserts"] == 480
+        assert result.extras["reads"] == 240
+        assert result.throughput > 0
+        assert result.work.deletes == 480
 
 
 class TestAdaptationTraces:
