@@ -1,0 +1,235 @@
+"""Durability bench: what the WAL + checkpoint layer costs and buys.
+
+Three questions, recorded to ``BENCH_durability.json``:
+
+* **Logged-write overhead** — wall-clock cost of batch inserts through
+  :class:`~repro.durability.DurableAlexIndex` (apply + WAL append) over
+  the same inserts into a plain in-memory ``AlexIndex``, per fsync
+  policy.  ``off`` isolates the logging code path itself; ``batch`` and
+  ``always`` add the group-commit and per-append fsync costs, which are
+  hardware-dependent (absolute seconds are recorded alongside the
+  ratios).
+
+* **Recovery time vs WAL length** — recover after K logged frames for
+  growing K: replay cost scales with the un-checkpointed tail, which is
+  exactly what checkpoints bound.  The headline ratio,
+  ``checkpoint_speedup``, is recovery-from-full-WAL-replay over
+  recovery-right-after-a-checkpoint on identical contents — the factor
+  the checkpoint manager buys.
+
+* **Checkpoint cost** — seconds to publish a full snapshot (and the
+  snapshot's size), the price paid per replay-bound reset.
+
+A durable run-then-crash-then-recover scenario
+(:func:`repro.workloads.run_crash_recovery_scenario`) runs last as an
+end-to-end correctness gate: the bench refuses to record numbers for a
+durability layer that loses writes.
+
+Scale-invariant ratios (``overhead_x['off']``, ``checkpoint_speedup``)
+are gated in CI by ``benchmarks/check_regression.py``.
+
+Run: ``python benchmarks/bench_durability.py [--keys N] [--ops M]
+[--seed S] [--out BENCH_durability.json] [--quiet]``
+"""
+
+import argparse
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+import _common
+from repro.core.alex import AlexIndex
+from repro.durability import DurableAlexIndex, recover_index
+from repro.workloads import run_crash_recovery_scenario
+
+SEED = 5
+FSYNC_MODES = ("off", "batch", "always")
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _timed_min(fn, repeats: int = 3) -> float:
+    """Best of ``repeats`` runs — recovery is read-only, and the gated
+    checkpoint_speedup divides two small measurements, so a single noisy
+    sample (cold cache, co-tenant spike on a CI runner) must not be able
+    to flip the gate."""
+    return min(_timed(fn) for _ in range(repeats))
+
+
+def measure_logged_write_overhead(tmp: str, num_keys: int, num_ops: int,
+                                  seed: int, repeats: int = 3) -> dict:
+    """Batch-insert wall clock: durable (per fsync mode) vs in-memory.
+
+    Every configuration is measured ``repeats`` times over a fresh index
+    (inserts mutate, so each sample rebuilds) and the *minimum* is kept:
+    the gated ``overhead_x`` ratio divides two small measurements, and a
+    single noisy sample on a shared CI runner must not flip the gate.
+    """
+    rng = np.random.default_rng(seed)
+    init = np.unique(rng.uniform(0, 1e6, num_keys))
+    fresh = np.unique(rng.uniform(2e6, 3e6, num_ops))
+    batches = np.array_split(fresh, max(1, len(fresh) // 1024))
+
+    def plain_run() -> float:
+        plain = AlexIndex.bulk_load(init)
+        return _timed(lambda: [plain.insert_many(b) for b in batches])
+
+    def durable_run(mode: str, sample: int) -> float:
+        root = os.path.join(tmp, f"overhead-{mode}-{sample}")
+        durable = DurableAlexIndex.bulk_load(init, root=root, fsync=mode,
+                                             checkpoint_every=1 << 30)
+        seconds = _timed(
+            lambda: [durable.insert_many(b) for b in batches])
+        durable.close()
+        return seconds
+
+    plain_seconds = min(plain_run() for _ in range(repeats))
+    mode_seconds = {mode: min(durable_run(mode, i)
+                              for i in range(repeats))
+                    for mode in FSYNC_MODES}
+    return {
+        "inserted_keys": int(len(fresh)),
+        "batches": len(batches),
+        "repeats": repeats,
+        "plain_seconds": round(plain_seconds, 4),
+        "durable_seconds": {m: round(s, 4)
+                            for m, s in mode_seconds.items()},
+        "overhead_x": {m: round(s / plain_seconds, 3)
+                       for m, s in mode_seconds.items()},
+    }
+
+
+def measure_recovery(tmp: str, num_keys: int, num_ops: int,
+                     seed: int) -> dict:
+    """Recovery wall clock vs WAL tail length, and the checkpoint's
+    replay-bounding speedup."""
+    rng = np.random.default_rng(seed + 1)
+    init = np.unique(rng.uniform(0, 1e6, num_keys))
+    fresh = np.unique(rng.uniform(2e6, 3e6, num_ops))
+
+    rows = []
+    for fraction in (0.25, 0.5, 1.0):
+        root = os.path.join(tmp, f"recovery-{fraction}")
+        durable = DurableAlexIndex.bulk_load(init, root=root, fsync="off",
+                                             checkpoint_every=1 << 30)
+        tail = fresh[:int(len(fresh) * fraction)]
+        for batch in np.array_split(tail, max(1, len(tail) // 256)):
+            durable.insert_many(batch)
+        durable.wal.flush()
+        seconds = _timed_min(lambda r=root: recover_index(r))
+        result = recover_index(root)
+        rows.append({
+            "wal_frames": result.frames_replayed,
+            "wal_ops": result.ops_replayed,
+            "seconds": round(seconds, 4),
+            "replay_ops_per_sec": round(result.ops_replayed
+                                        / max(seconds, 1e-9)),
+        })
+        durable.close()
+
+    # Same contents, but checkpointed: recovery loads the snapshot and
+    # replays nothing.
+    root = os.path.join(tmp, "recovery-ckpt")
+    durable = DurableAlexIndex.bulk_load(init, root=root, fsync="off",
+                                         checkpoint_every=1 << 30)
+    for batch in np.array_split(fresh, max(1, len(fresh) // 256)):
+        durable.insert_many(batch)
+    durable.checkpoint()
+    after_checkpoint_seconds = _timed_min(lambda: recover_index(root))
+    durable.close()
+
+    full_replay_seconds = rows[-1]["seconds"]
+    return {
+        "rows": rows,
+        "full_replay_seconds": full_replay_seconds,
+        "after_checkpoint_seconds": round(after_checkpoint_seconds, 4),
+        "checkpoint_speedup": round(
+            full_replay_seconds / max(after_checkpoint_seconds, 1e-9), 3),
+    }
+
+
+def measure_checkpoint_cost(tmp: str, num_keys: int, seed: int) -> dict:
+    rng = np.random.default_rng(seed + 2)
+    keys = np.unique(rng.uniform(0, 1e6, num_keys))
+    root = os.path.join(tmp, "ckpt-cost")
+    durable = DurableAlexIndex.bulk_load(keys, root=root, fsync="off")
+    seconds = _timed(durable.checkpoint)
+    latest = durable.checkpoint_manager.latest()
+    size = os.path.getsize(latest[0]) if latest else 0
+    durable.close()
+    return {
+        "keys": int(len(keys)),
+        "seconds": round(seconds, 4),
+        "snapshot_bytes": int(size),
+        "keys_per_sec": round(len(keys) / max(seconds, 1e-9)),
+    }
+
+
+def measure_durability(num_keys: int = 20_000, num_ops: int = 10_000,
+                       seed: int = SEED) -> dict:
+    tmp = tempfile.mkdtemp(prefix="bench-durability-")
+    try:
+        logged = measure_logged_write_overhead(tmp, num_keys, num_ops,
+                                               seed)
+        recovery = measure_recovery(tmp, num_keys, num_ops, seed)
+        checkpoint = measure_checkpoint_cost(tmp, num_keys, seed)
+        scenario = run_crash_recovery_scenario(
+            os.path.join(tmp, "scenario"),
+            num_keys=min(num_keys, 10_000),
+            num_ops=min(num_ops, 5_000),
+            spec="write-heavy", backend="thread", num_shards=4,
+            fsync="batch", seed=seed)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "bench": "durability: logged-write overhead, recovery vs WAL "
+                 "length, checkpoint cost",
+        "num_keys": int(num_keys),
+        "num_ops": int(num_ops),
+        "seed": int(seed),
+        "metric_note": (
+            "wall-clock seconds (hardware-dependent); the gated metrics "
+            "are the scale-invariant ratios overhead_x and "
+            "checkpoint_speedup"),
+        "logged_write": logged,
+        "recovery": recovery,
+        "checkpoint": checkpoint,
+        "crash_scenario": scenario,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Measure WAL/checkpoint overheads and recovery "
+                    "times; record BENCH_durability.json")
+    # CI-friendly defaults (the bench-smoke job runs them unchanged, so
+    # the committed baseline and the fresh CI artifact are the same
+    # configuration — checkpoint_speedup is not scale-invariant).
+    parser.add_argument("--keys", type=int, default=20_000)
+    parser.add_argument("--ops", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=SEED)
+    _common.add_output_arguments(parser, "BENCH_durability.json")
+    args = parser.parse_args()
+    result = measure_durability(args.keys, args.ops, args.seed)
+    assert result["crash_scenario"]["contents_match"], (
+        "run-then-crash-then-recover lost acknowledged writes — the "
+        "durability layer is broken; refusing to record numbers")
+    logged = result["logged_write"]["overhead_x"]
+    _common.emit(
+        result, args,
+        f"logged-write overhead x{logged['off']} (fsync=off) / "
+        f"x{logged['always']} (fsync=always); checkpoint speedup "
+        f"x{result['recovery']['checkpoint_speedup']}; crash scenario "
+        f"recovered {result['crash_scenario']['recovered_keys']} keys "
+        "key-for-key")
+
+
+if __name__ == "__main__":
+    main()

@@ -65,6 +65,20 @@ GATED = {
                ("scenarios", "hotspot-shift", "comparison",
                 "throughput_ratio")),
     ],
+    "BENCH_durability.json": [
+        # Ratio of durable to in-memory batch-insert wall clock with
+        # fsync off (the logging code path itself, no storage barriers).
+        # Lower is better: a collapse here means every write started
+        # paying for copies/pickling it should not.
+        Metric("logged-write overhead (fsync=off)",
+               ("logged_write", "overhead_x", "off"),
+               higher_is_better=False),
+        # Recovery-from-full-WAL-replay over recovery-after-checkpoint:
+        # the factor checkpoints buy.  Falling toward 1 means checkpoint
+        # loading became as slow as replaying the whole history.
+        Metric("checkpoint recovery speedup",
+               ("recovery", "checkpoint_speedup")),
+    ],
 }
 
 

@@ -50,6 +50,9 @@ class SystemParams:
     num_shards: int = 4                # ShardedALEX partition count
     shard_workers: Optional[int] = None  # ShardedALEX scatter threads
     shard_backend: str = "thread"      # ShardedALEX executor: thread|process
+    durability_dir: Optional[str] = None  # WAL+checkpoint root (None = off)
+    fsync: str = "batch"               # WAL fsync policy: always|batch|off
+    checkpoint_every: int = 8192       # logged ops between checkpoints
 
 
 @dataclass
@@ -111,10 +114,14 @@ def build_index(system: str, init_keys: np.ndarray,
         )
         if params.space_overhead is not None:
             config = config.with_space_overhead(params.space_overhead)
-        return ShardedAlexIndex.bulk_load(init_keys, config=config,
-                                          num_shards=params.num_shards,
-                                          max_workers=params.shard_workers,
-                                          backend=params.shard_backend)
+        return ShardedAlexIndex.bulk_load(
+            init_keys, config=config,
+            num_shards=params.num_shards,
+            max_workers=params.shard_workers,
+            backend=params.shard_backend,
+            durability_dir=params.durability_dir,
+            fsync=params.fsync,
+            checkpoint_every=params.checkpoint_every)
     raise ValueError(f"unknown system {system!r}; choose from {SYSTEMS}")
 
 

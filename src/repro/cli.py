@@ -6,7 +6,8 @@ Subcommands::
     python -m repro datasets [--size N]      # Table 1
     python -m repro compare --dataset ycsb --workload read-heavy
     python -m repro shards --dataset lognormal --shards 1 2 4 8 \
-        [--backend thread|process]
+        [--backend thread|process] [--durable DIR]
+    python -m repro recover --dir DIR [--verify]   # crash recovery
     python -m repro adapt --scenario grow-shrink   # policy SMO report
     python -m repro errors --dataset longitudes [--size N]
     python -m repro theorems --dataset lognormal --c 1.43 2 8
@@ -17,7 +18,9 @@ All numbers use the counter-based simulated-time metric (DESIGN.md §6).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -98,10 +101,18 @@ def _cmd_shards(args: argparse.Namespace) -> int:
     spec = WORKLOADS[args.workload]
     rows = []
     for num_shards in args.shards:
+        durability_dir = None
+        if args.durable:
+            # One durability tree per shard count (a tree records one
+            # topology; re-creating over a live one is refused).
+            durability_dir = os.path.join(args.durable,
+                                          f"shards-{num_shards}")
         params = SystemParams(keys_per_model=args.keys_per_model,
                               max_keys_per_node=args.max_keys,
                               num_shards=num_shards,
-                              shard_backend=args.backend)
+                              shard_backend=args.backend,
+                              durability_dir=durability_dir,
+                              fsync=args.fsync)
         result = run_experiment("ShardedALEX", args.dataset, spec,
                                 init_size=args.init, num_ops=args.ops,
                                 params=params, seed=args.seed,
@@ -112,6 +123,8 @@ def _cmd_shards(args: argparse.Namespace) -> int:
                      f"{parallel / 1e6:.3f}",
                      f"{result.index_bytes:,}", result.extras["reads"],
                      result.extras["inserts"], result.extras["scans"]))
+    durable_note = (f", durable -> {args.durable} [{args.fsync}]"
+                    if args.durable else "")
     print(format_table(
         ["shards", "Mops/s (agg)", "Mops/s (parallel)", "index bytes",
          "reads", "inserts", "scans"],
@@ -119,7 +132,57 @@ def _cmd_shards(args: argparse.Namespace) -> int:
                     f"{args.workload} on "
                     f"{args.dataset} (init={args.init:,}, ops={args.ops:,}, "
                     f"read_batch={args.read_batch}, "
-                    f"write_batch={args.write_batch})"))
+                    f"write_batch={args.write_batch}{durable_note})"))
+    if args.durable:
+        print(f"durable state written under {args.durable}; inspect or "
+              f"restore with: python -m repro recover --dir "
+              f"{os.path.join(args.durable, f'shards-{args.shards[-1]}')}")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Recover an index (single-node or sharded service) from a
+    durability directory and report what came back."""
+    from .durability import recover_index, service_manifest_kind
+    from .serve import ShardedAlexIndex
+
+    kind = service_manifest_kind(args.dir)
+    if kind is None:
+        print(f"error: {args.dir} holds no durability manifest",
+              file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    if kind == "single":
+        result = recover_index(args.dir)
+        elapsed = time.perf_counter() - start
+        if args.verify:
+            result.index.validate()
+        print(format_table(
+            ["keys", "checkpoint LSN", "frames replayed", "ops replayed",
+             "seconds"],
+            [(f"{result.num_keys:,}", result.checkpoint_lsn,
+              result.frames_replayed, result.ops_replayed,
+              f"{elapsed:.3f}")],
+            title=f"recovered single-node index from {args.dir}"
+                  + (" (validated)" if args.verify else "")))
+        return 0
+    service = ShardedAlexIndex.recover(args.dir, backend=args.backend)
+    elapsed = time.perf_counter() - start
+    try:
+        if args.verify:
+            service.validate()
+        rows = [(s, f"{r.num_keys:,}", r.checkpoint_lsn,
+                 r.frames_replayed, r.ops_replayed)
+                for s, r in enumerate(service.last_recovery)]
+        print(format_table(
+            ["shard", "keys", "checkpoint LSN", "frames replayed",
+             "ops replayed"],
+            rows, title=f"recovered {service.num_shards}-shard service "
+                        f"from {args.dir} in {elapsed:.3f}s "
+                        f"[{args.backend} backend]"
+                        + (" (validated)" if args.verify else "")))
+    finally:
+        service.close()
     return 0
 
 
@@ -251,8 +314,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument("--write-batch", type=int, default=64)
     p_shard.add_argument("--keys-per-model", type=int, default=256)
     p_shard.add_argument("--max-keys", type=int, default=1024)
+    p_shard.add_argument("--durable", metavar="DIR", default=None,
+                         help="run durably: write per-shard WALs and "
+                              "checkpoints under DIR (one subtree per "
+                              "shard count); restore later with "
+                              "'repro recover'")
+    p_shard.add_argument("--fsync", choices=("always", "batch", "off"),
+                         default="batch",
+                         help="WAL fsync policy when --durable is set")
     p_shard.add_argument("--seed", type=int, default=0)
     p_shard.set_defaults(func=_cmd_shards)
+
+    p_rec = sub.add_parser(
+        "recover", help="recover an index or sharded service from a "
+                        "durability directory (checkpoint + WAL replay)")
+    p_rec.add_argument("--dir", required=True,
+                       help="durability root (a single-index MANIFEST "
+                            "or a sharded SERVICE_MANIFEST tree)")
+    p_rec.add_argument("--backend", choices=("thread", "process"),
+                       default="thread",
+                       help="execution backend to provision the "
+                            "recovered shards on")
+    p_rec.add_argument("--verify", action="store_true",
+                       help="run full structural validation on the "
+                            "recovered index")
+    p_rec.set_defaults(func=_cmd_recover)
 
     p_adapt = sub.add_parser(
         "adapt", help="adaptation policy comparison and SMO report")

@@ -36,3 +36,17 @@ class KeyNotFoundError(IndexError_):
 
     def __reduce__(self):
         return (type(self), (self.key,))
+
+
+class PersistenceError(IndexError_):
+    """Raised when an on-disk index or durability artifact cannot be
+    loaded: not one of our files, an unsupported format version, or a
+    corrupt/incomplete structure.  Replaces the cryptic ``KeyError`` /
+    ``ValueError`` a foreign or stale ``.npz`` would otherwise surface."""
+
+
+class WALCorruptionError(PersistenceError):
+    """Raised when a write-ahead-log segment is corrupt *before* its final
+    frame — a torn tail (the expected signature of a crash mid-append) is
+    tolerated and truncated, but damage in the middle of the log means
+    acknowledged history is gone and recovery must not silently skip it."""

@@ -1,0 +1,49 @@
+"""Durability: write-ahead logging, checkpointing, and crash recovery.
+
+The ALEX paper treats the index as a purely in-memory structure; a
+*service* built on it cannot afford that — an acknowledged write must
+survive a process crash, a worker death, or a restart.  This subsystem
+adds the classic log + checkpoint layer:
+
+* :mod:`~repro.durability.wal` — a segmented append-only write-ahead log
+  (fixed-width numpy record frames, CRC32 per frame, group commit,
+  ``always | batch | off`` fsync policy, torn-tail tolerance);
+* :mod:`~repro.durability.checkpoint` — atomic-rename checkpoint
+  publication through :mod:`repro.ext.persistence`, a JSON manifest as
+  the single source of recovery truth, and WAL truncation past the
+  checkpoint LSN;
+* :mod:`~repro.durability.recover` — load the latest checkpoint, replay
+  the WAL tail through the batch engine;
+* :mod:`~repro.durability.durable` — :class:`DurableAlexIndex`, the
+  single-node wrapper;
+* :mod:`~repro.durability.service` — per-shard durability plus the
+  transactional topology manifest behind
+  :class:`repro.serve.sharded.ShardedAlexIndex`'s ``durability_dir``
+  mode and the process backend's worker crash respawn.
+"""
+
+from .checkpoint import CheckpointManager
+from .durable import DEFAULT_CHECKPOINT_EVERY, DurableAlexIndex
+from .recover import RecoveryResult, apply_frame, recover_index
+from .service import ShardedDurability, service_manifest_kind
+from .wal import (FSYNC_POLICIES, OP_DELETE, OP_ERASE, OP_INSERT,
+                  OP_UPSERT, WALFrame, WriteAheadLog, iter_frames)
+
+__all__ = [
+    "CheckpointManager",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DurableAlexIndex",
+    "FSYNC_POLICIES",
+    "OP_DELETE",
+    "OP_ERASE",
+    "OP_INSERT",
+    "OP_UPSERT",
+    "RecoveryResult",
+    "ShardedDurability",
+    "WALFrame",
+    "WriteAheadLog",
+    "apply_frame",
+    "iter_frames",
+    "recover_index",
+    "service_manifest_kind",
+]

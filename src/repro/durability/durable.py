@@ -1,0 +1,272 @@
+"""`DurableAlexIndex`: a single-node ALEX that survives crashes.
+
+The wrapper owns one durability directory (WAL + checkpoints + manifest)
+and funnels every mutating operation through an **apply-then-log**
+discipline: the in-memory index applies the operation first (so only
+operations that *succeeded* ever reach the log — replay can never hit a
+duplicate-key or missing-key error), the WAL frame is appended second,
+and the caller's acknowledgement (the method returning) comes last.  A
+crash between apply and append loses only an un-acknowledged operation;
+a crash after the append is exactly what recovery replays.
+
+Reads delegate straight to the wrapped :class:`~repro.core.alex
+.AlexIndex` — durability adds zero read-path overhead.
+
+Construction:
+
+* :meth:`create` — fresh durability directory (refuses to clobber one);
+* :meth:`open` — recover from an existing directory, or create when the
+  directory is fresh;
+* :meth:`bulk_load` — build from a key array and publish the bulk state
+  as checkpoint zero, so recovery never replays the initial load.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.alex import AlexIndex
+from repro.core.config import AlexConfig
+from repro.core.errors import PersistenceError
+from repro.core.policy import AdaptationPolicy
+
+from .checkpoint import CheckpointManager
+from .recover import RecoveryResult, recover_index
+from .wal import OP_DELETE, OP_ERASE, OP_INSERT, OP_UPSERT, WriteAheadLog
+
+#: Default logged operations between automatic checkpoints.
+DEFAULT_CHECKPOINT_EVERY = 8192
+
+
+class DurableAlexIndex:
+    """A write-ahead-logged, checkpointed :class:`AlexIndex`.
+
+    Not built directly — use :meth:`create`, :meth:`open`, or
+    :meth:`bulk_load`.
+    """
+
+    def __init__(self, root: str, index: AlexIndex, wal: WriteAheadLog,
+                 manager: CheckpointManager,
+                 checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                 recovery: Optional[RecoveryResult] = None):
+        self.root = root
+        self._index = index
+        self._wal = wal
+        self._manager = manager
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        #: How the index was reconstructed (``None`` for a fresh create).
+        self.last_recovery = recovery
+        self._ops_since_checkpoint = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, root: str, config: Optional[AlexConfig] = None,
+               policy: Optional[AdaptationPolicy] = None,
+               fsync: str = "batch",
+               checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+               segment_bytes: int = 4 << 20,
+               group_commit: int = 64) -> "DurableAlexIndex":
+        """Start an empty durable index in a fresh directory (raises
+        :class:`PersistenceError` if ``root`` already holds one)."""
+        manager = CheckpointManager(root)
+        if manager.exists():
+            raise PersistenceError(
+                f"{root}: already a durability directory — use open()")
+        manager.initialize()
+        wal = WriteAheadLog(manager.wal_dir, fsync=fsync,
+                            segment_bytes=segment_bytes,
+                            group_commit=group_commit)
+        index = AlexIndex(config, policy=policy)
+        return cls(root, index, wal, manager,
+                   checkpoint_every=checkpoint_every)
+
+    @classmethod
+    def open(cls, root: str, config: Optional[AlexConfig] = None,
+             policy: Optional[AdaptationPolicy] = None,
+             fsync: str = "batch",
+             checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+             segment_bytes: int = 4 << 20,
+             group_commit: int = 64) -> "DurableAlexIndex":
+        """Recover from ``root`` (checkpoint + WAL tail), or create a
+        fresh durable index when the directory does not hold one yet."""
+        manager = CheckpointManager(root)
+        if not manager.exists():
+            return cls.create(root, config=config, policy=policy,
+                              fsync=fsync,
+                              checkpoint_every=checkpoint_every,
+                              segment_bytes=segment_bytes,
+                              group_commit=group_commit)
+        recovery = recover_index(root, config=config, policy=policy)
+        for stale in manager.stale_checkpoints():
+            # Superseded or half-written snapshots a crash mid-publish
+            # left behind; the manifest's checkpoint is never in here.
+            try:
+                os.remove(stale)
+            except OSError:
+                pass
+        wal = WriteAheadLog(manager.wal_dir, fsync=fsync,
+                            segment_bytes=segment_bytes,
+                            group_commit=group_commit)
+        return cls(root, recovery.index, wal, manager,
+                   checkpoint_every=checkpoint_every, recovery=recovery)
+
+    @classmethod
+    def bulk_load(cls, keys, payloads: Optional[list] = None,
+                  root: str = "", config: Optional[AlexConfig] = None,
+                  policy: Optional[AdaptationPolicy] = None,
+                  fsync: str = "batch",
+                  checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                  segment_bytes: int = 4 << 20,
+                  group_commit: int = 64) -> "DurableAlexIndex":
+        """Bulk-load a fresh durable index and publish the loaded state
+        as checkpoint zero (recovery loads it instead of replaying the
+        bulk as WAL frames)."""
+        if not root:
+            raise ValueError("bulk_load requires a durability root "
+                             "directory")
+        durable = cls.create(root, config=config, policy=policy,
+                             fsync=fsync,
+                             checkpoint_every=checkpoint_every,
+                             segment_bytes=segment_bytes,
+                             group_commit=group_commit)
+        if len(np.asarray(keys)) > 0:
+            durable._index = AlexIndex.bulk_load(
+                keys, payloads, config=config, policy=policy)
+        durable.checkpoint()
+        return durable
+
+    # ------------------------------------------------------------------
+    # Logged writes (apply, then log, then ack)
+    # ------------------------------------------------------------------
+
+    def _log(self, op: int, keys, payloads: Optional[list] = None,
+             ops: Optional[int] = None) -> None:
+        self._wal.append(op, keys, payloads)
+        self._ops_since_checkpoint += (len(keys) if ops is None else ops)
+        if self._ops_since_checkpoint >= self.checkpoint_every:
+            self.checkpoint()
+
+    def insert(self, key: float, payload=None) -> None:
+        self._index.insert(key, payload)
+        self._log(OP_INSERT, np.array([float(key)]), [payload])
+
+    def insert_many(self, keys, payloads: Optional[list] = None) -> None:
+        keys, payloads = AlexIndex._normalize_batch(keys, payloads)
+        if len(keys) == 0:
+            return
+        self._index.insert_many(keys, payloads)
+        self._log(OP_INSERT, keys, payloads)
+
+    def delete(self, key: float) -> None:
+        self._index.delete(key)
+        self._log(OP_DELETE, np.array([float(key)]))
+
+    def delete_many(self, keys) -> None:
+        keys, _ = AlexIndex._normalize_delete_batch(keys)
+        if len(keys) == 0:
+            return
+        self._index.delete_many(keys)
+        self._log(OP_DELETE, keys)
+
+    def erase_many(self, keys) -> int:
+        keys = np.unique(np.asarray(keys, dtype=np.float64))
+        if len(keys) == 0:
+            return 0
+        removed = self._index.erase_many(keys)
+        if removed:
+            self._log(OP_ERASE, keys, ops=removed)
+        return removed
+
+    def update(self, key: float, payload) -> None:
+        self._index.update(key, payload)
+        self._log(OP_UPSERT, np.array([float(key)]), [payload])
+
+    def upsert(self, key: float, payload) -> None:
+        self._index.upsert(key, payload)
+        self._log(OP_UPSERT, np.array([float(key)]), [payload])
+
+    def __setitem__(self, key, payload) -> None:
+        self.upsert(float(key), payload)
+
+    def __delitem__(self, key) -> None:
+        self.delete(float(key))
+
+    # ------------------------------------------------------------------
+    # Durability controls
+    # ------------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Force every appended frame to stable storage (upgrades the
+        ``batch``/``off`` policies to a hard barrier at this point)."""
+        self._wal.sync()
+
+    def checkpoint(self) -> int:
+        """Publish a full snapshot now and truncate the log behind it;
+        returns the checkpoint LSN."""
+        from repro.ext.persistence import save_index
+        lsn = self._wal.last_lsn
+        self._wal.roll()
+        self._manager.publish(
+            lsn, lambda tmp: save_index(self._index, tmp))
+        self._wal.truncate_upto(lsn)
+        self._ops_since_checkpoint = 0
+        return lsn
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self._wal
+
+    @property
+    def checkpoint_manager(self) -> CheckpointManager:
+        return self._manager
+
+    @property
+    def index(self) -> AlexIndex:
+        """The wrapped in-memory index (reads may use it directly)."""
+        return self._index
+
+    def close(self) -> None:
+        """Flush and release the WAL (idempotent).  No implicit final
+        checkpoint: recovery replays the tail, exactly as after a
+        crash — ``close()`` just guarantees nothing is lost."""
+        if not self._closed:
+            self._closed = True
+            self._wal.close()
+
+    def __enter__(self) -> "DurableAlexIndex":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Read-path delegation (zero overhead: straight to the index)
+    # ------------------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        # Anything not defined here (lookup, get_many, range_query,
+        # counters, validate, ...) is the wrapped index's business.
+        return getattr(self._index, name)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key) -> bool:
+        return float(key) in self._index
+
+    def __getitem__(self, key):
+        return self._index[key]
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._index)
+
+    def items(self) -> Iterator[Tuple[float, object]]:
+        return self._index.items()

@@ -26,11 +26,22 @@ import numpy as np
 from repro.core.alex import AlexIndex
 from repro.core.config import AlexConfig
 from repro.core.data_node import DataNode
+from repro.core.errors import PersistenceError
 from repro.core.linear_model import LinearModel
 from repro.core.rmi import InnerNode, link_leaves, make_data_node
 from repro.core.stats import Counters
 
-FORMAT_VERSION = 1
+#: Identifies our archives among arbitrary ``.npz`` files (stamped into
+#: the JSON header alongside the version).
+FORMAT_MAGIC = "repro-alex-index"
+
+#: Current on-disk format version.  Version 2 added the ``format`` magic
+#: stamp; version-1 archives (written before the stamp existed) are still
+#: readable.
+FORMAT_VERSION = 2
+
+#: Versions :func:`load_index` knows how to decode.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_index(index: AlexIndex, path: str) -> None:
@@ -65,6 +76,7 @@ def save_index(index: AlexIndex, path: str) -> None:
         return {"kind": "leaf", "leaf": leaf_ids[id(node)]}
 
     header = {
+        "format": FORMAT_MAGIC,
         "version": FORMAT_VERSION,
         "num_keys": len(index),
         "config": dataclasses.asdict(index.config),
@@ -93,12 +105,38 @@ def save_index(index: AlexIndex, path: str) -> None:
 
 
 def load_index(path: str) -> AlexIndex:
-    """Deserialize an index saved by :func:`save_index`."""
-    with np.load(path, allow_pickle=False) as archive:
-        header = json.loads(bytes(archive["header"]).decode("utf-8"))
-        if header["version"] != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported index file version {header['version']}")
+    """Deserialize an index saved by :func:`save_index`.
+
+    Raises :class:`~repro.core.errors.PersistenceError` when ``path`` is
+    not one of our archives (missing header), carries an unknown format
+    stamp, or was written by an unsupported format version — instead of
+    the cryptic ``KeyError`` a foreign ``.npz`` would otherwise produce.
+    """
+    try:
+        archive_ctx = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise PersistenceError(f"{path}: not a readable npz archive: "
+                               f"{exc}") from exc
+    with archive_ctx as archive:
+        if "header" not in getattr(archive, "files", []):
+            raise PersistenceError(
+                f"{path}: no index header — not a {FORMAT_MAGIC} archive")
+        try:
+            header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise PersistenceError(
+                f"{path}: corrupt index header: {exc}") from exc
+        # Version-1 archives predate the format stamp; anything newer must
+        # carry it.
+        stamp = header.get("format", FORMAT_MAGIC)
+        if stamp != FORMAT_MAGIC:
+            raise PersistenceError(
+                f"{path}: format stamp {stamp!r} is not {FORMAT_MAGIC!r}")
+        if header.get("version") not in SUPPORTED_VERSIONS:
+            raise PersistenceError(
+                f"{path}: unsupported index file version "
+                f"{header.get('version')!r} (supported: "
+                f"{', '.join(map(str, SUPPORTED_VERSIONS))})")
         config = AlexConfig(**header["config"])
         counters = Counters()
         leaves: List[DataNode] = []

@@ -51,7 +51,8 @@ real cores.  The facade's locking, routing, statistics, and two-phase
 all-or-nothing writes are identical under both.
 """
 
-from .backend import ExecutionBackend, ThreadBackend, make_backend
+from .backend import (ExecutionBackend, ThreadBackend, WorkerDiedError,
+                      make_backend)
 from .router import ShardRouter
 from .sharded import ShardedAlexIndex, ShardStats
 from .worker import ProcessBackend
@@ -63,5 +64,6 @@ __all__ = [
     "ShardStats",
     "ShardedAlexIndex",
     "ThreadBackend",
+    "WorkerDiedError",
     "make_backend",
 ]

@@ -50,6 +50,32 @@ BatchJob = Tuple[int, str, int, int, tuple]
 Call = Tuple[int, str, tuple]
 
 
+class WorkerDiedError(RuntimeError):
+    """A shard executor's hosting process died mid-conversation.
+
+    Carries the shard position (when known) so a durability-enabled
+    facade can respawn exactly the dead executor from its last checkpoint
+    plus WAL tail instead of poisoning the whole service.  Only the
+    process backend raises it; in-process thread shards cannot die
+    independently of the facade.
+    """
+
+    def __init__(self, shard: Optional[int], detail: str):
+        where = "shard executor" if shard is None else f"shard {shard}"
+        super().__init__(f"{where} worker process died: {detail}")
+        self.shard = shard
+
+
+def _op_persist_to(index: AlexIndex, path: str) -> int:
+    """Save the shard's full index to ``path`` via
+    :mod:`repro.ext.persistence` — the executor-side half of a
+    checkpoint.  Runs *inside* the worker for process-hosted shards, so
+    the snapshot never crosses the pipe; returns the key count saved."""
+    from repro.ext.persistence import save_index
+    save_index(index, path)
+    return len(index)
+
+
 def _op_key_bounds(index: AlexIndex):
     """``(first_key, last_key)`` or ``(None, None)`` when empty.
 
@@ -87,6 +113,7 @@ SHARD_OPS = {
            for knob in ("drift_factor", "cold_factor")
            if hasattr(index.policy, knob)},
     },
+    "persist_to": _op_persist_to,
 }
 
 
@@ -168,6 +195,19 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def counters(self, shard: int) -> Counters:
         """A snapshot of the shard's work counters."""
+
+    def dead_shards(self) -> List[int]:
+        """Shard positions whose executor died (empty for in-process
+        backends: a thread shard cannot die without the facade)."""
+        return []
+
+    def respawn(self, shard: int, keys: np.ndarray,
+                payloads: Optional[list],
+                seed: Optional[Counters] = None) -> None:
+        """Re-provision one dead executor over recovered contents (the
+        crash-recovery half of :class:`WorkerDiedError`)."""
+        raise NotImplementedError(
+            f"the {self.name!r} backend has no executor to respawn")
 
     @property
     @abc.abstractmethod

@@ -60,14 +60,19 @@ from typing import Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.core.alex import AlexIndex
+from repro.core.batch import export_arrays
 from repro.core.config import AlexConfig
-from repro.core.errors import DuplicateKeyError, KeyNotFoundError
+from repro.core.errors import (DuplicateKeyError, KeyNotFoundError,
+                               PersistenceError)
 from repro.core.policy import (AdaptationPolicy, HeuristicPolicy,
                                ShardSummary)
 from repro.core.stats import Counters
+from repro.durability import (DEFAULT_CHECKPOINT_EVERY, OP_DELETE,
+                              OP_ERASE, OP_INSERT, OP_UPSERT,
+                              ShardedDurability)
 from repro.ext.concurrent import ReadWriteLock
 
-from .backend import ExecutionBackend, make_backend
+from .backend import ExecutionBackend, WorkerDiedError, make_backend
 from .router import ShardRouter
 
 #: Factor applied to every shard's access tallies after a structural
@@ -177,7 +182,11 @@ class ShardedAlexIndex:
                  shards: Optional[List[AlexIndex]] = None,
                  policy: Optional[AdaptationPolicy] = None,
                  backend: "str | ExecutionBackend" = "thread",
-                 parts: Optional[list] = None):
+                 parts: Optional[list] = None,
+                 durability_dir: Optional[str] = None,
+                 fsync: str = "batch",
+                 checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                 durability: Optional[ShardedDurability] = None):
         self.config = config or AlexConfig()
         # One adaptation policy serves every layer: the shards' leaf/tree
         # SMOs and this facade's shard split/merge decisions.
@@ -210,6 +219,28 @@ class ShardedAlexIndex:
         self._structure_lock = ReadWriteLock()
         self.stats: List[ShardStats] = [ShardStats()
                                         for _ in range(num_shards)]
+        #: How each shard was reconstructed (set by :meth:`recover`).
+        self.last_recovery = None
+        if durability is not None and durability_dir is not None:
+            raise ValueError(
+                "pass an attached durability object or a directory, "
+                "not both")
+        self._durability = durability
+        if durability is not None:
+            if durability.num_shards != num_shards:
+                raise PersistenceError(
+                    f"durability tree holds {durability.num_shards} "
+                    f"shards but the router expects {num_shards}")
+        elif durability_dir is not None:
+            self._durability = ShardedDurability(
+                durability_dir, fsync=fsync,
+                checkpoint_every=checkpoint_every)
+            self._durability.create(self.router.boundaries)
+            # Generation-zero checkpoints: the freshly provisioned
+            # contents (e.g. the bulk load) recover from snapshots, never
+            # from WAL replay.
+            for s in range(num_shards):
+                self._checkpoint_shard(s)
 
     @classmethod
     def bulk_load(cls, keys, payloads: Optional[list] = None,
@@ -217,7 +248,10 @@ class ShardedAlexIndex:
                   config: Optional[AlexConfig] = None,
                   max_workers: Optional[int] = None,
                   policy: Optional[AdaptationPolicy] = None,
-                  backend: "str | ExecutionBackend" = "thread"
+                  backend: "str | ExecutionBackend" = "thread",
+                  durability_dir: Optional[str] = None,
+                  fsync: str = "batch",
+                  checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
                   ) -> "ShardedAlexIndex":
         """Partition ``keys`` into ``num_shards`` near-equal-mass shards
         and bulk-load each one.
@@ -237,7 +271,49 @@ class ShardedAlexIndex:
                   payloads[edges[s]:edges[s + 1]])
                  for s in range(router.num_shards)]
         return cls(config=config, router=router, max_workers=max_workers,
-                   policy=policy, backend=backend, parts=parts)
+                   policy=policy, backend=backend, parts=parts,
+                   durability_dir=durability_dir, fsync=fsync,
+                   checkpoint_every=checkpoint_every)
+
+    @classmethod
+    def recover(cls, durability_dir: str,
+                config: Optional[AlexConfig] = None,
+                max_workers: Optional[int] = None,
+                policy: Optional[AdaptationPolicy] = None,
+                backend: "str | ExecutionBackend" = "thread",
+                fsync: str = "batch",
+                checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+                ) -> "ShardedAlexIndex":
+        """Reconstruct a durable sharded service from its directory tree:
+        attach the topology manifest, recover every shard (latest
+        checkpoint + WAL tail replay), and provision executors over the
+        recovered contents on whichever backend is requested.
+
+        The per-shard :class:`~repro.durability.recover.RecoveryResult`
+        list lands in :attr:`last_recovery`.
+        """
+        durability = ShardedDurability(durability_dir, fsync=fsync,
+                                       checkpoint_every=checkpoint_every)
+        durability.attach()
+        policy = policy or HeuristicPolicy()
+        parts, recoveries = [], []
+        for s in range(durability.num_shards):
+            recovery = durability.recover_shard(s, config=config,
+                                                policy=policy)
+            parts.append(export_arrays(recovery.index))
+            recoveries.append(recovery)
+        if config is None and recoveries:
+            # The checkpoint archives carry the per-shard AlexConfig the
+            # service was built with; re-provision under it rather than
+            # silently rebuilding every shard with defaults.
+            config = recoveries[0].index.config
+        router = ShardRouter(np.asarray(durability.boundaries,
+                                        dtype=np.float64))
+        service = cls(config=config, router=router,
+                      max_workers=max_workers, policy=policy,
+                      backend=backend, parts=parts, durability=durability)
+        service.last_recovery = recoveries
+        return service
 
     # ------------------------------------------------------------------
     # Scatter-gather plumbing
@@ -260,10 +336,134 @@ class ShardedAlexIndex:
         backend's ``snapshot``)."""
         return self._backend.local_indexes()
 
+    @property
+    def durability(self) -> Optional[ShardedDurability]:
+        """The durability tree behind this service (``None`` when the
+        service is purely in-memory)."""
+        return self._durability
+
     def close(self) -> None:
         """Shut down the execution backend — the thread backend's worker
-        pool, or the process backend's shard workers (idempotent)."""
+        pool, or the process backend's shard workers — and flush + close
+        the durability tree (idempotent)."""
         self._backend.close()
+        if self._durability is not None:
+            self._durability.close()
+
+    # ------------------------------------------------------------------
+    # Durability plumbing: logging, checkpoints, crash respawn
+    # ------------------------------------------------------------------
+
+    def _log_groups(self, op: int, groups: list, keys: np.ndarray,
+                    payloads: Optional[list] = None) -> None:
+        """Append one WAL frame per involved shard (write-ahead: called
+        after validation, before the apply scatter, under the shards'
+        write locks)."""
+        if self._durability is None:
+            return
+        for s, lo, hi in groups:
+            self._durability.log(
+                s, op, keys[lo:hi],
+                None if payloads is None else payloads[lo:hi])
+
+    def _log_scalar(self, shard: int, op: int, key: float,
+                    payloads: Optional[list] = None) -> None:
+        if self._durability is not None:
+            self._durability.log(shard, op,
+                                 np.array([key], dtype=np.float64),
+                                 payloads)
+
+    def _persist_writer(self, shard: int):
+        """A ``write_snapshot`` callback persisting shard ``shard``
+        through the executor (inside the worker for process shards)."""
+        return lambda tmp: self._retry_dead(
+            lambda: self._backend.call(shard, "persist_to", tmp),
+            involved=[shard])
+
+    def _checkpoint_shard(self, shard: int) -> None:
+        """Publish a checkpoint for one shard (its write lock, where one
+        exists yet, must be held by the caller)."""
+        counters = self._retry_dead(
+            lambda: self._backend.counters(shard),
+            involved=[shard]).as_dict()
+        self._durability.checkpoint(shard, self._persist_writer(shard),
+                                    counters=counters)
+
+    def _maybe_checkpoint(self, shard: int) -> None:
+        if (self._durability is not None
+                and self._durability.should_checkpoint(shard)):
+            self._checkpoint_shard(shard)
+
+    def checkpoint(self) -> None:
+        """Checkpoint every shard now (bounds the next recovery's replay
+        to zero frames).  No-op without durability."""
+        if self._durability is None:
+            return
+        with self._structure_lock.read():
+            for s in range(self.num_shards):
+                with self._shard_locks[s].write():
+                    self._checkpoint_shard(s)
+
+    def sync(self) -> None:
+        """Hard durability barrier: fsync every shard's WAL (upgrades the
+        ``batch``/``off`` fsync policies at this point)."""
+        if self._durability is not None:
+            self._durability.sync()
+
+    def _respawn_dead(self, suspect: Optional[int] = None,
+                      involved: Optional[List[int]] = None) -> bool:
+        """Re-provision dead shard executors from their checkpoints +
+        WAL tails; ``True`` when at least one worker was respawned.
+
+        Repair is restricted to ``suspect`` (the shard whose pipe just
+        broke — its process may not be reaped yet, but a broken pipe is
+        definitive) plus the dead members of ``involved``, the shards
+        whose locks the *caller* holds.  A dead shard outside that set
+        is left for whoever holds (or next takes) its lock: replaying
+        its WAL here would race an in-flight two-phase write that has
+        appended its frame but not yet applied — the replay would apply
+        the frame and the owner's apply scatter would then double-apply
+        it through the unchecked path.
+
+        The respawned worker's state is exactly what recovery after a
+        full restart would rebuild — including any write-ahead frame
+        whose apply the crash interrupted — so the caller can treat an
+        interrupted *apply* as completed and must re-run an interrupted
+        *read or validate* (which mutated nothing).
+        """
+        if self._durability is None:
+            return False
+        dead = set(self._backend.dead_shards())
+        allowed = set(involved or ())
+        if suspect is not None and suspect < self.num_shards:
+            allowed.add(suspect)
+            dead.add(suspect)
+        repairable = sorted(dead & allowed)
+        for s in repairable:
+            recovery = self._durability.recover_shard(
+                s, config=self.config, policy=self.policy)
+            keys, payloads = export_arrays(recovery.index)
+            saved = self._durability.shard_state(s).manager.saved_counters()
+            seed = Counters(**saved) if saved else None
+            self._backend.respawn(s, keys, payloads, seed)
+        return bool(repairable)
+
+    def _retry_dead(self, thunk, retry: bool = True,
+                    involved: Optional[List[int]] = None):
+        """Run one backend interaction, absorbing a worker death when
+        durability can repair it: the dead executors (among ``involved``,
+        the shards this operation holds locks for) are respawned and the
+        interaction re-runs (``retry=True``, for reads/validates and
+        idempotent ops) or is considered settled by the WAL replay
+        (``retry=False``, for the apply phase of a logged write)."""
+        try:
+            return thunk()
+        except WorkerDiedError as exc:
+            if not self._respawn_dead(exc.shard, involved):
+                raise
+            if retry:
+                return thunk()
+            return None
 
     def __enter__(self) -> "ShardedAlexIndex":
         return self
@@ -298,7 +498,9 @@ class ShardedAlexIndex:
         jobs = [(s, method, lo, hi, extra) for s, lo, hi in groups]
         self._acquire_shards(shard_ids, write)
         try:
-            return self._backend.scatter_batch(batch, jobs)
+            return self._retry_dead(
+                lambda: self._backend.scatter_batch(batch, jobs),
+                involved=shard_ids)
         finally:
             self._release_shards(shard_ids, write)
 
@@ -393,9 +595,11 @@ class ShardedAlexIndex:
                 # backend copies the keys to shared memory exactly once).
                 with self._backend.publish(keys) as batch:
                     # Phase 1: validate on every involved shard executor.
-                    present_per_shard = self._backend.scatter_batch(
-                        batch, [(s, "contains_many", lo, hi, ())
-                                for s, lo, hi in groups])
+                    present_per_shard = self._retry_dead(
+                        lambda: self._backend.scatter_batch(
+                            batch, [(s, "contains_many", lo, hi, ())
+                                    for s, lo, hi in groups]),
+                        involved=shard_ids)
                     for (s, lo, hi), present in zip(groups,
                                                     present_per_shard):
                         hit = np.flatnonzero(present)
@@ -403,15 +607,24 @@ class ShardedAlexIndex:
                             raise DuplicateKeyError(
                                 float(keys[lo + int(hit[0])]))
 
+                    # Write-ahead point: the validated sub-batches hit
+                    # each shard's WAL before any shard mutates, so a
+                    # worker that dies mid-apply recovers *with* its
+                    # sub-batch (no retry — the replay settles it).
+                    self._log_groups(OP_INSERT, groups, keys, payloads)
+
                     # Phase 2: apply.  Sorted, deduplicated, and
                     # validated above — the unchecked path skips a second
                     # routed validation.
-                    self._backend.scatter_batch(
-                        batch, [(s, "insert_sorted_unchecked", lo, hi,
-                                 (payloads[lo:hi],))
-                                for s, lo, hi in groups])
+                    self._retry_dead(
+                        lambda: self._backend.scatter_batch(
+                            batch, [(s, "insert_sorted_unchecked", lo, hi,
+                                     (payloads[lo:hi],))
+                                    for s, lo, hi in groups]),
+                        retry=False, involved=shard_ids)
                 for s, lo, hi in groups:
                     self.stats[s].add(writes=hi - lo)
+                    self._maybe_checkpoint(s)
             finally:
                 self._release_shards(shard_ids, write=True)
 
@@ -436,9 +649,11 @@ class ShardedAlexIndex:
             self._acquire_shards(shard_ids, write=True)
             try:
                 with self._backend.publish(keys) as batch:
-                    present_per_shard = self._backend.scatter_batch(
-                        batch, [(s, "contains_many", lo, hi, ())
-                                for s, lo, hi in groups])
+                    present_per_shard = self._retry_dead(
+                        lambda: self._backend.scatter_batch(
+                            batch, [(s, "contains_many", lo, hi, ())
+                                    for s, lo, hi in groups]),
+                        involved=shard_ids)
                     for (s, lo, hi), present in zip(groups,
                                                     present_per_shard):
                         miss = np.flatnonzero(~present)
@@ -446,26 +661,70 @@ class ShardedAlexIndex:
                             raise KeyNotFoundError(
                                 float(keys[lo + int(miss[0])]))
 
-                    self._backend.scatter_batch(
-                        batch, [(s, "delete_sorted_unchecked", lo, hi, ())
-                                for s, lo, hi in groups])
+                    # Write-ahead point (see insert_many).
+                    self._log_groups(OP_DELETE, groups, keys)
+
+                    self._retry_dead(
+                        lambda: self._backend.scatter_batch(
+                            batch,
+                            [(s, "delete_sorted_unchecked", lo, hi, ())
+                             for s, lo, hi in groups]),
+                        retry=False, involved=shard_ids)
                 for s, lo, hi in groups:
                     self.stats[s].add(writes=hi - lo)
+                    self._maybe_checkpoint(s)
             finally:
                 self._release_shards(shard_ids, write=True)
 
     def erase_many(self, keys) -> int:
         """Like :meth:`delete_many` but absent keys are skipped; returns
-        the number of keys removed across all shards."""
+        the number of keys removed across all shards.
+
+        Runs the same validate → write-ahead → apply shape as the strict
+        batch writes: the membership pass (exact under the held write
+        locks) determines which shards actually lose keys, only those
+        shards get a WAL frame (no-op erases leave no trace in the log
+        and trigger no checkpoints), and the apply scatter settles
+        through the WAL replay if a worker dies mid-apply.  The returned
+        count comes from the membership pass, so it stays exact even
+        across a worker crash.
+        """
         keys = np.unique(np.asarray(keys, dtype=np.float64))
         if len(keys) == 0:
             return 0
         with self._structure_lock.read():
             groups = list(self.router.split_batch(keys))
-            removed_per_shard = self._locked_scatter_batch(
-                keys, groups, "erase_many", write=True)
-            for (s, _, _), removed in zip(groups, removed_per_shard):
-                self.stats[s].add(writes=removed)
+            shard_ids = [s for s, _, _ in groups]
+            self._acquire_shards(shard_ids, write=True)
+            try:
+                with self._backend.publish(keys) as batch:
+                    present_per_shard = self._retry_dead(
+                        lambda: self._backend.scatter_batch(
+                            batch, [(s, "contains_many", lo, hi, ())
+                                    for s, lo, hi in groups]),
+                        involved=shard_ids)
+                    removed_per_shard = [
+                        int(np.count_nonzero(present))
+                        for present in present_per_shard]
+                    touched = [(group, removed)
+                               for group, removed in zip(groups,
+                                                         removed_per_shard)
+                               if removed]
+                    if not touched:
+                        return 0
+                    self._log_groups(OP_ERASE,
+                                     [group for group, _ in touched],
+                                     keys)
+                    self._retry_dead(
+                        lambda: self._backend.scatter_batch(
+                            batch, [(s, "erase_many", lo, hi, ())
+                                    for (s, lo, hi), _ in touched]),
+                        retry=False, involved=shard_ids)
+                for (s, _, _), removed in touched:
+                    self.stats[s].add(writes=removed)
+                    self._maybe_checkpoint(s)
+            finally:
+                self._release_shards(shard_ids, write=True)
             return sum(removed_per_shard)
 
     # ------------------------------------------------------------------
@@ -475,41 +734,43 @@ class ShardedAlexIndex:
     def _shard_of(self, key: float) -> int:
         return self.router.shard_for(key)
 
-    def insert(self, key: float, payload=None) -> None:
-        """Insert one key (exclusive lock on its shard only)."""
-        key = float(key)
+    def _scalar_write(self, key: float, method: str, args: tuple,
+                      op: int, payloads: Optional[list] = None) -> None:
+        """Shared scalar-write body: execute on the owning shard, append
+        the WAL frame on success (apply-then-log: only operations that
+        succeeded reach the log, so replay can never fail), ack."""
         with self._structure_lock.read():
             s = self._shard_of(key)
             with self._shard_locks[s].write():
-                self._backend.call(s, "insert", key, payload)
+                self._retry_dead(
+                    lambda: self._backend.call(s, method, *args),
+                    involved=[s])
+                self._log_scalar(s, op, key, payloads)
                 self.stats[s].add(writes=1)
+                self._maybe_checkpoint(s)
+
+    def insert(self, key: float, payload=None) -> None:
+        """Insert one key (exclusive lock on its shard only)."""
+        key = float(key)
+        self._scalar_write(key, "insert", (key, payload), OP_INSERT,
+                           [payload])
 
     def delete(self, key: float) -> None:
         """Remove one key; raises :class:`KeyNotFoundError` when absent."""
         key = float(key)
-        with self._structure_lock.read():
-            s = self._shard_of(key)
-            with self._shard_locks[s].write():
-                self._backend.call(s, "delete", key)
-                self.stats[s].add(writes=1)
+        self._scalar_write(key, "delete", (key,), OP_DELETE)
 
     def update(self, key: float, payload) -> None:
         """Replace the payload of an existing key."""
         key = float(key)
-        with self._structure_lock.read():
-            s = self._shard_of(key)
-            with self._shard_locks[s].write():
-                self._backend.call(s, "update", key, payload)
-                self.stats[s].add(writes=1)
+        self._scalar_write(key, "update", (key, payload), OP_UPSERT,
+                           [payload])
 
     def upsert(self, key: float, payload) -> None:
         """Insert or update one key."""
         key = float(key)
-        with self._structure_lock.read():
-            s = self._shard_of(key)
-            with self._shard_locks[s].write():
-                self._backend.call(s, "upsert", key, payload)
-                self.stats[s].add(writes=1)
+        self._scalar_write(key, "upsert", (key, payload), OP_UPSERT,
+                           [payload])
 
     def lookup(self, key: float):
         """Shared-lock single-key lookup on the owning shard."""
@@ -520,7 +781,9 @@ class ShardedAlexIndex:
                 # Tally before the probe: misses are accesses too, exactly
                 # as the batch reads count them.
                 self.stats[s].add(reads=1)
-                return self._backend.call(s, "lookup", key)
+                return self._retry_dead(
+                    lambda: self._backend.call(s, "lookup", key),
+                    involved=[s])
 
     def get(self, key: float, default=None):
         """Like :meth:`lookup` but returns ``default`` when absent."""
@@ -536,7 +799,9 @@ class ShardedAlexIndex:
             s = self._shard_of(key)
             with self._shard_locks[s].read():
                 self.stats[s].add(reads=1)
-                return self._backend.call(s, "contains", key)
+                return self._retry_dead(
+                    lambda: self._backend.call(s, "contains", key),
+                    involved=[s])
 
     # ------------------------------------------------------------------
     # Range operations
@@ -551,8 +816,10 @@ class ShardedAlexIndex:
             first = self._shard_of(start_key)
             for s in range(first, self.num_shards):
                 with self._shard_locks[s].read():
-                    chunk = self._backend.call(s, "range_scan", start_key,
-                                               limit - len(out))
+                    chunk = self._retry_dead(
+                        lambda s=s: self._backend.call(
+                            s, "range_scan", start_key, limit - len(out)),
+                        involved=[s])
                     self.stats[s].add(scans=1)
                 out.extend(chunk)
                 if len(out) >= limit:
@@ -571,8 +838,10 @@ class ShardedAlexIndex:
             shard_ids = list(range(first, last + 1))
             self._acquire_shards(shard_ids, write=False)
             try:
-                chunks = self._backend.scatter(
-                    [(s, "range_query", (lo, hi)) for s in shard_ids])
+                chunks = self._retry_dead(
+                    lambda: self._backend.scatter(
+                        [(s, "range_query", (lo, hi)) for s in shard_ids]),
+                    involved=shard_ids)
             finally:
                 self._release_shards(shard_ids, write=False)
             for s in shard_ids:
@@ -609,9 +878,11 @@ class ShardedAlexIndex:
             shard_ids = [s for s, _ in jobs]
             self._acquire_shards(shard_ids, write=False)
             try:
-                results = self._backend.scatter(
-                    [(s, "range_query_many", (los[t], his[t]))
-                     for s, t in jobs])
+                results = self._retry_dead(
+                    lambda: self._backend.scatter(
+                        [(s, "range_query_many", (los[t], his[t]))
+                         for s, t in jobs]),
+                    involved=shard_ids)
             finally:
                 self._release_shards(shard_ids, write=False)
             for s, touched in jobs:
@@ -633,7 +904,9 @@ class ShardedAlexIndex:
             for s in range(self.num_shards):
                 with self._shard_locks[s].read():
                     lo, hi = self.router.key_range(s)
-                    shape = self._backend.call(s, "introspect")
+                    shape = self._retry_dead(
+                        lambda s=s: self._backend.call(s, "introspect"),
+                        involved=[s])
                     stats = self.stats[s]
                     rows.append({
                         "shard": s,
@@ -695,7 +968,10 @@ class ShardedAlexIndex:
         with self._structure_lock.write():
             summaries = [
                 ShardSummary(stats.accesses,
-                             self._backend.call(s, "num_keys"))
+                             self._retry_dead(
+                                 lambda s=s: self._backend.call(
+                                     s, "num_keys"),
+                                 involved=[s]))
                 for s, stats in enumerate(self.stats)
             ]
             decision = self.policy.choose_shard_smo(
@@ -736,7 +1012,8 @@ class ShardedAlexIndex:
         exclusively."""
         if not 0 <= shard < self.num_shards:
             raise IndexError(f"no shard {shard}")
-        keys, payloads = self._backend.snapshot(shard)
+        keys, payloads = self._retry_dead(
+            lambda: self._backend.snapshot(shard), involved=[shard])
         if len(keys) < 2:
             return False
         median = float(keys[len(keys) // 2])
@@ -757,15 +1034,42 @@ class ShardedAlexIndex:
         # starts blind, and the fleet-wide tally total is preserved (the
         # fix for stale windows biasing the next policy evaluation).
         self.stats[shard:shard + 1] = list(self.stats[shard].split())
+        self._rewrite_durability(shard, shard + 1, 2)
         return True
+
+    def _rewrite_durability(self, start: int, stop: int,
+                            count_new: int) -> None:
+        """After a shard SMO re-provisioned executors ``[start, start +
+        count_new)`` in place of old positions ``[start, stop)``, flip
+        the durability tree to match: fresh generation-zero directories
+        are checkpointed from the *new* executors, the topology manifest
+        commits atomically, and the retired directories vanish.  (The
+        executor replace and this rewrite both happen under the exclusive
+        structure lock, so a crash between them recovers the pre-SMO
+        topology — every acknowledged write is in the old shards' logs.)
+        """
+        if self._durability is None:
+            return
+        writers = [self._persist_writer(start + i)
+                   for i in range(count_new)]
+        counters = [self._retry_dead(
+                        lambda s=start + i: self._backend.counters(s),
+                        involved=[start + i]).as_dict()
+                    for i in range(count_new)]
+        self._durability.rewrite_topology(start, stop, writers,
+                                          self.router.boundaries,
+                                          counters=counters)
 
     def _merge_locked(self, shard: int) -> None:
         """Body of :meth:`merge_shards`; the structure lock must be held
         exclusively."""
         if not 0 <= shard < self.num_shards - 1:
             raise IndexError(f"no shard pair ({shard}, {shard + 1})")
-        left_keys, left_payloads = self._backend.snapshot(shard)
-        right_keys, right_payloads = self._backend.snapshot(shard + 1)
+        left_keys, left_payloads = self._retry_dead(
+            lambda: self._backend.snapshot(shard), involved=[shard])
+        right_keys, right_payloads = self._retry_dead(
+            lambda: self._backend.snapshot(shard + 1),
+            involved=[shard + 1])
         if left_payloads is None:
             left_payloads = [None] * len(left_keys)
         if right_payloads is None:
@@ -782,6 +1086,7 @@ class ShardedAlexIndex:
         self.stats[shard:shard + 2] = [
             self.stats[shard].merged_with(self.stats[shard + 1])
         ]
+        self._rewrite_durability(shard, shard + 2, 1)
 
     # ------------------------------------------------------------------
     # Introspection and accounting
@@ -803,8 +1108,8 @@ class ShardedAlexIndex:
         :class:`ShardStats` (which feed the rebalance policy) are
         mutex-guarded and exact."""
         merged = Counters()
-        for s in range(self.num_shards):
-            merged.merge(self._backend.counters(s))
+        for snapshot in self._map_shards("counters_snapshot"):
+            merged.merge(snapshot)
         return merged
 
     def shard_counters(self) -> List[Counters]:
@@ -815,12 +1120,10 @@ class ShardedAlexIndex:
         moves to its left half), so measurements that might span a
         rebalance should diff the aggregate :attr:`counters` instead of
         zipping two per-shard lists."""
-        return [self._backend.counters(s) for s in range(self.num_shards)]
+        return self._map_shards("counters_snapshot")
 
     def __len__(self) -> int:
-        with self._structure_lock.read():
-            return sum(self._backend.call(s, "num_keys")
-                       for s in range(self.num_shards))
+        return sum(self._map_shards("num_keys"))
 
     def __contains__(self, key) -> bool:
         return self.contains(float(key))
@@ -832,7 +1135,9 @@ class ShardedAlexIndex:
             out = []
             for s in range(self.num_shards):
                 with self._shard_locks[s].read():
-                    out.append(self._backend.call(s, method, *args))
+                    out.append(self._retry_dead(
+                        lambda s=s: self._backend.call(s, method, *args),
+                        involved=[s]))
             return out
 
     def items(self) -> Iterator[Tuple[float, object]]:

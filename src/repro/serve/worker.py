@@ -47,8 +47,8 @@ from repro.core.policy import AdaptationPolicy
 from repro.core.shm import SharedArray, ShardStorageView
 from repro.core.stats import Counters
 
-from .backend import (BatchJob, Call, ExecutionBackend, build_shard,
-                      run_shard_op)
+from .backend import (BatchJob, Call, ExecutionBackend, WorkerDiedError,
+                      build_shard, run_shard_op)
 
 #: Batch methods that mutate the shard.  Their key slices are copied out
 #: of the shared request segment before execution, so a rebuilt leaf can
@@ -156,6 +156,7 @@ class ProcessBackend(ExecutionBackend):
         self.max_workers = max_workers
         self._ctx = mp.get_context("spawn")
         self._workers: List[_WorkerHandle] = []
+        self._respawn_guard = threading.Lock()
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------
@@ -224,18 +225,23 @@ class ProcessBackend(ExecutionBackend):
     # -- RPC plumbing -------------------------------------------------
 
     @staticmethod
-    def _receive(worker: _WorkerHandle) -> tuple:
+    def _receive(worker: _WorkerHandle,
+                 shard: Optional[int] = None) -> tuple:
         try:
             return worker.conn.recv()
         except (EOFError, OSError) as exc:
-            raise RuntimeError(
-                "shard worker process died mid-request") from exc
+            raise WorkerDiedError(shard, f"mid-request ({exc!r})") from exc
 
-    def _request(self, worker: _WorkerHandle, message: tuple):
+    def _request(self, worker: _WorkerHandle, message: tuple,
+                 shard: Optional[int] = None):
         """One send/recv round trip (raises what the worker raised)."""
         with worker.lock:
-            worker.conn.send(message)
-            status, value = self._receive(worker)
+            try:
+                worker.conn.send(message)
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerDiedError(shard,
+                                      f"on send ({exc!r})") from exc
+            status, value = self._receive(worker, shard)
         if status == "err":
             raise value
         return value
@@ -271,16 +277,16 @@ class ProcessBackend(ExecutionBackend):
                 try:
                     self._workers[shard].conn.send_bytes(blob)
                 except (BrokenPipeError, OSError) as exc:
-                    replies.append(("err", RuntimeError(
-                        f"shard {shard} worker process is gone: {exc}")))
+                    replies.append(("err", WorkerDiedError(
+                        shard, f"on send ({exc!r})")))
                     continue
                 replies.append(None)  # reply slot, filled below
             for i, (shard, _) in enumerate(messages):
                 if replies[i] is not None:
                     continue  # send already failed; nothing to receive
                 try:
-                    replies[i] = self._receive(self._workers[shard])
-                except RuntimeError as exc:
+                    replies[i] = self._receive(self._workers[shard], shard)
+                except WorkerDiedError as exc:
                     replies[i] = ("err", exc)
         finally:
             for shard in reversed(involved):
@@ -304,7 +310,8 @@ class ProcessBackend(ExecutionBackend):
         return len(self._workers)
 
     def call(self, shard: int, method: str, *args):
-        return self._request(self._workers[shard], ("call", method, args))
+        return self._request(self._workers[shard], ("call", method, args),
+                             shard=shard)
 
     def scatter(self, calls: Sequence[Call]) -> list:
         if len(calls) == 1:
@@ -343,11 +350,56 @@ class ProcessBackend(ExecutionBackend):
     # -- structure ----------------------------------------------------
 
     def snapshot(self, shard: int) -> Tuple[np.ndarray, Optional[list]]:
-        view = self._request(self._workers[shard], ("snapshot",))
+        view = self._request(self._workers[shard], ("snapshot",),
+                             shard=shard)
         try:
             return view.unpack(copy=True)
         finally:
             view.unlink()
+
+    # -- crash detection and respawn ----------------------------------
+
+    def dead_shards(self) -> list:
+        """Positions whose worker process is no longer alive."""
+        return [s for s, worker in enumerate(self._workers)
+                if not worker.process.is_alive()]
+
+    def worker_pids(self) -> list:
+        """Worker process ids in shard order (fault-injection tests kill
+        these to exercise crash recovery)."""
+        return [worker.process.pid for worker in self._workers]
+
+    def respawn(self, shard: int, keys: np.ndarray,
+                payloads: Optional[list],
+                seed: Optional[Counters] = None) -> None:
+        """Replace a broken worker with a fresh one provisioned over the
+        recovered ``(keys, payloads)`` contents.
+
+        The caller observed the worker's *pipe* fail, which is
+        definitive — a worker whose protocol is dead cannot serve its
+        shard even if its process lingers (a corpse slow to reap, or a
+        process wedged past a transient pipe error).  Skipping it here
+        while reporting the shard repaired would let a logged batch
+        write acknowledge without its apply ever landing, so a process
+        that outlives a short join is forced out and replaced
+        unconditionally.  The respawn guard serializes concurrent
+        repairs; a second repair of the same shard wastefully but
+        harmlessly re-provisions from the same durable state.
+        """
+        with self._respawn_guard:
+            old = self._workers[shard]
+            old.process.join(timeout=1)
+            if old.process.is_alive():
+                old.process.terminate()
+                old.process.join(timeout=5)
+                if old.process.is_alive():  # pragma: no cover
+                    old.process.kill()
+                    old.process.join(timeout=5)
+            try:
+                old.conn.close()
+            except OSError:
+                pass
+            self._workers[shard] = self._spawn(keys, payloads, seed)
 
     def replace(self, start: int, stop: int, parts: Sequence[tuple],
                 inherit: Sequence[Sequence[int]]) -> None:

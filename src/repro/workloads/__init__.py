@@ -10,6 +10,7 @@ from .adaptation import (
     shifting_hotspot_trace,
 )
 from .hotspot import HotspotGenerator, LatestGenerator
+from .recovery import CRASH_BACKENDS, run_crash_recovery_scenario
 from .trace import ReplayResult, Trace, TraceRecorder, record_workload, replay
 from .spec import (
     DELETE,
@@ -28,6 +29,7 @@ from .spec import (
 from .zipf import DEFAULT_THETA, ZipfianGenerator, scramble_ranks
 
 __all__ = [
+    "CRASH_BACKENDS",
     "DEFAULT_THETA",
     "DELETE",
     "DELETE_HEAVY",
@@ -57,6 +59,7 @@ __all__ = [
     "ZipfianGenerator",
     "record_workload",
     "replay",
+    "run_crash_recovery_scenario",
     "run_workload",
     "scramble_ranks",
 ]

@@ -104,3 +104,34 @@ class TestTheorems:
         out = capsys.readouterr().out
         assert "Section 4" in out
         assert "yes" in out
+
+
+class TestRecover:
+    def test_durable_shards_then_recover(self, tmp_path, capsys):
+        durable = str(tmp_path / "dur")
+        assert main(["shards", "--init", "2000", "--ops", "500",
+                     "--shards", "2", "--durable", durable,
+                     "--fsync", "off"]) == 0
+        out = capsys.readouterr().out
+        assert "durable" in out
+        assert main(["recover", "--dir", f"{durable}/shards-2",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered 2-shard service" in out
+        assert "validated" in out
+
+    def test_recover_single_node_directory(self, tmp_path, capsys):
+        import numpy as np
+        from repro.durability import DurableAlexIndex
+        root = str(tmp_path / "single")
+        index = DurableAlexIndex.bulk_load(
+            np.arange(0.0, 500.0), root=root, fsync="off")
+        index.insert(1e6, "x")
+        index.close()
+        assert main(["recover", "--dir", root, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered single-node index" in out
+
+    def test_recover_rejects_non_durability_dir(self, tmp_path, capsys):
+        assert main(["recover", "--dir", str(tmp_path)]) == 2
+        assert "no durability manifest" in capsys.readouterr().err

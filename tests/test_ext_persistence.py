@@ -9,7 +9,10 @@ import pytest
 from repro.analysis import alex_prediction_errors
 from repro.core.alex import AlexIndex
 from repro.core.config import ga_armi, ga_srmi, pma_armi
-from repro.ext.persistence import load_index, save_index, save_load_roundtrip_equal
+from repro.core.errors import PersistenceError
+from repro.ext.persistence import (FORMAT_MAGIC, FORMAT_VERSION,
+                                   load_index, save_index,
+                                   save_load_roundtrip_equal)
 
 
 @pytest.fixture
@@ -81,21 +84,66 @@ class TestStructuralEdgeCases:
         path = str(tmp_path / "split.npz")
         assert save_load_roundtrip_equal(index, path)
 
-    def test_version_check(self, tmp_path, keys):
+    def _rewrite_header(self, path, mutate):
         import json
-        index = AlexIndex.bulk_load(keys[:100])
-        path = str(tmp_path / "v.npz")
-        save_index(index, path)
-        # Corrupt the version field.
         with np.load(path) as archive:
             arrays = {name: archive[name] for name in archive.files}
         header = json.loads(bytes(arrays["header"]).decode())
-        header["version"] = 999
+        mutate(header)
         arrays["header"] = np.frombuffer(
             json.dumps(header).encode(), dtype=np.uint8)
         with open(path, "wb") as f:
             np.savez_compressed(f, **arrays)
-        with pytest.raises(ValueError):
+
+    def _saved(self, tmp_path, keys, name):
+        index = AlexIndex.bulk_load(keys[:100])
+        path = str(tmp_path / name)
+        save_index(index, path)
+        return path
+
+    def test_format_is_version_stamped(self, tmp_path, keys):
+        import json
+        path = self._saved(tmp_path, keys, "v.npz")
+        with np.load(path) as archive:
+            header = json.loads(bytes(archive["header"]).decode())
+        assert header["format"] == FORMAT_MAGIC
+        assert header["version"] == FORMAT_VERSION
+
+    def test_unsupported_version_raises_persistence_error(self, tmp_path,
+                                                          keys):
+        path = self._saved(tmp_path, keys, "v.npz")
+        self._rewrite_header(path, lambda h: h.update(version=999))
+        with pytest.raises(PersistenceError, match="version"):
+            load_index(path)
+
+    def test_wrong_format_stamp_raises_persistence_error(self, tmp_path,
+                                                         keys):
+        path = self._saved(tmp_path, keys, "v.npz")
+        self._rewrite_header(path,
+                             lambda h: h.update(format="someone-elses"))
+        with pytest.raises(PersistenceError, match="format stamp"):
+            load_index(path)
+
+    def test_version_1_archive_without_stamp_still_loads(self, tmp_path,
+                                                         keys):
+        path = self._saved(tmp_path, keys, "v1.npz")
+        self._rewrite_header(
+            path, lambda h: (h.pop("format"), h.update(version=1)))
+        loaded = load_index(path)
+        assert len(loaded) == 100
+
+    def test_foreign_npz_raises_persistence_error_not_keyerror(
+            self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, data=np.arange(10.0))
+        with pytest.raises(PersistenceError, match="no index header"):
+            load_index(path)
+
+    def test_non_npz_file_raises_persistence_error(self, tmp_path):
+        path = str(tmp_path / "garbage.npz")
+        with open(path, "wb") as f:
+            f.write(b"this is not an archive")
+        with pytest.raises(PersistenceError):
             load_index(path)
 
     def test_file_size_reasonable(self, tmp_path, keys):

@@ -1,6 +1,11 @@
-"""Failure injection: corrupted structures must be *detected*, and failed
+"""Failure injection: corrupted structures must be *detected*, failed
 operations must leave the index unchanged (strong exception safety for the
-paths that promise it)."""
+paths that promise it), and killed shard workers must be respawned from
+their durable state without losing an acknowledged write."""
+
+import os
+import signal
+import time
 
 import numpy as np
 import pytest
@@ -157,3 +162,63 @@ class TestRecoveryAfterHeavyChurn:
             got = [k for k, _ in out]
             assert got == sorted(got)
         index.validate()
+
+
+class TestWorkerCrashMidWorkload:
+    """Durability-backed crash recovery for the serving tier: SIGKILL a
+    shard worker in the middle of a live workload and require the service
+    to keep serving (respawn from checkpoint + WAL) with every
+    acknowledged write intact."""
+
+    def test_kill_mid_workload_service_self_heals(self, tmp_path):
+        from repro.workloads import run_crash_recovery_scenario
+        result = run_crash_recovery_scenario(
+            str(tmp_path / "dur"), num_keys=2000, num_ops=600,
+            spec="write-heavy", backend="process", num_shards=2,
+            fsync="off", kill_worker_at=0.4, seed=31)
+        assert result["worker_killed"]
+        assert result["ops"] == 600  # the stream never stalled
+        assert result["contents_match"], result
+
+    def test_kill_during_two_phase_apply_keeps_batch_atomic(self,
+                                                            tmp_path):
+        """Kill a worker *between* the write-ahead append and its apply:
+        the respawned shard must surface the batch (its WAL frame was
+        logged) so the cross-shard batch stays all-or-nothing."""
+        from repro.serve import ShardedAlexIndex
+
+        keys = np.unique(np.random.default_rng(32).uniform(0, 1e6, 3000))
+        service = ShardedAlexIndex.bulk_load(
+            keys, num_shards=3, backend="process",
+            durability_dir=str(tmp_path / "dur"), fsync="off",
+            checkpoint_every=1 << 30)
+        try:
+            original_scatter = service.backend.scatter_batch
+            killed = {}
+
+            def scatter_with_kill(batch, jobs):
+                # First apply-phase scatter: kill one involved worker
+                # just before the requests go out.
+                if (not killed
+                        and any(m == "insert_sorted_unchecked"
+                                for _, m, _, _, _ in jobs)):
+                    victim = jobs[0][0]
+                    os.kill(service.backend.worker_pids()[victim],
+                            signal.SIGKILL)
+                    killed["shard"] = victim
+                    time.sleep(0.1)
+                return original_scatter(batch, jobs)
+
+            service.backend.scatter_batch = scatter_with_kill
+            batch = np.unique(
+                np.random.default_rng(33).uniform(0, 1e6, 200))
+            batch = batch[~np.isin(batch, keys)]
+            service.insert_many(batch)  # acked despite the crash
+            service.backend.scatter_batch = original_scatter
+
+            assert killed, "the kill hook never fired"
+            expected = set(keys.tolist()) | set(batch.tolist())
+            assert {k for k, _ in service.items()} == expected
+            service.validate()
+        finally:
+            service.close()

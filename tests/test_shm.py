@@ -102,3 +102,40 @@ class TestShardStorageView:
         kind, keys, payloads = self._pack_unpack([], None)
         assert kind == PAYLOAD_NONE
         assert len(keys) == 0 and payloads is None
+
+
+class TestTwoPhaseSegmentEconomy:
+    """The two-phase cross-shard writes must copy their key batch into
+    shared memory exactly once: ``publish`` pins one segment that both
+    the validate and the apply scatter reuse (the PR 4 follow-up that
+    folded the two per-phase segment creations into one)."""
+
+    @pytest.mark.parametrize("op", ["insert_many", "delete_many"])
+    def test_two_phase_write_creates_one_segment(self, monkeypatch, op):
+        from repro.serve import ShardedAlexIndex
+
+        keys = np.unique(np.random.default_rng(60).uniform(0, 1e6, 2000))
+        service = ShardedAlexIndex.bulk_load(keys, num_shards=2,
+                                             backend="process")
+        try:
+            creations = []
+            real_create = SharedArray.create.__func__
+
+            def counting_create(array):
+                creations.append(len(array))
+                return real_create(SharedArray, array)
+
+            monkeypatch.setattr(SharedArray, "create",
+                                staticmethod(counting_create))
+            if op == "insert_many":
+                batch = np.unique(
+                    np.random.default_rng(61).uniform(2e6, 3e6, 500))
+                service.insert_many(batch)
+            else:
+                batch = keys[100:600]
+                service.delete_many(batch)
+            assert creations == [len(batch)], (
+                "expected exactly one shared segment for the whole "
+                f"two-phase {op}, saw {len(creations)} creations")
+        finally:
+            service.close()
