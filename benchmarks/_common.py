@@ -21,6 +21,20 @@ import json
 import os
 
 
+def runtime_meta() -> dict:
+    """Self-describing runtime facts stamped into every bench artifact:
+    the host's core count plus the active kernel-backend configuration
+    (which backend is the default, which could run here, and the
+    numba/cffi/numpy versions involved).  Future baselines then carry
+    enough context to be compared honestly — or refused (see
+    ``check_regression.py``'s core-count guard)."""
+    from repro.core.kernels import describe_runtime
+
+    meta = {"cpu_count": os.cpu_count() or 1}
+    meta.update(describe_runtime())
+    return meta
+
+
 def add_output_arguments(parser: argparse.ArgumentParser,
                          default_out: str) -> None:
     """Attach the uniform ``--out`` / ``--quiet`` options."""
@@ -32,7 +46,14 @@ def add_output_arguments(parser: argparse.ArgumentParser,
 
 
 def emit(result: dict, args: argparse.Namespace, summary: str) -> None:
-    """Write the artifact and report per the uniform output contract."""
+    """Write the artifact and report per the uniform output contract.
+
+    Every artifact gains a ``meta`` block (:func:`runtime_meta`) so
+    baselines are self-describing; script-provided ``meta`` keys win.
+    """
+    meta = runtime_meta()
+    meta.update(result.get("meta", {}))
+    result["meta"] = meta
     parent = os.path.dirname(args.out)
     if parent:
         os.makedirs(parent, exist_ok=True)

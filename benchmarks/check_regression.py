@@ -1,14 +1,23 @@
 """Perf regression gate: compare fresh smoke benches against baselines.
 
-CI produces small "smoke" versions of the three bench artifacts
-(``BENCH_batch.json``, ``BENCH_shard.json``, ``BENCH_adapt.json``) and
-this script compares them against the baselines committed at the repo
-root.  Absolute throughput numbers are meaningless across machines and
-problem sizes, so only **scale-invariant ratio metrics** are gated — the
-batch-vs-scalar speedup, the sharded critical-path speedups, and the
-cost-model-vs-heuristic policy ratios.  Each fresh metric must reach
-``tolerance`` × its baseline (for lower-is-better metrics: stay under
-baseline ÷ ``tolerance``).
+CI produces small "smoke" versions of the bench artifacts
+(``BENCH_batch.json``, ``BENCH_shard.json``, ``BENCH_adapt.json``,
+``BENCH_durability.json``, ``BENCH_kernels.json``) and this script
+compares them against the baselines committed at the repo root.
+Absolute throughput numbers are meaningless across machines and problem
+sizes, so only **scale-invariant ratio metrics** are gated — the
+batch-vs-scalar speedup, the sharded critical-path speedups, the
+cost-model-vs-heuristic policy ratios, and the compiled-kernel
+speedups.  Each fresh metric must reach ``tolerance`` × its baseline
+(for lower-is-better metrics: stay under baseline ÷ ``tolerance``).
+
+Metrics marked *core-sensitive* (wall-clock ratios that depend on real
+parallelism, e.g. the process-vs-thread speedups) are additionally
+guarded by the recorded core count: when the baseline and the fresh
+artifact were produced at different ``cpu_count`` values the comparison
+is refused — reported as a note, neither passed nor failed — because a
+1-core baseline would make any multi-core run look like a win and vice
+versa.
 
 The tolerance knob defaults to **0.5** — deliberately loose, because CI
 runners are noisy and the smoke sizes are tiny; it exists to catch "the
@@ -41,6 +50,12 @@ class Metric:
     label: str
     path: tuple                 # nested dict keys
     higher_is_better: bool = True
+    #: Wall-clock readings that depend on real parallelism.  These are
+    #: only comparable between artifacts recorded at the *same* core
+    #: count — a 1-core baseline makes any multi-core fresh run look
+    #: like a huge win (and vice versa), so the gate refuses the
+    #: comparison instead of passing or failing it.
+    core_sensitive: bool = False
 
 
 #: The scale-invariant metrics gated per artifact.
@@ -53,6 +68,23 @@ GATED = {
                ("read_speedup_over_1_shard", "sim_critical_path")),
         Metric("write critical-path speedup over 1 shard",
                ("write_speedup_over_1_shard", "sim_critical_path")),
+        # Wall-clock process-vs-thread ratios reflect how many real
+        # cores the worker processes could spread across — comparable
+        # only between same-core-count recordings.
+        Metric("process-vs-thread read wall speedup",
+               ("process_vs_thread", "read_wall_speedup"),
+               core_sensitive=True),
+        Metric("process-vs-thread write wall speedup",
+               ("process_vs_thread", "write_wall_speedup"),
+               core_sensitive=True),
+    ],
+    "BENCH_kernels.json": [
+        # The compiled-kernels lever: end-to-end batch-lookup throughput
+        # of the best compiled backend over the numpy fallback.  Missing
+        # (null) when the environment has no compiled backend — reported
+        # but not gated there, like any missing metric.
+        Metric("compiled batch-lookup speedup over numpy",
+               ("end_to_end", "batch_lookup", "best_speedup")),
     ],
     "BENCH_adapt.json": [
         Metric("cost-model throughput ratio (grow-shrink)",
@@ -90,6 +122,17 @@ def _dig(data: dict, path: tuple) -> Optional[float]:
     return float(data) if isinstance(data, (int, float)) else None
 
 
+def _cpu_count(data: dict) -> Optional[int]:
+    """The core count an artifact was recorded at (``meta.cpu_count``
+    from ``_common.emit``, or the top-level field older artifacts
+    carried); ``None`` for artifacts that predate both."""
+    for path in (("meta", "cpu_count"), ("cpu_count",)):
+        value = _dig(data, path)
+        if value is not None:
+            return int(value)
+    return None
+
+
 def check_file(name: str, baseline_dir: str, fresh_dir: str,
                tolerance: float) -> tuple:
     """Gate one artifact; returns ``(num_checked, failures, notes)``."""
@@ -102,8 +145,19 @@ def check_file(name: str, baseline_dir: str, fresh_dir: str,
             return 0, failures, notes
         with open(path) as fh:
             paths[role] = json.load(fh)
+    base_cores = _cpu_count(paths["baseline"])
+    fresh_cores = _cpu_count(paths["fresh"])
     checked = 0
     for metric in GATED.get(name, []):
+        if metric.core_sensitive and base_cores != fresh_cores:
+            notes.append(
+                f"{name}: {metric.label} is core-sensitive and the "
+                f"baseline was recorded at cpu_count="
+                f"{base_cores if base_cores is not None else '?'} vs "
+                f"fresh cpu_count="
+                f"{fresh_cores if fresh_cores is not None else '?'} — "
+                "comparison refused")
+            continue
         base = _dig(paths["baseline"], metric.path)
         fresh = _dig(paths["fresh"], metric.path)
         if base is None or fresh is None:

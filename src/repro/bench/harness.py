@@ -53,6 +53,7 @@ class SystemParams:
     durability_dir: Optional[str] = None  # WAL+checkpoint root (None = off)
     fsync: str = "batch"               # WAL fsync policy: always|batch|off
     checkpoint_every: int = 8192       # logged ops between checkpoints
+    kernel_backend: Optional[str] = None  # hot-loop kernels (None = default)
 
 
 @dataclass
@@ -81,12 +82,15 @@ def build_index(system: str, init_keys: np.ndarray,
                 payload_size: int = 8):
     """Build any of the paper's systems over ``init_keys``."""
     n = max(1, len(init_keys))
+    kernel_kw = ({"kernel_backend": params.kernel_backend}
+                 if params.kernel_backend is not None else {})
     if system in ALL_VARIANTS:
         config = ALL_VARIANTS[system](
             num_models=max(1, n // params.keys_per_model),
             max_keys_per_node=params.max_keys_per_node,
             split_on_inserts=params.split_on_inserts,
             payload_size=payload_size,
+            **kernel_kw,
         )
         if params.space_overhead is not None:
             config = config.with_space_overhead(params.space_overhead)
@@ -111,6 +115,7 @@ def build_index(system: str, init_keys: np.ndarray,
             max_keys_per_node=params.max_keys_per_node,
             split_on_inserts=params.split_on_inserts,
             payload_size=payload_size,
+            **kernel_kw,
         )
         if params.space_overhead is not None:
             config = config.with_space_overhead(params.space_overhead)

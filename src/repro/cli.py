@@ -42,6 +42,7 @@ from .bench import (
 )
 from .core.alex import AlexIndex
 from .core.config import ALL_VARIANTS, ga_armi
+from .core.kernels import BACKEND_NAMES, describe_runtime
 from .core.policy import CostModelPolicy, HeuristicPolicy
 from .datasets import DATASETS, linear_fit_error, load, local_nonlinearity
 from .workloads import WORKLOADS
@@ -54,6 +55,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"systems:       {', '.join(SYSTEMS)}")
     print(f"datasets:      {', '.join(DATASETS)}")
     print(f"workloads:     {', '.join(WORKLOADS)}")
+    runtime = describe_runtime()
+    print(f"kernels:       default={runtime['default_kernel_backend']}, "
+          f"available="
+          f"{', '.join(runtime['available_kernel_backends'])}")
     return 0
 
 
@@ -77,7 +82,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     systems = args.systems or [best_alex_variant_for(spec), "BPlusTree"]
     params = SystemParams(keys_per_model=args.keys_per_model,
                           max_keys_per_node=args.max_keys,
-                          page_size=args.page_size)
+                          page_size=args.page_size,
+                          kernel_backend=args.kernel_backend)
     rows = []
     for system in systems:
         if system not in SYSTEMS:
@@ -112,7 +118,8 @@ def _cmd_shards(args: argparse.Namespace) -> int:
                               num_shards=num_shards,
                               shard_backend=args.backend,
                               durability_dir=durability_dir,
-                              fsync=args.fsync)
+                              fsync=args.fsync,
+                              kernel_backend=args.kernel_backend)
         result = run_experiment("ShardedALEX", args.dataset, spec,
                                 init_size=args.init, num_ops=args.ops,
                                 params=params, seed=args.seed,
@@ -292,6 +299,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--keys-per-model", type=int, default=256)
     p_cmp.add_argument("--max-keys", type=int, default=1024)
     p_cmp.add_argument("--page-size", type=int, default=256)
+    p_cmp.add_argument("--kernel-backend", choices=BACKEND_NAMES,
+                       default=None,
+                       help="hot-loop kernel implementation (default: "
+                            "$REPRO_KERNEL_BACKEND or numpy)")
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.set_defaults(func=_cmd_compare)
 
@@ -322,6 +333,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument("--fsync", choices=("always", "batch", "off"),
                          default="batch",
                          help="WAL fsync policy when --durable is set")
+    p_shard.add_argument("--kernel-backend", choices=BACKEND_NAMES,
+                         default=None,
+                         help="hot-loop kernel implementation (default: "
+                              "$REPRO_KERNEL_BACKEND or numpy)")
     p_shard.add_argument("--seed", type=int, default=0)
     p_shard.set_defaults(func=_cmd_shards)
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from .config import AlexConfig
 from .data_node import DataNode
+from .kernels import get_kernels
 from .linear_model import LinearModel
 from .policy import DEFAULT_POLICY
 from .rmi import InnerNode, link_leaves, make_data_node, partition_by_model
@@ -89,7 +90,8 @@ def _initialize(keys: np.ndarray, payloads: list, config: AlexConfig,
         for slot in range(s, e):
             children[slot] = leaf
         s = e
-    return InnerNode(model, children, counters)
+    return InnerNode(model, children, counters,
+                     kernels=get_kernels(config.kernel_backend))
 
 
 def _make_leaf(keys: np.ndarray, payloads: list, config: AlexConfig,
@@ -182,7 +184,8 @@ def split_leaf(leaf: DataNode, parent: Optional[InnerNode],
         left.next_leaf = right
         right.prev_leaf = left
 
-    inner = InnerNode(model, list(children), counters)
+    inner = InnerNode(model, list(children), counters,
+                      kernels=get_kernels(config.kernel_backend))
     counters.splits += 1
     if parent is not None:
         parent.replace_child(leaf, inner)

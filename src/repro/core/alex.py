@@ -201,7 +201,10 @@ class AlexIndex:
             raise ValueError(f"batch keys must be 1-D, got shape {keys.shape}")
         if len(keys) <= 1 or bool((np.diff(keys) >= 0).all()):
             return keys, None
-        order = np.argsort(keys, kind="stable")
+        # Introsort, not stable: equal keys resolve to the same slot and
+        # payload, and the write paths reject in-batch duplicates, so
+        # stability buys nothing here and costs ~5x on large batches.
+        order = np.argsort(keys)
         return keys[order], order
 
     def first_leaf(self) -> DataNode:
@@ -393,18 +396,23 @@ class AlexIndex:
         n = len(skeys)
         if n == 0:
             return []
-        out: list = [None] * n
+        # Assemble in sorted order (cheap slice assignment per leaf) and
+        # permute back to input order once at the end.
+        sorted_out: list = [None] * n
         for leaf, _, lo, hi in self._route_many(skeys):
             pos = self._find_keys_many_observed(leaf, skeys[lo:hi])
             missing = np.flatnonzero(pos < 0)
             if missing.size:
                 raise KeyNotFoundError(float(skeys[lo + int(missing[0])]))
-            payloads = leaf.payloads
-            dest = range(lo, hi) if order is None else order[lo:hi].tolist()
-            for j, p in zip(dest, pos.tolist()):
-                out[j] = payloads[p]
+            sorted_out[lo:hi] = map(leaf.payloads.__getitem__, pos.tolist())
         self.counters.lookups += n
-        return out
+        if order is None:
+            return sorted_out
+        # Gather through the vectorized inverse permutation: a C-level
+        # read beats an element-wise scatter write by ~3x at batch scale.
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[order] = np.arange(n, dtype=np.int64)
+        return list(map(sorted_out.__getitem__, inverse.tolist()))
 
     def get_many(self, keys, default=None) -> list:
         """Like :meth:`lookup_many` but absent keys yield ``default``
@@ -413,18 +421,24 @@ class AlexIndex:
         n = len(skeys)
         if n == 0:
             return []
-        out: list = [default] * n
+        sorted_out: list = [default] * n
         found = 0
         for leaf, _, lo, hi in self._route_many(skeys):
             pos = self._find_keys_many_observed(leaf, skeys[lo:hi])
             payloads = leaf.payloads
-            dest = range(lo, hi) if order is None else order[lo:hi].tolist()
-            for j, p in zip(dest, pos.tolist()):
-                if p >= 0:
-                    out[j] = payloads[p]
-                    found += 1
+            hits = int((pos >= 0).sum())
+            if hits == hi - lo:  # no misses: C-level gather
+                sorted_out[lo:hi] = map(payloads.__getitem__, pos.tolist())
+            else:
+                sorted_out[lo:hi] = [default if p < 0 else payloads[p]
+                                     for p in pos.tolist()]
+            found += hits
         self.counters.lookups += found
-        return out
+        if order is None:
+            return sorted_out
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[order] = np.arange(n, dtype=np.int64)
+        return list(map(sorted_out.__getitem__, inverse.tolist()))
 
     def contains_many(self, keys) -> np.ndarray:
         """Vectorized membership test: a boolean array aligned with the

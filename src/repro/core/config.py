@@ -10,7 +10,9 @@ density bounds / space overhead, split fanout).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+
+from .kernels import BACKEND_NAMES, default_backend_name
 
 GAPPED_ARRAY = "gapped_array"
 PACKED_MEMORY_ARRAY = "pma"
@@ -59,6 +61,13 @@ class AlexConfig:
         root (Bender & Hu).  Intermediate levels interpolate linearly.
     payload_size:
         Payload bytes per record, used only for space accounting.
+    kernel_backend:
+        Which hot-loop kernel implementation the index's nodes use:
+        ``"numpy"`` (pure-NumPy reference, always available), ``"numba"``
+        (JIT, falls back to numpy with a warning when numba is absent),
+        ``"cffi"`` (C via the system compiler, same fallback), or
+        ``"auto"`` (best available).  Defaults to the
+        ``REPRO_KERNEL_BACKEND`` environment variable, or ``"numpy"``.
     """
 
     node_layout: str = GAPPED_ARRAY
@@ -70,11 +79,21 @@ class AlexConfig:
     split_fanout: int = 4
     split_on_inserts: bool = False
     min_keys_for_model: int = 16
-    pma_segment_density: float = 0.92
+    # Defaults picked by benchmarks/bench_pma_density.py: at fixed root
+    # density, denser segments cut rebalance moves (fewer window
+    # rebalances trigger) without hurting search probes, while the root
+    # bound trades write cost against post-append read locality — 0.70
+    # sits at the knee of that curve.  Pinned by tests/test_config.py.
+    pma_segment_density: float = 0.95
     pma_root_density: float = 0.70
     payload_size: int = 8
+    kernel_backend: str = field(default_factory=default_backend_name)
 
     def __post_init__(self) -> None:
+        if self.kernel_backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown kernel backend {self.kernel_backend!r}; "
+                f"choose one of {BACKEND_NAMES}")
         if self.node_layout not in (GAPPED_ARRAY, PACKED_MEMORY_ARRAY):
             raise ValueError(f"unknown node layout {self.node_layout!r}")
         if self.rmi_mode not in (STATIC_RMI, ADAPTIVE_RMI):
@@ -141,6 +160,10 @@ def pma_armi(**overrides) -> AlexConfig:
     """Config for ALEX-PMA-ARMI (best for sequential inserts, Section 5.2.5)."""
     return AlexConfig(node_layout=PACKED_MEMORY_ARRAY, rmi_mode=ADAPTIVE_RMI, **overrides)
 
+
+#: Alias used by code that treats this as the whole core's configuration
+#: (the kernel layer and the serving tier) rather than one ALEX variant's.
+CoreConfig = AlexConfig
 
 ALL_VARIANTS = {
     "ALEX-GA-SRMI": ga_srmi,

@@ -27,10 +27,9 @@ import numpy as np
 
 from .config import AlexConfig
 from .errors import DuplicateKeyError, KeyNotFoundError
+from .kernels import get_kernels
 from .linear_model import LinearModel
 from .policy import DEFAULT_POLICY, AdaptationPolicy
-from .search import (exponential_search, exponential_search_many,
-                     lower_bound, lower_bound_many)
 from .stats import Counters
 
 GAP_SENTINEL = np.inf
@@ -47,6 +46,9 @@ class DataNode:
                  policy: Optional[AdaptationPolicy] = None):
         self.config = config
         self.counters = counters
+        # The hot-loop implementation (search / predict / shift) for this
+        # node; a process-wide singleton, so sharing configs shares kernels.
+        self.kernels = get_kernels(config.kernel_backend)
         # Structural decisions (expand/contract here; splits and merges at
         # the index level) route through the adaptation policy layer.
         self.policy = policy or DEFAULT_POLICY
@@ -183,15 +185,25 @@ class DataNode:
         self.counters.model_inferences += 1
         return self.model.predict_pos(key, self.capacity)
 
+    def _model_params(self):
+        """``(has_model, slope, intercept)`` for the kernel calls."""
+        model = self.model
+        if model is None:
+            return False, 0.0, 0.0
+        return True, model.slope, model.intercept
+
     def find_insert_pos(self, key: float) -> int:
         """Leftmost position with ``keys[pos] >= key`` (Algorithm 1's
         ``CorrectInsertPosition``): model hint + exponential search, or plain
         binary search during cold start."""
-        if self.model is None:
-            return lower_bound(self.keys, key, 0, self.capacity, self.counters)
-        hint = self.predict_pos(key)
-        return exponential_search(self.keys, key, hint, 0, self.capacity,
-                                  self.counters)
+        has_model, slope, intercept = self._model_params()
+        if has_model:
+            self.counters.model_inferences += 1
+        pos, charge = self.kernels.find_insert_pos(self.keys, key, has_model,
+                                                   slope, intercept)
+        self.counters.comparisons += charge
+        self.counters.probes += charge
+        return pos
 
     def find_key(self, key: float) -> int:
         """Position of the *real* (occupied) slot holding ``key``, or -1.
@@ -200,13 +212,14 @@ class DataNode:
         value; the real slot is then the first occupied slot to the right
         with the same value.
         """
-        pos = self.find_insert_pos(key)
-        while pos < self.capacity and self.keys[pos] == key:
-            self.counters.probes += 1
-            if self.occupied[pos]:
-                return pos
-            pos += 1
-        return -1
+        has_model, slope, intercept = self._model_params()
+        if has_model:
+            self.counters.model_inferences += 1
+        pos, charge, probes = self.kernels.find_key(
+            self.keys, self.occupied, key, has_model, slope, intercept)
+        self.counters.comparisons += charge
+        self.counters.probes += charge + probes
+        return pos
 
     def lookup(self, key: float):
         """Return the payload stored for ``key``.
@@ -231,16 +244,14 @@ class DataNode:
         """Vectorized :meth:`find_insert_pos`: one model-inference pass and
         one lock-step search for the whole batch of targets."""
         targets = np.asarray(targets, dtype=np.float64)
-        n = len(targets)
-        if self.model is None:
-            los = np.zeros(n, dtype=np.int64)
-            his = np.full(n, self.capacity, dtype=np.int64)
-            return lower_bound_many(self.keys, targets, los, his,
-                                    self.counters)
-        self.counters.model_inferences += n
-        hints = self.model.predict_pos_vec(targets, self.capacity)
-        return exponential_search_many(self.keys, targets, hints, 0,
-                                       self.capacity, self.counters)
+        has_model, slope, intercept = self._model_params()
+        if has_model:
+            self.counters.model_inferences += len(targets)
+        pos, charge = self.kernels.find_insert_pos_many(
+            self.keys, targets, has_model, slope, intercept)
+        self.counters.comparisons += charge
+        self.counters.probes += charge
+        return pos
 
     def find_keys_many(self, targets: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`find_key`: the occupied slot holding each
@@ -254,23 +265,13 @@ class DataNode:
         n = len(targets)
         if n == 0 or self.capacity == 0:
             return np.full(n, -1, dtype=np.int64)
-        pos = self.find_insert_pos_many(targets)
-        safe = np.minimum(pos, self.capacity - 1)
-        matched = (pos < self.capacity) & (self.keys[safe] == targets)
-        self.counters.probes += int(matched.sum())
-        result = np.where(matched, pos, np.int64(-1))
-        gap_hits = matched & ~self.occupied[safe]
-        for lane in np.flatnonzero(gap_hits):
-            p = int(pos[lane]) + 1
-            target = targets[lane]
-            found = -1
-            while p < self.capacity and self.keys[p] == target:
-                self.counters.probes += 1
-                if self.occupied[p]:
-                    found = p
-                    break
-                p += 1
-            result[lane] = found
+        has_model, slope, intercept = self._model_params()
+        if has_model:
+            self.counters.model_inferences += n
+        result, charge, probes = self.kernels.find_keys_many(
+            self.keys, self.occupied, targets, has_model, slope, intercept)
+        self.counters.comparisons += charge
+        self.counters.probes += charge + probes
         return result
 
     def prediction_error(self, key: float) -> int:
@@ -295,23 +296,16 @@ class DataNode:
     def _place(self, pos: int, key: float, payload) -> None:
         """Write ``key`` into the (free) slot ``pos`` and maintain the
         gap-fill invariant for the gap run immediately to the left."""
-        self.keys[pos] = key
+        fills = self.kernels.place_fill(self.keys, self.occupied, pos, key)
         self.payloads[pos] = payload
-        self.occupied[pos] = True
         self.num_keys += 1
-        i = pos - 1
-        while i >= 0 and not self.occupied[i]:
-            self.keys[i] = key
-            self.counters.gap_fill_writes += 1
-            i -= 1
+        self.counters.gap_fill_writes += fills
 
     def _shift_right_into_gap(self, ip: int, gap: int) -> None:
         """Move the fully-occupied run ``[ip, gap)`` one slot right into the
         gap at ``gap``, freeing slot ``ip``."""
-        self.keys[ip + 1:gap + 1] = self.keys[ip:gap]
+        self.kernels.shift_right(self.keys, self.occupied, ip, gap)
         self.payloads[ip + 1:gap + 1] = self.payloads[ip:gap]
-        self.occupied[gap] = True
-        self.occupied[ip] = False
         self.counters.shifts += gap - ip
 
     def _shift_left_into_gap(self, gap: int, ip: int) -> None:
@@ -321,28 +315,15 @@ class DataNode:
         Only elements strictly less than the key being inserted move, so
         the caller inserts at ``ip - 1`` to preserve sorted order.
         """
-        self.keys[gap:ip - 1] = self.keys[gap + 1:ip]
+        self.kernels.shift_left(self.keys, self.occupied, gap, ip)
         self.payloads[gap:ip - 1] = self.payloads[gap + 1:ip]
-        self.occupied[gap] = True
-        self.occupied[ip - 1] = False
         self.counters.shifts += ip - 1 - gap
 
     def _closest_gaps(self, pos: int, lo: int, hi: int) -> Tuple[int, int]:
         """Return ``(left_gap, right_gap)`` nearest to ``pos`` within
         ``[lo, hi)`` (-1 / ``hi`` when absent).  ``pos`` itself is excluded
         on the left side and included on the right side."""
-        window = self.occupied[pos:hi]
-        rel = np.argmax(~window) if window.size else 0
-        if window.size and not window[rel]:
-            right = pos + int(rel)
-        else:
-            right = hi
-        window = self.occupied[lo:pos]
-        if window.size and not window.all():
-            left = lo + int(pos - lo - 1 - np.argmax(~window[::-1]))
-        else:
-            left = -1
-        return left, right
+        return self.kernels.closest_gaps(self.occupied, pos, lo, hi)
 
     def _open_slot(self, ip: int, lo: int, hi: int) -> int:
         """Make a free slot at (or directly left of) position ``ip`` by
@@ -380,14 +361,11 @@ class DataNode:
         pos = self.find_key(key)
         if pos < 0:
             raise KeyNotFoundError(key)
-        self.occupied[pos] = False
         self.payloads[pos] = None
         right_key = self.keys[pos + 1] if pos + 1 < self.capacity else GAP_SENTINEL
-        i = pos
-        while i >= 0 and not self.occupied[i]:
-            self.keys[i] = right_key
-            self.counters.gap_fill_writes += 1
-            i -= 1
+        fills = self.kernels.erase_fill(self.keys, self.occupied, pos,
+                                        right_key)
+        self.counters.gap_fill_writes += fills
         self.num_keys -= 1
         self.counters.deletes += 1
         self._maybe_contract()

@@ -1,0 +1,297 @@
+"""Pluggable compiled kernels for the three innermost hot loops.
+
+The honest batch-vs-scalar ratio of the pure-NumPy engine is ~1.4x
+(BENCH_batch.json): interpreter dispatch, not memory bandwidth, is the
+ceiling on every read and write.  This package moves the three loops the
+profile is made of — (1) linear-model predict + clamp, (2) lock-step
+exponential/binary search over leaf key arrays, and (3) the gapped-array /
+PMA shift-and-insert — behind one narrow kernel interface with multiple
+implementations:
+
+``numpy``
+    The existing pure-NumPy/pure-Python code, extracted verbatim.  Always
+    available; the reference every other backend is property-tested
+    against.
+``numba``
+    ``@njit(nogil=True, cache=True)`` per-lane loops.  Lazily imported;
+    when numba is not installed (or a kernel fails to compile) the
+    resolver degrades to ``numpy`` with a one-time warning.
+``cffi``
+    The same loops as C compiled on first use with the system C compiler
+    (via :mod:`cffi`) and cached on disk keyed by a source hash.  CFFI
+    releases the GIL around every call, so these kernels — like numba's
+    ``nogil`` ones — let the thread backend scale on cores.
+``auto``
+    Best available: ``numba`` if importable, else ``cffi`` if a C
+    compiler works, else ``numpy``.
+
+Selection is per-index via ``CoreConfig.kernel_backend``
+(:class:`repro.core.config.AlexConfig`), defaulting to the
+``REPRO_KERNEL_BACKEND`` environment variable (or ``numpy``).  Backends
+are process-wide singletons: resolving the same name twice returns the
+same object, and compilation happens at most once per process (serving
+workers call :meth:`KernelBackend.warm` at provisioning so no JIT ever
+runs on the request path).
+
+Every kernel returns its work tallies (search probes, gap-fill writes)
+instead of touching :class:`~repro.core.stats.Counters` directly; the
+caller charges them.  This keeps the accounting *identical* across
+backends — the scalar/batch equivalence suites run against each backend
+and assert bit-equal results and counter totals.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Recognized ``kernel_backend`` spellings.
+BACKEND_NAMES = ("numpy", "numba", "cffi", "auto")
+
+
+class KernelUnavailableError(RuntimeError):
+    """A requested kernel backend cannot run in this environment."""
+
+
+class KernelBackend:
+    """Interface every kernel backend implements.
+
+    All ``keys`` arrays are the full, contiguous, gap-filled float64 key
+    array of one node (non-decreasing end to end); ``occupied`` is the
+    node's boolean occupancy bitmap; ``targets`` is a contiguous float64
+    array.  ``has_model`` selects model-hinted exponential search versus
+    the cold-start plain binary search over the whole array.  Charges are
+    returned, never applied: ``search_charge`` feeds both ``comparisons``
+    and ``probes``, ``resolve_probes`` and gap-fill counts feed their
+    single counter.
+    """
+
+    #: Backend name as selected through ``CoreConfig.kernel_backend``.
+    name: str = "?"
+    #: Whether the backend runs machine code rather than interpreter loops.
+    compiled: bool = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    def warm(self) -> None:
+        """Force all one-time compilation/loading now (no-op for numpy).
+
+        Long-lived serving workers call this at provisioning so JIT
+        warmup is paid before the first request, never on it.
+        """
+
+    def compile_events(self) -> int:
+        """Number of compile/load events this backend has performed in
+        this process (monotone; the warmup tests assert it stays flat
+        across the request path)."""
+        return 0
+
+    # -- kernel 1: linear-model predict + clamp -----------------------
+
+    def predict_clamp(self, slope: float, intercept: float,
+                      keys: np.ndarray, size: int) -> np.ndarray:
+        """Vectorized ``predict_pos``: ``slope * keys + intercept``
+        floored and clamped into ``[0, size - 1]`` (non-finite → edge),
+        as an int64 array."""
+        raise NotImplementedError
+
+    # -- kernel 2: lock-step exponential/binary search ----------------
+
+    def find_insert_pos(self, keys: np.ndarray, target: float,
+                        has_model: bool, slope: float,
+                        intercept: float) -> Tuple[int, int]:
+        """Scalar lower-bound position for ``target`` plus the search
+        charge (model-hinted exponential search, or plain binary search
+        when ``has_model`` is false)."""
+        raise NotImplementedError
+
+    def find_key(self, keys: np.ndarray, occupied: np.ndarray,
+                 target: float, has_model: bool, slope: float,
+                 intercept: float) -> Tuple[int, int, int]:
+        """Scalar occupied-slot resolution: ``(pos, search_charge,
+        resolve_probes)`` where ``pos`` is the occupied slot holding
+        ``target`` or -1."""
+        raise NotImplementedError
+
+    def find_insert_pos_many(self, keys: np.ndarray, targets: np.ndarray,
+                             has_model: bool, slope: float,
+                             intercept: float) -> Tuple[np.ndarray, int]:
+        """Batch :meth:`find_insert_pos`: ``(positions, search_charge)``
+        with positions identical to a loop over the scalar routine and
+        the charge equal to the per-lane total."""
+        raise NotImplementedError
+
+    def find_keys_many(self, keys: np.ndarray, occupied: np.ndarray,
+                       targets: np.ndarray, has_model: bool, slope: float,
+                       intercept: float) -> Tuple[np.ndarray, int, int]:
+        """Batch :meth:`find_key`: ``(positions, search_charge,
+        resolve_probes)`` (-1 where absent)."""
+        raise NotImplementedError
+
+    # -- kernel 3: gapped-array / PMA shift-and-insert ----------------
+
+    def closest_gaps(self, occupied: np.ndarray, pos: int, lo: int,
+                     hi: int) -> Tuple[int, int]:
+        """``(left_gap, right_gap)`` nearest to ``pos`` within
+        ``[lo, hi)`` (-1 / ``hi`` when absent); ``pos`` itself excluded
+        on the left side, included on the right."""
+        raise NotImplementedError
+
+    def shift_right(self, keys: np.ndarray, occupied: np.ndarray,
+                    ip: int, gap: int) -> None:
+        """Move the occupied key run ``[ip, gap)`` one slot right into
+        the gap at ``gap`` (bitmap updated; payloads are the caller's)."""
+        raise NotImplementedError
+
+    def shift_left(self, keys: np.ndarray, occupied: np.ndarray,
+                   gap: int, ip: int) -> None:
+        """Move the occupied key run ``(gap, ip)`` one slot left into the
+        gap at ``gap``, freeing slot ``ip - 1``."""
+        raise NotImplementedError
+
+    def place_fill(self, keys: np.ndarray, occupied: np.ndarray,
+                   pos: int, key: float) -> int:
+        """Write ``key`` into free slot ``pos`` and rewrite the gap run
+        to its left with ``key`` (the gap-mirror invariant).  Returns the
+        number of gap-fill writes."""
+        raise NotImplementedError
+
+    def erase_fill(self, keys: np.ndarray, occupied: np.ndarray,
+                   pos: int, right_key: float) -> int:
+        """Clear slot ``pos`` and rewrite the now-extended gap run ending
+        at ``pos`` with ``right_key``.  Returns the number of gap-fill
+        writes (always >= 1: slot ``pos`` itself is rewritten)."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Registry / resolution
+# ----------------------------------------------------------------------
+
+_CACHE: Dict[str, KernelBackend] = {}
+_WARNED: set = set()
+_DEFAULT_ENV = "REPRO_KERNEL_BACKEND"
+
+
+def default_backend_name() -> str:
+    """The process-default backend name (``$REPRO_KERNEL_BACKEND`` or
+    ``numpy``) — what ``CoreConfig`` uses when not set explicitly."""
+    return os.environ.get(_DEFAULT_ENV, "numpy")
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def _numpy() -> KernelBackend:
+    if "numpy" not in _CACHE:
+        from .numpy_backend import NumpyKernels
+        _CACHE["numpy"] = NumpyKernels()
+    return _CACHE["numpy"]
+
+
+def _try_numba() -> Optional[KernelBackend]:
+    if "numba" in _CACHE:
+        return _CACHE["numba"]
+    try:
+        from .numba_backend import NumbaKernels
+        backend: KernelBackend = NumbaKernels()
+    except Exception as exc:  # ImportError or a jit-compile failure
+        _warn_once("numba", "numba kernel backend unavailable "
+                            f"({exc!r}); falling back to numpy kernels")
+        return None
+    _CACHE["numba"] = backend
+    return backend
+
+
+def _try_cffi() -> Optional[KernelBackend]:
+    if "cffi" in _CACHE:
+        return _CACHE["cffi"]
+    try:
+        from .cffi_backend import CffiKernels
+        backend: KernelBackend = CffiKernels()
+    except Exception as exc:  # no cffi, no compiler, compile failure
+        _warn_once("cffi", "cffi kernel backend unavailable "
+                           f"({exc!r}); falling back to numpy kernels")
+        return None
+    _CACHE["cffi"] = backend
+    return backend
+
+
+def get_kernels(name: Optional[str] = None) -> KernelBackend:
+    """Resolve a backend name to its process-wide singleton.
+
+    ``"numba"`` / ``"cffi"`` degrade gracefully to the numpy fallback
+    (with a one-time :class:`RuntimeWarning`) when the toolchain is
+    absent, so selecting a compiled backend is always safe.  ``"auto"``
+    prefers numba, then cffi, then numpy, warning about nothing.
+    """
+    name = name or default_backend_name()
+    if name == "numpy":
+        return _numpy()
+    if name == "numba":
+        return _try_numba() or _numpy()
+    if name == "cffi":
+        return _try_cffi() or _numpy()
+    if name == "auto":
+        backend = None
+        try:  # auto never warns: absence of optional toolchains is fine
+            from .numba_backend import NumbaKernels
+            backend = _CACHE.setdefault("numba", NumbaKernels())
+        except Exception:
+            try:
+                from .cffi_backend import CffiKernels
+                backend = _CACHE.setdefault("cffi", CffiKernels())
+            except Exception:
+                backend = None
+        return backend or _numpy()
+    raise ValueError(f"unknown kernel backend {name!r}; "
+                     f"choose one of {BACKEND_NAMES}")
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names that resolve to a *distinct, working* backend right now
+    (``numpy`` always; ``numba`` / ``cffi`` when their toolchains work).
+    The test matrices parameterize over this."""
+    names = ["numpy"]
+    if _try_numba() is not None:
+        names.append("numba")
+    if _try_cffi() is not None:
+        names.append("cffi")
+    return tuple(names)
+
+
+def clear_cache() -> None:
+    """Drop resolved backends and warning dedup state (test hook: the
+    numba-absent fallback test re-resolves after monkeypatching the
+    import machinery)."""
+    _CACHE.clear()
+    _WARNED.clear()
+
+
+def describe_runtime() -> dict:
+    """Self-describing kernel metadata for bench artifacts: what could
+    run here and what versions were involved."""
+    try:
+        import numba
+        numba_version: Optional[str] = numba.__version__
+    except Exception:
+        numba_version = None
+    try:
+        import cffi
+        cffi_version: Optional[str] = cffi.__version__
+    except Exception:
+        cffi_version = None
+    return {
+        "default_kernel_backend": default_backend_name(),
+        "available_kernel_backends": list(available_backends()),
+        "numba_version": numba_version,
+        "cffi_version": cffi_version,
+        "numpy_version": np.__version__,
+    }

@@ -1,0 +1,429 @@
+"""C kernel backend: the hot loops compiled with the system C compiler.
+
+The kernels are the per-lane scalar algorithms (identical control flow to
+the extracted NumPy reference, so positions *and* counter charges match
+bit-for-bit), compiled through :mod:`cffi` in API mode.  The extension is
+built once per machine into a cache directory keyed by a hash of the C
+source (``$REPRO_KERNEL_CACHE`` or ``~/.cache/repro-kernels``) and loaded
+from there afterwards, so only the first process on a machine ever pays
+the compile; CFFI releases the GIL around every call, which lets the
+thread serving backend scale these kernels across cores.
+
+Construction compiles/loads eagerly: if anything is missing (cffi, a C
+compiler) it raises and the registry degrades the caller to the numpy
+backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.machinery
+import importlib.util
+import os
+import threading
+from pathlib import Path
+from typing import Tuple
+
+import numpy as np
+
+from . import KernelBackend
+
+_CACHE_ENV = "REPRO_KERNEL_CACHE"
+
+_CDEF = """
+void k_predict_clamp(double slope, double intercept, const double *keys,
+                     int64_t n, int64_t size, int64_t *out);
+int64_t k_find_insert_pos(const double *keys, int64_t cap, double target,
+                          int has_model, double slope, double intercept,
+                          int64_t *charge);
+int64_t k_find_key(const double *keys, const uint8_t *occ, int64_t cap,
+                   double target, int has_model, double slope,
+                   double intercept, int64_t *charge, int64_t *probes);
+void k_find_insert_pos_many(const double *keys, int64_t cap,
+                            const double *targets, int64_t n, int has_model,
+                            double slope, double intercept, int64_t *out,
+                            int64_t *charge);
+void k_find_keys_many(const double *keys, const uint8_t *occ, int64_t cap,
+                      const double *targets, int64_t n, int has_model,
+                      double slope, double intercept, int64_t *out,
+                      int64_t *charge, int64_t *probes);
+void k_closest_gaps(const uint8_t *occ, int64_t pos, int64_t lo, int64_t hi,
+                    int64_t *out2);
+void k_shift_right(double *keys, uint8_t *occ, int64_t ip, int64_t gap);
+void k_shift_left(double *keys, uint8_t *occ, int64_t gap, int64_t ip);
+int64_t k_place_fill(double *keys, uint8_t *occ, int64_t pos, double key);
+int64_t k_erase_fill(double *keys, uint8_t *occ, int64_t pos,
+                     double right_key);
+"""
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+/* Floor + clamp of the model prediction into [0, size - 1]; the !(p > 0)
+ * test pins NaN and -inf to the left edge exactly like the Python
+ * reference, and truncation toward zero equals floor for the surviving
+ * non-negative values. */
+static int64_t predict_1(double slope, double intercept, double key,
+                         int64_t size)
+{
+    double pos = slope * key + intercept;
+    if (!(pos > 0.0))
+        return 0;
+    if (pos >= (double)size)
+        return size - 1;
+    return (int64_t)pos;
+}
+
+static int64_t lb_1(const double *keys, double target, int64_t lo,
+                    int64_t hi, int64_t *charge)
+{
+    while (lo < hi) {
+        int64_t mid = (lo + hi) >> 1;
+        (*charge)++;
+        if (keys[mid] < target)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+static int64_t exp_1(const double *keys, double target, int64_t hint,
+                     int64_t lo, int64_t hi, int64_t *charge)
+{
+    int64_t slo, shi;
+    if (hi <= lo)
+        return lo;
+    if (hint < lo)
+        hint = lo;
+    else if (hint >= hi)
+        hint = hi - 1;
+    if (keys[hint] >= target) {
+        int64_t bound = 1;
+        int64_t left = hint - bound;
+        while (left >= lo && keys[left] >= target) {
+            (*charge)++;
+            bound <<= 1;
+            left = hint - bound;
+        }
+        (*charge)++;
+        slo = hint - bound;
+        if (slo < lo)
+            slo = lo;
+        shi = hint - (bound >> 1) + 1;
+    } else {
+        int64_t bound = 1;
+        int64_t right = hint + bound;
+        while (right < hi && keys[right] < target) {
+            (*charge)++;
+            bound <<= 1;
+            right = hint + bound;
+        }
+        (*charge)++;
+        slo = hint + (bound >> 1);
+        shi = hint + bound + 1;
+        if (shi > hi)
+            shi = hi;
+    }
+    return lb_1(keys, target, slo, shi, charge);
+}
+
+void k_predict_clamp(double slope, double intercept, const double *keys,
+                     int64_t n, int64_t size, int64_t *out)
+{
+    double edge = (double)(size - 1);
+    int64_t i;
+    for (i = 0; i < n; i++) {
+        double pos = slope * keys[i] + intercept;
+        if (!(pos > 0.0))
+            pos = 0.0;
+        else if (pos > edge)
+            pos = edge;
+        out[i] = (int64_t)pos;
+    }
+}
+
+int64_t k_find_insert_pos(const double *keys, int64_t cap, double target,
+                          int has_model, double slope, double intercept,
+                          int64_t *charge)
+{
+    if (!has_model)
+        return lb_1(keys, target, 0, cap, charge);
+    return exp_1(keys, target, predict_1(slope, intercept, target, cap),
+                 0, cap, charge);
+}
+
+/* Occupied-slot resolution: the lower bound may land on a gap slot that
+ * mirrors the target's value; the real slot is then the first occupied
+ * slot to the right with the same value. */
+static int64_t resolve_1(const double *keys, const uint8_t *occ, int64_t cap,
+                         double target, int64_t pos, int64_t *probes)
+{
+    while (pos < cap && keys[pos] == target) {
+        (*probes)++;
+        if (occ[pos])
+            return pos;
+        pos++;
+    }
+    return -1;
+}
+
+int64_t k_find_key(const double *keys, const uint8_t *occ, int64_t cap,
+                   double target, int has_model, double slope,
+                   double intercept, int64_t *charge, int64_t *probes)
+{
+    int64_t pos = k_find_insert_pos(keys, cap, target, has_model, slope,
+                                    intercept, charge);
+    return resolve_1(keys, occ, cap, target, pos, probes);
+}
+
+void k_find_insert_pos_many(const double *keys, int64_t cap,
+                            const double *targets, int64_t n, int has_model,
+                            double slope, double intercept, int64_t *out,
+                            int64_t *charge)
+{
+    int64_t i;
+    if (has_model) {
+        for (i = 0; i < n; i++)
+            out[i] = exp_1(keys, targets[i],
+                           predict_1(slope, intercept, targets[i], cap),
+                           0, cap, charge);
+    } else {
+        for (i = 0; i < n; i++)
+            out[i] = lb_1(keys, targets[i], 0, cap, charge);
+    }
+}
+
+void k_find_keys_many(const double *keys, const uint8_t *occ, int64_t cap,
+                      const double *targets, int64_t n, int has_model,
+                      double slope, double intercept, int64_t *out,
+                      int64_t *charge, int64_t *probes)
+{
+    int64_t i;
+    for (i = 0; i < n; i++) {
+        int64_t pos = k_find_insert_pos(keys, cap, targets[i], has_model,
+                                        slope, intercept, charge);
+        out[i] = resolve_1(keys, occ, cap, targets[i], pos, probes);
+    }
+}
+
+void k_closest_gaps(const uint8_t *occ, int64_t pos, int64_t lo, int64_t hi,
+                    int64_t *out2)
+{
+    int64_t left = -1, right = hi, i;
+    for (i = pos; i < hi; i++) {
+        if (!occ[i]) {
+            right = i;
+            break;
+        }
+    }
+    for (i = pos - 1; i >= lo; i--) {
+        if (!occ[i]) {
+            left = i;
+            break;
+        }
+    }
+    out2[0] = left;
+    out2[1] = right;
+}
+
+void k_shift_right(double *keys, uint8_t *occ, int64_t ip, int64_t gap)
+{
+    memmove(keys + ip + 1, keys + ip, (size_t)(gap - ip) * sizeof(double));
+    occ[gap] = 1;
+    occ[ip] = 0;
+}
+
+void k_shift_left(double *keys, uint8_t *occ, int64_t gap, int64_t ip)
+{
+    memmove(keys + gap, keys + gap + 1,
+            (size_t)(ip - 1 - gap) * sizeof(double));
+    occ[gap] = 1;
+    occ[ip - 1] = 0;
+}
+
+int64_t k_place_fill(double *keys, uint8_t *occ, int64_t pos, double key)
+{
+    int64_t fills = 0, i;
+    keys[pos] = key;
+    occ[pos] = 1;
+    for (i = pos - 1; i >= 0 && !occ[i]; i--) {
+        keys[i] = key;
+        fills++;
+    }
+    return fills;
+}
+
+int64_t k_erase_fill(double *keys, uint8_t *occ, int64_t pos,
+                     double right_key)
+{
+    int64_t fills = 0, i;
+    occ[pos] = 0;
+    for (i = pos; i >= 0 && !occ[i]; i--) {
+        keys[i] = right_key;
+        fills++;
+    }
+    return fills;
+}
+"""
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(_CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-kernels"
+
+
+def _find_built(cache_dir: Path, modname: str):
+    for suffix in importlib.machinery.EXTENSION_SUFFIXES:
+        candidate = cache_dir / (modname + suffix)
+        if candidate.exists():
+            return candidate
+    return None
+
+
+class CffiKernels(KernelBackend):
+    """Compiled C backend (per-lane loops, GIL released around calls)."""
+
+    name = "cffi"
+    compiled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._compile_events = 0
+        self._ffi = None
+        self._lib = None
+        self.warm()  # fail here, at resolve time, not on the first call
+
+    # -- lifecycle ----------------------------------------------------
+
+    def warm(self) -> None:
+        with self._lock:
+            if self._lib is not None:
+                return
+            import cffi  # raises ImportError -> registry falls back
+
+            digest = hashlib.sha256(
+                (_CDEF + _SOURCE).encode()).hexdigest()[:16]
+            modname = f"_repro_kernels_{digest}"
+            cache_dir = _cache_dir()
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            built = _find_built(cache_dir, modname)
+            if built is None:
+                ffibuilder = cffi.FFI()
+                ffibuilder.cdef(_CDEF)
+                ffibuilder.set_source(modname, _SOURCE,
+                                      extra_compile_args=["-O3"])
+                built = Path(ffibuilder.compile(tmpdir=str(cache_dir)))
+                self._compile_events += 1
+            spec = importlib.util.spec_from_file_location(modname, built)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            self._ffi = module.ffi
+            self._lib = module.lib
+            self._compile_events += 1  # loading the extension counts too
+
+    def compile_events(self) -> int:
+        return self._compile_events
+
+    # -- buffer plumbing ----------------------------------------------
+
+    def _dbuf(self, arr: np.ndarray):
+        return self._ffi.from_buffer("double[]", arr)
+
+    def _ibuf(self, arr: np.ndarray):
+        return self._ffi.from_buffer("int64_t[]", arr)
+
+    def _obuf(self, occupied: np.ndarray):
+        return self._ffi.from_buffer("uint8_t[]", occupied.view(np.uint8))
+
+    # -- kernel 1: linear-model predict + clamp -----------------------
+
+    def predict_clamp(self, slope: float, intercept: float,
+                      keys: np.ndarray, size: int) -> np.ndarray:
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        out = np.empty(len(keys), dtype=np.int64)
+        if len(keys):
+            self._lib.k_predict_clamp(slope, intercept, self._dbuf(keys),
+                                      len(keys), size, self._ibuf(out))
+        return out
+
+    # -- kernel 2: lock-step exponential/binary search ----------------
+
+    def find_insert_pos(self, keys: np.ndarray, target: float,
+                        has_model: bool, slope: float,
+                        intercept: float) -> Tuple[int, int]:
+        charge = self._ffi.new("int64_t *", 0)
+        pos = self._lib.k_find_insert_pos(
+            self._dbuf(keys), len(keys), target, int(has_model),
+            slope, intercept, charge)
+        return int(pos), int(charge[0])
+
+    def find_key(self, keys: np.ndarray, occupied: np.ndarray,
+                 target: float, has_model: bool, slope: float,
+                 intercept: float) -> Tuple[int, int, int]:
+        counts = self._ffi.new("int64_t[2]")
+        pos = self._lib.k_find_key(
+            self._dbuf(keys), self._obuf(occupied), len(keys), target,
+            int(has_model), slope, intercept, counts, counts + 1)
+        return int(pos), int(counts[0]), int(counts[1])
+
+    def find_insert_pos_many(self, keys: np.ndarray, targets: np.ndarray,
+                             has_model: bool, slope: float,
+                             intercept: float) -> Tuple[np.ndarray, int]:
+        targets = np.ascontiguousarray(targets, dtype=np.float64)
+        n = len(targets)
+        out = np.empty(n, dtype=np.int64)
+        if n == 0:
+            return out, 0
+        charge = self._ffi.new("int64_t *", 0)
+        self._lib.k_find_insert_pos_many(
+            self._dbuf(keys), len(keys), self._dbuf(targets), n,
+            int(has_model), slope, intercept, self._ibuf(out), charge)
+        return out, int(charge[0])
+
+    def find_keys_many(self, keys: np.ndarray, occupied: np.ndarray,
+                       targets: np.ndarray, has_model: bool, slope: float,
+                       intercept: float) -> Tuple[np.ndarray, int, int]:
+        targets = np.ascontiguousarray(targets, dtype=np.float64)
+        n = len(targets)
+        if n == 0 or len(keys) == 0:
+            return np.full(n, -1, dtype=np.int64), 0, 0
+        out = np.empty(n, dtype=np.int64)
+        counts = self._ffi.new("int64_t[2]")
+        self._lib.k_find_keys_many(
+            self._dbuf(keys), self._obuf(occupied), len(keys),
+            self._dbuf(targets), n, int(has_model), slope, intercept,
+            self._ibuf(out), counts, counts + 1)
+        return out, int(counts[0]), int(counts[1])
+
+    # -- kernel 3: gapped-array / PMA shift-and-insert ----------------
+
+    def closest_gaps(self, occupied: np.ndarray, pos: int, lo: int,
+                     hi: int) -> Tuple[int, int]:
+        out2 = self._ffi.new("int64_t[2]")
+        self._lib.k_closest_gaps(self._obuf(occupied), pos, lo, hi, out2)
+        return int(out2[0]), int(out2[1])
+
+    def shift_right(self, keys: np.ndarray, occupied: np.ndarray,
+                    ip: int, gap: int) -> None:
+        self._lib.k_shift_right(self._dbuf(keys), self._obuf(occupied),
+                                ip, gap)
+
+    def shift_left(self, keys: np.ndarray, occupied: np.ndarray,
+                   gap: int, ip: int) -> None:
+        self._lib.k_shift_left(self._dbuf(keys), self._obuf(occupied),
+                               gap, ip)
+
+    def place_fill(self, keys: np.ndarray, occupied: np.ndarray,
+                   pos: int, key: float) -> int:
+        return int(self._lib.k_place_fill(self._dbuf(keys),
+                                          self._obuf(occupied), pos, key))
+
+    def erase_fill(self, keys: np.ndarray, occupied: np.ndarray,
+                   pos: int, right_key: float) -> int:
+        return int(self._lib.k_erase_fill(self._dbuf(keys),
+                                          self._obuf(occupied), pos,
+                                          right_key))

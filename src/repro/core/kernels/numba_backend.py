@@ -1,0 +1,310 @@
+"""Numba kernel backend: the per-lane hot loops under ``@njit``.
+
+Identical control flow to the C backend (and hence identical positions and
+counter charges to the NumPy reference); compiled with ``nopython=True``
+and ``nogil=True`` so the thread serving backend can scale across cores,
+and ``cache=True`` so warmup is paid once per machine, not per process.
+
+Importing this module is cheap (``@njit`` compiles lazily); constructing
+:class:`NumbaKernels` warms every kernel eagerly, so a broken numba
+installation fails at resolve time and the registry degrades the caller
+to the numpy backend.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numba import njit
+
+from . import KernelBackend
+
+
+@njit(nogil=True, cache=True)
+def _predict_1(slope, intercept, key, size):
+    pos = slope * key + intercept
+    if not (pos > 0.0):  # catches NaN and -inf too
+        return np.int64(0)
+    if pos >= size:
+        return np.int64(size - 1)
+    return np.int64(pos)
+
+
+@njit(nogil=True, cache=True)
+def _predict_clamp(slope, intercept, keys, size, out):
+    edge = float(size - 1)
+    for i in range(keys.shape[0]):
+        pos = slope * keys[i] + intercept
+        if not (pos > 0.0):
+            pos = 0.0
+        elif pos > edge:
+            pos = edge
+        out[i] = np.int64(pos)
+
+
+@njit(nogil=True, cache=True)
+def _lb_1(keys, target, lo, hi):
+    steps = 0
+    while lo < hi:
+        mid = (lo + hi) // 2
+        steps += 1
+        if keys[mid] < target:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo, steps
+
+
+@njit(nogil=True, cache=True)
+def _exp_1(keys, target, hint, lo, hi):
+    if hi <= lo:
+        return lo, 0
+    if hint < lo:
+        hint = lo
+    elif hint >= hi:
+        hint = hi - 1
+    probes = 0
+    if keys[hint] >= target:
+        bound = 1
+        left = hint - bound
+        while left >= lo and keys[left] >= target:
+            probes += 1
+            bound *= 2
+            left = hint - bound
+        probes += 1
+        search_lo = max(lo, hint - bound)
+        search_hi = hint - bound // 2 + 1
+    else:
+        bound = 1
+        right = hint + bound
+        while right < hi and keys[right] < target:
+            probes += 1
+            bound *= 2
+            right = hint + bound
+        probes += 1
+        search_lo = hint + bound // 2
+        search_hi = min(hi, hint + bound + 1)
+    pos, steps = _lb_1(keys, target, search_lo, search_hi)
+    return pos, probes + steps
+
+
+@njit(nogil=True, cache=True)
+def _find_insert_pos(keys, target, has_model, slope, intercept):
+    cap = keys.shape[0]
+    if not has_model:
+        return _lb_1(keys, target, 0, cap)
+    hint = _predict_1(slope, intercept, target, cap)
+    return _exp_1(keys, target, hint, 0, cap)
+
+
+@njit(nogil=True, cache=True)
+def _resolve_1(keys, occ, target, pos):
+    cap = keys.shape[0]
+    probes = 0
+    while pos < cap and keys[pos] == target:
+        probes += 1
+        if occ[pos]:
+            return pos, probes
+        pos += 1
+    return -1, probes
+
+
+@njit(nogil=True, cache=True)
+def _find_key(keys, occ, target, has_model, slope, intercept):
+    pos, charge = _find_insert_pos(keys, target, has_model, slope, intercept)
+    pos, probes = _resolve_1(keys, occ, target, pos)
+    return pos, charge, probes
+
+
+@njit(nogil=True, cache=True)
+def _find_insert_pos_many(keys, targets, has_model, slope, intercept, out):
+    charge = 0
+    for i in range(targets.shape[0]):
+        pos, c = _find_insert_pos(keys, targets[i], has_model, slope,
+                                  intercept)
+        out[i] = pos
+        charge += c
+    return charge
+
+
+@njit(nogil=True, cache=True)
+def _find_keys_many(keys, occ, targets, has_model, slope, intercept, out):
+    charge = 0
+    probes = 0
+    for i in range(targets.shape[0]):
+        pos, c = _find_insert_pos(keys, targets[i], has_model, slope,
+                                  intercept)
+        pos, p = _resolve_1(keys, occ, targets[i], pos)
+        out[i] = pos
+        charge += c
+        probes += p
+    return charge, probes
+
+
+@njit(nogil=True, cache=True)
+def _closest_gaps(occ, pos, lo, hi):
+    right = hi
+    for i in range(pos, hi):
+        if not occ[i]:
+            right = i
+            break
+    left = -1
+    for i in range(pos - 1, lo - 1, -1):
+        if not occ[i]:
+            left = i
+            break
+    return left, right
+
+
+@njit(nogil=True, cache=True)
+def _shift_right(keys, occ, ip, gap):
+    for i in range(gap, ip, -1):
+        keys[i] = keys[i - 1]
+    occ[gap] = True
+    occ[ip] = False
+
+
+@njit(nogil=True, cache=True)
+def _shift_left(keys, occ, gap, ip):
+    for i in range(gap, ip - 1):
+        keys[i] = keys[i + 1]
+    occ[gap] = True
+    occ[ip - 1] = False
+
+
+@njit(nogil=True, cache=True)
+def _place_fill(keys, occ, pos, key):
+    keys[pos] = key
+    occ[pos] = True
+    fills = 0
+    i = pos - 1
+    while i >= 0 and not occ[i]:
+        keys[i] = key
+        fills += 1
+        i -= 1
+    return fills
+
+
+@njit(nogil=True, cache=True)
+def _erase_fill(keys, occ, pos, right_key):
+    occ[pos] = False
+    fills = 0
+    i = pos
+    while i >= 0 and not occ[i]:
+        keys[i] = right_key
+        fills += 1
+        i -= 1
+    return fills
+
+
+class NumbaKernels(KernelBackend):
+    """JIT backend (``nopython`` + ``nogil`` + on-disk compilation cache)."""
+
+    name = "numba"
+    compiled = True
+
+    #: Every dispatcher, for signature counting and eager warmup.
+    _DISPATCHERS = (_predict_1, _predict_clamp, _lb_1, _exp_1,
+                    _find_insert_pos, _resolve_1, _find_key,
+                    _find_insert_pos_many, _find_keys_many, _closest_gaps,
+                    _shift_right, _shift_left, _place_fill, _erase_fill)
+
+    def __init__(self) -> None:
+        self.warm()  # fail here, at resolve time, not on the first call
+
+    # -- lifecycle ----------------------------------------------------
+
+    def warm(self) -> None:
+        """Exercise every kernel once with production argument types so
+        all compilation happens now (a no-op once compiled)."""
+        keys = np.array([1.0, 2.0, 2.0, np.inf], dtype=np.float64)
+        occ = np.array([True, True, False, False])
+        targets = np.array([2.0], dtype=np.float64)
+        self.predict_clamp(0.5, 0.0, targets, 4)
+        self.find_insert_pos(keys, 2.0, True, 0.5, 0.0)
+        self.find_insert_pos(keys, 2.0, False, 0.0, 0.0)
+        self.find_key(keys, occ, 2.0, True, 0.5, 0.0)
+        self.find_insert_pos_many(keys, targets, True, 0.5, 0.0)
+        self.find_insert_pos_many(keys, targets, False, 0.0, 0.0)
+        self.find_keys_many(keys, occ, targets, True, 0.5, 0.0)
+        self.closest_gaps(occ, 1, 0, 4)
+        scratch_keys = keys.copy()
+        scratch_occ = occ.copy()
+        self.shift_right(scratch_keys, scratch_occ, 0, 2)
+        self.shift_left(scratch_keys, scratch_occ, 2, 4)
+        self.place_fill(scratch_keys, scratch_occ, 2, 3.0)
+        self.erase_fill(scratch_keys, scratch_occ, 2, np.inf)
+
+    def compile_events(self) -> int:
+        return sum(len(d.signatures) for d in self._DISPATCHERS)
+
+    # -- kernel 1: linear-model predict + clamp -----------------------
+
+    def predict_clamp(self, slope: float, intercept: float,
+                      keys: np.ndarray, size: int) -> np.ndarray:
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        out = np.empty(len(keys), dtype=np.int64)
+        _predict_clamp(float(slope), float(intercept), keys, size, out)
+        return out
+
+    # -- kernel 2: lock-step exponential/binary search ----------------
+
+    def find_insert_pos(self, keys: np.ndarray, target: float,
+                        has_model: bool, slope: float,
+                        intercept: float) -> Tuple[int, int]:
+        pos, charge = _find_insert_pos(keys, float(target), has_model,
+                                       float(slope), float(intercept))
+        return int(pos), int(charge)
+
+    def find_key(self, keys: np.ndarray, occupied: np.ndarray,
+                 target: float, has_model: bool, slope: float,
+                 intercept: float) -> Tuple[int, int, int]:
+        pos, charge, probes = _find_key(keys, occupied, float(target),
+                                        has_model, float(slope),
+                                        float(intercept))
+        return int(pos), int(charge), int(probes)
+
+    def find_insert_pos_many(self, keys: np.ndarray, targets: np.ndarray,
+                             has_model: bool, slope: float,
+                             intercept: float) -> Tuple[np.ndarray, int]:
+        targets = np.ascontiguousarray(targets, dtype=np.float64)
+        out = np.empty(len(targets), dtype=np.int64)
+        charge = _find_insert_pos_many(keys, targets, has_model,
+                                       float(slope), float(intercept), out)
+        return out, int(charge)
+
+    def find_keys_many(self, keys: np.ndarray, occupied: np.ndarray,
+                       targets: np.ndarray, has_model: bool, slope: float,
+                       intercept: float) -> Tuple[np.ndarray, int, int]:
+        targets = np.ascontiguousarray(targets, dtype=np.float64)
+        n = len(targets)
+        if n == 0 or len(keys) == 0:
+            return np.full(n, -1, dtype=np.int64), 0, 0
+        out = np.empty(n, dtype=np.int64)
+        charge, probes = _find_keys_many(keys, occupied, targets, has_model,
+                                         float(slope), float(intercept), out)
+        return out, int(charge), int(probes)
+
+    # -- kernel 3: gapped-array / PMA shift-and-insert ----------------
+
+    def closest_gaps(self, occupied: np.ndarray, pos: int, lo: int,
+                     hi: int) -> Tuple[int, int]:
+        left, right = _closest_gaps(occupied, pos, lo, hi)
+        return int(left), int(right)
+
+    def shift_right(self, keys: np.ndarray, occupied: np.ndarray,
+                    ip: int, gap: int) -> None:
+        _shift_right(keys, occupied, ip, gap)
+
+    def shift_left(self, keys: np.ndarray, occupied: np.ndarray,
+                   gap: int, ip: int) -> None:
+        _shift_left(keys, occupied, gap, ip)
+
+    def place_fill(self, keys: np.ndarray, occupied: np.ndarray,
+                   pos: int, key: float) -> int:
+        return int(_place_fill(keys, occupied, pos, float(key)))
+
+    def erase_fill(self, keys: np.ndarray, occupied: np.ndarray,
+                   pos: int, right_key: float) -> int:
+        return int(_erase_fill(keys, occupied, pos, float(right_key)))

@@ -20,6 +20,7 @@ import numpy as np
 from .config import AlexConfig, GAPPED_ARRAY
 from .data_node import DataNode
 from .gapped_array import GappedArrayNode
+from .kernels import KernelBackend, get_kernels
 from .linear_model import LinearModel
 from .pma import PMANode
 from .stats import Counters
@@ -53,10 +54,14 @@ class InnerNode:
     """
 
     def __init__(self, model: LinearModel, children: List[object],
-                 counters: Counters):
+                 counters: Counters,
+                 kernels: Optional[KernelBackend] = None):
         self.model = model
         self.children = children
         self.counters = counters
+        # Hot-loop implementation for batch routing (builders pass the
+        # config-selected backend; default: the process-wide default).
+        self.kernels = kernels or get_kernels()
 
     @property
     def num_slots(self) -> int:
@@ -77,7 +82,9 @@ class InnerNode:
     def route_slots_many(self, keys: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`route_slot` over a whole key array."""
         self.counters.model_inferences += len(keys)
-        return self.model.predict_pos_vec(keys, self.num_slots)
+        return self.kernels.predict_clamp(self.model.slope,
+                                          self.model.intercept, keys,
+                                          self.num_slots)
 
     def child_groups(self, keys: np.ndarray, lo: int, hi: int):
         """Yield ``(child, group_lo, group_hi)`` for the contiguous run of
@@ -92,22 +99,22 @@ class InnerNode:
         amortization of per-key child dereferences.
         """
         slots = self.route_slots_many(keys[lo:hi])
-        changes = np.flatnonzero(np.diff(slots)) + 1
-        starts = np.concatenate([[0], changes]) + lo
-        ends = np.concatenate([changes, [hi - lo]]) + lo
+        changes = (np.flatnonzero(slots[1:] != slots[:-1]) + 1).tolist()
+        starts = [0] + changes
+        ends = changes + [hi - lo]
+        slot_list = slots.tolist()
         children = self.children
         prev_child = None
         prev_lo = prev_hi = 0
-        for s, glo, ghi in zip(slots[starts - lo].tolist(), starts.tolist(),
-                               ends.tolist()):
-            child = children[s]
+        for glo, ghi in zip(starts, ends):
+            child = children[slot_list[glo]]
             if child is prev_child:
-                prev_hi = ghi  # consecutive slots sharing one child merge
+                prev_hi = ghi + lo  # consecutive slots sharing one child merge
                 continue
             if prev_child is not None:
                 yield prev_child, prev_lo, prev_hi
             self.counters.pointer_follows += 1
-            prev_child, prev_lo, prev_hi = child, glo, ghi
+            prev_child, prev_lo, prev_hi = child, glo + lo, ghi + lo
         if prev_child is not None:
             yield prev_child, prev_lo, prev_hi
 
@@ -160,15 +167,20 @@ def route_batch(node, keys: np.ndarray, parent: Optional[InnerNode] = None):
     groups: list = []
     if len(keys) == 0:
         return groups
-
-    def _descend(nd, par, lo, hi):
+    if not isinstance(node, InnerNode):
+        return [(node, parent, 0, len(keys))]
+    # Iterative depth-first descent (explicit stack, reversed so groups
+    # come out in key order): one vectorized model prediction per inner
+    # node visited, no per-group python frames.
+    append = groups.append
+    stack = [(node, parent, 0, len(keys))]
+    while stack:
+        nd, par, lo, hi = stack.pop()
         if not isinstance(nd, InnerNode):
-            groups.append((nd, par, lo, hi))
-            return
-        for child, glo, ghi in nd.child_groups(keys, lo, hi):
-            _descend(child, nd, glo, ghi)
-
-    _descend(node, parent, 0, len(keys))
+            append((nd, par, lo, hi))
+            continue
+        stack.extend([(child, nd, glo, ghi) for child, glo, ghi
+                      in nd.child_groups(keys, lo, hi)][::-1])
     return groups
 
 
@@ -223,5 +235,6 @@ def build_static_rmi(keys: np.ndarray, payloads: list, config: AlexConfig,
         leaves.append(leaf)
         children.append(leaf)
     link_leaves(leaves)
-    root = InnerNode(root_model, children, counters)
+    root = InnerNode(root_model, children, counters,
+                     kernels=get_kernels(config.kernel_backend))
     return root, leaves

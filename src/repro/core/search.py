@@ -19,6 +19,12 @@ lock-step with NumPy, producing positions identical to the scalar routines.
 Counters are aggregated once per batch — the per-lane probe counts are
 summed and charged in a single update — so the algorithmic-work accounting
 matches a loop over the scalar routines exactly.
+
+The ``*_counted`` cores return ``(positions, charge)`` instead of touching
+counters; they are the primitives behind the ``numpy`` kernel backend
+(:mod:`repro.core.kernels`), which the compiled backends are
+property-tested against.  The public functions here are thin
+counter-charging wrappers kept for the baselines and existing callers.
 """
 
 from __future__ import annotations
@@ -28,13 +34,9 @@ import numpy as np
 from .stats import Counters
 
 
-def lower_bound(keys: np.ndarray, target: float, lo: int, hi: int,
-                counters: Counters | None = None) -> int:
-    """Plain binary search for the leftmost position with ``key >= target``.
-
-    ``keys[lo:hi]`` must be non-decreasing.  Counts one comparison and one
-    probe per halving step.
-    """
+def lower_bound_counted(keys: np.ndarray, target: float,
+                        lo: int, hi: int) -> tuple:
+    """:func:`lower_bound` core: ``(position, halving_steps)``."""
     steps = 0
     while lo < hi:
         mid = (lo + hi) // 2
@@ -43,24 +45,31 @@ def lower_bound(keys: np.ndarray, target: float, lo: int, hi: int,
             lo = mid + 1
         else:
             hi = mid
+    return lo, steps
+
+
+def lower_bound(keys: np.ndarray, target: float, lo: int, hi: int,
+                counters: Counters | None = None) -> int:
+    """Plain binary search for the leftmost position with ``key >= target``.
+
+    ``keys[lo:hi]`` must be non-decreasing.  Counts one comparison and one
+    probe per halving step.
+    """
+    pos, steps = lower_bound_counted(keys, target, lo, hi)
     if counters is not None:
         counters.comparisons += steps
         counters.probes += steps
-    return lo
+    return pos
 
 
-def exponential_search(keys: np.ndarray, target: float, hint: int,
-                       lo: int, hi: int,
-                       counters: Counters | None = None) -> int:
-    """Exponential search outward from ``hint``, then bounded binary search.
-
-    Doubles the step size away from the predicted position until the target
-    is bracketed, then finishes with binary search inside the bracket.  Cost
-    is ``O(log error)`` where ``error = |actual - hint|``, which is why small
-    model errors translate directly into fast lookups (paper Section 5.3.2).
-    """
+def exponential_search_counted(keys: np.ndarray, target: float, hint: int,
+                               lo: int, hi: int) -> tuple:
+    """:func:`exponential_search` core: ``(position, total_charge)`` where
+    the charge covers both the bracket-growing probes and the final
+    binary-search steps (each is billed to comparisons *and* probes by
+    the wrappers)."""
     if hi <= lo:
-        return lo
+        return lo, 0
     if hint < lo:
         hint = lo
     elif hint >= hi:
@@ -90,23 +99,30 @@ def exponential_search(keys: np.ndarray, target: float, hint: int,
         search_lo = hint + (bound // 2)
         search_hi = min(hi, hint + bound + 1)
 
-    if counters is not None:
-        counters.comparisons += probes
-        counters.probes += probes
-    return lower_bound(keys, target, search_lo, search_hi, counters)
+    pos, steps = lower_bound_counted(keys, target, search_lo, search_hi)
+    return pos, probes + steps
 
 
-def lower_bound_many(keys: np.ndarray, targets: np.ndarray,
-                     los: np.ndarray, his: np.ndarray,
-                     counters: Counters | None = None) -> np.ndarray:
-    """Vectorized :func:`lower_bound` over per-lane ``[los, his)`` windows.
+def exponential_search(keys: np.ndarray, target: float, hint: int,
+                       lo: int, hi: int,
+                       counters: Counters | None = None) -> int:
+    """Exponential search outward from ``hint``, then bounded binary search.
 
-    Runs every binary search in lock-step: each iteration halves the window
-    of every still-active lane, so the loop runs ``O(log max-width)`` times
-    regardless of how many targets there are.  Returns the same positions
-    (and charges the same total comparison/probe counts) as calling
-    :func:`lower_bound` once per lane.
+    Doubles the step size away from the predicted position until the target
+    is bracketed, then finishes with binary search inside the bracket.  Cost
+    is ``O(log error)`` where ``error = |actual - hint|``, which is why small
+    model errors translate directly into fast lookups (paper Section 5.3.2).
     """
+    pos, charge = exponential_search_counted(keys, target, hint, lo, hi)
+    if counters is not None:
+        counters.comparisons += charge
+        counters.probes += charge
+    return pos
+
+
+def lower_bound_many_counted(keys: np.ndarray, targets: np.ndarray,
+                             los: np.ndarray, his: np.ndarray) -> tuple:
+    """:func:`lower_bound_many` core: ``(positions, total_steps)``."""
     lo = np.asarray(los, dtype=np.int64).copy()
     hi = np.asarray(his, dtype=np.int64).copy()
     steps = 0
@@ -121,10 +137,25 @@ def lower_bound_many(keys: np.ndarray, targets: np.ndarray,
         lo[go_right] = mid[go_right] + 1
         hi[go_left] = mid[go_left]
         active = lo < hi
+    return lo, steps
+
+
+def lower_bound_many(keys: np.ndarray, targets: np.ndarray,
+                     los: np.ndarray, his: np.ndarray,
+                     counters: Counters | None = None) -> np.ndarray:
+    """Vectorized :func:`lower_bound` over per-lane ``[los, his)`` windows.
+
+    Runs every binary search in lock-step: each iteration halves the window
+    of every still-active lane, so the loop runs ``O(log max-width)`` times
+    regardless of how many targets there are.  Returns the same positions
+    (and charges the same total comparison/probe counts) as calling
+    :func:`lower_bound` once per lane.
+    """
+    pos, steps = lower_bound_many_counted(keys, targets, los, his)
     if counters is not None:
         counters.comparisons += steps
         counters.probes += steps
-    return lo
+    return pos
 
 
 def _grow_brackets(keys: np.ndarray, targets: np.ndarray, hints: np.ndarray,
@@ -151,19 +182,13 @@ def _grow_brackets(keys: np.ndarray, targets: np.ndarray, hints: np.ndarray,
     return probes
 
 
-def exponential_search_many(keys: np.ndarray, targets: np.ndarray,
-                            hints: np.ndarray, lo: int, hi: int,
-                            counters: Counters | None = None) -> np.ndarray:
-    """Vectorized :func:`exponential_search` over arrays of (target, hint).
-
-    All lanes double their brackets in lock-step (one NumPy pass per
-    doubling step over the still-growing lanes), then finish with one
-    lock-step bounded binary search.  Positions and total counter charges
-    are identical to a loop over the scalar routine.
-    """
+def exponential_search_many_counted(keys: np.ndarray, targets: np.ndarray,
+                                    hints: np.ndarray, lo: int,
+                                    hi: int) -> tuple:
+    """:func:`exponential_search_many` core: ``(positions, total_charge)``."""
     n = len(targets)
     if hi <= lo:
-        return np.full(n, lo, dtype=np.int64)
+        return np.full(n, lo, dtype=np.int64), 0
     hints = np.clip(np.asarray(hints, dtype=np.int64), lo, hi - 1)
     targets = np.asarray(targets, dtype=np.float64)
 
@@ -179,10 +204,25 @@ def exponential_search_many(keys: np.ndarray, targets: np.ndarray,
     search_lo = np.where(leftward, np.maximum(lo, hints - bound), hints + half)
     search_hi = np.where(leftward, hints - half + 1,
                          np.minimum(hi, hints + bound + 1))
+    pos, steps = lower_bound_many_counted(keys, targets, search_lo, search_hi)
+    return pos, probes + steps
+
+
+def exponential_search_many(keys: np.ndarray, targets: np.ndarray,
+                            hints: np.ndarray, lo: int, hi: int,
+                            counters: Counters | None = None) -> np.ndarray:
+    """Vectorized :func:`exponential_search` over arrays of (target, hint).
+
+    All lanes double their brackets in lock-step (one NumPy pass per
+    doubling step over the still-growing lanes), then finish with one
+    lock-step bounded binary search.  Positions and total counter charges
+    are identical to a loop over the scalar routine.
+    """
+    pos, charge = exponential_search_many_counted(keys, targets, hints, lo, hi)
     if counters is not None:
-        counters.comparisons += probes
-        counters.probes += probes
-    return lower_bound_many(keys, targets, search_lo, search_hi, counters)
+        counters.comparisons += charge
+        counters.probes += charge
+    return pos
 
 
 def binary_search_bounded(keys: np.ndarray, target: float, hint: int,

@@ -27,6 +27,7 @@ from repro.core.alex import AlexIndex
 from repro.core.config import AlexConfig
 from repro.core.data_node import DataNode
 from repro.core.errors import PersistenceError
+from repro.core.kernels import get_kernels
 from repro.core.linear_model import LinearModel
 from repro.core.rmi import InnerNode, link_leaves, make_data_node
 from repro.core.stats import Counters
@@ -163,7 +164,8 @@ def load_index(path: str) -> AlexIndex:
                 children.append(leaves[payload])
             else:
                 children.append(decode_inner(payload))
-        node = InnerNode(LinearModel(*spec["model"]), children, counters)
+        node = InnerNode(LinearModel(*spec["model"]), children, counters,
+                         kernels=get_kernels(config.kernel_backend))
         inner_cache[idx] = node
         return node
 

@@ -38,6 +38,7 @@ import numpy as np
 from repro.core.alex import AlexIndex
 from repro.core.batch import export_arrays
 from repro.core.config import AlexConfig
+from repro.core.kernels import get_kernels
 from repro.core.policy import AdaptationPolicy
 from repro.core.stats import Counters
 
@@ -252,6 +253,10 @@ class ThreadBackend(ExecutionBackend):
         self.indexes: List[AlexIndex] = []
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_guard = Lock()
+        # Kernel warmup belongs to provisioning, not the first request;
+        # nogil compiled kernels are also what lets this backend's pool
+        # actually scale across cores.
+        get_kernels(config.kernel_backend).warm()
 
     # -- lifecycle ----------------------------------------------------
 

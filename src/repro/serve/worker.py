@@ -43,6 +43,7 @@ import numpy as np
 from repro.core.alex import AlexIndex
 from repro.core.batch import export_arrays
 from repro.core.config import AlexConfig
+from repro.core.kernels import get_kernels
 from repro.core.policy import AdaptationPolicy
 from repro.core.shm import SharedArray, ShardStorageView
 from repro.core.stats import Counters
@@ -77,6 +78,9 @@ def _worker_main(conn, config: AlexConfig,
     # dropped — this worker's log should describe this shard.
     policy.decisions.clear()
     policy.smo_counts.clear()
+    # Kernel warmup belongs to provisioning: a long-lived worker pays any
+    # JIT/C compilation (or cache load) now, never on a request.
+    get_kernels(config.kernel_backend).warm()
     index: Optional[AlexIndex] = None
     while True:
         try:

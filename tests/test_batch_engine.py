@@ -6,6 +6,12 @@ These tests drive seeded-random scenarios across both node layouts, both
 RMI modes, cold-started and bulk-loaded indexes, and batch sizes
 {1, 7, 1000}, checking `lookup_many` / `get_many` / `contains_many` /
 `route_many` / the vectorized model-based build against scalar execution.
+
+The whole module additionally runs once per *available kernel backend*
+(numpy always; numba/cffi when their toolchains work): the autouse
+fixture below sets the process-default backend, which every config built
+by these tests inherits, so scalar/batch equivalence — results and
+counters — is asserted under the compiled kernels too.
 """
 
 import zlib
@@ -18,9 +24,18 @@ from repro.core.batch import bulk_insert
 from repro.core.config import ga_armi, ga_srmi, pma_armi, pma_srmi
 from repro.core.errors import KeyNotFoundError
 from repro.core.gapped_array import GappedArrayNode
+from repro.core.kernels import available_backends
 from repro.core.pma import PMANode
 from repro.core.rmi import InnerNode
 from repro.core.stats import Counters
+
+
+@pytest.fixture(params=available_backends(), autouse=True,
+                ids=lambda name: f"kernels-{name}")
+def kernel_backend(request, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", request.param)
+    return request.param
+
 
 CONFIGS = {
     "ga-srmi": lambda: ga_srmi(num_models=16),

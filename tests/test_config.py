@@ -69,6 +69,33 @@ class TestDerivedQuantities:
             AlexConfig().with_space_overhead(0.0)
 
 
+class TestTunedPMADensityBounds:
+    """Pin the density bounds chosen by the PMA density sweep.
+
+    ``benchmarks/bench_pma_density.py`` (artifact:
+    ``BENCH_pma_density.json``) swept the segment/root density grid over
+    random and append insert workloads.  Denser segments (0.95) cut
+    append rebalance moves ~16% versus 0.92 with unchanged search
+    probes; a root bound of 0.70 is the knee of the write-cost /
+    read-locality curve (0.60 saves ~17% write wall clock but costs
+    ~43% more append read probes, 0.80 the reverse).  Changing either
+    default should be a deliberate re-sweep, not a drive-by edit —
+    hence the exact-value pin.
+    """
+
+    def test_defaults_match_sweep_choice(self):
+        config = AlexConfig()
+        assert config.pma_segment_density == 0.95
+        assert config.pma_root_density == 0.70
+
+    def test_ordering_still_validated(self):
+        # The sweep-chosen pair must itself satisfy the config invariant
+        # 0 < root < segment <= 1 (guards a future pin edit that would
+        # silently make every PMA construction raise).
+        config = AlexConfig()
+        assert 0.0 < config.pma_root_density < config.pma_segment_density <= 1.0
+
+
 class TestVariants:
     def test_variant_names(self):
         assert ga_srmi().variant_name == "ALEX-GA-SRMI"

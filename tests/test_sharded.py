@@ -19,6 +19,7 @@ import pytest
 from repro.core.alex import AlexIndex
 from repro.core.config import ga_armi, pma_srmi
 from repro.core.errors import DuplicateKeyError, KeyNotFoundError
+from repro.core.kernels import available_backends
 from repro.serve import ShardRouter, ShardedAlexIndex
 from repro.workloads.hotspot import HotspotGenerator
 
@@ -121,6 +122,17 @@ class TestShardRouter:
 @pytest.mark.parametrize("num_shards,backend", BACKEND_CASES,
                          ids=BACKEND_IDS)
 class TestBatchEquivalence:
+    """Also runs once per available kernel backend: the autouse fixture
+    sets the process-default ``kernel_backend``, which ``build_pair``'s
+    configs inherit (and the process backend's workers receive through
+    the serialized config), so sharded-vs-single equivalence holds under
+    the compiled kernels too."""
+
+    @pytest.fixture(params=available_backends(), autouse=True,
+                    ids=lambda name: f"kernels-{name}")
+    def _kernel_backend(self, request, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", request.param)
+
     def test_batch_reads_match_single_index(self, num_shards, backend):
         rng = np.random.default_rng(_seed(("reads", num_shards)))
         service, single, keys = build_pair(rng, num_shards=num_shards,
