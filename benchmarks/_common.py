@@ -35,6 +35,23 @@ def runtime_meta() -> dict:
     return meta
 
 
+def obs_block() -> dict:
+    """The process's observability summary (percentiles per instrumented
+    span, counters, structural-event tally) — stamped into artifacts so
+    committed baselines carry p50/p99/p999 alongside the means.  Empty
+    when the layer is disabled (``REPRO_OBS=off``) or recorded nothing.
+    """
+    from repro import obs
+    from repro.obs.render import summarize
+
+    if not obs.enabled():
+        return {}
+    snapshot = obs.snapshot()
+    if not snapshot["histograms"] and not snapshot["counters"]:
+        return {}
+    return summarize(snapshot)
+
+
 def add_output_arguments(parser: argparse.ArgumentParser,
                          default_out: str) -> None:
     """Attach the uniform ``--out`` / ``--quiet`` options."""
@@ -54,6 +71,10 @@ def emit(result: dict, args: argparse.Namespace, summary: str) -> None:
     meta = runtime_meta()
     meta.update(result.get("meta", {}))
     result["meta"] = meta
+    if "obs" not in result:
+        block = obs_block()
+        if block:
+            result["obs"] = block
     parent = os.path.dirname(args.out)
     if parent:
         os.makedirs(parent, exist_ok=True)

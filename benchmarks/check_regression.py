@@ -56,6 +56,10 @@ class Metric:
     #: like a huge win (and vice versa), so the gate refuses the
     #: comparison instead of passing or failing it.
     core_sensitive: bool = False
+    #: Per-metric tolerance override.  Ratios that hover near 1.0 (e.g.
+    #: the observability overhead) would be allowed to double under the
+    #: deliberately loose global default, so they pin a tighter bound.
+    tolerance: Optional[float] = None
 
 
 #: The scale-invariant metrics gated per artifact.
@@ -96,6 +100,20 @@ GATED = {
         Metric("cost-model throughput ratio (hotspot-shift)",
                ("scenarios", "hotspot-shift", "comparison",
                 "throughput_ratio")),
+    ],
+    "BENCH_obs.json": [
+        # Instrumented-over-disabled batch-lookup wall clock: the price
+        # of the observability layer on the hottest read path.  Lower is
+        # better; a climb means spans crept onto a scalar path or the
+        # record path grew a lock/allocation.
+        # Tolerance pinned tight: the baseline sits at ~1.0, and the
+        # loose global default would wave a 2x slowdown through.  At
+        # 0.93 a ~1.0 baseline caps fresh runs near 1.08 — honest
+        # runner-noise headroom over the designed ≤2% overhead, while a
+        # span landing on a scalar hot path (25%+) still fails.
+        Metric("observability instrumentation overhead",
+               ("batch_lookup", "overhead_x"),
+               higher_is_better=False, tolerance=0.93),
     ],
     "BENCH_durability.json": [
         # Ratio of durable to in-memory batch-insert wall clock with
@@ -166,12 +184,14 @@ def check_file(name: str, baseline_dir: str, fresh_dir: str,
                          "result — not gated")
             continue
         checked += 1
+        applied = (metric.tolerance if metric.tolerance is not None
+                   else tolerance)
         if metric.higher_is_better:
-            floor = base * tolerance
+            floor = base * applied
             ok = fresh >= floor
             bound = f">= {floor:.3f}"
         else:
-            ceiling = base / tolerance
+            ceiling = base / applied
             ok = fresh <= ceiling
             bound = f"<= {ceiling:.3f}"
         verdict = "ok" if ok else "REGRESSION"

@@ -11,6 +11,8 @@ Subcommands::
     python -m repro adapt --scenario grow-shrink   # policy SMO report
     python -m repro errors --dataset longitudes [--size N]
     python -m repro theorems --dataset lognormal --c 1.43 2 8
+    python -m repro stats [--backend thread|process] [--format json]
+    python -m repro top [--refresh S] [--duration S]   # live dashboard
 
 All numbers use the counter-based simulated-time metric (DESIGN.md §6).
 """
@@ -59,6 +61,15 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"kernels:       default={runtime['default_kernel_backend']}, "
           f"available="
           f"{', '.join(runtime['available_kernel_backends'])}")
+    from . import obs
+    info = obs.describe()
+    switch = "on" if info["enabled"] else "off"
+    if info["env"] is not None:
+        switch += f" ({obs.ENV_VAR}={info['env']})"
+    print(f"obs:           {switch}, {info['bucket_config']}")
+    print(f"               registry: {info['counters']} counters, "
+          f"{info['gauges']} gauges, {info['histograms']} histograms, "
+          f"{info['events']}/{info['event_limit']} events")
     return 0
 
 
@@ -271,6 +282,16 @@ def _cmd_theorems(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs.dashboard import run_stats
+    return run_stats(args)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.dashboard import run_top
+    return run_top(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -384,6 +405,48 @@ def build_parser() -> argparse.ArgumentParser:
                        default=[1.0, 1.43, 2.0, 8.0])
     p_thm.add_argument("--seed", type=int, default=0)
     p_thm.set_defaults(func=_cmd_theorems)
+
+    def _add_service_args(p) -> None:
+        p.add_argument("--dataset", choices=sorted(DATASETS),
+                       default="lognormal")
+        p.add_argument("--size", type=int, default=20_000)
+        p.add_argument("--shards", type=int, default=4)
+        p.add_argument("--backend", choices=("thread", "process"),
+                       default="thread")
+        p.add_argument("--read-batch", type=int, default=256)
+        p.add_argument("--write-batch", type=int, default=64)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_stats = sub.add_parser(
+        "stats", help="drive a sharded service briefly and print its "
+                      "observability snapshot (latency percentiles, "
+                      "counters, structural events)")
+    _add_service_args(p_stats)
+    p_stats.add_argument("--rounds", type=int, default=30,
+                         help="driver rounds before the snapshot")
+    p_stats.add_argument("--format", choices=("table", "json",
+                                              "prometheus"),
+                         default="table")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_top = sub.add_parser(
+        "top", help="live refreshing dashboard over a self-driven "
+                    "sharded service: per-shard throughput, "
+                    "p50/p99/p999, SMO events, WAL lag")
+    _add_service_args(p_top)
+    p_top.add_argument("--refresh", type=float, default=1.0,
+                       help="seconds between dashboard frames")
+    p_top.add_argument("--duration", type=float, default=0.0,
+                       help="stop after this many seconds "
+                            "(0 = until Ctrl-C)")
+    p_top.add_argument("--plain", action="store_true",
+                       help="append frames instead of clearing the "
+                            "screen (pipe-friendly)")
+    p_top.add_argument("--durable", action="store_true",
+                       help="run the demo service durably (tempdir WAL "
+                            "+ checkpoints) so wal.*/checkpoint.* "
+                            "metrics light up")
+    p_top.set_defaults(func=_cmd_top)
     return parser
 
 

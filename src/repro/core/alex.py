@@ -45,6 +45,8 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
+
 from .adaptive import (build_adaptive_rmi, merge_leaves, split_leaf,
                        split_leaf_sideways, split_until_fits)
 from .config import ADAPTIVE_RMI, AlexConfig
@@ -383,6 +385,7 @@ class AlexIndex:
     # Batch point operations (the API layer of the batch engine)
     # ------------------------------------------------------------------
 
+    @obs.timed("core.lookup_many")
     def lookup_many(self, keys) -> list:
         """Return the payloads for a whole batch of keys, in input order.
 
@@ -414,6 +417,7 @@ class AlexIndex:
         inverse[order] = np.arange(n, dtype=np.int64)
         return list(map(sorted_out.__getitem__, inverse.tolist()))
 
+    @obs.timed("core.get_many")
     def get_many(self, keys, default=None) -> list:
         """Like :meth:`lookup_many` but absent keys yield ``default``
         instead of raising."""
@@ -440,6 +444,7 @@ class AlexIndex:
         inverse[order] = np.arange(n, dtype=np.int64)
         return list(map(sorted_out.__getitem__, inverse.tolist()))
 
+    @obs.timed("core.contains_many")
     def contains_many(self, keys) -> np.ndarray:
         """Vectorized membership test: a boolean array aligned with the
         input batch, identical to ``[self.contains(k) for k in keys]``."""
@@ -458,6 +463,7 @@ class AlexIndex:
     #: merge-rebuild of the leaf.
     _REBUILD_THRESHOLD = 4
 
+    @obs.timed("core.insert_many")
     def insert_many(self, keys, payloads: Optional[list] = None) -> None:
         """Insert a batch of unique new keys in one routed traversal.
 
@@ -560,6 +566,7 @@ class AlexIndex:
         if action != SMO_NONE:
             self._apply_leaf_smo(action, leaf, parent, path)
 
+    @obs.timed("core.delete_many")
     def delete_many(self, keys) -> None:
         """Remove a batch of keys in one routed traversal, all-or-nothing.
 
@@ -587,6 +594,7 @@ class AlexIndex:
             positions.append(pos)
         self._apply_delete_groups(groups, skeys, positions)
 
+    @obs.timed("core.erase_many")
     def erase_many(self, keys) -> int:
         """Like :meth:`delete_many` but absent keys are skipped instead of
         raising; returns the number of keys actually removed (the
@@ -695,6 +703,7 @@ class AlexIndex:
         self.counters.scans += 1
         return self._collect_range(leaf, leaf.find_insert_pos(lo), float(hi))
 
+    @obs.timed("core.range_query_many")
     def range_query_many(self, los, his) -> list:
         """Vectorized :meth:`range_query` for a whole batch of bounds.
 

@@ -25,6 +25,8 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
+
 from .config import AlexConfig
 from .errors import DuplicateKeyError, KeyNotFoundError
 from .kernels import get_kernels
@@ -49,6 +51,7 @@ class DataNode:
         # The hot-loop implementation (search / predict / shift) for this
         # node; a process-wide singleton, so sharing configs shares kernels.
         self.kernels = get_kernels(config.kernel_backend)
+        obs.inc("core.leaf_nodes_created")
         # Structural decisions (expand/contract here; splits and merges at
         # the index level) route through the adaptation policy layer.
         self.policy = policy or DEFAULT_POLICY

@@ -48,6 +48,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
+
 #: Recognized ``kernel_backend`` spellings.
 BACKEND_NAMES = ("numpy", "numba", "cffi", "auto")
 
@@ -234,12 +236,12 @@ def get_kernels(name: Optional[str] = None) -> KernelBackend:
     """
     name = name or default_backend_name()
     if name == "numpy":
-        return _numpy()
-    if name == "numba":
-        return _try_numba() or _numpy()
-    if name == "cffi":
-        return _try_cffi() or _numpy()
-    if name == "auto":
+        backend = _numpy()
+    elif name == "numba":
+        backend = _try_numba() or _numpy()
+    elif name == "cffi":
+        backend = _try_cffi() or _numpy()
+    elif name == "auto":
         backend = None
         try:  # auto never warns: absence of optional toolchains is fine
             from .numba_backend import NumbaKernels
@@ -250,9 +252,12 @@ def get_kernels(name: Optional[str] = None) -> KernelBackend:
                 backend = _CACHE.setdefault("cffi", CffiKernels())
             except Exception:
                 backend = None
-        return backend or _numpy()
-    raise ValueError(f"unknown kernel backend {name!r}; "
-                     f"choose one of {BACKEND_NAMES}")
+        backend = backend or _numpy()
+    else:
+        raise ValueError(f"unknown kernel backend {name!r}; "
+                         f"choose one of {BACKEND_NAMES}")
+    obs.inc("kernel.dispatch." + backend.name)
+    return backend
 
 
 def available_backends() -> Tuple[str, ...]:

@@ -44,6 +44,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro import obs
+
 from .config import ADAPTIVE_RMI, AlexConfig
 
 # ---------------------------------------------------------------------------
@@ -272,10 +274,14 @@ class AdaptationPolicy:
         their reasoning."""
         with self._bookkeeping:
             self.smo_counts[action] = self.smo_counts.get(action, 0) + 1
+        obs.inc("policy.applied." + action)
+        obs.emit("policy.applied", action=action)
 
     def _log(self, site: str, action: str, size: int, reason: str) -> None:
         with self._bookkeeping:
             self.decisions.append(PolicyDecision(site, action, size, reason))
+        obs.emit("policy.decision", site=site, action=action, size=size,
+                 reason=reason)
 
     # -- leaf-local decisions -------------------------------------------
 

@@ -33,6 +33,7 @@ import json
 import os
 from typing import Callable, List, Optional, Tuple
 
+from repro import obs
 from repro.core.errors import PersistenceError
 
 #: Stamp in every durability manifest (single-index and service alike).
@@ -177,27 +178,29 @@ class CheckpointManager:
         in-process index, or a worker-side persist op for a process-hosted
         shard.  Returns the final checkpoint path.
         """
-        target = self.checkpoint_path(lsn)
-        tmp = target + ".tmp"
-        write_snapshot(tmp)
-        with open(tmp, "rb+") as fh:
-            os.fsync(fh.fileno())
-        self._fault("snapshot-written")
-        os.replace(tmp, target)
-        _fsync_dir(self.root)
-        self._fault("renamed")
-        manifest = self._manifest()
-        old = manifest.get("checkpoint")
-        manifest["checkpoint"] = {"file": os.path.basename(target),
-                                  "lsn": int(lsn)}
-        manifest["counters"] = counters
-        write_json_atomic(self.manifest_path, manifest)
-        self._fault("manifest-published")
-        if old is not None and old["file"] != os.path.basename(target):
-            try:
-                os.remove(os.path.join(self.root, old["file"]))
-            except FileNotFoundError:
-                pass
+        with obs.span("checkpoint.publish"):
+            target = self.checkpoint_path(lsn)
+            tmp = target + ".tmp"
+            write_snapshot(tmp)
+            with open(tmp, "rb+") as fh:
+                os.fsync(fh.fileno())
+            self._fault("snapshot-written")
+            os.replace(tmp, target)
+            _fsync_dir(self.root)
+            self._fault("renamed")
+            manifest = self._manifest()
+            old = manifest.get("checkpoint")
+            manifest["checkpoint"] = {"file": os.path.basename(target),
+                                      "lsn": int(lsn)}
+            manifest["counters"] = counters
+            write_json_atomic(self.manifest_path, manifest)
+            self._fault("manifest-published")
+            if old is not None and old["file"] != os.path.basename(target):
+                try:
+                    os.remove(os.path.join(self.root, old["file"]))
+                except FileNotFoundError:
+                    pass
+        obs.inc("checkpoint.published")
         return target
 
     def stale_checkpoints(self) -> List[str]:

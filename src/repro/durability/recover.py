@@ -25,6 +25,7 @@ import os
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.core.alex import AlexIndex
 from repro.core.config import AlexConfig
 from repro.core.errors import PersistenceError
@@ -99,10 +100,13 @@ def recover_index(root: str, config: Optional[AlexConfig] = None,
         index = AlexIndex(config, policy=policy)
     frames = ops = 0
     last_lsn = checkpoint_lsn
-    for frame in iter_frames(manager.wal_dir, after_lsn=checkpoint_lsn):
-        ops += apply_frame(index, frame)
-        frames += 1
-        last_lsn = frame.lsn
+    with obs.span("recover.replay"):
+        for frame in iter_frames(manager.wal_dir, after_lsn=checkpoint_lsn):
+            ops += apply_frame(index, frame)
+            frames += 1
+            last_lsn = frame.lsn
+    obs.inc("recover.frames_replayed", frames)
+    obs.inc("recover.ops_replayed", ops)
     return RecoveryResult(index=index, checkpoint_lsn=checkpoint_lsn,
                           last_lsn=last_lsn, frames_replayed=frames,
                           ops_replayed=ops)

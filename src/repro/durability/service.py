@@ -34,6 +34,7 @@ import shutil
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
+from repro import obs
 from repro.core.errors import PersistenceError
 
 from .checkpoint import (MANIFEST_MAGIC, MANIFEST_VERSION,
@@ -209,8 +210,16 @@ class ShardedDurability:
         state.wal.roll()
         state.manager.publish(lsn, write_snapshot, counters=counters)
         state.wal.truncate_upto(lsn)
+        lag = state.ops_since_checkpoint
         state.ops_since_checkpoint = 0
+        obs.emit("checkpoint.shard", shard=shard, lsn=lsn, lag_ops=lag)
         return lsn
+
+    def lag_ops(self) -> List[int]:
+        """Per-shard WAL lag: operations logged since each shard's last
+        checkpoint (the dashboard's "how much replay a crash would cost"
+        column)."""
+        return [state.ops_since_checkpoint for state in self._shards]
 
     def recover_shard(self, shard: int, config=None,
                       policy=None) -> RecoveryResult:

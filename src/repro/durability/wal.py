@@ -66,6 +66,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.errors import WALCorruptionError
 
 #: Logical operations a frame can carry (replayed by
@@ -385,22 +386,28 @@ class WriteAheadLog:
             raise ValueError("write-ahead log is closed")
         if op not in OP_NAMES:
             raise ValueError(f"unknown WAL op {op!r}")
-        lsn = self.last_lsn + 1
-        self._fh.write(_encode_frame(lsn, op, keys, payloads))
-        self.last_lsn = lsn
-        if self._tail_first_lsn is None:
-            self._tail_first_lsn = lsn
-        if self.fsync == "always":
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
-        elif self.fsync == "batch":
-            self._fh.flush()
-            self._unsynced += 1
-            if self._unsynced >= self.group_commit:
-                os.fsync(self._fh.fileno())
-                self._unsynced = 0
-        if self._fh.tell() >= self.segment_bytes:
-            self.roll()
+        with obs.span("wal.append"):
+            lsn = self.last_lsn + 1
+            self._fh.write(_encode_frame(lsn, op, keys, payloads))
+            self.last_lsn = lsn
+            if self._tail_first_lsn is None:
+                self._tail_first_lsn = lsn
+            if self.fsync == "always":
+                with obs.span("wal.fsync"):
+                    self._fh.flush()
+                    os.fsync(self._fh.fileno())
+            elif self.fsync == "batch":
+                self._fh.flush()
+                self._unsynced += 1
+                if self._unsynced >= self.group_commit:
+                    # How many frames each group commit amortizes one
+                    # fsync across (a count histogram, not a duration).
+                    obs.observe("wal.group_commit_frames", self._unsynced)
+                    with obs.span("wal.fsync"):
+                        os.fsync(self._fh.fileno())
+                    self._unsynced = 0
+            if self._fh.tell() >= self.segment_bytes:
+                self.roll()
         return lsn
 
     def flush(self) -> None:
@@ -413,8 +420,9 @@ class WriteAheadLog:
     def sync(self) -> None:
         """Force the appended frames to stable storage (any policy)."""
         if self._fh is not None:
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
+            with obs.span("wal.fsync"):
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
             self._unsynced = 0
 
     def roll(self) -> None:

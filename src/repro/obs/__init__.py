@@ -1,0 +1,210 @@
+"""Observability: low-overhead metrics, spans, and structural events.
+
+One process-local :class:`~repro.obs.metrics.MetricsRegistry` per
+process (the facade's, and one inside every process-backend worker),
+driven through the module-level helpers below so instrumented code never
+threads a registry handle around:
+
+* ``with obs.span("serve.lookup_many"): ...`` — a timed span recording
+  a nanosecond latency into a log-bucketed histogram;
+* ``@obs.timed("core.insert_many")`` — the same as a decorator;
+* ``obs.inc`` / ``obs.set_gauge`` / ``obs.observe`` — counters, gauges,
+  and direct histogram observations;
+* ``obs.emit("shard.split", shard=3)`` — bounded structural event log.
+
+The kill switch
+---------------
+
+``REPRO_OBS=off`` (or ``0``/``false``/``no``/``disabled``) disables the
+whole layer at import: ``span()`` returns the shared no-op span (one
+singleton — identity-testable), and every record/emit helper returns
+without touching the registry.  :func:`set_enabled` flips the switch at
+runtime (how ``bench_obs.py`` measures instrumented-vs-disabled in one
+process).  Worker processes inherit the environment, so the switch
+covers the whole service under the process backend.
+
+Aggregation
+-----------
+
+Snapshots are plain dicts; the process backend's workers return theirs
+over the existing RPC path (the ``obs_snapshot`` shard op) and
+:func:`repro.obs.metrics.merge_snapshots` folds them into the facade's
+service-wide view — see ``ShardedAlexIndex.metrics_snapshot``.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from typing import Optional
+
+from .events import EVENT_LIMIT, EventLog
+from .metrics import (BUCKET_BOUNDS, NUM_BUCKETS, NUM_OCTAVES, PERCENTILES,
+                      SUB_BUCKETS, Counter, Gauge, LatencyHistogram,
+                      MetricsRegistry, bucket_index, bucket_value,
+                      empty_snapshot, histogram_summary, merge_many,
+                      merge_snapshots, percentile_from_snapshot)
+
+__all__ = [
+    "BUCKET_BOUNDS", "Counter", "EVENT_LIMIT", "EventLog", "Gauge",
+    "LatencyHistogram", "MetricsRegistry", "NOOP_SPAN", "NUM_BUCKETS",
+    "NUM_OCTAVES", "PERCENTILES", "SUB_BUCKETS", "Span", "bucket_index",
+    "bucket_value", "describe", "emit", "empty_snapshot", "enabled",
+    "get_registry", "histogram_summary", "inc", "merge_many",
+    "merge_snapshots", "observe", "percentile_from_snapshot", "record_ns",
+    "reset", "set_enabled", "set_gauge", "snapshot", "span", "timed",
+]
+
+#: Environment variable holding the global kill switch.
+ENV_VAR = "REPRO_OBS"
+
+_DISABLED_VALUES = frozenset({"off", "0", "false", "no", "disabled"})
+
+
+def _enabled_from_env(value: Optional[str]) -> bool:
+    """Whether an ``REPRO_OBS`` value means *enabled* (default on)."""
+    return (value or "on").strip().lower() not in _DISABLED_VALUES
+
+
+_enabled = _enabled_from_env(os.environ.get(ENV_VAR))
+_registry = MetricsRegistry()
+
+
+def enabled() -> bool:
+    """Whether the observability layer is recording."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> None:
+    """Flip the kill switch at runtime (the env var only sets the
+    initial state).  Does not clear previously recorded data."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+def get_registry() -> MetricsRegistry:
+    """This process's registry."""
+    return _registry
+
+
+def reset() -> None:
+    """Drop every recorded metric and event (test/bench isolation)."""
+    _registry.clear()
+
+
+class Span:
+    """A timed region: records ``perf_counter_ns`` elapsed into one
+    histogram on exit (including the exceptional one — a failed request
+    is still a served request)."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: LatencyHistogram) -> None:
+        self._histogram = histogram
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._histogram.record(time.perf_counter_ns() - self._start)
+        return False
+
+
+class _NoopSpan:
+    """The disabled path: one shared instance, no state, no recording."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: The singleton every ``span()`` call returns while disabled.
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str) -> "Span | _NoopSpan":
+    """A context manager timing its body into histogram ``name``."""
+    if not _enabled:
+        return NOOP_SPAN
+    return Span(_registry.histogram(name))
+
+
+def timed(name: str):
+    """Decorator form of :func:`span` (checks the switch per call, so
+    decorated functions honor runtime toggles)."""
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            start = time.perf_counter_ns()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                _registry.histogram(name).record(
+                    time.perf_counter_ns() - start)
+        return wrapper
+    return decorate
+
+
+def record_ns(name: str, ns: float) -> None:
+    """Record one latency observation (nanoseconds)."""
+    if _enabled:
+        _registry.histogram(name).record(ns)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one generic (non-time) histogram observation."""
+    if _enabled:
+        _registry.histogram(name).record(value)
+
+
+def inc(name: str, n: int = 1) -> None:
+    """Increment a counter."""
+    if _enabled:
+        _registry.counter(name).inc(n)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge."""
+    if _enabled:
+        _registry.gauge(name).set(value)
+
+
+def emit(kind: str, **fields) -> None:
+    """Append one structural event to the bounded log."""
+    if _enabled:
+        _registry.events.emit(kind, **fields)
+
+
+def snapshot() -> dict:
+    """This process's registry as plain dicts (picklable/JSON-able),
+    stamped with the current switch state."""
+    snap = _registry.snapshot()
+    snap["enabled"] = _enabled
+    return snap
+
+
+def describe() -> dict:
+    """The obs runtime block ``python -m repro info`` prints: switch
+    state, registry population, and the fixed bucket configuration."""
+    snap = _registry.snapshot()
+    return {
+        "enabled": _enabled,
+        "env": os.environ.get(ENV_VAR),
+        "counters": len(snap["counters"]),
+        "gauges": len(snap["gauges"]),
+        "histograms": len(snap["histograms"]),
+        "events": len(snap["events"]),
+        "event_limit": EVENT_LIMIT,
+        "bucket_config": (
+            f"{NUM_BUCKETS} log2 buckets, {SUB_BUCKETS} per octave "
+            f"(~{(2 ** (1 / SUB_BUCKETS) - 1) * 100:.0f}% wide), "
+            f"1ns .. ~{float(BUCKET_BOUNDS[-1]) / 6e10:.0f}min"),
+    }

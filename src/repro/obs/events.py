@@ -1,0 +1,50 @@
+"""Bounded structural event log with monotonic timestamps.
+
+Where the histograms answer "how long do requests take", the event log
+answers "what did the structure *do* and why": every
+:class:`~repro.core.policy.AdaptationPolicy` decision (SMO kind, site,
+size, the reason string carrying the pressure inputs and chosen cost)
+and every serving-tier structural event (shard split/merge, worker
+death/respawn/retry, checkpoints) lands here as one plain dict with a
+``time.monotonic()`` timestamp.
+
+The log is a fixed-size deque: it can sit under a service absorbing
+millions of operations and never grow, because structural events are
+rare by design — the interesting tail is the recent one.  Snapshots are
+plain lists of dicts, so they ride the same pickle/merge path as the
+metric snapshots and interleave across processes by timestamp.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import List
+
+#: Events retained per process (older ones fall off the front).
+EVENT_LIMIT = 512
+
+
+class EventLog:
+    """Append-only bounded log of structural events."""
+
+    def __init__(self, limit: int = EVENT_LIMIT) -> None:
+        self.limit = limit
+        self._events: deque = deque(maxlen=limit)
+
+    def emit(self, kind: str, **fields) -> None:
+        """Record one event (``kind`` plus arbitrary scalar fields)."""
+        event = {"t": time.monotonic(), "kind": kind}
+        event.update(fields)
+        self._events.append(event)
+
+    def snapshot(self) -> List[dict]:
+        """The retained events, oldest first (copies the dicts so a
+        snapshot cannot alias live log entries)."""
+        return [dict(event) for event in self._events]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

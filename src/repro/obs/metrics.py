@@ -1,0 +1,309 @@
+"""Metrics core: counters, gauges, and log-bucketed latency histograms.
+
+Everything here is built for *recording cost*, not analytical richness:
+a histogram record is one ``math.log2``, one list increment, and three
+scalar updates — no locks, no allocation, no numpy call — so spans can
+sit on the serving tier's request path without moving the numbers they
+measure.  The analytical half (bucket boundaries, percentile
+extraction) runs over a **fixed numpy bucket array** only when a
+snapshot is taken.
+
+Buckets
+-------
+
+Histograms use log2 buckets with :data:`SUB_BUCKETS` sub-divisions per
+octave (power of two): bucket ``i`` covers ``[2**(i/8), 2**((i+1)/8))``
+nanoseconds, a relative width of ``2**(1/8) - 1`` (about 9%).  With
+:data:`NUM_OCTAVES` octaves the fixed array spans 1ns to ~18 minutes in
+:data:`NUM_BUCKETS` buckets — every latency this system can produce
+lands in a bucket whose midpoint is within one bucket width of the true
+value, which is what makes the extracted p50/p90/p99/p999 "exact" at
+the reporting resolution (property-tested against ``np.percentile``).
+
+Snapshots and merging
+---------------------
+
+``snapshot()`` produces plain nested dicts (picklable across the
+process backend's worker pipes, JSON-able for artifacts), and
+:func:`merge_snapshots` is **associative**: the facade can fold worker
+registries over its own in any grouping and the service-wide view is
+identical.  Concurrent increments are best-effort under threads (a race
+can drop a tally) — these are measurement instruments, not correctness
+state, exactly like :class:`repro.core.stats.Counters`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+#: Histogram sub-buckets per octave (relative bucket width ~9%).
+SUB_BUCKETS = 8
+#: Octaves covered by the fixed bucket array: 1ns .. 2**40 ns (~18 min).
+NUM_OCTAVES = 40
+#: Total fixed bucket count.
+NUM_BUCKETS = SUB_BUCKETS * NUM_OCTAVES
+
+#: The fixed numpy bucket boundary array: ``BUCKET_BOUNDS[i]`` is bucket
+#: ``i``'s inclusive lower edge in ns; ``BUCKET_BOUNDS[i + 1]`` its
+#: exclusive upper edge.
+BUCKET_BOUNDS = np.exp2(np.arange(NUM_BUCKETS + 1) / SUB_BUCKETS)
+
+#: Percentiles every summary extracts.
+PERCENTILES = (50.0, 90.0, 99.0, 99.9)
+
+
+def bucket_index(value: float) -> int:
+    """The fixed bucket a (nanosecond) value lands in."""
+    if value < 1.0:
+        return 0
+    idx = int(math.log2(value) * SUB_BUCKETS)
+    return idx if idx < NUM_BUCKETS else NUM_BUCKETS - 1
+
+
+def bucket_value(idx: int) -> float:
+    """A bucket's representative value (its geometric midpoint)."""
+    return float(2.0 ** ((idx + 0.5) / SUB_BUCKETS))
+
+
+class Counter:
+    """A monotone tally.  ``inc`` is one attribute add — GIL-cheap,
+    best-effort under concurrent writers."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins instantaneous reading."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class LatencyHistogram:
+    """Log-bucketed distribution with ~ns record cost.
+
+    ``record`` takes any non-negative value; the canonical unit is
+    nanoseconds (spans record ``perf_counter_ns`` deltas) but the
+    buckets are unit-agnostic — e.g. the WAL's group-commit batch sizes
+    record frame *counts* through the same machinery.
+    """
+
+    __slots__ = ("_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._counts: List[int] = [0] * NUM_BUCKETS
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    def record(self, value: float) -> None:
+        if value < 1.0:
+            idx = 0
+            if value < 0.0:
+                value = 0.0
+        else:
+            idx = int(math.log2(value) * SUB_BUCKETS)
+            if idx >= NUM_BUCKETS:
+                idx = NUM_BUCKETS - 1
+        self._counts[idx] += 1
+        self._count += 1
+        self._sum += value
+        if value > self._max:
+            self._max = value
+        if value < self._min:
+            self._min = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def snapshot(self) -> dict:
+        """Plain-dict form: sparse ``{bucket_index: count}`` plus the
+        scalar moments (picklable, mergeable, JSON-able)."""
+        counts = {i: c for i, c in enumerate(self._counts) if c}
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": None if self._count == 0 else self._min,
+            "max": None if self._count == 0 else self._max,
+            "counts": counts,
+        }
+
+
+def percentile_from_snapshot(snap: dict, q: float) -> Optional[float]:
+    """Extract one percentile from a histogram snapshot.
+
+    Rank semantics match ``np.percentile(..., method="lower")``: the
+    value returned represents the bucket holding the recorded value at
+    0-indexed position ``floor(q/100 * (n - 1))``, reported at the
+    bucket's geometric midpoint — within one bucket width of the exact
+    order statistic by construction.
+    """
+    count = int(snap.get("count", 0))
+    if count == 0:
+        return None
+    counts = snap["counts"]
+    idxs = np.array(sorted(int(k) for k in counts), dtype=np.int64)
+    cum = np.cumsum(np.array([counts[k] for k in sorted(counts,
+                                                        key=int)],
+                             dtype=np.int64))
+    # The epsilon keeps float rounding (an exact-integer position
+    # computing as 998.9999...) from flooring one rank short.
+    rank = 1 + int(math.floor(q * (count - 1) / 100.0 + 1e-9))
+    pos = int(np.searchsorted(cum, rank))
+    if pos >= len(idxs):
+        pos = len(idxs) - 1
+    value = bucket_value(int(idxs[pos]))
+    # A bucket midpoint can sit past the largest recorded value; clamp so
+    # reported percentiles never exceed the observed max.
+    observed_max = snap.get("max")
+    if observed_max is not None and value > observed_max:
+        value = float(observed_max)
+    return value
+
+
+def histogram_summary(snap: dict,
+                      percentiles: Sequence[float] = PERCENTILES) -> dict:
+    """Count, mean, max, and the standard percentiles of one histogram
+    snapshot (the shape stamped into bench artifacts)."""
+    count = int(snap.get("count", 0))
+    out = {"count": count}
+    if count:
+        out["mean"] = snap["sum"] / count
+        out["max"] = snap["max"]
+    for q in percentiles:
+        label = f"p{q:g}".replace(".", "_")
+        out[label] = percentile_from_snapshot(snap, q)
+    return out
+
+
+class MetricsRegistry:
+    """Process-local named metrics plus the structural event log.
+
+    Metric lookup is a plain dict read on the hot path; creation takes a
+    lock once per name.  ``snapshot()`` renders everything to plain
+    dicts; :func:`merge_snapshots` folds snapshots from other processes
+    (the process backend's workers) into a service-wide view.
+    """
+
+    def __init__(self) -> None:
+        from .events import EventLog
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self.events = EventLog()
+
+    def _get(self, table: dict, name: str, factory):
+        obj = table.get(name)
+        if obj is None:
+            with self._lock:
+                obj = table.setdefault(name, factory())
+        return obj
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self._gauges, name, Gauge)
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        return self._get(self._histograms, name, LatencyHistogram)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self.events.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every metric and the event log."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.snapshot()
+                           for name, h in sorted(self._histograms.items())},
+            "events": self.events.snapshot(),
+        }
+
+
+def empty_snapshot() -> dict:
+    """The identity element of :func:`merge_snapshots`."""
+    return {"counters": {}, "gauges": {}, "histograms": {}, "events": []}
+
+
+def _merge_histogram(a: dict, b: dict) -> dict:
+    counts: Dict[int, int] = {}
+    for source in (a.get("counts", {}), b.get("counts", {})):
+        for idx, c in source.items():
+            idx = int(idx)
+            counts[idx] = counts.get(idx, 0) + int(c)
+    mins = [m for m in (a.get("min"), b.get("min")) if m is not None]
+    maxs = [m for m in (a.get("max"), b.get("max")) if m is not None]
+    return {
+        "count": int(a.get("count", 0)) + int(b.get("count", 0)),
+        "sum": float(a.get("sum", 0.0)) + float(b.get("sum", 0.0)),
+        "min": min(mins) if mins else None,
+        "max": max(maxs) if maxs else None,
+        "counts": counts,
+    }
+
+
+def merge_snapshots(a: dict, b: dict) -> dict:
+    """Fold two registry snapshots into one (associative, inputs
+    untouched): counters and histogram buckets add, gauges are
+    last-writer-wins (``b`` over ``a``), events interleave by
+    timestamp."""
+    out = empty_snapshot()
+    out["counters"] = dict(a.get("counters", {}))
+    for name, value in b.get("counters", {}).items():
+        out["counters"][name] = out["counters"].get(name, 0) + value
+    out["gauges"] = {**a.get("gauges", {}), **b.get("gauges", {})}
+    hists = dict(a.get("histograms", {}))
+    for name, snap in b.get("histograms", {}).items():
+        if name in hists:
+            hists[name] = _merge_histogram(hists[name], snap)
+        else:
+            hists[name] = _merge_histogram(empty_histogram(), snap)
+    out["histograms"] = {
+        name: _merge_histogram(empty_histogram(), snap)
+        for name, snap in hists.items()
+    }
+    out["events"] = sorted((list(a.get("events", []))
+                            + list(b.get("events", []))),
+                           key=lambda e: e.get("t", 0.0))
+    return out
+
+
+def empty_histogram() -> dict:
+    """An empty histogram snapshot (merge identity)."""
+    return {"count": 0, "sum": 0.0, "min": None, "max": None, "counts": {}}
+
+
+def merge_many(snapshots: Iterable[dict]) -> dict:
+    """Fold any number of snapshots (left fold of
+    :func:`merge_snapshots`)."""
+    merged = empty_snapshot()
+    for snap in snapshots:
+        if snap:
+            merged = merge_snapshots(merged, snap)
+    return merged

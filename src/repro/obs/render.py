@@ -1,0 +1,145 @@
+"""Exposition: registry snapshots -> Prometheus text, summaries, tables.
+
+Three renderings of the same plain-dict snapshot:
+
+* :func:`summarize` — compact percentile summaries (the ``obs`` block
+  stamped into bench artifacts by ``benchmarks/_common.py``);
+* :func:`to_prometheus` — Prometheus text format (counters, gauges, and
+  cumulative ``_bucket{le=...}`` histogram series, seconds-based per the
+  Prometheus convention);
+* :func:`percentile_table` / :func:`format_value` — terminal tables for
+  ``python -m repro stats`` and the ``repro top`` dashboard.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence
+
+from .metrics import BUCKET_BOUNDS, histogram_summary
+
+#: Histograms whose values are counts, not nanoseconds (rendered without
+#: time units; exposed to Prometheus unscaled).
+COUNT_UNIT_PREFIXES = ("wal.group_commit_frames",)
+
+
+def _is_duration(name: str) -> bool:
+    return not any(name.startswith(p) for p in COUNT_UNIT_PREFIXES)
+
+
+def format_ns(ns: Optional[float]) -> str:
+    """Human-readable duration from nanoseconds."""
+    if ns is None:
+        return "-"
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns:.0f}ns"
+
+
+def format_value(name: str, value: Optional[float]) -> str:
+    """Render one histogram reading in its unit (time or plain count)."""
+    if value is None:
+        return "-"
+    if _is_duration(name):
+        return format_ns(value)
+    return f"{value:.0f}"
+
+
+def summarize(snapshot: dict) -> dict:
+    """Compact summary of a snapshot: counters and gauges verbatim,
+    histograms reduced to count/mean/max/percentiles, events to a tally
+    by kind.  JSON-safe — this is the bench artifacts' ``obs`` block."""
+    events_by_kind: dict = {}
+    for event in snapshot.get("events", []):
+        kind = event.get("kind", "?")
+        events_by_kind[kind] = events_by_kind.get(kind, 0) + 1
+    return {
+        "counters": dict(snapshot.get("counters", {})),
+        "gauges": dict(snapshot.get("gauges", {})),
+        "histograms": {
+            name: histogram_summary(snap)
+            for name, snap in snapshot.get("histograms", {}).items()
+        },
+        "events_by_kind": events_by_kind,
+    }
+
+
+def _prom_name(name: str, prefix: str = "repro") -> str:
+    return prefix + "_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Prometheus text exposition of a snapshot.
+
+    Duration histograms are exposed in **seconds** (the Prometheus
+    convention); count-valued histograms (see
+    :data:`COUNT_UNIT_PREFIXES`) stay unscaled.  Only non-empty buckets
+    appear, cumulatively, closed by the required ``+Inf`` bucket.
+    """
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, snap in snapshot.get("histograms", {}).items():
+        metric = _prom_name(name, prefix)
+        scale = 1e-9 if _is_duration(name) else 1.0
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        counts = snap.get("counts", {})
+        for idx in sorted(int(k) for k in counts):
+            cumulative += int(counts[idx])
+            upper = float(BUCKET_BOUNDS[idx + 1]) * scale
+            lines.append(f'{metric}_bucket{{le="{upper:.9g}"}} '
+                         f'{cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} '
+                     f'{int(snap.get("count", 0))}')
+        lines.append(f"{metric}_sum {float(snap.get('sum', 0.0)) * scale:.9g}")
+        lines.append(f"{metric}_count {int(snap.get('count', 0))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def percentile_table(snapshot: dict,
+                     prefixes: Optional[Sequence[str]] = None
+                     ) -> List[tuple]:
+    """``(name, count, p50, p90, p99, p999, max)`` rows, formatted, for
+    every (matching) histogram in the snapshot — the body of the stats
+    command and the dashboard's latency panel."""
+    rows = []
+    for name, snap in sorted(snapshot.get("histograms", {}).items()):
+        if prefixes and not any(name.startswith(p) for p in prefixes):
+            continue
+        summary = histogram_summary(snap)
+        rows.append((
+            name, summary["count"],
+            format_value(name, summary.get("p50")),
+            format_value(name, summary.get("p90")),
+            format_value(name, summary.get("p99")),
+            format_value(name, summary.get("p99_9")),
+            format_value(name, summary.get("max")),
+        ))
+    return rows
+
+
+def event_lines(events: Sequence[dict], limit: int = 12) -> List[str]:
+    """The newest ``limit`` events as one-line strings, oldest first,
+    with timestamps relative to the first retained event."""
+    tail = list(events)[-limit:]
+    if not tail:
+        return []
+    t0 = events[0].get("t", 0.0) if events else 0.0
+    out = []
+    for event in tail:
+        extras = " ".join(f"{k}={v}" for k, v in event.items()
+                          if k not in ("t", "kind"))
+        out.append(f"[+{event.get('t', 0.0) - t0:8.2f}s] "
+                   f"{event.get('kind', '?'):18s} {extras}")
+    return out

@@ -35,6 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.alex import AlexIndex
 from repro.core.batch import export_arrays
 from repro.core.config import AlexConfig
@@ -115,6 +116,9 @@ SHARD_OPS = {
            if hasattr(index.policy, knob)},
     },
     "persist_to": _op_persist_to,
+    # This process's metrics registry (workers return theirs over the
+    # RPC pipe so the facade can merge a service-wide view).
+    "obs_snapshot": lambda index: obs.snapshot(),
 }
 
 
@@ -123,7 +127,8 @@ def run_shard_op(index: AlexIndex, method: str, *args):
     op = SHARD_OPS.get(method)
     if op is not None:
         return op(index, *args)
-    return getattr(index, method)(*args)
+    with obs.span("shard.op." + method):
+        return getattr(index, method)(*args)
 
 
 def build_shard(keys: np.ndarray, payloads: Optional[list],
@@ -222,6 +227,13 @@ class ExecutionBackend(abc.ABC):
             f"the {self.name!r} backend does not host shards in-process; "
             "use snapshot()")
 
+    def obs_snapshots(self) -> List[Optional[dict]]:
+        """Metrics-registry snapshots from every *other* process hosting
+        shards.  Empty for in-process backends — their shards record
+        straight into the facade's registry, and returning it per shard
+        would multiply every count by the shard fan-out when merged."""
+        return []
+
     def close(self) -> None:
         """Release executors, pools, workers, and shared segments."""
 
@@ -256,7 +268,8 @@ class ThreadBackend(ExecutionBackend):
         # Kernel warmup belongs to provisioning, not the first request;
         # nogil compiled kernels are also what lets this backend's pool
         # actually scale across cores.
-        get_kernels(config.kernel_backend).warm()
+        with obs.span("kernel.warm"):
+            get_kernels(config.kernel_backend).warm()
 
     # -- lifecycle ----------------------------------------------------
 

@@ -59,6 +59,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.alex import AlexIndex
 from repro.core.batch import export_arrays
 from repro.core.config import AlexConfig
@@ -95,6 +96,23 @@ class ShardStats:
         # Read locks are shared, so concurrent batches tally the same
         # shard; a mutex keeps the read-modify-write increments exact.
         self._mutex = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # The mutex is process-local state: pickling a live stats object
+        # (worker seeds, persisted services) carries only the tallies.
+        state = self.__dict__.copy()
+        state.pop("_mutex", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mutex = threading.Lock()
+
+    def as_dict(self) -> dict:
+        """Snapshot form: plain tallies, safe to pickle/merge/JSON."""
+        with self._mutex:
+            return {"reads": self.reads, "writes": self.writes,
+                    "scans": self.scans}
 
     def add(self, reads: int = 0, writes: int = 0, scans: int = 0) -> None:
         """Atomically add to the tallies (one call per sub-batch)."""
@@ -446,6 +464,8 @@ class ShardedAlexIndex:
             saved = self._durability.shard_state(s).manager.saved_counters()
             seed = Counters(**saved) if saved else None
             self._backend.respawn(s, keys, payloads, seed)
+            obs.inc("serve.worker_respawns")
+            obs.emit("worker.respawn", shard=s, keys=len(keys))
         return bool(repairable)
 
     def _retry_dead(self, thunk, retry: bool = True,
@@ -459,9 +479,12 @@ class ShardedAlexIndex:
         try:
             return thunk()
         except WorkerDiedError as exc:
+            obs.inc("serve.worker_deaths")
+            obs.emit("worker.died", shard=exc.shard, retry=retry)
             if not self._respawn_dead(exc.shard, involved):
                 raise
             if retry:
+                obs.inc("serve.worker_retries")
                 return thunk()
             return None
 
@@ -535,6 +558,7 @@ class ShardedAlexIndex:
                 out[j] = payload
         return out
 
+    @obs.timed("serve.lookup_many")
     def lookup_many(self, keys) -> list:
         """Batch lookup across shards; raises :class:`KeyNotFoundError`
         when any key is absent.  Identical to
@@ -545,6 +569,7 @@ class ShardedAlexIndex:
         groups, results = self._scatter_read(skeys, "lookup_many")
         return self._stitch(groups, results, [None] * len(skeys), order)
 
+    @obs.timed("serve.get_many")
     def get_many(self, keys, default=None) -> list:
         """Batch :meth:`AlexIndex.get_many` across shards."""
         skeys, order = self._sort_batch(keys)
@@ -553,6 +578,7 @@ class ShardedAlexIndex:
         groups, results = self._scatter_read(skeys, "get_many", default)
         return self._stitch(groups, results, [default] * len(skeys), order)
 
+    @obs.timed("serve.contains_many")
     def contains_many(self, keys) -> np.ndarray:
         """Vectorized membership test across shards."""
         skeys, order = self._sort_batch(keys)
@@ -572,6 +598,7 @@ class ShardedAlexIndex:
     # Batch writes
     # ------------------------------------------------------------------
 
+    @obs.timed("serve.insert_many")
     def insert_many(self, keys, payloads: Optional[list] = None) -> None:
         """Batch insert across shards, all-or-nothing.
 
@@ -628,6 +655,7 @@ class ShardedAlexIndex:
             finally:
                 self._release_shards(shard_ids, write=True)
 
+    @obs.timed("serve.delete_many")
     def delete_many(self, keys) -> None:
         """Batch delete across shards, all-or-nothing.
 
@@ -676,6 +704,7 @@ class ShardedAlexIndex:
             finally:
                 self._release_shards(shard_ids, write=True)
 
+    @obs.timed("serve.erase_many")
     def erase_many(self, keys) -> int:
         """Like :meth:`delete_many` but absent keys are skipped; returns
         the number of keys removed across all shards.
@@ -749,29 +778,34 @@ class ShardedAlexIndex:
                 self.stats[s].add(writes=1)
                 self._maybe_checkpoint(s)
 
+    @obs.timed("serve.insert")
     def insert(self, key: float, payload=None) -> None:
         """Insert one key (exclusive lock on its shard only)."""
         key = float(key)
         self._scalar_write(key, "insert", (key, payload), OP_INSERT,
                            [payload])
 
+    @obs.timed("serve.delete")
     def delete(self, key: float) -> None:
         """Remove one key; raises :class:`KeyNotFoundError` when absent."""
         key = float(key)
         self._scalar_write(key, "delete", (key,), OP_DELETE)
 
+    @obs.timed("serve.update")
     def update(self, key: float, payload) -> None:
         """Replace the payload of an existing key."""
         key = float(key)
         self._scalar_write(key, "update", (key, payload), OP_UPSERT,
                            [payload])
 
+    @obs.timed("serve.upsert")
     def upsert(self, key: float, payload) -> None:
         """Insert or update one key."""
         key = float(key)
         self._scalar_write(key, "upsert", (key, payload), OP_UPSERT,
                            [payload])
 
+    @obs.timed("serve.lookup")
     def lookup(self, key: float):
         """Shared-lock single-key lookup on the owning shard."""
         key = float(key)
@@ -792,6 +826,7 @@ class ShardedAlexIndex:
         except KeyNotFoundError:
             return default
 
+    @obs.timed("serve.contains")
     def contains(self, key: float) -> bool:
         """Whether ``key`` is present."""
         key = float(key)
@@ -807,6 +842,7 @@ class ShardedAlexIndex:
     # Range operations
     # ------------------------------------------------------------------
 
+    @obs.timed("serve.range_scan")
     def range_scan(self, start_key: float, limit: int) -> list:
         """Up to ``limit`` pairs with key >= ``start_key``, in key order,
         continuing across shard boundaries as needed."""
@@ -826,6 +862,7 @@ class ShardedAlexIndex:
                     break
         return out
 
+    @obs.timed("serve.range_query")
     def range_query(self, lo: float, hi: float) -> list:
         """All pairs with ``lo <= key <= hi``, scatter-gathered from the
         shards whose ranges the interval touches and concatenated in shard
@@ -851,6 +888,7 @@ class ShardedAlexIndex:
             out.extend(chunk)
         return out
 
+    @obs.timed("serve.range_query_many")
     def range_query_many(self, los, his) -> list:
         """Vectorized :meth:`range_query` for a batch of intervals.
 
@@ -1035,6 +1073,9 @@ class ShardedAlexIndex:
         # fix for stale windows biasing the next policy evaluation).
         self.stats[shard:shard + 1] = list(self.stats[shard].split())
         self._rewrite_durability(shard, shard + 1, 2)
+        obs.inc("serve.shard_splits")
+        obs.emit("shard.split", shard=shard, boundary=median,
+                 keys=len(keys))
         return True
 
     def _rewrite_durability(self, start: int, stop: int,
@@ -1087,6 +1128,9 @@ class ShardedAlexIndex:
             self.stats[shard].merged_with(self.stats[shard + 1])
         ]
         self._rewrite_durability(shard, shard + 2, 1)
+        obs.inc("serve.shard_merges")
+        obs.emit("shard.merge", shard=shard,
+                 keys=len(left_keys) + len(right_keys))
 
     # ------------------------------------------------------------------
     # Introspection and accounting
@@ -1121,6 +1165,37 @@ class ShardedAlexIndex:
         rebalance should diff the aggregate :attr:`counters` instead of
         zipping two per-shard lists."""
         return self._map_shards("counters_snapshot")
+
+    def metrics_snapshot(self) -> dict:
+        """The service-wide observability view (``repro stats``/``top``).
+
+        Merges this process's metrics registry with every worker
+        process's (fetched over the RPC pipes; the thread backend
+        contributes nothing extra because its shards already record into
+        the facade's registry), and adds the serving-layer per-shard
+        access tallies and WAL lag.  Taken under the shared structure
+        lock so the shard list cannot change mid-collection.
+        """
+        with self._structure_lock.read():
+            worker_snaps = self._backend.obs_snapshots()
+            merged = obs.merge_many([obs.snapshot()]
+                                    + [s for s in worker_snaps if s])
+            shard_rows = [stats.as_dict() for stats in self.stats]
+            lag = (self._durability.lag_ops()
+                   if self._durability is not None else None)
+        # Fold the serving-layer tallies into the merged view as counters
+        # so exposition (Prometheus, summaries) sees one namespace.
+        tally = obs.empty_snapshot()
+        for s, row in enumerate(shard_rows):
+            for field, value in row.items():
+                tally["counters"][f"serve.shard{s}.{field}"] = value
+        merged = obs.merge_snapshots(merged, tally)
+        return {
+            "merged": merged,
+            "shards": shard_rows,
+            "wal_lag_ops": lag,
+            "backend": self._backend.name,
+        }
 
     def __len__(self) -> int:
         return sum(self._map_shards("num_keys"))

@@ -40,6 +40,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.alex import AlexIndex
 from repro.core.batch import export_arrays
 from repro.core.config import AlexConfig
@@ -79,8 +80,11 @@ def _worker_main(conn, config: AlexConfig,
     policy.decisions.clear()
     policy.smo_counts.clear()
     # Kernel warmup belongs to provisioning: a long-lived worker pays any
-    # JIT/C compilation (or cache load) now, never on a request.
-    get_kernels(config.kernel_backend).warm()
+    # JIT/C compilation (or cache load) now, never on a request.  The
+    # worker's obs registry starts here too (spawn shipped REPRO_OBS over
+    # in the environment); the parent reads it via the obs_snapshot op.
+    with obs.span("kernel.warm"):
+        get_kernels(config.kernel_backend).warm()
     index: Optional[AlexIndex] = None
     while True:
         try:
@@ -239,7 +243,7 @@ class ProcessBackend(ExecutionBackend):
     def _request(self, worker: _WorkerHandle, message: tuple,
                  shard: Optional[int] = None):
         """One send/recv round trip (raises what the worker raised)."""
-        with worker.lock:
+        with obs.span("rpc.roundtrip"), worker.lock:
             try:
                 worker.conn.send(message)
             except (BrokenPipeError, OSError) as exc:
@@ -270,42 +274,44 @@ class ProcessBackend(ExecutionBackend):
         as requests sent, so one crash cannot desynchronize another
         shard's protocol.
         """
-        blobs = [(shard, ForkingPickler.dumps(message))
-                 for shard, message in messages]
-        involved = sorted({shard for shard, _ in messages})
-        for shard in involved:
-            self._workers[shard].lock.acquire()
-        try:
-            replies = []
-            for shard, blob in blobs:
-                try:
-                    self._workers[shard].conn.send_bytes(blob)
-                except (BrokenPipeError, OSError) as exc:
-                    replies.append(("err", WorkerDiedError(
-                        shard, f"on send ({exc!r})")))
-                    continue
-                replies.append(None)  # reply slot, filled below
-            for i, (shard, _) in enumerate(messages):
-                if replies[i] is not None:
-                    continue  # send already failed; nothing to receive
-                try:
-                    replies[i] = self._receive(self._workers[shard], shard)
-                except WorkerDiedError as exc:
-                    replies[i] = ("err", exc)
-        finally:
-            for shard in reversed(involved):
-                self._workers[shard].lock.release()
-        results, first_error = [], None
-        for status, value in replies:
-            if status == "err":
-                if first_error is None:
-                    first_error = value
-                results.append(None)
-            else:
-                results.append(value)
-        if first_error is not None:
-            raise first_error
-        return results
+        with obs.span("rpc.fanout"):
+            blobs = [(shard, ForkingPickler.dumps(message))
+                     for shard, message in messages]
+            involved = sorted({shard for shard, _ in messages})
+            for shard in involved:
+                self._workers[shard].lock.acquire()
+            try:
+                replies = []
+                for shard, blob in blobs:
+                    try:
+                        self._workers[shard].conn.send_bytes(blob)
+                    except (BrokenPipeError, OSError) as exc:
+                        replies.append(("err", WorkerDiedError(
+                            shard, f"on send ({exc!r})")))
+                        continue
+                    replies.append(None)  # reply slot, filled below
+                for i, (shard, _) in enumerate(messages):
+                    if replies[i] is not None:
+                        continue  # send already failed; nothing to receive
+                    try:
+                        replies[i] = self._receive(self._workers[shard],
+                                                   shard)
+                    except WorkerDiedError as exc:
+                        replies[i] = ("err", exc)
+            finally:
+                for shard in reversed(involved):
+                    self._workers[shard].lock.release()
+            results, first_error = [], None
+            for status, value in replies:
+                if status == "err":
+                    if first_error is None:
+                        first_error = value
+                    results.append(None)
+                else:
+                    results.append(value)
+            if first_error is not None:
+                raise first_error
+            return results
 
     # -- execution ----------------------------------------------------
 
@@ -426,3 +432,14 @@ class ProcessBackend(ExecutionBackend):
 
     def counters(self, shard: int) -> Counters:
         return self.call(shard, "counters_snapshot")
+
+    def obs_snapshots(self) -> list:
+        """Every worker's metrics-registry snapshot (``None`` for a dead
+        worker — metrics gathering must never trip crash repair)."""
+        snapshots = []
+        for shard in range(len(self._workers)):
+            try:
+                snapshots.append(self.call(shard, "obs_snapshot"))
+            except Exception:
+                snapshots.append(None)
+        return snapshots
