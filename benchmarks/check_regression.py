@@ -129,6 +129,24 @@ GATED = {
         Metric("checkpoint recovery speedup",
                ("recovery", "checkpoint_speedup")),
     ],
+    "BENCH_serving.json": [
+        # Achieved throughput at the heaviest offered load: pipelined
+        # out-of-order RPC (multiple frames in flight per worker pipe,
+        # reply ring) over the strict call-and-wait discipline behind
+        # the same ingress.  How much pipelining buys depends on how
+        # many real cores the workers overlap across, so the reading is
+        # only comparable between same-core-count recordings.
+        Metric("pipelined vs call-and-wait saturated throughput",
+               ("pipelined_vs_syncwait", "saturated_throughput_ratio"),
+               core_sensitive=True),
+        # The saturation knee (highest offered load served with zero
+        # shed, the sustain fraction completed, and p99 under the
+        # bound) is quantized to the offered-load grid, so it moves in
+        # coarse steps — gate it only against collapse.
+        Metric("pipelined vs call-and-wait knee load",
+               ("pipelined_vs_syncwait", "knee_load_ratio"),
+               core_sensitive=True),
+    ],
 }
 
 

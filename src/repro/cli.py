@@ -416,6 +416,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--read-batch", type=int, default=256)
         p.add_argument("--write-batch", type=int, default=64)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--no-ingress", action="store_true",
+                       help="drive the facade directly instead of "
+                            "through the coalescing AsyncIngress front "
+                            "door (hides the ingress.* panel)")
+        p.add_argument("--coalesce-window", type=float, default=0.002,
+                       help="ingress coalescing window in seconds "
+                            "(default 0.002)")
+        p.add_argument("--max-inflight", type=int, default=None,
+                       help="process-backend per-worker pipelining "
+                            "budget (default 8 / $REPRO_MAX_INFLIGHT; "
+                            "1 = call-and-wait RPC)")
 
     p_stats = sub.add_parser(
         "stats", help="drive a sharded service briefly and print its "

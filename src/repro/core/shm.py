@@ -18,6 +18,12 @@ payloads take the cheapest faithful encoding:
 * ``pickle``  — arbitrary objects, pickled into a byte segment (one copy,
   but still transported out-of-band of the pipe).
 
+:class:`ReplyRing` is the reverse direction: a long-lived
+single-producer/single-consumer byte ring, one per shard worker, through
+which *numeric replies* (hit masks, homogeneous payload columns) return
+to the parent without ever being pickled or pushed through the pipe —
+the pipe carries only a tiny ``(req_id, "shm", descriptor)`` frame.
+
 Lifecycle contract: the *creator* of a view owns the segments and must
 ``unlink`` them exactly once, after every attaching process is done
 reading (the process backend acks each message before its creator
@@ -141,6 +147,175 @@ class SharedArray:
 PAYLOAD_NONE = "none"
 PAYLOAD_NUMERIC = "numeric"
 PAYLOAD_PICKLE = "pickle"
+
+
+#: Reply encodings a :class:`ReplyRing` lane can carry back to the
+#: parent.  ``array`` round-trips a numeric/bool ndarray verbatim;
+#: ``list`` restores a homogeneous int/float payload list via
+#: ``tolist()`` (exact Python types, mirroring ``PAYLOAD_NUMERIC``).
+REPLY_ARRAY = "array"
+REPLY_LIST = "list"
+
+
+def encode_reply(result):
+    """``(column, kind)`` when ``result`` can travel through a reply
+    ring, else ``None``.
+
+    Eligible results are numeric/bool ndarrays (``contains_many`` hit
+    masks, counts) and *homogeneous* int-or-float lists (``get_many`` /
+    ``lookup_many`` payload columns) — the same strictness as
+    :class:`ShardStorageView`'s numeric payload path, so every value
+    round-trips with its exact Python type.  Everything else (mixed
+    payloads, ``None`` defaults, arbitrary objects) stays on the pickle
+    pipe.
+    """
+    if isinstance(result, np.ndarray):
+        if result.ndim == 1 and result.dtype.kind in "biuf":
+            return result, REPLY_ARRAY
+        return None
+    if (isinstance(result, list) and result
+            and {type(p) for p in result} in ({int}, {float})):
+        try:
+            column = np.asarray(result)
+        except (ValueError, OverflowError):
+            return None
+        if column.ndim == 1 and column.dtype.kind in "if":
+            return column, REPLY_LIST
+    return None
+
+
+def decode_reply(column: np.ndarray, kind: str):
+    """Reverse of :func:`encode_reply` (``column`` is already a copy)."""
+    if kind == REPLY_LIST:
+        return column.tolist()
+    return column
+
+
+class RingFull(Exception):
+    """The ring lacks contiguous space for a reply (caller falls back to
+    the pickle pipe — never an error surfaced to clients)."""
+
+
+class ReplyRing:
+    """A single-producer/single-consumer shared-memory reply ring.
+
+    One per shard worker, created (and eventually unlinked) by the
+    parent, attached by the worker.  The worker allocates a contiguous
+    lane per numeric reply, copies the result column in, and sends only
+    a small descriptor over the pipe; the parent's reply-reader thread —
+    the *single* consumer — copies the lane out and releases it **in
+    arrival order**, which matches allocation order because the worker
+    executes requests serially.  Ordered release keeps the free-space
+    arithmetic a pair of monotonically increasing cursors:
+
+    * ``head`` — bytes ever allocated (written only by the worker);
+    * ``tail`` — bytes ever released (written only by the reader).
+
+    Both live at the front of the segment.  Cross-process visibility is
+    sequenced by the pipe itself: the worker finishes writing the lane
+    *before* sending the descriptor, and the reader releases *after*
+    copying out, so neither side ever reads bytes the other is mid-write
+    on.  A reply that does not fit contiguously (after wrap padding)
+    raises :exc:`RingFull` and travels the pickle pipe instead.
+    """
+
+    _HEADER = 16  # two uint64 cursors: head, tail
+
+    def __init__(self, name: str, capacity: int):
+        self.name = name
+        self.capacity = int(capacity)
+        self._segment: Optional[shared_memory.SharedMemory] = None
+        self._owner = False
+
+    def __getstate__(self) -> dict:
+        return {"name": self.name, "capacity": self.capacity}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._segment = None
+        self._owner = False
+
+    @classmethod
+    def create(cls, capacity: int = 1 << 22) -> "ReplyRing":
+        """A fresh ring of ``capacity`` data bytes (parent-side)."""
+        capacity = int(capacity)
+        segment = shared_memory.SharedMemory(create=True,
+                                             size=cls._HEADER + capacity)
+        segment.buf[:cls._HEADER] = b"\x00" * cls._HEADER
+        ring = cls(segment.name, capacity)
+        ring._segment = segment
+        ring._owner = True
+        return ring
+
+    def _buf(self):
+        if self._segment is None:
+            self._segment = _attach_segment(self.name)
+        return self._segment.buf
+
+    def _cursors(self) -> np.ndarray:
+        return np.ndarray(2, dtype=np.uint64, buffer=self._buf())
+
+    # -- producer side (worker process) --------------------------------
+
+    def try_write(self, column: np.ndarray) -> tuple:
+        """Copy ``column`` into a fresh lane; returns the descriptor
+        ``(offset, used, shape, dtype)`` to send over the pipe (``used``
+        counts wrap padding, so the consumer releases exactly what was
+        allocated).  Raises :exc:`RingFull` when it cannot fit."""
+        column = np.ascontiguousarray(column)
+        nbytes = column.nbytes
+        cursors = self._cursors()
+        head, tail = int(cursors[0]), int(cursors[1])
+        pos = head % self.capacity
+        pad = self.capacity - pos if pos + nbytes > self.capacity else 0
+        used = pad + nbytes
+        if nbytes > self.capacity or used > self.capacity - (head - tail):
+            raise RingFull(f"{nbytes} bytes do not fit "
+                           f"({self.capacity - (head - tail)} free)")
+        offset = 0 if pad else pos
+        start = self._HEADER + offset
+        lane = np.ndarray(column.shape, dtype=column.dtype,
+                          buffer=self._buf(), offset=start)
+        lane[...] = column
+        cursors[0] = head + used
+        return offset, used, column.shape, column.dtype.str
+
+    # -- consumer side (parent reply-reader thread) --------------------
+
+    def read(self, descriptor: tuple) -> np.ndarray:
+        """Copy one lane out and release it (reader thread only; calls
+        must follow descriptor arrival order)."""
+        offset, used, shape, dtype = descriptor
+        lane = np.ndarray(shape, dtype=np.dtype(dtype), buffer=self._buf(),
+                          offset=self._HEADER + offset)
+        out = np.array(lane, copy=True)
+        cursors = self._cursors()
+        cursors[1] = int(cursors[1]) + used
+        return out
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment survives)."""
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator-side, exactly once)."""
+        segment = self._segment
+        if segment is None:
+            try:
+                segment = _attach_segment(self.name)
+            except FileNotFoundError:
+                return
+        try:
+            segment.close()
+            segment.unlink()
+            _unregister_segment(segment)
+        except FileNotFoundError:
+            pass
+        self._segment = None
 
 
 class ShardStorageView:

@@ -31,12 +31,14 @@ import numpy as np
 from repro.bench.ascii_plot import ascii_chart, ascii_histogram
 from repro.bench.report import format_table
 
-from .render import event_lines, percentile_table, to_prometheus
+from .metrics import histogram_summary
+from .render import (event_lines, format_ns, percentile_table,
+                     to_prometheus)
 
 #: Histogram prefixes the terminal views surface (the full snapshot is
 #: available via --format json/prometheus).
-TABLE_PREFIXES = ("serve.", "core.", "shard.op.", "rpc.", "wal.",
-                  "checkpoint.", "recover.")
+TABLE_PREFIXES = ("ingress.", "serve.", "core.", "shard.op.", "rpc.",
+                  "wal.", "checkpoint.", "recover.")
 
 
 def _build_service(args):
@@ -49,8 +51,20 @@ def _build_service(args):
     service = ShardedAlexIndex.bulk_load(
         keys, num_shards=args.shards, backend=args.backend,
         durability_dir=getattr(args, "_durability_dir", None),
-        fsync="batch" if getattr(args, "_durability_dir", None) else "off")
+        fsync="batch" if getattr(args, "_durability_dir", None) else "off",
+        max_inflight=getattr(args, "max_inflight", None))
     return service, keys
+
+
+def _build_ingress(service, args):
+    """The coalescing front door the driver pushes traffic through
+    (``None`` with ``--no-ingress`` — the driver then calls the facade
+    directly, as it did before the ingress existed)."""
+    if getattr(args, "no_ingress", False):
+        return None
+    from repro.serve import IngressRunner
+    return IngressRunner(service,
+                         window_s=getattr(args, "coalesce_window", 0.002))
 
 
 class _Driver:
@@ -59,8 +73,12 @@ class _Driver:
     path shows up on the dashboard."""
 
     def __init__(self, service, keys: np.ndarray, read_batch: int,
-                 write_batch: int, seed: int) -> None:
+                 write_batch: int, seed: int, ingress=None) -> None:
         self.service = service
+        #: When set, traffic routes through the coalescing front door
+        #: (reads coalesce in lanes, writes pass through its admission
+        #: budget), so the ingress.* panel has something to show.
+        self.target = ingress if ingress is not None else service
         self.keys = keys
         self.read_batch = read_batch
         self.write_batch = write_batch
@@ -78,14 +96,14 @@ class _Driver:
         a few scalar lookups."""
         for _ in range(3):
             batch = self.rng.choice(self.keys, size=self.read_batch)
-            self.service.get_many(batch)
+            self.target.get_many(batch)
             self.ops += self.read_batch
         fresh = self._fresh + self.rng.integers(1, 1 << 30) * 1e-3
-        self.service.insert_many(fresh)
-        self.service.erase_many(fresh)
+        self.target.insert_many(fresh)
+        self.target.erase_many(fresh)
         self.ops += 2 * len(fresh)
         for key in self.rng.choice(self.keys, size=4):
-            self.service.get(float(key))
+            self.target.get(float(key))
             self.ops += 1
 
     def _run(self) -> None:
@@ -144,6 +162,16 @@ def _render_dashboard(service, snap: dict, shard_deltas: List[int],
                                "serve.worker_"))}
     lag = snap.get("wal_lag_ops")
     status = []
+    request_hist = merged.get("histograms", {}).get("ingress.request")
+    if request_hist:
+        summary = histogram_summary(request_hist)
+        gauges = merged.get("gauges", {})
+        status.append(
+            "front door: "
+            f"p99 request {format_ns(summary.get('p99'))}  "
+            f"in-flight {int(gauges.get('ingress.in_flight', 0))}  "
+            f"shed {int(counters.get('ingress.shed', 0))}  "
+            f"batches {int(counters.get('ingress.batches', 0))}")
     if smo:
         status.append("SMOs: " + "  ".join(
             f"{name.split('.')[-1]}={value}"
@@ -168,8 +196,9 @@ def run_top(args) -> int:
         tmp = tempfile.TemporaryDirectory(prefix="repro-top-")
         args._durability_dir = tmp.name + "/svc"
     service, keys = _build_service(args)
+    ingress = _build_ingress(service, args)
     driver = _Driver(service, keys, args.read_batch, args.write_batch,
-                     args.seed)
+                     args.seed, ingress=ingress)
     start = time.monotonic()
     last_accesses = [0] * service.num_shards
     last_ops = 0
@@ -204,6 +233,8 @@ def run_top(args) -> int:
         pass
     finally:
         driver.stop()
+        if ingress is not None:
+            ingress.close()
         service.close()
         if tmp is not None:
             tmp.cleanup()
@@ -213,13 +244,16 @@ def run_top(args) -> int:
 def run_stats(args) -> int:
     """The one-shot snapshot (``python -m repro stats``)."""
     service, keys = _build_service(args)
+    ingress = _build_ingress(service, args)
     driver = _Driver(service, keys, args.read_batch, args.write_batch,
-                     args.seed)
+                     args.seed, ingress=ingress)
     try:
         for _ in range(args.rounds):
             driver.round()
         snap = service.metrics_snapshot()
     finally:
+        if ingress is not None:
+            ingress.close()
         service.close()
     merged = snap["merged"]
     if args.format == "json":

@@ -20,7 +20,7 @@ from .metrics import BUCKET_BOUNDS, histogram_summary
 
 #: Histograms whose values are counts, not nanoseconds (rendered without
 #: time units; exposed to Prometheus unscaled).
-COUNT_UNIT_PREFIXES = ("wal.group_commit_frames",)
+COUNT_UNIT_PREFIXES = ("wal.group_commit_frames", "ingress.batch_size")
 
 
 def _is_duration(name: str) -> bool:

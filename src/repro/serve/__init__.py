@@ -48,18 +48,37 @@ batches travel through :mod:`multiprocessing.shared_memory`
 (:mod:`repro.core.shm`) with pipe-based RPC carrying only offsets, so
 batch reads map the request keys zero-copy and scatter-gather runs on
 real cores.  The facade's locking, routing, statistics, and two-phase
-all-or-nothing writes are identical under both.
+all-or-nothing writes are identical under both.  The process backend's
+RPC is *pipelined*: frames carry request ids, each worker keeps several
+requests in flight (``max_inflight``), a per-worker reply-reader thread
+demultiplexes out-of-order completions to futures, and numeric reply
+columns return through a per-worker shared-memory
+:class:`~repro.core.shm.ReplyRing` instead of the pickle pipe.
+
+**The front door.**  :class:`AsyncIngress` (:mod:`repro.serve.ingress`)
+turns many small concurrent client requests into the batch shapes this
+tier is fast at: arrivals coalesce inside a small time/size window
+(group-commit, read side), flush downstream on a thread pool without
+blocking the accept loop, and shed or block past an admission cap.
+:class:`IngressRunner` is its synchronous wrapper for thread-world
+callers.
 """
 
 from .backend import (ExecutionBackend, ThreadBackend, WorkerDiedError,
                       make_backend)
+from .ingress import (MISSING, AsyncIngress, IngressRunner,
+                      ServiceOverloadedError)
 from .router import ShardRouter
 from .sharded import ShardedAlexIndex, ShardStats
 from .worker import ProcessBackend
 
 __all__ = [
+    "MISSING",
+    "AsyncIngress",
     "ExecutionBackend",
+    "IngressRunner",
     "ProcessBackend",
+    "ServiceOverloadedError",
     "ShardRouter",
     "ShardStats",
     "ShardedAlexIndex",

@@ -361,15 +361,22 @@ class ThreadBackend(ExecutionBackend):
 
 
 def make_backend(backend, config: AlexConfig, policy: AdaptationPolicy,
-                 max_workers: int = 1) -> ExecutionBackend:
+                 max_workers: int = 1,
+                 max_inflight: Optional[int] = None) -> ExecutionBackend:
     """Resolve a backend spec — ``"thread"``, ``"process"``, or an
-    already-constructed :class:`ExecutionBackend` — into an instance."""
+    already-constructed :class:`ExecutionBackend` — into an instance.
+
+    ``max_inflight`` is the process backend's per-worker in-flight
+    request budget (pipelined RPC admission control); the thread backend
+    has no pipe to pipeline, so it ignores the knob.
+    """
     if isinstance(backend, ExecutionBackend):
         return backend
     if backend == "thread":
         return ThreadBackend(config, policy, max_workers=max_workers)
     if backend == "process":
         from .worker import ProcessBackend
-        return ProcessBackend(config, policy, max_workers=max_workers)
+        return ProcessBackend(config, policy, max_workers=max_workers,
+                              max_inflight=max_inflight)
     raise ValueError(f"unknown backend {backend!r}; "
                      "choose 'thread' or 'process'")

@@ -192,6 +192,11 @@ class ShardedAlexIndex:
     backend:
         ``"thread"`` (default), ``"process"``, or a constructed
         :class:`~repro.serve.backend.ExecutionBackend`.
+    max_inflight:
+        Process-backend pipelining budget: how many requests may be
+        outstanding per worker pipe before further submitters block
+        (default 8, or ``REPRO_MAX_INFLIGHT``).  ``1`` restores strict
+        call-and-wait RPC; the thread backend ignores the knob.
     """
 
     def __init__(self, config: Optional[AlexConfig] = None,
@@ -204,7 +209,8 @@ class ShardedAlexIndex:
                  durability_dir: Optional[str] = None,
                  fsync: str = "batch",
                  checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
-                 durability: Optional[ShardedDurability] = None):
+                 durability: Optional[ShardedDurability] = None,
+                 max_inflight: Optional[int] = None):
         self.config = config or AlexConfig()
         # One adaptation policy serves every layer: the shards' leaf/tree
         # SMOs and this facade's shard split/merge decisions.
@@ -216,7 +222,8 @@ class ShardedAlexIndex:
         self.max_workers = max(1, max_workers)
         self._backend = make_backend(backend, config=self.config,
                                      policy=self.policy,
-                                     max_workers=self.max_workers)
+                                     max_workers=self.max_workers,
+                                     max_inflight=max_inflight)
         if shards is not None and parts is not None:
             raise ValueError("pass prebuilt shards or raw parts, not both")
         if shards is not None:
@@ -269,7 +276,8 @@ class ShardedAlexIndex:
                   backend: "str | ExecutionBackend" = "thread",
                   durability_dir: Optional[str] = None,
                   fsync: str = "batch",
-                  checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+                  checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                  max_inflight: Optional[int] = None
                   ) -> "ShardedAlexIndex":
         """Partition ``keys`` into ``num_shards`` near-equal-mass shards
         and bulk-load each one.
@@ -291,7 +299,8 @@ class ShardedAlexIndex:
         return cls(config=config, router=router, max_workers=max_workers,
                    policy=policy, backend=backend, parts=parts,
                    durability_dir=durability_dir, fsync=fsync,
-                   checkpoint_every=checkpoint_every)
+                   checkpoint_every=checkpoint_every,
+                   max_inflight=max_inflight)
 
     @classmethod
     def recover(cls, durability_dir: str,

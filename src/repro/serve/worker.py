@@ -1,4 +1,4 @@
-"""Process-hosted shards: true multi-core wall clock for the service.
+"""Process-hosted shards: pipelined multi-core RPC for the service.
 
 The thread backend's scatter-gather is GIL-serialized for Python-level
 work, so its critical-path speedups only materialize as wall clock inside
@@ -15,10 +15,32 @@ NumPy kernels.  :class:`ProcessBackend` hosts each shard's ALEX tree in a
   :class:`repro.core.shm.SharedArray`; the per-shard RPC messages carry
   only ``(method, lo, hi)`` offsets, and every worker maps its sub-batch
   **zero-copy** out of the same segment;
-* replies (payload lists, hit masks, removed counts) return over the
-  pipe, and the facade's two-phase write orchestration — validate on all
-  involved workers, then apply — runs unchanged, so cross-shard batch
-  writes stay all-or-nothing.
+* the facade's two-phase write orchestration — validate on all involved
+  workers, then apply — runs unchanged, so cross-shard batch writes stay
+  all-or-nothing.
+
+RPC discipline (the open-loop serving rework)
+---------------------------------------------
+
+Every frame carries a **request id**, and each worker keeps **multiple
+requests in flight** (bounded by a per-worker admission semaphore,
+``max_inflight``): the parent sends ``(req_id, op, ...)`` without
+waiting, and a dedicated *reply-reader thread per worker* demultiplexes
+``(req_id, status, value)`` replies to per-request futures, so requests
+issued by different client threads complete **out of order** relative to
+each other — no pairing lock ever serializes a whole round trip.  When a
+worker's pipe dies, the reader fails *every* outstanding future for that
+worker with :class:`~repro.serve.backend.WorkerDiedError` (not just the
+oldest), so concurrent callers all reach the durability respawn path.
+
+Numeric replies return through a **shared-memory reply path**: each
+worker owns a :class:`repro.core.shm.ReplyRing`, writes eligible result
+columns (hit masks, homogeneous payload columns) into a ring lane, and
+sends only ``(req_id, "shm", descriptor)`` over the pipe — no pickling,
+no pipe bandwidth.  The reader thread (the ring's single consumer)
+copies lanes out in arrival order.  Replies that do not encode — mixed
+payloads, arbitrary objects, a full ring — fall back to the pickle pipe
+transparently.
 
 The worker executes shard methods through the same
 :func:`repro.serve.backend.run_shard_op` dispatcher the thread backend
@@ -33,10 +55,13 @@ while shard split/merge decisions stay in the parent.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from contextlib import contextmanager
 from multiprocessing.reduction import ForkingPickler
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,7 +71,8 @@ from repro.core.batch import export_arrays
 from repro.core.config import AlexConfig
 from repro.core.kernels import get_kernels
 from repro.core.policy import AdaptationPolicy
-from repro.core.shm import SharedArray, ShardStorageView
+from repro.core.shm import (ReplyRing, RingFull, SharedArray,
+                            ShardStorageView, decode_reply, encode_reply)
 from repro.core.stats import Counters
 
 from .backend import (BatchJob, Call, ExecutionBackend, WorkerDiedError,
@@ -61,18 +87,53 @@ _MUTATING_BATCH_METHODS = frozenset({
     "delete_many", "delete_sorted_unchecked", "erase_many",
 })
 
+#: Default per-worker in-flight request budget (admission control): how
+#: many requests the parent may have outstanding on one worker's pipe
+#: before further submitters block.  Overridable per backend
+#: (``max_inflight=``) or process-wide via ``REPRO_MAX_INFLIGHT``.
+DEFAULT_MAX_INFLIGHT = 8
 
-def _worker_main(conn, config: AlexConfig,
-                 policy: AdaptationPolicy) -> None:
+#: Default per-worker reply-ring capacity in bytes.  Sized so a full
+#: in-flight budget of large batch replies fits without falling back to
+#: the pickle pipe (8 in flight x 64k float64 lanes = 4 MiB).
+DEFAULT_REPLY_RING_BYTES = 1 << 22
+
+#: Request batches at or under this many bytes ship inline in the RPC
+#: frame instead of through a shared-memory segment: for serving-sized
+#: coalesced batches (a few hundred keys), one segment create + mmap +
+#: unlink per scatter costs far more than pickling the keys into the
+#: pipe.  Large analytic batches keep the zero-copy segment path.
+INLINE_BATCH_BYTES = 1 << 14
+
+
+def _default_max_inflight() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_MAX_INFLIGHT", "")))
+    except ValueError:
+        return DEFAULT_MAX_INFLIGHT
+
+
+def _worker_main(conn, config: AlexConfig, policy: AdaptationPolicy,
+                 ring: Optional[ReplyRing]) -> None:
     """One shard's RPC loop (the spawn target; runs until ``close``).
 
-    Protocol (one request, one ``("ok", result)`` / ``("err", exc)``
-    reply): ``("load", view, seed_counters)`` builds the index from a
+    Every request frame is ``(req_id, op, ...)`` and every reply echoes
+    the id: ``(req_id, "ok", result)`` / ``(req_id, "err", exc)`` over
+    the pipe, or ``(req_id, "shm", descriptor)`` when the result column
+    went through the reply ring, or ``(req_id, "nones", n)`` for an
+    all-``None`` payload list (nothing worth shipping either way).
+    Requests execute strictly in arrival order — the pipelining lives in
+    the *parent*, which no longer waits for one reply before sending the
+    next request.
+
+    Ops: ``("load", view, seed_counters)`` builds the index from a
     shared-memory view; ``("call", method, args)`` runs a shard op;
     ``("batch", handle, method, lo, hi, extra)`` runs a batch method over
-    a zero-copy slice of the shared request segment; ``("snapshot",)``
-    packs the shard's contents into a fresh view the parent unlinks;
-    ``("close",)`` acks and exits.
+    a zero-copy slice of the shared request segment; ``("ibatch",
+    method, sub, extra)`` runs a batch method over a small sub-batch
+    shipped inline in the frame (the serving fast path — no segment);
+    ``("snapshot",)`` packs the shard's contents into a fresh view the
+    parent unlinks; ``("close",)`` acks and exits.
     """
     # This process's policy copy arrived through spawn pickling with the
     # facade's full configuration; only the parent's decision history is
@@ -91,21 +152,21 @@ def _worker_main(conn, config: AlexConfig,
             message = conn.recv()
         except (EOFError, OSError):  # parent died; daemon exit
             break
-        op = message[0]
+        req_id, op = message[0], message[1]
         try:
             if op == "load":
-                view, seed = message[1], message[2]
+                view, seed = message[2], message[3]
                 keys, payloads = view.unpack(copy=True)
                 view.close()
                 index = build_shard(keys, payloads, config, policy)
                 if seed is not None:
                     index.counters.merge(seed)
-                reply = ("ok", None)
+                reply = (req_id, "ok", None)
             elif op == "call":
-                method, args = message[1], message[2]
-                reply = ("ok", run_shard_op(index, method, *args))
+                method, args = message[2], message[3]
+                reply = (req_id, "ok", run_shard_op(index, method, *args))
             elif op == "batch":
-                handle, method, lo, hi, extra = message[1:]
+                handle, method, lo, hi, extra = message[2:]
                 try:
                     batch = handle.array()[lo:hi]
                     if method in _MUTATING_BATCH_METHODS:
@@ -116,45 +177,168 @@ def _worker_main(conn, config: AlexConfig,
                     # key in lookup_many) — a stale mapping would outlive
                     # the parent's unlink.
                     handle.close()
-                reply = ("ok", result)
+                reply = (req_id, "ok", result)
+            elif op == "ibatch":
+                # The sub-batch arrived by value inside the frame, so
+                # this process owns it outright — no segment to unmap,
+                # and mutating methods need no defensive copy.
+                method, sub, extra = message[2:]
+                reply = (req_id, "ok",
+                         run_shard_op(index, method, sub, *extra))
             elif op == "snapshot":
                 view = ShardStorageView.pack(*export_arrays(index))
                 view.close()
-                reply = ("ok", view)
+                reply = (req_id, "ok", view)
             elif op == "close":
-                conn.send(("ok", None))
+                conn.send((req_id, "ok", None))
                 break
             else:
                 raise ValueError(f"unknown worker op {op!r}")
         except BaseException as exc:
-            reply = ("err", exc)
-        conn.send(reply)
+            reply = (req_id, "err", exc)
+        conn.send(_encode_worker_reply(reply, ring))
     conn.close()
 
 
+def _encode_worker_reply(reply: tuple, ring: Optional[ReplyRing]) -> tuple:
+    """Route an ``"ok"`` reply through the shared-memory ring when its
+    result is an eligible numeric column (or compress an all-``None``
+    payload list to its length); everything else passes through to the
+    pickle pipe unchanged."""
+    req_id, status, result = reply
+    if status != "ok" or ring is None:
+        return reply
+    if (isinstance(result, list) and result
+            and all(p is None for p in result)):
+        return req_id, "nones", len(result)
+    encoded = encode_reply(result)
+    if encoded is None:
+        return reply
+    column, kind = encoded
+    try:
+        descriptor = ring.try_write(column)
+    except RingFull:
+        return reply
+    return req_id, "shm", (descriptor, kind)
+
+
 class _WorkerHandle:
-    """Parent-side handle: process, pipe, and a send/recv pairing lock."""
+    """Parent-side handle: process, pipe, reply ring, in-flight budget,
+    and the reply-reader thread demultiplexing to futures."""
 
-    __slots__ = ("process", "conn", "lock")
+    __slots__ = ("process", "conn", "ring", "shard", "send_lock",
+                 "pending", "pending_lock", "inflight", "reader",
+                 "closing", "_next_id")
 
-    def __init__(self, process, conn):
+    def __init__(self, process, conn, ring: Optional[ReplyRing],
+                 shard: int, max_inflight: int):
         self.process = process
         self.conn = conn
-        self.lock = threading.Lock()
+        self.ring = ring
+        self.shard = shard
+        self.send_lock = threading.Lock()
+        self.pending: Dict[int, Future] = {}
+        self.pending_lock = threading.Lock()
+        self.inflight = threading.BoundedSemaphore(max_inflight)
+        self.closing = False
+        self._next_id = 0
+        self.reader = threading.Thread(target=self._read_replies,
+                                       daemon=True,
+                                       name="alex-reply-reader")
+        self.reader.start()
+
+    # -- request registration ------------------------------------------
+
+    def register(self) -> Tuple[int, Future]:
+        """Allocate a request id and its pending future."""
+        future: Future = Future()
+        with self.pending_lock:
+            req_id = self._next_id
+            self._next_id += 1
+            self.pending[req_id] = future
+        return req_id, future
+
+    def unregister(self, req_id: int) -> Optional[Future]:
+        """Claim a pending future (``None`` if already settled) — the
+        settler must release the in-flight slot iff the claim won."""
+        with self.pending_lock:
+            return self.pending.pop(req_id, None)
+
+    def settle(self, req_id: int, value, is_error: bool) -> None:
+        """Complete one request: resolve its future and release its
+        admission slot (exactly once, whoever claims the future)."""
+        future = self.unregister(req_id)
+        if future is None:
+            return
+        try:
+            if is_error:
+                future.set_exception(value)
+            else:
+                future.set_result(value)
+        finally:
+            self.inflight.release()
+
+    # -- the reply-reader thread ---------------------------------------
+
+    def _read_replies(self) -> None:
+        """Drain the pipe until it dies, demultiplexing replies to their
+        futures.  Ring lanes are copied out *here* — the single consumer,
+        in arrival order, which matches the worker's allocation order —
+        so a lane never outlives its descriptor's handling."""
+        while True:
+            try:
+                req_id, status, value = self.conn.recv()
+            except (EOFError, OSError, ValueError) as exc:
+                self._fail_all_pending(exc)
+                return
+            if status == "shm":
+                descriptor, kind = value
+                value = decode_reply(self.ring.read(descriptor), kind)
+                obs.inc("rpc.shm_replies")
+            elif status == "nones":
+                value = [None] * value
+            elif status == "ok":
+                obs.inc("rpc.pipe_replies")
+            self.settle(req_id, value, is_error=(status == "err"))
+
+    def _fail_all_pending(self, exc: Exception) -> None:
+        """The pipe is gone: every outstanding request on this worker —
+        not just the oldest — fails with :class:`WorkerDiedError`, so
+        each concurrent caller independently reaches the durability
+        respawn path instead of hanging on an unreachable reply."""
+        with self.pending_lock:
+            orphaned = sorted(self.pending)
+        if orphaned and not self.closing:
+            obs.emit("worker.pipe_lost", shard=self.shard,
+                     outstanding=len(orphaned), error=repr(exc))
+        for req_id in orphaned:
+            self.settle(req_id, WorkerDiedError(
+                self.shard, f"reply stream closed with "
+                f"{len(orphaned)} in flight ({exc!r})"), is_error=True)
 
 
 class ProcessBackend(ExecutionBackend):
-    """One long-lived worker process per shard, batches via shared memory.
+    """One long-lived worker process per shard, batches via shared
+    memory, replies pipelined out of order through per-worker futures.
 
     ``max_workers`` is accepted for interface symmetry but unused: the
     process count always equals the shard count (each worker *is* its
     shard), and the operating system schedules them across cores.
+    ``max_inflight`` bounds how many requests the parent may have
+    outstanding per worker (admission control — further submitters block
+    until a slot frees); ``max_inflight=1`` plus ``use_reply_ring=False``
+    degenerates to the strict call-and-wait pickle-pipe discipline this
+    backend shipped with, which the serving benchmark uses as its
+    baseline.
     """
 
     name = "process"
 
     def __init__(self, config: AlexConfig, policy: AdaptationPolicy,
-                 max_workers: int = 1):
+                 max_workers: int = 1,
+                 max_inflight: Optional[int] = None,
+                 reply_ring_bytes: int = DEFAULT_REPLY_RING_BYTES,
+                 use_reply_ring: bool = True):
         self._config = config
         # The configured policy instance itself travels to every worker
         # (spawn pickles it; AdaptationPolicy excludes its lock), so
@@ -162,6 +346,10 @@ class ProcessBackend(ExecutionBackend):
         # process boundary — each worker unpickles an independent copy.
         self._policy = policy
         self.max_workers = max_workers
+        self.max_inflight = (max_inflight if max_inflight is not None
+                             else _default_max_inflight())
+        self.reply_ring_bytes = reply_ring_bytes
+        self.use_reply_ring = use_reply_ring
         self._ctx = mp.get_context("spawn")
         self._workers: List[_WorkerHandle] = []
         self._respawn_guard = threading.Lock()
@@ -170,15 +358,19 @@ class ProcessBackend(ExecutionBackend):
     # -- lifecycle ----------------------------------------------------
 
     def _spawn(self, keys: np.ndarray, payloads: Optional[list],
-               seed: Optional[Counters] = None) -> _WorkerHandle:
+               seed: Optional[Counters] = None,
+               shard: int = -1) -> _WorkerHandle:
         parent_conn, child_conn = self._ctx.Pipe()
+        ring = (ReplyRing.create(self.reply_ring_bytes)
+                if self.use_reply_ring else None)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._config, self._policy),
+            args=(child_conn, self._config, self._policy, ring),
             daemon=True, name="alex-shard-worker")
         process.start()
         child_conn.close()
-        worker = _WorkerHandle(process, parent_conn)
+        worker = _WorkerHandle(process, parent_conn, ring, shard,
+                               self.max_inflight)
         view = ShardStorageView.pack(keys, payloads)
         try:
             self._request(worker, ("load", view, seed))
@@ -186,9 +378,17 @@ class ProcessBackend(ExecutionBackend):
             view.unlink()
         return worker
 
+    def _renumber(self) -> None:
+        """Refresh each handle's shard position after the worker list
+        changed (spawn/replace/respawn run under the facade's exclusive
+        structure lock, so no request observes a stale id mid-flight)."""
+        for shard, worker in enumerate(self._workers):
+            worker.shard = shard
+
     def provision(self, parts: Sequence[tuple]) -> None:
         self._workers = [self._spawn(keys, payloads)
                          for keys, payloads in parts]
+        self._renumber()
 
     def adopt(self, indexes: List[AlexIndex]) -> None:
         # Prebuilt in-process shards move wholesale into workers; their
@@ -199,22 +399,33 @@ class ProcessBackend(ExecutionBackend):
                         seed=index.counters.snapshot())
             for index in indexes
         ]
+        self._renumber()
 
-    @staticmethod
-    def _retire(worker: _WorkerHandle) -> None:
-        """Ask one worker to exit and reap its process (shared by
-        :meth:`close` and the split/merge re-provisioning path)."""
-        with worker.lock:
-            try:
-                worker.conn.send(("close",))
-                worker.conn.recv()
-            except (BrokenPipeError, EOFError, OSError):
-                pass
-            worker.conn.close()
+    def _retire(self, worker: _WorkerHandle) -> None:
+        """Ask one worker to exit and reap its process, ring, and reader
+        thread (shared by :meth:`close` and the split/merge
+        re-provisioning path).  A shutdown that cannot complete the
+        close handshake — broken pipe, dead process, a wedged worker —
+        is *dirty*: it lands in the obs event log with the shard id and
+        the exception, instead of vanishing into an except-pass."""
+        worker.closing = True
+        try:
+            self._submit(worker, ("close",)).result(timeout=5)
+        except (WorkerDiedError, FutureTimeoutError, OSError) as exc:
+            obs.inc("serve.dirty_shutdowns")
+            obs.emit("worker.dirty_shutdown", shard=worker.shard,
+                     error=repr(exc))
         worker.process.join(timeout=5)
         if worker.process.is_alive():  # pragma: no cover
             worker.process.terminate()
             worker.process.join(timeout=5)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.reader.join(timeout=5)
+        if worker.ring is not None:
+            worker.ring.unlink()
 
     def close(self) -> None:
         if self._closed:
@@ -232,83 +443,93 @@ class ProcessBackend(ExecutionBackend):
 
     # -- RPC plumbing -------------------------------------------------
 
-    @staticmethod
-    def _receive(worker: _WorkerHandle,
-                 shard: Optional[int] = None) -> tuple:
-        try:
-            return worker.conn.recv()
-        except (EOFError, OSError) as exc:
-            raise WorkerDiedError(shard, f"mid-request ({exc!r})") from exc
+    def _submit(self, worker: _WorkerHandle, body: tuple,
+                blob: Optional[bytes] = None) -> Future:
+        """Send one request frame without waiting for its reply.
 
-    def _request(self, worker: _WorkerHandle, message: tuple,
-                 shard: Optional[int] = None):
-        """One send/recv round trip (raises what the worker raised)."""
-        with obs.span("rpc.roundtrip"), worker.lock:
-            try:
-                worker.conn.send(message)
-            except (BrokenPipeError, OSError) as exc:
-                raise WorkerDiedError(shard,
-                                      f"on send ({exc!r})") from exc
-            status, value = self._receive(worker, shard)
-        if status == "err":
-            raise value
-        return value
+        Acquires an in-flight slot (the per-worker admission budget —
+        this is where backpressure blocks), registers the future, and
+        pushes the frame down the pipe; the reply-reader settles the
+        future whenever the worker gets to it.  ``blob`` carries a
+        pre-pickled frame (fan-out paths pickle before sending anything
+        so an unpicklable argument aborts with zero requests in flight);
+        it must be the pickling of ``(req_id,) + body`` for the
+        ``req_id`` just allocated, so plain submits leave it ``None``.
+        """
+        with obs.span("rpc.inflight_wait"):
+            worker.inflight.acquire()
+        req_id, future = worker.register()
+        try:
+            with worker.send_lock:
+                if blob is None:
+                    worker.conn.send((req_id,) + body)
+                else:
+                    worker.conn.send_bytes(blob)
+        except (BrokenPipeError, OSError) as exc:
+            worker.settle(req_id, WorkerDiedError(
+                worker.shard, f"on send ({exc!r})"), is_error=True)
+        except BaseException:
+            # Not a pipe failure (e.g. an unpicklable argument): the
+            # request never left, so free its slot and re-raise.
+            if worker.unregister(req_id) is not None:
+                worker.inflight.release()
+            raise
+        return future
+
+    def _request(self, worker: _WorkerHandle, body: tuple):
+        """One submit + wait (raises what the worker raised)."""
+        with obs.span("rpc.roundtrip"):
+            return self._submit(worker, body).result()
 
     def _multi(self, messages: Sequence[Tuple[int, tuple]]) -> list:
-        """Pipelined fan-out: send every message, then gather every reply.
+        """Pipelined fan-out: submit every request, then gather every
+        future.  Requests to distinct workers execute genuinely in
+        parallel, and — unlike the retired pairing-lock design —
+        concurrent fan-outs from different client threads interleave
+        freely on the *same* worker's pipe, each completion routed to
+        its own future by the reply-reader.  All futures are awaited
+        before the first worker-raised exception propagates, matching
+        the thread backend's wait-then-raise semantics.
 
-        Worker pipe locks are taken in ascending shard order (the same
-        discipline as the facade's shard locks), so concurrent fan-outs
-        cannot deadlock; the workers execute their requests genuinely in
-        parallel between our send and recv passes.  All replies are
-        gathered before the first worker-raised exception propagates,
-        matching the thread backend's wait-then-raise semantics.
-
-        Every message is *pickled up front*, before anything is sent: an
+        Every frame is *pickled up front*, before anything is sent: an
         unpicklable argument (say, a lambda payload in an apply batch)
         raises here with zero requests in flight, so it can never leave
-        some shards applied and others not, nor strand a reply in a pipe.
-        After that, a worker that dies mid-fan-out becomes an error
-        *result* while the surviving workers' replies are still drained —
-        every pipe ends the fan-out with exactly as many replies consumed
-        as requests sent, so one crash cannot desynchronize another
-        shard's protocol.
+        some shards applied and others not.  After that, a worker that
+        dies mid-fan-out becomes an error *result* (its reader fails the
+        future) while the surviving workers' replies still settle.
         """
         with obs.span("rpc.fanout"):
-            blobs = [(shard, ForkingPickler.dumps(message))
-                     for shard, message in messages]
-            involved = sorted({shard for shard, _ in messages})
-            for shard in involved:
-                self._workers[shard].lock.acquire()
-            try:
-                replies = []
-                for shard, blob in blobs:
-                    try:
-                        self._workers[shard].conn.send_bytes(blob)
-                    except (BrokenPipeError, OSError) as exc:
-                        replies.append(("err", WorkerDiedError(
-                            shard, f"on send ({exc!r})")))
-                        continue
-                    replies.append(None)  # reply slot, filled below
-                for i, (shard, _) in enumerate(messages):
-                    if replies[i] is not None:
-                        continue  # send already failed; nothing to receive
-                    try:
-                        replies[i] = self._receive(self._workers[shard],
-                                                   shard)
-                    except WorkerDiedError as exc:
-                        replies[i] = ("err", exc)
-            finally:
-                for shard in reversed(involved):
-                    self._workers[shard].lock.release()
+            futures = []
+            for shard, body in messages:
+                worker = self._workers[shard]
+                # The id must be inside the pickled frame, so register
+                # first; an unpicklable body releases the registration.
+                with obs.span("rpc.inflight_wait"):
+                    worker.inflight.acquire()
+                req_id, future = worker.register()
+                try:
+                    blob = ForkingPickler.dumps((req_id,) + body)
+                except BaseException:
+                    if worker.unregister(req_id) is not None:
+                        worker.inflight.release()
+                    for prior in futures:
+                        prior.cancel()
+                    raise
+                try:
+                    with worker.send_lock:
+                        worker.conn.send_bytes(blob)
+                except (BrokenPipeError, OSError) as exc:
+                    worker.settle(req_id, WorkerDiedError(
+                        shard, f"on send ({exc!r})"), is_error=True)
+                futures.append(future)
             results, first_error = [], None
-            for status, value in replies:
-                if status == "err":
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except BaseException as exc:
                     if first_error is None:
-                        first_error = value
+                        first_error = exc
                     results.append(None)
-                else:
-                    results.append(value)
             if first_error is not None:
                 raise first_error
             return results
@@ -320,8 +541,7 @@ class ProcessBackend(ExecutionBackend):
         return len(self._workers)
 
     def call(self, shard: int, method: str, *args):
-        return self._request(self._workers[shard], ("call", method, args),
-                             shard=shard)
+        return self._request(self._workers[shard], ("call", method, args))
 
     def scatter(self, calls: Sequence[Call]) -> list:
         if len(calls) == 1:
@@ -333,7 +553,17 @@ class ProcessBackend(ExecutionBackend):
     def scatter_batch(self, batch, jobs: Sequence[BatchJob]) -> list:
         if isinstance(batch, SharedArray):  # already published
             return self._scatter_published(batch, jobs)
-        handle = SharedArray.create(np.ascontiguousarray(batch))
+        batch = np.ascontiguousarray(batch)
+        if batch.nbytes <= INLINE_BATCH_BYTES:
+            # Serving-sized batches skip shared memory entirely: a
+            # segment create + per-worker mmap + unlink costs far more
+            # than pickling a few KiB into the frames themselves.
+            obs.inc("rpc.inline_batches")
+            return self._multi([
+                (shard, ("ibatch", method, batch[lo:hi], extra))
+                for shard, method, lo, hi, extra in jobs
+            ])
+        handle = SharedArray.create(batch)
         try:
             return self._scatter_published(handle, jobs)
         finally:
@@ -360,8 +590,7 @@ class ProcessBackend(ExecutionBackend):
     # -- structure ----------------------------------------------------
 
     def snapshot(self, shard: int) -> Tuple[np.ndarray, Optional[list]]:
-        view = self._request(self._workers[shard], ("snapshot",),
-                             shard=shard)
+        view = self._request(self._workers[shard], ("snapshot",))
         try:
             return view.unpack(copy=True)
         finally:
@@ -394,10 +623,14 @@ class ProcessBackend(ExecutionBackend):
         that outlives a short join is forced out and replaced
         unconditionally.  The respawn guard serializes concurrent
         repairs; a second repair of the same shard wastefully but
-        harmlessly re-provisions from the same durable state.
+        harmlessly re-provisions from the same durable state.  The old
+        handle's reader thread has already failed (or is failing) every
+        future that was in flight on the dead pipe — replacement does
+        not orphan any of them.
         """
         with self._respawn_guard:
             old = self._workers[shard]
+            old.closing = True
             old.process.join(timeout=1)
             if old.process.is_alive():
                 old.process.terminate()
@@ -409,7 +642,11 @@ class ProcessBackend(ExecutionBackend):
                 old.conn.close()
             except OSError:
                 pass
-            self._workers[shard] = self._spawn(keys, payloads, seed)
+            old.reader.join(timeout=5)
+            if old.ring is not None:
+                old.ring.unlink()
+            self._workers[shard] = self._spawn(keys, payloads, seed,
+                                               shard=shard)
 
     def replace(self, start: int, stop: int, parts: Sequence[tuple],
                 inherit: Sequence[Sequence[int]]) -> None:
@@ -427,6 +664,7 @@ class ProcessBackend(ExecutionBackend):
                  for (keys, payloads), seed in zip(parts, seeds)]
         outgoing = self._workers[start:stop]
         self._workers[start:stop] = fresh
+        self._renumber()
         for worker in outgoing:
             self._retire(worker)
 

@@ -1,0 +1,326 @@
+"""Equivalence and fault-injection tests for the pipelined worker RPC.
+
+The process backend now keeps several request frames in flight per
+worker, completes them out of order relative to other workers, and
+ships numeric reply columns through a shared-memory reply ring.  None
+of that may be observable through the facade: results must stay
+bit-identical to the synchronous call-and-wait discipline
+(``max_inflight=1`` + pickle-pipe replies), counter totals must agree,
+and a worker killed with a pipeline full of outstanding requests must
+fail *every* one of those futures — never hang one — while logged
+writes stay all-or-nothing across shards.
+"""
+
+import os
+import signal
+import threading
+import time
+import zlib
+from concurrent.futures import wait as wait_futures
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.config import ga_armi
+from repro.core.stats import Counters
+from repro.serve import ShardedAlexIndex
+from repro.serve.backend import WorkerDiedError
+from repro.serve.worker import (DEFAULT_MAX_INFLIGHT, INLINE_BATCH_BYTES,
+                                ProcessBackend, _default_max_inflight)
+
+#: Thread backend covers the cheap sweep; the process backend is the
+#: subject under test (workers are expensive to spawn on CI, so it
+#: rides one representative configuration per test).
+BACKENDS = ("thread", "process")
+
+
+def _seed(parts) -> int:
+    return zlib.crc32(repr(parts).encode())
+
+
+def _build(backend, n=2000, num_shards=2, max_inflight=None, seed=0,
+           **kwargs):
+    """A service with numeric payloads (reply-ring eligible) plus its
+    key set and the key->payload ground truth."""
+    rng = np.random.default_rng(_seed(("pipelined", backend, seed)))
+    keys = np.unique(rng.lognormal(0, 2, n + 200) * 1e6)[:n]
+    payloads = [float(k) * 2.0 for k in keys]
+    service = ShardedAlexIndex.bulk_load(
+        keys, payloads, num_shards=num_shards,
+        config=ga_armi(max_keys_per_node=256), backend=backend,
+        max_inflight=max_inflight, **kwargs)
+    expected = dict(zip(keys.tolist(), payloads))
+    return service, keys, expected
+
+
+def _total_counters(service) -> Counters:
+    total = Counters()
+    for shard in service.shard_counters():
+        total.merge(shard)
+    return total
+
+
+@pytest.fixture
+def obs_on():
+    was = obs.enabled()
+    obs.set_enabled(True)
+    yield
+    obs.set_enabled(was)
+
+
+class TestOutOfOrderEquivalence:
+    """Pipelined, concurrently-driven traffic vs the synchronous path."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_concurrent_reads_bit_identical(self, backend):
+        """Many threads driving overlapping read batches through the
+        pipelined backend return exactly what a sequentially-driven
+        ``max_inflight=1`` twin returns, and (process backend) the two
+        services account the same algorithmic work."""
+        service, keys, _ = _build(backend)
+        sync_inflight = 1 if backend == "process" else None
+        ref, _, _ = _build(backend, max_inflight=sync_inflight)
+        try:
+            rng = np.random.default_rng(_seed(("reads", backend)))
+            batches = [rng.choice(keys, size=int(rng.integers(8, 400)))
+                       for _ in range(24)]
+            expected = [ref.get_many(batch) for batch in batches]
+
+            results = [None] * len(batches)
+            errors = []
+
+            def drive(lane):
+                try:
+                    for i in range(lane, len(batches), 4):
+                        results[i] = service.get_many(batches[i])
+                except Exception as exc:  # surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=drive, args=(lane,))
+                       for lane in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors
+            assert results == expected
+            if backend == "process":
+                # Worker processes are single-threaded, so out-of-order
+                # *submission* must not change the work accounted: the
+                # read multiset is identical, hence so are the totals.
+                # (The thread backend shares one Counters per shard
+                # across client threads, whose unlocked increments can
+                # drop under contention — by design.)
+                assert _total_counters(service) == _total_counters(ref)
+        finally:
+            service.close()
+            ref.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_interleaved_reads_and_writes_match_sequential(self, backend):
+        """Concurrent lanes of chained insert/read/erase traffic leave
+        the service in exactly the state sequential driving leaves a
+        twin in, and reads of the stable key set never see the writes
+        (their key ranges are disjoint)."""
+        service, keys, expected = _build(backend, n=1500)
+        sync_inflight = 1 if backend == "process" else None
+        ref, _, _ = _build(backend, n=1500, max_inflight=sync_inflight)
+        hi = float(keys.max())
+        lanes = [hi + 1.0 + 1000.0 * lane + np.arange(64, dtype=np.float64)
+                 for lane in range(3)]
+        try:
+            for fresh in lanes:  # the sequential reference
+                ref.insert_many(fresh, [float(k) for k in fresh])
+                ref.erase_many(fresh[::2])
+
+            errors = []
+
+            def drive(lane):
+                try:
+                    rng = np.random.default_rng(
+                        _seed(("lane", backend, lane)))
+                    fresh = lanes[lane]
+                    service.insert_many(fresh, [float(k) for k in fresh])
+                    for _ in range(5):
+                        batch = rng.choice(keys, size=128)
+                        got = service.get_many(batch)
+                        want = [expected[float(k)] for k in batch]
+                        if got != want:
+                            errors.append((lane, "read mismatch"))
+                    service.erase_many(fresh[::2])
+                except Exception as exc:
+                    errors.append((lane, exc))
+
+            threads = [threading.Thread(target=drive, args=(lane,))
+                       for lane in range(len(lanes))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors
+            assert list(service.items()) == list(ref.items())
+            service.validate()
+        finally:
+            service.close()
+            ref.close()
+
+    def test_reply_ring_disabled_equivalent(self, monkeypatch):
+        """``use_reply_ring=False`` (pickle-pipe replies only) is purely
+        a transport change — same results on ring-eligible numeric
+        payloads."""
+        original = ProcessBackend.__init__
+
+        def no_ring(self, *args, **kwargs):
+            kwargs["use_reply_ring"] = False
+            original(self, *args, **kwargs)
+
+        monkeypatch.setattr(ProcessBackend, "__init__", no_ring)
+        service, keys, expected = _build("process")
+        try:
+            assert service.backend.use_reply_ring is False
+            batch = keys[::3]
+            assert service.get_many(batch) == \
+                [expected[float(k)] for k in batch]
+            assert service.contains_many(batch).all()
+        finally:
+            service.close()
+
+    def test_inline_and_segment_batch_paths_agree(self, obs_on):
+        """Small coalesced batches ride inline in the request frame,
+        large analytic batches keep the shared-memory segment — both
+        must return the same answers, and the reply ring must actually
+        carry the numeric columns back."""
+        service, keys, expected = _build("process", n=6000)
+        try:
+            small = keys[:64]
+            large = np.random.default_rng(7).choice(keys, size=4096)
+            assert small.nbytes <= INLINE_BATCH_BYTES < large.nbytes
+
+            before = dict(obs.snapshot().get("counters", {}))
+            assert service.get_many(small) == \
+                [expected[float(k)] for k in small]
+            assert service.get_many(large) == \
+                [expected[float(k)] for k in large]
+            after = dict(obs.snapshot().get("counters", {}))
+
+            def delta(name):
+                return after.get(name, 0) - before.get(name, 0)
+
+            assert delta("rpc.inline_batches") >= 1
+            assert delta("rpc.shm_replies") >= 1
+        finally:
+            service.close()
+
+    def test_max_inflight_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_INFLIGHT", "3")
+        assert _default_max_inflight() == 3
+        monkeypatch.setenv("REPRO_MAX_INFLIGHT", "0")
+        assert _default_max_inflight() == 1
+        monkeypatch.setenv("REPRO_MAX_INFLIGHT", "not a number")
+        assert _default_max_inflight() == DEFAULT_MAX_INFLIGHT
+
+
+class TestWorkerDeathMidPipeline:
+    """A dead worker must fail *every* outstanding future (satellite:
+    no silent hang), report the dirty shutdown, and — with durability —
+    leave logged writes all-or-nothing."""
+
+    def test_all_outstanding_futures_fail(self, obs_on):
+        """Freeze a worker, queue a pipeline of requests against it,
+        then SIGKILL: each queued future raises ``WorkerDiedError`` for
+        that shard, the sibling worker keeps serving, and closing the
+        service records the dirty shutdown instead of swallowing it."""
+        service, _, _ = _build("process", num_shards=2)
+        backend = service.backend
+        victim = 0
+        pid = backend.worker_pids()[victim]
+        worker = backend._workers[victim]
+        before = dict(obs.snapshot().get("counters", {}))
+        try:
+            os.kill(pid, signal.SIGSTOP)  # requests queue, none answered
+            try:
+                futures = [backend._submit(worker, ("call", "num_keys", ()))
+                           for _ in range(5)]
+            finally:
+                os.kill(pid, signal.SIGKILL)
+                os.kill(pid, signal.SIGCONT)
+            done, not_done = wait_futures(futures, timeout=30)
+            assert not not_done, "a future outlived its worker"
+            for future in futures:
+                exc = future.exception()
+                assert isinstance(exc, WorkerDiedError)
+                assert exc.shard == victim
+            deadline = time.monotonic() + 10
+            while (backend.dead_shards() != [victim]
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert backend.dead_shards() == [victim]
+            # The sibling's pipeline is untouched.
+            sibling = backend._workers[1]
+            assert backend._request(sibling, ("call", "num_keys", ())) >= 0
+        finally:
+            service.close()
+        after = dict(obs.snapshot().get("counters", {}))
+        assert after.get("serve.dirty_shutdowns", 0) > \
+            before.get("serve.dirty_shutdowns", 0)
+        kinds = [e.get("kind") for e in obs.snapshot().get("events", [])]
+        assert "worker.dirty_shutdown" in kinds
+        assert "worker.pipe_lost" in kinds
+
+    def test_sigkill_mid_pipeline_heals_and_stays_atomic(self, tmp_path):
+        """SIGKILL a worker while reader threads keep its pipeline full
+        and writes land: durability respawns the shard, every read
+        (after its transparent retry) stays bit-identical, and each
+        cross-shard write batch is either fully present or fully
+        absent."""
+        service, keys, expected = _build(
+            "process", n=1500, num_shards=2,
+            durability_dir=str(tmp_path / "svc"), fsync="off")
+        stop = threading.Event()
+        errors = []
+
+        def reader(lane):
+            rng = np.random.default_rng(_seed(("killread", lane)))
+            try:
+                while not stop.is_set():
+                    batch = rng.choice(keys, size=64)
+                    got = service.get_many(batch)
+                    want = [expected[float(k)] for k in batch]
+                    if got != want:
+                        errors.append((lane, "read mismatch"))
+            except Exception as exc:
+                errors.append((lane, exc))
+
+        threads = [threading.Thread(target=reader, args=(lane,))
+                   for lane in range(3)]
+        try:
+            for t in threads:
+                t.start()
+            time.sleep(0.3)  # pipelines warm on both shards
+            os.kill(service.backend.worker_pids()[0], signal.SIGKILL)
+            # Cross-shard write batches racing the respawn: half the
+            # keys land below the key space, half above, so every batch
+            # spans both shards and must commit on both or neither.
+            lo, hi = float(keys.min()), float(keys.max())
+            batches = [np.concatenate([
+                lo - 100.0 * (b + 1) - np.arange(8, dtype=np.float64),
+                hi + 100.0 * (b + 1) + np.arange(8, dtype=np.float64)])
+                for b in range(4)]
+            for batch in batches:
+                service.insert_many(batch, [float(k) for k in batch])
+            time.sleep(0.2)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=60)
+        try:
+            assert not errors
+            for batch in batches:
+                present = service.contains_many(batch)
+                assert present.all() or not present.any()
+                assert present.all()  # these inserts were acked
+            assert service.backend.dead_shards() == []
+            service.validate()
+        finally:
+            service.close()
