@@ -129,6 +129,23 @@ GATED = {
         Metric("checkpoint recovery speedup",
                ("recovery", "checkpoint_speedup")),
     ],
+    "BENCH_replication.json": [
+        # Closed-loop read throughput with half the clients routed
+        # replica_ok over the same clients pinned to the primaries: the
+        # replica worker processes double the read executors, so the
+        # ratio is wall-clock parallelism — same-core-count comparisons
+        # only.
+        Metric("replica read scaling (mixed vs primary-only)",
+               ("read_scaling", "replica_vs_primary_ratio"),
+               core_sensitive=True),
+        # First read after SIGKILLing a primary with a long WAL tail:
+        # replica promotion over cold checkpoint-replay respawn.  Lower
+        # is better; climbing toward 1.0 means promotion started paying
+        # for the tail replay it exists to skip.
+        Metric("failover promote vs cold respawn",
+               ("failover", "promote_vs_respawn_ratio"),
+               higher_is_better=False),
+    ],
     "BENCH_serving.json": [
         # Achieved throughput at the heaviest offered load: pipelined
         # out-of-order RPC (multiple frames in flight per worker pipe,

@@ -427,6 +427,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-backend per-worker pipelining "
                             "budget (default 8 / $REPRO_MAX_INFLIGHT; "
                             "1 = call-and-wait RPC)")
+        p.add_argument("--replicas", action="store_true",
+                       help="host a WAL-following replica beside each "
+                            "shard primary (forces durability — a "
+                            "tempdir WAL unless --durable provides "
+                            "one); part of the driver's reads then "
+                            "route replica_ok and the repl.* panel "
+                            "lights up")
 
     p_stats = sub.add_parser(
         "stats", help="drive a sharded service briefly and print its "

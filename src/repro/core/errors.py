@@ -50,3 +50,23 @@ class WALCorruptionError(PersistenceError):
     frame — a torn tail (the expected signature of a crash mid-append) is
     tolerated and truncated, but damage in the middle of the log means
     acknowledged history is gone and recovery must not silently skip it."""
+
+
+class ReplicationError(IndexError_):
+    """Base class for replication errors.  Lives in ``core.errors`` (like
+    :class:`WALCorruptionError`) so both ``repro.replication`` and
+    ``repro.serve`` can raise/catch them without importing each other."""
+
+
+class ReplicaStaleError(ReplicationError):
+    """A replica cannot serve a read within the caller's consistency
+    bounds: its applied LSN is behind the read's ``min_lsn`` (a
+    read-your-writes token) or its staleness exceeds ``max_staleness_s``.
+    The router treats this as "fall back to the primary", never as a
+    failure surfaced to the client."""
+
+
+class ReplicaUnavailableError(ReplicationError):
+    """No replica can serve the request at all — none attached for the
+    shard, the replica worker died, or it was stopped/promoted.  Like
+    :class:`ReplicaStaleError` this routes the read to the primary."""

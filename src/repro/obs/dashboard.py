@@ -38,7 +38,7 @@ from .render import (event_lines, format_ns, percentile_table,
 #: Histogram prefixes the terminal views surface (the full snapshot is
 #: available via --format json/prometheus).
 TABLE_PREFIXES = ("ingress.", "serve.", "core.", "shard.op.", "rpc.",
-                  "wal.", "checkpoint.", "recover.")
+                  "wal.", "checkpoint.", "recover.", "repl.")
 
 
 def _build_service(args):
@@ -52,8 +52,21 @@ def _build_service(args):
         keys, num_shards=args.shards, backend=args.backend,
         durability_dir=getattr(args, "_durability_dir", None),
         fsync="batch" if getattr(args, "_durability_dir", None) else "off",
-        max_inflight=getattr(args, "max_inflight", None))
+        max_inflight=getattr(args, "max_inflight", None),
+        replicate=getattr(args, "replicas", False))
     return service, keys
+
+
+def _ensure_durability(args):
+    """``--replicas`` needs a WAL for the followers to tail; when the
+    run isn't otherwise durable, park one in a tempdir (returned so the
+    caller keeps it alive until shutdown)."""
+    if (getattr(args, "replicas", False)
+            and getattr(args, "_durability_dir", None) is None):
+        tmp = tempfile.TemporaryDirectory(prefix="repro-repl-")
+        args._durability_dir = tmp.name + "/svc"
+        return tmp
+    return None
 
 
 def _build_ingress(service, args):
@@ -93,10 +106,15 @@ class _Driver:
 
     def round(self) -> None:
         """One driver round: ~3 read batches, 1 insert+erase cycle, and
-        a few scalar lookups."""
-        for _ in range(3):
+        a few scalar lookups.  With replication on, one of the read
+        batches routes ``replica_ok`` so the repl.* metrics move."""
+        replicated = getattr(self.service, "_replicate", False)
+        for i in range(3):
             batch = self.rng.choice(self.keys, size=self.read_batch)
-            self.target.get_many(batch)
+            if replicated and i == 0:
+                self.target.get_many(batch, options="replica_ok")
+            else:
+                self.target.get_many(batch)
             self.ops += self.read_batch
         fresh = self._fresh + self.rng.integers(1, 1 << 30) * 1e-3
         self.target.insert_many(fresh)
@@ -179,6 +197,12 @@ def _render_dashboard(service, snap: dict, shard_deltas: List[int],
     if lag is not None:
         status.append("WAL lag (ops since checkpoint): "
                       + " ".join(f"s{s}={n}" for s, n in enumerate(lag)))
+    replication = snap.get("replication")
+    if replication:
+        status.append("replicas: " + "  ".join(
+            f"s{s}=lsn{r['applied_lsn']}/"
+            f"{r['staleness_s'] * 1e3:.0f}ms" if r else f"s{s}=down"
+            for s, r in enumerate(replication)))
     parts.extend(status)
 
     events = merged.get("events", [])
@@ -195,6 +219,7 @@ def run_top(args) -> int:
     if args.durable:
         tmp = tempfile.TemporaryDirectory(prefix="repro-top-")
         args._durability_dir = tmp.name + "/svc"
+    repl_tmp = _ensure_durability(args)
     service, keys = _build_service(args)
     ingress = _build_ingress(service, args)
     driver = _Driver(service, keys, args.read_batch, args.write_batch,
@@ -238,11 +263,14 @@ def run_top(args) -> int:
         service.close()
         if tmp is not None:
             tmp.cleanup()
+        if repl_tmp is not None:
+            repl_tmp.cleanup()
     return 0
 
 
 def run_stats(args) -> int:
     """The one-shot snapshot (``python -m repro stats``)."""
+    repl_tmp = _ensure_durability(args)
     service, keys = _build_service(args)
     ingress = _build_ingress(service, args)
     driver = _Driver(service, keys, args.read_batch, args.write_batch,
@@ -255,6 +283,8 @@ def run_stats(args) -> int:
         if ingress is not None:
             ingress.close()
         service.close()
+        if repl_tmp is not None:
+            repl_tmp.cleanup()
     merged = snap["merged"]
     if args.format == "json":
         from .render import summarize

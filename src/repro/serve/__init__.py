@@ -62,27 +62,50 @@ tier is fast at: arrivals coalesce inside a small time/size window
 blocking the accept loop, and shed or block past an admission cap.
 :class:`IngressRunner` is its synchronous wrapper for thread-world
 callers.
+
+**Replication and consistency.**  With
+``ShardedAlexIndex(replicate=True)`` each shard hosts a WAL-following
+:class:`~repro.replication.Replica` beside its primary.  Every read
+entry point takes one ``options=`` — a :class:`ReadOptions` (or its
+consistency-level string): ``primary`` (default, exactly the old
+behavior), ``replica_ok(max_staleness_s=...)`` (lock-free replica reads
+at bounded observable staleness), or ``read_your_writes(token)`` where
+``token`` is the :class:`WriteToken` acked by every write.  Replica
+reads that cannot meet their bound fall back to the primary; a dead
+*primary* is **failed over** — its caught-up replica promotes in place
+of the cold checkpoint-replay respawn — and a dead replica is respawned
+behind the primary's back without touching the read path's guarantees.
 """
 
 from .backend import (ExecutionBackend, ThreadBackend, WorkerDiedError,
                       make_backend)
 from .ingress import (MISSING, AsyncIngress, IngressRunner,
                       ServiceOverloadedError)
+from .options import (CONSISTENCY_LEVELS, PRIMARY, READ_YOUR_WRITES,
+                      REPLICA_OK, ReadOptions, WriteToken,
+                      resolve_read_options)
 from .router import ShardRouter
 from .sharded import ShardedAlexIndex, ShardStats
 from .worker import ProcessBackend
 
 __all__ = [
+    "CONSISTENCY_LEVELS",
     "MISSING",
+    "PRIMARY",
+    "READ_YOUR_WRITES",
+    "REPLICA_OK",
     "AsyncIngress",
     "ExecutionBackend",
     "IngressRunner",
     "ProcessBackend",
+    "ReadOptions",
     "ServiceOverloadedError",
     "ShardRouter",
     "ShardStats",
     "ShardedAlexIndex",
     "ThreadBackend",
     "WorkerDiedError",
+    "WriteToken",
     "make_backend",
+    "resolve_read_options",
 ]

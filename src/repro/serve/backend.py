@@ -203,8 +203,11 @@ class ExecutionBackend(abc.ABC):
         """A snapshot of the shard's work counters."""
 
     def dead_shards(self) -> List[int]:
-        """Shard positions whose executor died (empty for in-process
-        backends: a thread shard cannot die without the facade)."""
+        """*Primary* shard positions whose executor died (empty for
+        in-process backends: a thread shard cannot die without the
+        facade).  Replica deaths are reported separately by
+        :meth:`dead_replicas` — a dead replica degrades read routing, a
+        dead primary triggers failover."""
         return []
 
     def respawn(self, shard: int, keys: np.ndarray,
@@ -214,6 +217,55 @@ class ExecutionBackend(abc.ABC):
         crash-recovery half of :class:`WorkerDiedError`)."""
         raise NotImplementedError(
             f"the {self.name!r} backend has no executor to respawn")
+
+    # -- replication (optional per-backend capability) -----------------
+    #
+    # A backend may host one WAL-shipping replica beside each primary.
+    # The facade routes `replica_ok` / `read_your_writes` reads here and
+    # promotes on primary death; backends without the capability keep
+    # the defaults, which make every replica read fall back to primary.
+
+    def add_replica(self, shard: int, root: str) -> None:
+        """Attach a replica for ``shard`` tailing durability dir
+        ``root``.  Blocks until the replica has bootstrapped."""
+        raise NotImplementedError(
+            f"the {self.name!r} backend does not host replicas")
+
+    def has_replica(self, shard: int) -> bool:
+        return False
+
+    def replica_read(self, shard: int, method: str, args: tuple = (),
+                     min_lsn: int = 0,
+                     max_staleness_s: Optional[float] = None):
+        """Serve one read from ``shard``'s replica within the bounds, or
+        raise ``ReplicaStaleError`` / ``ReplicaUnavailableError`` (or
+        :class:`WorkerDiedError` for a process-hosted replica) — all of
+        which the facade turns into a primary fallback."""
+        from repro.core.errors import ReplicaUnavailableError
+        raise ReplicaUnavailableError(
+            f"the {self.name!r} backend has no replica for shard {shard}")
+
+    def replica_status(self, shard: int) -> Optional[dict]:
+        """The replica's :meth:`~repro.replication.Replica.status` dict,
+        or ``None`` when the shard has no (live) replica."""
+        return None
+
+    def promote_replica(self, shard: int) -> int:
+        """Failover: make ``shard``'s replica the primary executor and
+        return its applied LSN.  The caller guarantees the shard's WAL
+        is quiescent (it holds the shard write lock over a dead
+        primary)."""
+        from repro.core.errors import ReplicaUnavailableError
+        raise ReplicaUnavailableError(
+            f"the {self.name!r} backend has no replica for shard {shard}")
+
+    def drop_replica(self, shard: int) -> None:
+        """Detach and release ``shard``'s replica (idempotent)."""
+
+    def dead_replicas(self) -> List[int]:
+        """Shard positions whose *replica* executor died (always empty
+        for in-process replicas — they share the facade's fate)."""
+        return []
 
     @property
     @abc.abstractmethod
@@ -263,6 +315,9 @@ class ThreadBackend(ExecutionBackend):
         self._policy = policy
         self.max_workers = max(1, max_workers)
         self.indexes: List[AlexIndex] = []
+        #: Per-shard replica slot, spliced in lockstep with ``indexes``
+        #: by :meth:`replace` so positions stay aligned across SMOs.
+        self._replicas: List[Optional[object]] = []
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_guard = Lock()
         # Kernel warmup belongs to provisioning, not the first request;
@@ -277,11 +332,15 @@ class ThreadBackend(ExecutionBackend):
         self.indexes = [build_shard(keys, payloads, self._config,
                                     self._policy)
                         for keys, payloads in parts]
+        self._replicas = [None] * len(self.indexes)
 
     def adopt(self, indexes: List[AlexIndex]) -> None:
         self.indexes = list(indexes)
+        self._replicas = [None] * len(self.indexes)
 
     def close(self) -> None:
+        for shard in range(len(self._replicas)):
+            self.drop_replica(shard)
         with self._pool_guard:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
@@ -354,10 +413,58 @@ class ThreadBackend(ExecutionBackend):
             for old in sources:
                 index.counters.merge(self.indexes[old].counters)
             fresh.append(index)
+        # Outgoing replicas tail directories the SMO is about to delete;
+        # stop them before the splice (the facade re-attaches fresh ones
+        # once the rewritten durability dirs exist).
+        for shard in range(start, stop):
+            self.drop_replica(shard)
         self.indexes[start:stop] = fresh
+        self._replicas[start:stop] = [None] * len(fresh)
 
     def counters(self, shard: int) -> Counters:
         return self.indexes[shard].counters.snapshot()
+
+    # -- replication ---------------------------------------------------
+
+    def add_replica(self, shard: int, root: str) -> None:
+        from repro.replication import Replica
+        self.drop_replica(shard)
+        self._replicas[shard] = Replica(root, config=self._config,
+                                        policy=self._policy).start()
+
+    def has_replica(self, shard: int) -> bool:
+        return (shard < len(self._replicas)
+                and self._replicas[shard] is not None)
+
+    def replica_read(self, shard: int, method: str, args: tuple = (),
+                     min_lsn: int = 0,
+                     max_staleness_s: Optional[float] = None):
+        replica = self._replicas[shard] if self.has_replica(shard) else None
+        if replica is None:
+            from repro.core.errors import ReplicaUnavailableError
+            raise ReplicaUnavailableError(f"shard {shard} has no replica")
+        return replica.read(method, args, min_lsn=min_lsn,
+                            max_staleness_s=max_staleness_s)
+
+    def replica_status(self, shard: int) -> Optional[dict]:
+        if not self.has_replica(shard):
+            return None
+        return self._replicas[shard].status()
+
+    def promote_replica(self, shard: int) -> int:
+        if not self.has_replica(shard):
+            from repro.core.errors import ReplicaUnavailableError
+            raise ReplicaUnavailableError(f"shard {shard} has no replica")
+        replica = self._replicas[shard]
+        self._replicas[shard] = None
+        self.indexes[shard] = replica.promote()
+        return replica.applied_lsn
+
+    def drop_replica(self, shard: int) -> None:
+        if self.has_replica(shard):
+            replica = self._replicas[shard]
+            self._replicas[shard] = None
+            replica.stop()
 
 
 def make_backend(backend, config: AlexConfig, policy: AdaptationPolicy,

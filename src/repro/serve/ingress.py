@@ -30,7 +30,11 @@ closed-loop clients that prefer backpressure to errors).
 Writes pass through without coalescing: a write batch is all-or-nothing
 on the facade (two-phase validate-then-apply), so coalescing unrelated
 writers would entangle their failures; they still ride the same pool,
-admission budget, and latency histograms.
+admission budget, and latency histograms — and ack the facade's
+:class:`~repro.serve.options.WriteToken`, whose holder can demand
+``read_your_writes`` on a later coalesced read.  Reads accept the same
+``options=`` the facade does; lanes are keyed by consistency level, so
+a replica-routed batch never drags primary reads along.
 
 Per-request latency lands in the ``repro.obs`` histograms —
 ``ingress.coalesce_wait`` (enqueue → flush), ``ingress.rpc`` (facade
@@ -60,6 +64,9 @@ import numpy as np
 
 from repro import obs
 from repro.core.errors import KeyNotFoundError
+
+from .options import (READ_YOUR_WRITES, ReadOptions, WriteToken,
+                      resolve_read_options)
 
 
 class ServiceOverloadedError(RuntimeError):
@@ -99,10 +106,12 @@ class _Request:
     """One client request parked in a lane: its keys (contiguous in the
     flushed batch), its completion future, and its enqueue timestamp."""
 
-    __slots__ = ("keys", "default", "strict", "single", "future", "t0")
+    __slots__ = ("keys", "default", "strict", "single", "options",
+                 "future", "t0")
 
     def __init__(self, keys: List[float], default, strict: bool,
-                 single: bool, future: asyncio.Future, t0: int):
+                 single: bool, options: Optional[ReadOptions],
+                 future: asyncio.Future, t0: int):
         self.keys = keys
         self.default = default
         #: ``lookup`` semantics: a miss raises KeyNotFoundError instead
@@ -110,6 +119,8 @@ class _Request:
         self.strict = strict
         #: Scalar request: resolve to ``values[0]``, not a list.
         self.single = single
+        #: Consistency the request asked for (None = primary default).
+        self.options = options
         self.future = future
         self.t0 = t0
 
@@ -175,7 +186,13 @@ class AsyncIngress:
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, submit_workers),
             thread_name_prefix="alex-ingress")
-        self._lanes = {"get": _Lane(), "contains": _Lane()}
+        # Lanes are keyed ``(family, consistency)`` and created on
+        # demand: requests only coalesce with requests whose
+        # consistency level they share, so a replica-routed batch never
+        # drags primary reads to a replica (or vice versa).  Within a
+        # lane, per-request constraints merge conservatively at flush
+        # time (tightest staleness bound, union of write tokens).
+        self._lanes: dict = {}
         self._outstanding = 0             # admitted keys not yet replied
         self._blocked: deque = deque()    # admission waiters (block mode)
         self._drained: deque = deque()    # aclose() waiters
@@ -232,14 +249,20 @@ class AsyncIngress:
 
     # -- the coalescing core --------------------------------------------
 
-    async def _enqueue(self, lane_name: str, keys: List[float],
+    async def _enqueue(self, family: str, keys: List[float],
                        default=None, strict: bool = False,
-                       single: bool = False):
+                       single: bool = False, options=None):
         loop = self._bind_loop()
         await self._admit(len(keys))
         obs.inc("ingress.requests", len(keys))
-        lane = self._lanes[lane_name]
-        request = _Request(keys, default, strict, single,
+        opts = (resolve_read_options(options)
+                if options is not None else None)
+        lane_name = (family,
+                     opts.consistency if opts is not None else "primary")
+        lane = self._lanes.get(lane_name)
+        if lane is None:
+            lane = self._lanes[lane_name] = _Lane()
+        request = _Request(keys, default, strict, single, opts,
                            loop.create_future(), time.perf_counter_ns())
         lane.requests.append(request)
         lane.size += len(keys)
@@ -253,7 +276,7 @@ class AsyncIngress:
                 lane.timer = loop.call_soon(self._flush, lane_name)
         return await request.future
 
-    def _flush(self, lane_name: str) -> None:
+    def _flush(self, lane_name) -> None:
         """Drain one lane into a facade batch on the submit pool (loop
         thread; fires from the window timer or the max-batch trip)."""
         requests = self._lanes[lane_name].take()
@@ -267,19 +290,46 @@ class AsyncIngress:
         obs.observe("ingress.batch_size", total)
         self._pool.submit(self._run_batch, lane_name, requests)
 
-    def _run_batch(self, lane_name: str, requests: List[_Request]) -> None:
+    @staticmethod
+    def _effective_options(
+            requests: List[_Request]) -> Optional[ReadOptions]:
+        """The one :class:`ReadOptions` a coalesced batch runs under —
+        the conservative merge of its requests' constraints (all share
+        a consistency level; that is what keyed them into one lane).
+        Tightest staleness bound and the pointwise-max token union are
+        at least as strict as what any member asked for, so riding the
+        merged batch never weakens a request's guarantee."""
+        opts = [r.options for r in requests if r.options is not None]
+        if not opts:
+            return None
+        bounds = [o.max_staleness_s for o in opts
+                  if o.max_staleness_s is not None]
+        bound = min(bounds) if bounds else None
+        if opts[0].consistency == READ_YOUR_WRITES:
+            token = WriteToken.empty()
+            for o in opts:
+                if o.token:
+                    token = token.merge(o.token)
+            return ReadOptions.read_your_writes(token,
+                                                max_staleness_s=bound)
+        return ReadOptions.replica_ok(max_staleness_s=bound)
+
+    def _run_batch(self, lane_name, requests: List[_Request]) -> None:
         """Drive one coalesced batch into the facade (pool thread) and
         hand the results back to the loop for distribution."""
         keys = np.concatenate([
             np.asarray(r.keys, dtype=np.float64) for r in requests])
+        options = self._effective_options(requests)
         error: Optional[BaseException] = None
         values = None
         start = time.perf_counter_ns()
         try:
-            if lane_name == "get":
-                values = self.service.get_many(keys, default=MISSING)
+            if lane_name[0] == "get":
+                values = self.service.get_many(keys, default=MISSING,
+                                               options=options)
             else:
-                values = self.service.contains_many(keys)
+                values = self.service.contains_many(keys,
+                                                    options=options)
         except BaseException as exc:
             error = exc
         obs.record_ns("ingress.rpc", time.perf_counter_ns() - start)
@@ -325,38 +375,42 @@ class AsyncIngress:
 
     # -- the read API ---------------------------------------------------
 
-    async def get(self, key: float, default=None):
-        """Coalesced scalar :meth:`~ShardedAlexIndex.get`."""
+    async def get(self, key: float, default=None, *, options=None):
+        """Coalesced scalar :meth:`~ShardedAlexIndex.get`.  ``options``
+        (a :class:`ReadOptions` or consistency string) selects the
+        consistency level; requests only coalesce within their level."""
         return await self._enqueue("get", [float(key)], default=default,
-                                   single=True)
+                                   single=True, options=options)
 
-    async def lookup(self, key: float):
+    async def lookup(self, key: float, *, options=None):
         """Coalesced scalar lookup; raises :class:`KeyNotFoundError` on
         a miss."""
         return await self._enqueue("get", [float(key)], strict=True,
-                                   single=True)
+                                   single=True, options=options)
 
-    async def contains(self, key: float) -> bool:
+    async def contains(self, key: float, *, options=None) -> bool:
         """Coalesced membership test."""
-        return await self._enqueue("contains", [float(key)], single=True)
+        return await self._enqueue("contains", [float(key)], single=True,
+                                   options=options)
 
-    async def get_many(self, keys, default=None) -> list:
+    async def get_many(self, keys, default=None, *, options=None) -> list:
         """Multi-key get as *one* admitted request (one future, keys
         contiguous in the coalesced batch)."""
         return await self._enqueue(
             "get", [float(k) for k in np.asarray(keys).ravel()],
-            default=default)
+            default=default, options=options)
 
-    async def lookup_many(self, keys) -> list:
+    async def lookup_many(self, keys, *, options=None) -> list:
         """Multi-key strict lookup (raises on the first missing key)."""
         return await self._enqueue(
             "get", [float(k) for k in np.asarray(keys).ravel()],
-            strict=True)
+            strict=True, options=options)
 
-    async def contains_many(self, keys) -> list:
+    async def contains_many(self, keys, *, options=None) -> list:
         """Multi-key membership test (returns plain bools)."""
         return await self._enqueue(
-            "contains", [float(k) for k in np.asarray(keys).ravel()])
+            "contains", [float(k) for k in np.asarray(keys).ravel()],
+            options=options)
 
     # -- the write API (pass-through, not coalesced) --------------------
 
@@ -372,22 +426,26 @@ class AsyncIngress:
                           time.perf_counter_ns() - start)
             self._release(n)
 
-    async def insert(self, key: float, payload=None) -> None:
-        await self._passthrough(1, self.service.insert, key, payload)
+    async def insert(self, key: float, payload=None) -> WriteToken:
+        return await self._passthrough(1, self.service.insert, key,
+                                       payload)
 
-    async def upsert(self, key: float, payload) -> None:
-        await self._passthrough(1, self.service.upsert, key, payload)
+    async def upsert(self, key: float, payload) -> WriteToken:
+        return await self._passthrough(1, self.service.upsert, key,
+                                       payload)
 
-    async def update(self, key: float, payload) -> None:
-        await self._passthrough(1, self.service.update, key, payload)
+    async def update(self, key: float, payload) -> WriteToken:
+        return await self._passthrough(1, self.service.update, key,
+                                       payload)
 
-    async def delete(self, key: float) -> None:
-        await self._passthrough(1, self.service.delete, key)
+    async def delete(self, key: float) -> WriteToken:
+        return await self._passthrough(1, self.service.delete, key)
 
-    async def insert_many(self, keys, payloads=None) -> None:
+    async def insert_many(self, keys, payloads=None) -> WriteToken:
         keys = np.asarray(keys)
-        await self._passthrough(len(keys), self.service.insert_many,
-                                keys, payloads)
+        return await self._passthrough(len(keys),
+                                       self.service.insert_many,
+                                       keys, payloads)
 
     async def erase_many(self, keys) -> int:
         keys = np.asarray(keys)
@@ -407,7 +465,7 @@ class AsyncIngress:
         if self._closed:
             return
         self._closed = True
-        for name in self._lanes:
+        for name in list(self._lanes):
             self._flush(name)
         if self._outstanding:
             gate = asyncio.get_running_loop().create_future()

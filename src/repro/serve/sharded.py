@@ -55,7 +55,7 @@ from __future__ import annotations
 import os
 import threading
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -64,7 +64,8 @@ from repro.core.alex import AlexIndex
 from repro.core.batch import export_arrays
 from repro.core.config import AlexConfig
 from repro.core.errors import (DuplicateKeyError, KeyNotFoundError,
-                               PersistenceError)
+                               PersistenceError, ReplicaStaleError,
+                               ReplicaUnavailableError)
 from repro.core.policy import (AdaptationPolicy, HeuristicPolicy,
                                ShardSummary)
 from repro.core.stats import Counters
@@ -74,7 +75,15 @@ from repro.durability import (DEFAULT_CHECKPOINT_EVERY, OP_DELETE,
 from repro.ext.concurrent import ReadWriteLock
 
 from .backend import ExecutionBackend, WorkerDiedError, make_backend
+from .options import (READ_YOUR_WRITES, ReadOptions, WriteToken,
+                      resolve_read_options)
 from .router import ShardRouter
+
+#: Exceptions that route a replica-eligible read back to the primary.
+#: ``WorkerDiedError`` here is a *replica* worker's death — it degrades
+#: routing (and triggers replica repair), never the caller's read.
+_REPLICA_FALLBACKS = (ReplicaStaleError, ReplicaUnavailableError,
+                      WorkerDiedError)
 
 #: Factor applied to every shard's access tallies after a structural
 #: change (split or merge): the observation window renormalizes instead of
@@ -197,6 +206,14 @@ class ShardedAlexIndex:
         outstanding per worker pipe before further submitters block
         (default 8, or ``REPRO_MAX_INFLIGHT``).  ``1`` restores strict
         call-and-wait RPC; the thread backend ignores the knob.
+    replicate:
+        Host a WAL-shipping replica beside each shard's primary
+        (requires durability — replicas are log followers).  Reads
+        carrying ``options=ReadOptions.replica_ok(...)`` or
+        ``read_your_writes`` route to the replicas, and a primary
+        worker death *promotes* the shard's replica (checkpoint +
+        continuously shipped tail) instead of cold-respawning, so
+        serving continues through the crash.
     """
 
     def __init__(self, config: Optional[AlexConfig] = None,
@@ -210,7 +227,8 @@ class ShardedAlexIndex:
                  fsync: str = "batch",
                  checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
                  durability: Optional[ShardedDurability] = None,
-                 max_inflight: Optional[int] = None):
+                 max_inflight: Optional[int] = None,
+                 replicate: bool = False):
         self.config = config or AlexConfig()
         # One adaptation policy serves every layer: the shards' leaf/tree
         # SMOs and this facade's shard split/merge decisions.
@@ -266,6 +284,15 @@ class ShardedAlexIndex:
             # from WAL replay.
             for s in range(num_shards):
                 self._checkpoint_shard(s)
+        self._replicate = bool(replicate)
+        self._replica_repair_lock = threading.Lock()
+        self._closing = False
+        if self._replicate:
+            if self._durability is None:
+                raise ValueError(
+                    "replicate=True needs durability (a replica is a "
+                    "WAL follower — pass durability_dir=)")
+            self._attach_all_replicas()
 
     @classmethod
     def bulk_load(cls, keys, payloads: Optional[list] = None,
@@ -277,7 +304,8 @@ class ShardedAlexIndex:
                   durability_dir: Optional[str] = None,
                   fsync: str = "batch",
                   checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
-                  max_inflight: Optional[int] = None
+                  max_inflight: Optional[int] = None,
+                  replicate: bool = False
                   ) -> "ShardedAlexIndex":
         """Partition ``keys`` into ``num_shards`` near-equal-mass shards
         and bulk-load each one.
@@ -300,7 +328,7 @@ class ShardedAlexIndex:
                    policy=policy, backend=backend, parts=parts,
                    durability_dir=durability_dir, fsync=fsync,
                    checkpoint_every=checkpoint_every,
-                   max_inflight=max_inflight)
+                   max_inflight=max_inflight, replicate=replicate)
 
     @classmethod
     def recover(cls, durability_dir: str,
@@ -309,7 +337,8 @@ class ShardedAlexIndex:
                 policy: Optional[AdaptationPolicy] = None,
                 backend: "str | ExecutionBackend" = "thread",
                 fsync: str = "batch",
-                checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+                checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                replicate: bool = False
                 ) -> "ShardedAlexIndex":
         """Reconstruct a durable sharded service from its directory tree:
         attach the topology manifest, recover every shard (latest
@@ -338,7 +367,8 @@ class ShardedAlexIndex:
                                         dtype=np.float64))
         service = cls(config=config, router=router,
                       max_workers=max_workers, policy=policy,
-                      backend=backend, parts=parts, durability=durability)
+                      backend=backend, parts=parts, durability=durability,
+                      replicate=replicate)
         service.last_recovery = recoveries
         return service
 
@@ -373,6 +403,7 @@ class ShardedAlexIndex:
         """Shut down the execution backend — the thread backend's worker
         pool, or the process backend's shard workers — and flush + close
         the durability tree (idempotent)."""
+        self._closing = True
         self._backend.close()
         if self._durability is not None:
             self._durability.close()
@@ -382,23 +413,28 @@ class ShardedAlexIndex:
     # ------------------------------------------------------------------
 
     def _log_groups(self, op: int, groups: list, keys: np.ndarray,
-                    payloads: Optional[list] = None) -> None:
+                    payloads: Optional[list] = None) -> Dict[int, int]:
         """Append one WAL frame per involved shard (write-ahead: called
         after validation, before the apply scatter, under the shards'
-        write locks)."""
+        write locks).  Returns ``{shard: lsn}`` of the appended frames
+        (empty without durability) — the raw material of the
+        :class:`WriteToken` acked back to the client."""
+        lsns: Dict[int, int] = {}
         if self._durability is None:
-            return
+            return lsns
         for s, lo, hi in groups:
-            self._durability.log(
+            lsns[s] = self._durability.log(
                 s, op, keys[lo:hi],
                 None if payloads is None else payloads[lo:hi])
+        return lsns
 
     def _log_scalar(self, shard: int, op: int, key: float,
-                    payloads: Optional[list] = None) -> None:
-        if self._durability is not None:
-            self._durability.log(shard, op,
-                                 np.array([key], dtype=np.float64),
-                                 payloads)
+                    payloads: Optional[list] = None) -> int:
+        if self._durability is None:
+            return 0
+        return self._durability.log(shard, op,
+                                    np.array([key], dtype=np.float64),
+                                    payloads)
 
     def _persist_writer(self, shard: int):
         """A ``write_snapshot`` callback persisting shard ``shard``
@@ -437,6 +473,135 @@ class ShardedAlexIndex:
         if self._durability is not None:
             self._durability.sync()
 
+    # ------------------------------------------------------------------
+    # Replication: tokens, replica routing, promotion
+    # ------------------------------------------------------------------
+
+    def _generation(self, shard: int) -> str:
+        """The durability *generation* of shard ``shard`` — its current
+        durability dirname.  :class:`WriteToken` LSNs are keyed by
+        generation rather than shard position because SMOs renumber
+        positions; a post-SMO generation starts from a generation-zero
+        checkpoint that already contains every pre-SMO write, so a token
+        holding only retired generations correctly demands nothing
+        (``lsn_for`` → 0) from the new ones."""
+        return self._durability.shard_state(shard).dirname
+
+    def _token(self, lsns: Dict[int, int]) -> WriteToken:
+        """Turn ``{shard: lsn}`` from a write's log step into the
+        generation-keyed :class:`WriteToken` acked to the client."""
+        if not lsns or self._durability is None:
+            return WriteToken.empty()
+        return WriteToken({self._generation(s): lsn
+                           for s, lsn in lsns.items()})
+
+    def write_token(self) -> WriteToken:
+        """A token covering *everything logged so far* on every shard —
+        the read-your-writes horizon for a client that did its writes
+        through another handle (or wants a full barrier)."""
+        if self._durability is None:
+            return WriteToken.empty()
+        with self._structure_lock.read():
+            return WriteToken({
+                self._generation(s):
+                    self._durability.shard_state(s).wal.last_lsn
+                for s in range(self.num_shards)})
+
+    def _attach_replica(self, shard: int) -> None:
+        """Start (or restart) shard ``shard``'s replica, tailing the
+        shard's own durability directory."""
+        self._backend.add_replica(shard, self._durability.shard_dir(shard))
+        obs.inc("serve.replica_attached")
+
+    def _attach_all_replicas(self) -> None:
+        for s in range(self.num_shards):
+            self._attach_replica(s)
+
+    def _replica_constraints(self, opts: ReadOptions,
+                             shard: int) -> Tuple[int, Optional[float]]:
+        """``(min_lsn, max_staleness_s)`` a replica read on ``shard``
+        must satisfy under ``opts``."""
+        min_lsn = 0
+        if opts.consistency == READ_YOUR_WRITES:
+            token = opts.token or WriteToken.empty()
+            min_lsn = token.lsn_for(self._generation(shard))
+        return min_lsn, opts.max_staleness_s
+
+    def _try_replica(self, shard: int, method: str, args: tuple,
+                     opts: ReadOptions):
+        """One replica read attempt.  Raises one of
+        ``_REPLICA_FALLBACKS`` when the primary path should take over; a
+        dead replica worker additionally gets repaired in the background
+        of the fallback (the primary is untouched either way)."""
+        min_lsn, bound = self._replica_constraints(opts, shard)
+        try:
+            return self._backend.replica_read(
+                shard, method, args, min_lsn=min_lsn,
+                max_staleness_s=bound)
+        except WorkerDiedError:
+            obs.inc("serve.replica_deaths")
+            obs.emit("replica.died", shard=shard)
+            self._repair_replica_async(shard)
+            raise ReplicaUnavailableError(
+                f"replica for shard {shard} died") from None
+
+    def _repair_replica_async(self, shard: int) -> None:
+        """Respawn shard ``shard``'s replica off the request path: the
+        fresh follower's bootstrap replays checkpoint + WAL tail, which
+        can take as long as a cold recovery — no client read (nor the
+        promotion that just failed over) should wait on it."""
+        threading.Thread(target=self._repair_replica, args=(shard,),
+                         name="alex-replica-repair", daemon=True).start()
+
+    def _repair_replica(self, shard: int) -> None:
+        """Respawn shard ``shard``'s replica if it is dead or missing
+        (serialized: concurrent fallbacks repair once; the structure
+        read lock keeps the attach from racing a split/merge/replace)."""
+        if not self._replicate or self._closing:
+            return
+        with self._replica_repair_lock, self._structure_lock.read():
+            if self._closing or shard >= self.num_shards:
+                return
+            if (shard in self._backend.dead_replicas()
+                    or not self._backend.has_replica(shard)):
+                try:
+                    self._backend.drop_replica(shard)
+                    self._attach_replica(shard)
+                except Exception:     # noqa: BLE001 - reads just fall back
+                    obs.emit("replica.repair_failed", shard=shard)
+                else:
+                    obs.inc("serve.replica_respawns")
+
+    def _promote_replica_locked(self, shard: int) -> bool:
+        """Promote shard ``shard``'s replica over its dead primary
+        (``shard``'s write lock held).  ``True`` on success; ``False``
+        sends the caller down the cold checkpoint-replay respawn path.
+        The replica drains the complete WAL tail before taking over —
+        including the write-ahead frame of an interrupted apply — so the
+        promoted worker's state matches what cold recovery would build,
+        just without re-reading the checkpoint."""
+        if not (self._replicate and self._backend.has_replica(shard)):
+            return False
+        try:
+            # The primary appended its frames through a buffered file
+            # handle; make every acked byte visible to the replica's
+            # reader before it drains.
+            self._durability.shard_state(shard).wal.flush()
+            applied = self._backend.promote_replica(shard)
+        except Exception as exc:      # noqa: BLE001 - any failure → cold path
+            obs.emit("replica.promote_failed", shard=shard,
+                     error=type(exc).__name__)
+            self._backend.drop_replica(shard)
+            return False
+        obs.inc("serve.replica_promotions")
+        obs.emit("replica.promote", shard=shard, applied_lsn=applied)
+        # Stand up a fresh follower behind the promoted primary — in the
+        # background: its bootstrap replays the same WAL tail the dead
+        # primary accumulated, and the whole point of promotion is that
+        # the interrupted client request does not wait for that.
+        self._repair_replica_async(shard)
+        return True
+
     def _respawn_dead(self, suspect: Optional[int] = None,
                       involved: Optional[List[int]] = None) -> bool:
         """Re-provision dead shard executors from their checkpoints +
@@ -467,6 +632,11 @@ class ShardedAlexIndex:
             dead.add(suspect)
         repairable = sorted(dead & allowed)
         for s in repairable:
+            # Hot path: fail over to the shard's replica — it is already
+            # caught up to within its poll interval, so promotion skips
+            # the checkpoint reload entirely.
+            if self._promote_replica_locked(s):
+                continue
             recovery = self._durability.recover_shard(
                 s, config=self.config, policy=self.policy)
             keys, payloads = export_arrays(recovery.index)
@@ -544,18 +714,48 @@ class ShardedAlexIndex:
     # Batch reads (scatter-gather through the per-shard batch engines)
     # ------------------------------------------------------------------
 
-    def _scatter_read(self, skeys: np.ndarray, method: str, *extra):
+    def _scatter_read(self, skeys: np.ndarray, method: str, *extra,
+                      options: Optional[ReadOptions] = None):
         """The shared scatter-read skeleton: carve the sorted batch into
         per-shard groups, run ``shard.<method>(sub_batch, *extra)`` on
-        each executor under the shared locks, and return
+        each executor — the primary under the shared locks, or the
+        shard's replica when ``options`` allows it — and return
         ``(groups, results)``."""
+        opts = resolve_read_options(options)
         with self._structure_lock.read():
             groups = list(self.router.split_batch(skeys))
-            results = self._locked_scatter_batch(skeys, groups, method,
-                                                 extra)
+            if opts.wants_replica and self._replicate:
+                results = self._replica_scatter(skeys, groups, method,
+                                                extra, opts)
+            else:
+                results = self._locked_scatter_batch(skeys, groups, method,
+                                                     extra)
             for s, lo, hi in groups:
                 self.stats[s].add(reads=hi - lo)
             return groups, results
+
+    def _replica_scatter(self, skeys: np.ndarray, groups: list,
+                         method: str, extra: tuple,
+                         opts: ReadOptions) -> list:
+        """Serve a carved batch from the shards' replicas; groups whose
+        replica is stale, missing, or dead fall back to the primary
+        scatter path (per group — one lagging replica does not drag the
+        whole batch to the primaries)."""
+        results: list = [None] * len(groups)
+        fallback: List[int] = []
+        for i, (s, lo, hi) in enumerate(groups):
+            try:
+                results[i] = self._try_replica(
+                    s, method, (skeys[lo:hi],) + extra, opts)
+            except _REPLICA_FALLBACKS:
+                obs.inc("serve.replica_fallbacks")
+                fallback.append(i)
+        if fallback:
+            sub = self._locked_scatter_batch(
+                skeys, [groups[i] for i in fallback], method, extra)
+            for i, res in zip(fallback, sub):
+                results[i] = res
+        return results
 
     @staticmethod
     def _stitch(groups: list, results: list, out: list,
@@ -568,34 +768,43 @@ class ShardedAlexIndex:
         return out
 
     @obs.timed("serve.lookup_many")
-    def lookup_many(self, keys) -> list:
+    def lookup_many(self, keys, *,
+                    options: "ReadOptions | str | None" = None) -> list:
         """Batch lookup across shards; raises :class:`KeyNotFoundError`
         when any key is absent.  Identical to
-        :meth:`AlexIndex.lookup_many` over the same data."""
+        :meth:`AlexIndex.lookup_many` over the same data.  ``options``
+        (a :class:`ReadOptions` or consistency-level string) routes the
+        read to the shards' replicas; omitted, it reads the primaries."""
         skeys, order = self._sort_batch(keys)
         if len(skeys) == 0:
             return []
-        groups, results = self._scatter_read(skeys, "lookup_many")
+        groups, results = self._scatter_read(skeys, "lookup_many",
+                                             options=options)
         return self._stitch(groups, results, [None] * len(skeys), order)
 
     @obs.timed("serve.get_many")
-    def get_many(self, keys, default=None) -> list:
+    def get_many(self, keys, default=None, *,
+                 options: "ReadOptions | str | None" = None) -> list:
         """Batch :meth:`AlexIndex.get_many` across shards."""
         skeys, order = self._sort_batch(keys)
         if len(skeys) == 0:
             return []
-        groups, results = self._scatter_read(skeys, "get_many", default)
+        groups, results = self._scatter_read(skeys, "get_many", default,
+                                             options=options)
         return self._stitch(groups, results, [default] * len(skeys), order)
 
     @obs.timed("serve.contains_many")
-    def contains_many(self, keys) -> np.ndarray:
+    def contains_many(self, keys, *,
+                      options: "ReadOptions | str | None" = None
+                      ) -> np.ndarray:
         """Vectorized membership test across shards."""
         skeys, order = self._sort_batch(keys)
         n = len(skeys)
         result = np.zeros(n, dtype=bool)
         if n == 0:
             return result
-        groups, results = self._scatter_read(skeys, "contains_many")
+        groups, results = self._scatter_read(skeys, "contains_many",
+                                             options=options)
         for (_, lo, hi), hits in zip(groups, results):
             if order is None:
                 result[lo:hi] = hits
@@ -608,7 +817,8 @@ class ShardedAlexIndex:
     # ------------------------------------------------------------------
 
     @obs.timed("serve.insert_many")
-    def insert_many(self, keys, payloads: Optional[list] = None) -> None:
+    def insert_many(self, keys,
+                    payloads: Optional[list] = None) -> WriteToken:
         """Batch insert across shards, all-or-nothing.
 
         The batch is sorted once, carved into per-shard sub-batches, and
@@ -617,10 +827,15 @@ class ShardedAlexIndex:
         sub-batch then executes through the shard's batched insert engine
         under its shard's write lock.  Shards not touched by the batch
         keep serving reads and writes throughout.
+
+        Returns a :class:`WriteToken` covering the batch's WAL frames —
+        pass it to a later ``read_your_writes`` read to guarantee the
+        replica serving it has applied this write (empty, and equally
+        valid, without durability).
         """
         keys, payloads = AlexIndex._normalize_batch(keys, payloads)
         if len(keys) == 0:
-            return
+            return WriteToken.empty()
 
         with self._structure_lock.read():
             groups = list(self.router.split_batch(keys))
@@ -647,7 +862,8 @@ class ShardedAlexIndex:
                     # each shard's WAL before any shard mutates, so a
                     # worker that dies mid-apply recovers *with* its
                     # sub-batch (no retry — the replay settles it).
-                    self._log_groups(OP_INSERT, groups, keys, payloads)
+                    lsns = self._log_groups(OP_INSERT, groups, keys,
+                                            payloads)
 
                     # Phase 2: apply.  Sorted, deduplicated, and
                     # validated above — the unchecked path skips a second
@@ -661,11 +877,12 @@ class ShardedAlexIndex:
                 for s, lo, hi in groups:
                     self.stats[s].add(writes=hi - lo)
                     self._maybe_checkpoint(s)
+                return self._token(lsns)
             finally:
                 self._release_shards(shard_ids, write=True)
 
     @obs.timed("serve.delete_many")
-    def delete_many(self, keys) -> None:
+    def delete_many(self, keys) -> WriteToken:
         """Batch delete across shards, all-or-nothing.
 
         The mirror of :meth:`insert_many` for the delete-heavy half of a
@@ -674,11 +891,12 @@ class ShardedAlexIndex:
         key, or an in-batch duplicate whose second removal could not
         succeed, raises :class:`KeyNotFoundError` before any shard
         mutates), and then applied through each shard's batched delete
-        engine under its write lock.
+        engine under its write lock.  Returns the batch's
+        :class:`WriteToken` (see :meth:`insert_many`).
         """
         keys, _ = AlexIndex._normalize_delete_batch(keys)
         if len(keys) == 0:
-            return
+            return WriteToken.empty()
 
         with self._structure_lock.read():
             groups = list(self.router.split_batch(keys))
@@ -699,7 +917,7 @@ class ShardedAlexIndex:
                                 float(keys[lo + int(miss[0])]))
 
                     # Write-ahead point (see insert_many).
-                    self._log_groups(OP_DELETE, groups, keys)
+                    lsns = self._log_groups(OP_DELETE, groups, keys)
 
                     self._retry_dead(
                         lambda: self._backend.scatter_batch(
@@ -710,6 +928,7 @@ class ShardedAlexIndex:
                 for s, lo, hi in groups:
                     self.stats[s].add(writes=hi - lo)
                     self._maybe_checkpoint(s)
+                return self._token(lsns)
             finally:
                 self._release_shards(shard_ids, write=True)
 
@@ -725,7 +944,9 @@ class ShardedAlexIndex:
         and trigger no checkpoints), and the apply scatter settles
         through the WAL replay if a worker dies mid-apply.  The returned
         count comes from the membership pass, so it stays exact even
-        across a worker crash.
+        across a worker crash.  (This is the one batch write that keeps
+        its count return instead of a :class:`WriteToken`; use
+        :meth:`write_token` after it for a read-your-writes barrier.)
         """
         keys = np.unique(np.asarray(keys, dtype=np.float64))
         if len(keys) == 0:
@@ -773,78 +994,92 @@ class ShardedAlexIndex:
         return self.router.shard_for(key)
 
     def _scalar_write(self, key: float, method: str, args: tuple,
-                      op: int, payloads: Optional[list] = None) -> None:
+                      op: int,
+                      payloads: Optional[list] = None) -> WriteToken:
         """Shared scalar-write body: execute on the owning shard, append
         the WAL frame on success (apply-then-log: only operations that
-        succeeded reach the log, so replay can never fail), ack."""
+        succeeded reach the log, so replay can never fail), ack with the
+        frame's :class:`WriteToken`."""
         with self._structure_lock.read():
             s = self._shard_of(key)
             with self._shard_locks[s].write():
                 self._retry_dead(
                     lambda: self._backend.call(s, method, *args),
                     involved=[s])
-                self._log_scalar(s, op, key, payloads)
+                lsn = self._log_scalar(s, op, key, payloads)
                 self.stats[s].add(writes=1)
                 self._maybe_checkpoint(s)
+                return self._token({s: lsn} if lsn else {})
 
     @obs.timed("serve.insert")
-    def insert(self, key: float, payload=None) -> None:
-        """Insert one key (exclusive lock on its shard only)."""
+    def insert(self, key: float, payload=None) -> WriteToken:
+        """Insert one key (exclusive lock on its shard only).  Returns
+        the write's :class:`WriteToken` (see :meth:`insert_many`)."""
         key = float(key)
-        self._scalar_write(key, "insert", (key, payload), OP_INSERT,
-                           [payload])
+        return self._scalar_write(key, "insert", (key, payload), OP_INSERT,
+                                  [payload])
 
     @obs.timed("serve.delete")
-    def delete(self, key: float) -> None:
+    def delete(self, key: float) -> WriteToken:
         """Remove one key; raises :class:`KeyNotFoundError` when absent."""
         key = float(key)
-        self._scalar_write(key, "delete", (key,), OP_DELETE)
+        return self._scalar_write(key, "delete", (key,), OP_DELETE)
 
     @obs.timed("serve.update")
-    def update(self, key: float, payload) -> None:
+    def update(self, key: float, payload) -> WriteToken:
         """Replace the payload of an existing key."""
         key = float(key)
-        self._scalar_write(key, "update", (key, payload), OP_UPSERT,
-                           [payload])
+        return self._scalar_write(key, "update", (key, payload), OP_UPSERT,
+                                  [payload])
 
     @obs.timed("serve.upsert")
-    def upsert(self, key: float, payload) -> None:
+    def upsert(self, key: float, payload) -> WriteToken:
         """Insert or update one key."""
         key = float(key)
-        self._scalar_write(key, "upsert", (key, payload), OP_UPSERT,
-                           [payload])
+        return self._scalar_write(key, "upsert", (key, payload), OP_UPSERT,
+                                  [payload])
 
     @obs.timed("serve.lookup")
-    def lookup(self, key: float):
-        """Shared-lock single-key lookup on the owning shard."""
+    def lookup(self, key: float, *,
+               options: "ReadOptions | str | None" = None):
+        """Single-key lookup on the owning shard — shared-lock on the
+        primary, or lock-free on its replica when ``options`` allows a
+        (bounded-staleness or read-your-writes) replica read."""
         key = float(key)
+        return self._scalar_read(key, "lookup", options)
+
+    def get(self, key: float, default=None, *,
+            options: "ReadOptions | str | None" = None):
+        """Like :meth:`lookup` but returns ``default`` when absent."""
+        try:
+            return self.lookup(key, options=options)
+        except KeyNotFoundError:
+            return default
+
+    @obs.timed("serve.contains")
+    def contains(self, key: float, *,
+                 options: "ReadOptions | str | None" = None) -> bool:
+        """Whether ``key`` is present."""
+        key = float(key)
+        return self._scalar_read(key, "contains", options)
+
+    def _scalar_read(self, key: float, method: str, options):
+        opts = resolve_read_options(options)
         with self._structure_lock.read():
             s = self._shard_of(key)
+            if opts.wants_replica and self._replicate:
+                try:
+                    result = self._try_replica(s, method, (key,), opts)
+                    self.stats[s].add(reads=1)
+                    return result
+                except _REPLICA_FALLBACKS:
+                    obs.inc("serve.replica_fallbacks")
             with self._shard_locks[s].read():
                 # Tally before the probe: misses are accesses too, exactly
                 # as the batch reads count them.
                 self.stats[s].add(reads=1)
                 return self._retry_dead(
-                    lambda: self._backend.call(s, "lookup", key),
-                    involved=[s])
-
-    def get(self, key: float, default=None):
-        """Like :meth:`lookup` but returns ``default`` when absent."""
-        try:
-            return self.lookup(key)
-        except KeyNotFoundError:
-            return default
-
-    @obs.timed("serve.contains")
-    def contains(self, key: float) -> bool:
-        """Whether ``key`` is present."""
-        key = float(key)
-        with self._structure_lock.read():
-            s = self._shard_of(key)
-            with self._shard_locks[s].read():
-                self.stats[s].add(reads=1)
-                return self._retry_dead(
-                    lambda: self._backend.call(s, "contains", key),
+                    lambda: self._backend.call(s, method, key),
                     involved=[s])
 
     # ------------------------------------------------------------------
@@ -852,44 +1087,74 @@ class ShardedAlexIndex:
     # ------------------------------------------------------------------
 
     @obs.timed("serve.range_scan")
-    def range_scan(self, start_key: float, limit: int) -> list:
+    def range_scan(self, start_key: float, limit: int, *,
+                   options: "ReadOptions | str | None" = None) -> list:
         """Up to ``limit`` pairs with key >= ``start_key``, in key order,
         continuing across shard boundaries as needed."""
         start_key = float(start_key)
+        opts = resolve_read_options(options)
         out: list = []
         with self._structure_lock.read():
             first = self._shard_of(start_key)
             for s in range(first, self.num_shards):
-                with self._shard_locks[s].read():
-                    chunk = self._retry_dead(
-                        lambda s=s: self._backend.call(
-                            s, "range_scan", start_key, limit - len(out)),
-                        involved=[s])
-                    self.stats[s].add(scans=1)
+                chunk = None
+                if opts.wants_replica and self._replicate:
+                    try:
+                        chunk = self._try_replica(
+                            s, "range_scan",
+                            (start_key, limit - len(out)), opts)
+                    except _REPLICA_FALLBACKS:
+                        obs.inc("serve.replica_fallbacks")
+                if chunk is None:
+                    with self._shard_locks[s].read():
+                        chunk = self._retry_dead(
+                            lambda s=s: self._backend.call(
+                                s, "range_scan", start_key,
+                                limit - len(out)),
+                            involved=[s])
+                self.stats[s].add(scans=1)
                 out.extend(chunk)
                 if len(out) >= limit:
                     break
         return out
 
     @obs.timed("serve.range_query")
-    def range_query(self, lo: float, hi: float) -> list:
+    def range_query(self, lo: float, hi: float, *,
+                    options: "ReadOptions | str | None" = None) -> list:
         """All pairs with ``lo <= key <= hi``, scatter-gathered from the
         shards whose ranges the interval touches and concatenated in shard
         (= key) order."""
         lo, hi = float(lo), float(hi)
         if hi < lo:
             return []
+        opts = resolve_read_options(options)
         with self._structure_lock.read():
             first, last = self.router.shard_span(lo, hi)
             shard_ids = list(range(first, last + 1))
-            self._acquire_shards(shard_ids, write=False)
-            try:
-                chunks = self._retry_dead(
-                    lambda: self._backend.scatter(
-                        [(s, "range_query", (lo, hi)) for s in shard_ids]),
-                    involved=shard_ids)
-            finally:
-                self._release_shards(shard_ids, write=False)
+            chunks: list = [None] * len(shard_ids)
+            fallback = list(shard_ids)
+            if opts.wants_replica and self._replicate:
+                fallback = []
+                for i, s in enumerate(shard_ids):
+                    try:
+                        chunks[i] = self._try_replica(
+                            s, "range_query", (lo, hi), opts)
+                    except _REPLICA_FALLBACKS:
+                        obs.inc("serve.replica_fallbacks")
+                        fallback.append(s)
+            if fallback:
+                self._acquire_shards(fallback, write=False)
+                try:
+                    primary = self._retry_dead(
+                        lambda: self._backend.scatter(
+                            [(s, "range_query", (lo, hi))
+                             for s in fallback]),
+                        involved=fallback)
+                finally:
+                    self._release_shards(fallback, write=False)
+                pos = {s: i for i, s in enumerate(shard_ids)}
+                for s, chunk in zip(fallback, primary):
+                    chunks[pos[s]] = chunk
             for s in shard_ids:
                 self.stats[s].add(scans=1)
         out: list = []
@@ -898,7 +1163,9 @@ class ShardedAlexIndex:
         return out
 
     @obs.timed("serve.range_query_many")
-    def range_query_many(self, los, his) -> list:
+    def range_query_many(self, los, his, *,
+                         options: "ReadOptions | str | None" = None
+                         ) -> list:
         """Vectorized :meth:`range_query` for a batch of intervals.
 
         Each shard executes one :meth:`AlexIndex.range_query_many` over the
@@ -913,6 +1180,7 @@ class ShardedAlexIndex:
         n = len(los)
         if n == 0:
             return []
+        opts = resolve_read_options(options)
         out: list = [[] for _ in range(n)]
         with self._structure_lock.read():
             lo_shards = self.router.shard_for_many(los)
@@ -922,16 +1190,31 @@ class ShardedAlexIndex:
                 touched = np.flatnonzero((lo_shards <= s) & (hi_shards >= s))
                 if touched.size:
                     jobs.append((s, touched))
-            shard_ids = [s for s, _ in jobs]
-            self._acquire_shards(shard_ids, write=False)
-            try:
-                results = self._retry_dead(
-                    lambda: self._backend.scatter(
-                        [(s, "range_query_many", (los[t], his[t]))
-                         for s, t in jobs]),
-                    involved=shard_ids)
-            finally:
-                self._release_shards(shard_ids, write=False)
+            results: list = [None] * len(jobs)
+            fallback = list(range(len(jobs)))
+            if opts.wants_replica and self._replicate:
+                fallback = []
+                for i, (s, t) in enumerate(jobs):
+                    try:
+                        results[i] = self._try_replica(
+                            s, "range_query_many", (los[t], his[t]), opts)
+                    except _REPLICA_FALLBACKS:
+                        obs.inc("serve.replica_fallbacks")
+                        fallback.append(i)
+            if fallback:
+                shard_ids = [jobs[i][0] for i in fallback]
+                self._acquire_shards(shard_ids, write=False)
+                try:
+                    primary = self._retry_dead(
+                        lambda: self._backend.scatter(
+                            [(jobs[i][0], "range_query_many",
+                              (los[jobs[i][1]], his[jobs[i][1]]))
+                             for i in fallback]),
+                        involved=shard_ids)
+                finally:
+                    self._release_shards(shard_ids, write=False)
+                for i, sub in zip(fallback, primary):
+                    results[i] = sub
             for s, touched in jobs:
                 self.stats[s].add(scans=len(touched))
         for (_, touched), sub in zip(jobs, results):  # shards in key order
@@ -1082,6 +1365,11 @@ class ShardedAlexIndex:
         # fix for stale windows biasing the next policy evaluation).
         self.stats[shard:shard + 1] = list(self.stats[shard].split())
         self._rewrite_durability(shard, shard + 1, 2)
+        if self._replicate:
+            # The replace() dropped the victim's replica; follow the two
+            # fresh generation-zero durability dirs.
+            self._attach_replica(shard)
+            self._attach_replica(shard + 1)
         obs.inc("serve.shard_splits")
         obs.emit("shard.split", shard=shard, boundary=median,
                  keys=len(keys))
@@ -1137,6 +1425,8 @@ class ShardedAlexIndex:
             self.stats[shard].merged_with(self.stats[shard + 1])
         ]
         self._rewrite_durability(shard, shard + 2, 1)
+        if self._replicate:
+            self._attach_replica(shard)
         obs.inc("serve.shard_merges")
         obs.emit("shard.merge", shard=shard,
                  keys=len(left_keys) + len(right_keys))
@@ -1192,6 +1482,9 @@ class ShardedAlexIndex:
             shard_rows = [stats.as_dict() for stats in self.stats]
             lag = (self._durability.lag_ops()
                    if self._durability is not None else None)
+            replication = ([self._backend.replica_status(s)
+                            for s in range(self.num_shards)]
+                           if self._replicate else None)
         # Fold the serving-layer tallies into the merged view as counters
         # so exposition (Prometheus, summaries) sees one namespace.
         tally = obs.empty_snapshot()
@@ -1203,6 +1496,7 @@ class ShardedAlexIndex:
             "merged": merged,
             "shards": shard_rows,
             "wal_lag_ops": lag,
+            "replication": replication,
             "backend": self._backend.name,
         }
 

@@ -114,7 +114,8 @@ def _default_max_inflight() -> int:
 
 
 def _worker_main(conn, config: AlexConfig, policy: AdaptationPolicy,
-                 ring: Optional[ReplyRing]) -> None:
+                 ring: Optional[ReplyRing],
+                 replica_root: Optional[str] = None) -> None:
     """One shard's RPC loop (the spawn target; runs until ``close``).
 
     Every request frame is ``(req_id, op, ...)`` and every reply echoes
@@ -134,6 +135,15 @@ def _worker_main(conn, config: AlexConfig, policy: AdaptationPolicy,
     shipped inline in the frame (the serving fast path — no segment);
     ``("snapshot",)`` packs the shard's contents into a fresh view the
     parent unlinks; ``("close",)`` acks and exits.
+
+    With ``replica_root`` set the process is a **replica worker**: it
+    bootstraps a :class:`~repro.replication.Replica` tailing that
+    durability directory before serving (so the parent's first request
+    doubles as the bootstrap barrier) and answers the replica ops —
+    ``("rread", method, args, min_lsn, max_staleness_s)`` /
+    ``("rstatus",)`` — until a ``("promote",)`` drains the tail and
+    installs the caught-up index as this worker's shard, after which
+    every normal op works and the worker *is* the primary.
     """
     # This process's policy copy arrived through spawn pickling with the
     # facade's full configuration; only the parent's decision history is
@@ -147,6 +157,13 @@ def _worker_main(conn, config: AlexConfig, policy: AdaptationPolicy,
     with obs.span("kernel.warm"):
         get_kernels(config.kernel_backend).warm()
     index: Optional[AlexIndex] = None
+    replica = None
+    if replica_root is not None:
+        # Deferred import: replication imports serve lazily and vice
+        # versa; by spawn time both packages resolve cleanly.
+        from repro.replication.replica import Replica
+        replica = Replica(replica_root, config=config,
+                          policy=policy).start()
     while True:
         try:
             message = conn.recv()
@@ -189,6 +206,17 @@ def _worker_main(conn, config: AlexConfig, policy: AdaptationPolicy,
                 view = ShardStorageView.pack(*export_arrays(index))
                 view.close()
                 reply = (req_id, "ok", view)
+            elif op == "rread":
+                method, args, min_lsn, max_staleness_s = message[2:]
+                reply = (req_id, "ok",
+                         replica.read(method, args, min_lsn=min_lsn,
+                                      max_staleness_s=max_staleness_s))
+            elif op == "rstatus":
+                reply = (req_id, "ok", replica.status())
+            elif op == "promote":
+                index = replica.promote()
+                reply = (req_id, "ok", replica.applied_lsn)
+                replica = None
             elif op == "close":
                 conn.send((req_id, "ok", None))
                 break
@@ -197,6 +225,8 @@ def _worker_main(conn, config: AlexConfig, policy: AdaptationPolicy,
         except BaseException as exc:
             reply = (req_id, "err", exc)
         conn.send(_encode_worker_reply(reply, ring))
+    if replica is not None:
+        replica.stop()
     conn.close()
 
 
@@ -352,25 +382,40 @@ class ProcessBackend(ExecutionBackend):
         self.use_reply_ring = use_reply_ring
         self._ctx = mp.get_context("spawn")
         self._workers: List[_WorkerHandle] = []
+        #: Per-shard replica worker slot, spliced in lockstep with
+        #: ``_workers`` by :meth:`replace` so positions stay aligned
+        #: across SMOs.  A replica worker is a full ``_WorkerHandle``
+        #: (own process, pipe, reply ring, reader thread) whose process
+        #: tails the shard's durability dir instead of loading a view.
+        self._replica_workers: List[Optional[_WorkerHandle]] = []
         self._respawn_guard = threading.Lock()
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------
 
-    def _spawn(self, keys: np.ndarray, payloads: Optional[list],
-               seed: Optional[Counters] = None,
-               shard: int = -1) -> _WorkerHandle:
+    def _spawn_handle(self, shard: int,
+                      replica_root: Optional[str] = None) -> _WorkerHandle:
+        """Start one worker process (primary or replica) and its
+        parent-side handle; primaries still need their ``load``."""
         parent_conn, child_conn = self._ctx.Pipe()
         ring = (ReplyRing.create(self.reply_ring_bytes)
                 if self.use_reply_ring else None)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._config, self._policy, ring),
-            daemon=True, name="alex-shard-worker")
+            args=(child_conn, self._config, self._policy, ring,
+                  replica_root),
+            daemon=True,
+            name=("alex-replica-worker" if replica_root
+                  else "alex-shard-worker"))
         process.start()
         child_conn.close()
-        worker = _WorkerHandle(process, parent_conn, ring, shard,
-                               self.max_inflight)
+        return _WorkerHandle(process, parent_conn, ring, shard,
+                             self.max_inflight)
+
+    def _spawn(self, keys: np.ndarray, payloads: Optional[list],
+               seed: Optional[Counters] = None,
+               shard: int = -1) -> _WorkerHandle:
+        worker = self._spawn_handle(shard)
         view = ShardStorageView.pack(keys, payloads)
         try:
             self._request(worker, ("load", view, seed))
@@ -388,6 +433,7 @@ class ProcessBackend(ExecutionBackend):
     def provision(self, parts: Sequence[tuple]) -> None:
         self._workers = [self._spawn(keys, payloads)
                          for keys, payloads in parts]
+        self._replica_workers = [None] * len(self._workers)
         self._renumber()
 
     def adopt(self, indexes: List[AlexIndex]) -> None:
@@ -399,6 +445,7 @@ class ProcessBackend(ExecutionBackend):
                         seed=index.counters.snapshot())
             for index in indexes
         ]
+        self._replica_workers = [None] * len(self._workers)
         self._renumber()
 
     def _retire(self, worker: _WorkerHandle) -> None:
@@ -431,6 +478,13 @@ class ProcessBackend(ExecutionBackend):
         if self._closed:
             return
         self._closed = True
+        # Replica workers first: a replica retired after its primary is
+        # harmless, but the reverse could leave a replica tailing a WAL
+        # whose directory the caller deletes next.
+        for worker in self._replica_workers:
+            if worker is not None:
+                self._retire(worker)
+        self._replica_workers = []
         for worker in self._workers:
             self._retire(worker)
         self._workers = []
@@ -629,24 +683,28 @@ class ProcessBackend(ExecutionBackend):
         not orphan any of them.
         """
         with self._respawn_guard:
-            old = self._workers[shard]
-            old.closing = True
-            old.process.join(timeout=1)
-            if old.process.is_alive():
-                old.process.terminate()
-                old.process.join(timeout=5)
-                if old.process.is_alive():  # pragma: no cover
-                    old.process.kill()
-                    old.process.join(timeout=5)
-            try:
-                old.conn.close()
-            except OSError:
-                pass
-            old.reader.join(timeout=5)
-            if old.ring is not None:
-                old.ring.unlink()
+            self._reap(self._workers[shard])
             self._workers[shard] = self._spawn(keys, payloads, seed,
                                                shard=shard)
+
+    def _reap(self, old: _WorkerHandle) -> None:
+        """Force out a worker observed dead (no close handshake: the
+        pipe already failed) and release its conn, reader, and ring."""
+        old.closing = True
+        old.process.join(timeout=1)
+        if old.process.is_alive():
+            old.process.terminate()
+            old.process.join(timeout=5)
+            if old.process.is_alive():  # pragma: no cover
+                old.process.kill()
+                old.process.join(timeout=5)
+        try:
+            old.conn.close()
+        except OSError:
+            pass
+        old.reader.join(timeout=5)
+        if old.ring is not None:
+            old.ring.unlink()
 
     def replace(self, start: int, stop: int, parts: Sequence[tuple],
                 inherit: Sequence[Sequence[int]]) -> None:
@@ -662,8 +720,15 @@ class ProcessBackend(ExecutionBackend):
             seeds.append(seed if sources else None)
         fresh = [self._spawn(keys, payloads, seed)
                  for (keys, payloads), seed in zip(parts, seeds)]
+        # Outgoing replicas tail durability dirs the SMO deletes next;
+        # retire them before the splice (the facade re-attaches fresh
+        # ones once the rewritten dirs exist) and keep the replica list
+        # position-aligned with the worker list.
+        for shard in range(start, stop):
+            self.drop_replica(shard)
         outgoing = self._workers[start:stop]
         self._workers[start:stop] = fresh
+        self._replica_workers[start:stop] = [None] * len(fresh)
         self._renumber()
         for worker in outgoing:
             self._retire(worker)
@@ -673,11 +738,110 @@ class ProcessBackend(ExecutionBackend):
 
     def obs_snapshots(self) -> list:
         """Every worker's metrics-registry snapshot (``None`` for a dead
-        worker — metrics gathering must never trip crash repair)."""
+        worker — metrics gathering must never trip crash repair).
+        Replica workers' registries ride along after the primaries' so
+        ``repl.*`` replay counters reach the merged service view."""
         snapshots = []
         for shard in range(len(self._workers)):
             try:
                 snapshots.append(self.call(shard, "obs_snapshot"))
             except Exception:
                 snapshots.append(None)
+        for worker in self._replica_workers:
+            if worker is None:
+                continue
+            try:
+                snapshots.append(
+                    self._request(worker, ("call", "obs_snapshot", ())))
+            except Exception:
+                snapshots.append(None)
         return snapshots
+
+    # -- replication ---------------------------------------------------
+
+    def add_replica(self, shard: int, root: str) -> None:
+        """Spawn a replica worker tailing durability dir ``root``.  The
+        ``rstatus`` round trip makes this a bootstrap barrier: when it
+        returns, the replica has loaded checkpoint + tail and is
+        applying."""
+        self.drop_replica(shard)
+        worker = self._spawn_handle(shard, replica_root=root)
+        try:
+            self._request(worker, ("rstatus",))
+        except BaseException:
+            self._reap(worker)
+            raise
+        try:
+            self._replica_workers[shard] = worker
+        except IndexError:
+            # close() emptied the slots while we bootstrapped (replica
+            # repair runs on a background thread); reap the orphan.
+            self._retire(worker)
+
+    def has_replica(self, shard: int) -> bool:
+        return (shard < len(self._replica_workers)
+                and self._replica_workers[shard] is not None)
+
+    def replica_read(self, shard: int, method: str, args: tuple = (),
+                     min_lsn: int = 0,
+                     max_staleness_s: Optional[float] = None):
+        worker = (self._replica_workers[shard]
+                  if self.has_replica(shard) else None)
+        if worker is None:
+            from repro.core.errors import ReplicaUnavailableError
+            raise ReplicaUnavailableError(f"shard {shard} has no replica")
+        return self._request(
+            worker, ("rread", method, args, min_lsn, max_staleness_s))
+
+    def replica_status(self, shard: int) -> Optional[dict]:
+        if not self.has_replica(shard):
+            return None
+        try:
+            return self._request(self._replica_workers[shard],
+                                 ("rstatus",))
+        except WorkerDiedError:
+            return None
+
+    def promote_replica(self, shard: int) -> int:
+        """Failover: the replica worker drains the (quiescent) WAL tail,
+        installs its caught-up index as the shard, and takes the dead
+        primary's slot; the corpse is reaped, its ring unlinked.  On any
+        failure nothing has been swapped — the caller falls back to
+        respawn-from-checkpoint."""
+        with self._respawn_guard:
+            worker = (self._replica_workers[shard]
+                      if self.has_replica(shard) else None)
+            if worker is None:
+                from repro.core.errors import ReplicaUnavailableError
+                raise ReplicaUnavailableError(
+                    f"shard {shard} has no replica")
+            applied = self._request(worker, ("promote",))
+            self._reap(self._workers[shard])
+            self._workers[shard] = worker
+            self._replica_workers[shard] = None
+            self._renumber()
+            return applied
+
+    def drop_replica(self, shard: int) -> None:
+        worker = (self._replica_workers[shard]
+                  if self.has_replica(shard) else None)
+        if worker is None:
+            return
+        self._replica_workers[shard] = None
+        if worker.process.is_alive():
+            self._retire(worker)
+        else:
+            self._reap(worker)
+
+    def dead_replicas(self) -> list:
+        """Positions whose *replica* worker process died (primary deaths
+        are :meth:`dead_shards` — the distinction decides failover vs
+        read-routing repair)."""
+        return [s for s, worker in enumerate(self._replica_workers)
+                if worker is not None and not worker.process.is_alive()]
+
+    def replica_pids(self) -> list:
+        """Replica worker pids by shard (``None`` where no replica) —
+        the fault-injection seam, like :meth:`worker_pids`."""
+        return [None if worker is None else worker.process.pid
+                for worker in self._replica_workers]

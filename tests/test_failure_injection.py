@@ -5,6 +5,7 @@ their durable state without losing an acknowledged write."""
 
 import os
 import signal
+import threading
 import time
 
 import numpy as np
@@ -218,6 +219,79 @@ class TestWorkerCrashMidWorkload:
 
             assert killed, "the kill hook never fired"
             expected = set(keys.tolist()) | set(batch.tolist())
+            assert {k for k, _ in service.items()} == expected
+            service.validate()
+        finally:
+            service.close()
+
+
+class TestReplicaFailover:
+    """SIGKILL a primary mid-workload with replication on: the shard's
+    replica must *promote* (never cold-respawn from checkpoint), every
+    acknowledged write must stay readable, and once promotion settles no
+    read may fail."""
+
+    def test_promotion_serves_through_primary_crash(self, tmp_path):
+        from repro.serve import ReadOptions, ShardedAlexIndex
+
+        keys = np.arange(3000, dtype=np.float64)
+        service = ShardedAlexIndex.bulk_load(
+            keys, num_shards=2, backend="process",
+            durability_dir=str(tmp_path / "dur"), fsync="batch",
+            checkpoint_every=1 << 30, replicate=True)
+        try:
+            # The obs registry is process-global and cumulative across
+            # tests; assert on deltas from this baseline.
+            base = service.metrics_snapshot()["merged"]["counters"]
+            acked = []
+            read_errors = []
+            stop = threading.Event()
+
+            def reader():
+                # Concurrent primary and replica reads throughout the
+                # crash: none may ever surface an error to the client.
+                rng = np.random.default_rng(7)
+                while not stop.is_set():
+                    key = float(rng.choice(keys))
+                    try:
+                        service.lookup(key)
+                        service.lookup(key, options="replica_ok")
+                    except Exception as exc:  # pragma: no cover
+                        read_errors.append(exc)
+
+            thread = threading.Thread(target=reader)
+            thread.start()
+            victim = service.backend.worker_pids()[1]
+            try:
+                for i in range(40):
+                    # All batches land on shard 1, the one whose
+                    # primary dies: writes in flight across the crash.
+                    batch = 10_000.0 + 100 * i + np.arange(
+                        60, dtype=np.float64)
+                    service.insert_many(batch)
+                    acked.extend(batch.tolist())
+                    if i == 15:
+                        os.kill(victim, signal.SIGKILL)
+            finally:
+                stop.set()
+                thread.join(timeout=30)
+
+            assert not read_errors, read_errors[0]
+            counters = service.metrics_snapshot()["merged"]["counters"]
+
+            def delta(name):
+                return counters.get(name, 0) - base.get(name, 0)
+
+            assert delta("serve.replica_promotions") >= 1
+            # The replica path served the crash — the cold
+            # checkpoint-replay respawn never ran.
+            assert delta("serve.worker_respawns") == 0
+            # Every acked write is readable, including under the
+            # strictest consistency the API offers.
+            opts = ReadOptions.read_your_writes(service.write_token())
+            for key in acked[:100] + acked[-100:]:
+                assert service.contains(key, options=opts)
+            expected = set(keys.tolist()) | set(acked)
             assert {k for k, _ in service.items()} == expected
             service.validate()
         finally:

@@ -44,12 +44,12 @@ class FakeService:
         self.delay = delay
         self.batches = []
 
-    def get_many(self, keys, default=None):
+    def get_many(self, keys, default=None, *, options=None):
         time.sleep(self.delay)
         self.batches.append(np.asarray(keys))
         return [float(k) * 2.0 for k in keys]
 
-    def contains_many(self, keys):
+    def contains_many(self, keys, *, options=None):
         time.sleep(self.delay)
         self.batches.append(np.asarray(keys))
         return np.ones(len(keys), dtype=bool)

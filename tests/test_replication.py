@@ -1,0 +1,401 @@
+"""WAL-shipping replication and the consistency-aware read API.
+
+Covers the :mod:`repro.replication` follower machinery (bootstrap,
+continuous replay, byte-level shipping, promotion), the
+:class:`~repro.serve.options.ReadOptions` / :class:`WriteToken` API
+threaded through the facade and ingress, and the failure semantics:
+stale replicas fall back to the primary, read-your-writes tokens
+survive shard SMOs, and replica views are always prefix-consistent
+with the write order.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (KeyNotFoundError, ReplicaStaleError,
+                               ReplicaUnavailableError)
+from repro.replication import LogShipper, Replica
+from repro.serve import (IngressRunner, ReadOptions, ShardedAlexIndex,
+                         WriteToken)
+
+
+def _wait_until(predicate, timeout_s: float = 10.0,
+                message: str = "condition"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def _service(tmp_path, n: int = 2000, num_shards: int = 2, **kwargs):
+    keys = np.arange(n, dtype=np.float64)
+    payloads = [f"v{i}" for i in range(n)]
+    kwargs.setdefault("durability_dir", str(tmp_path / "dur"))
+    kwargs.setdefault("fsync", "batch")
+    return ShardedAlexIndex.bulk_load(keys, payloads,
+                                      num_shards=num_shards, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# ReadOptions / WriteToken unit behavior
+# ---------------------------------------------------------------------------
+
+
+class TestOptions:
+    def test_consistency_levels_and_validation(self):
+        assert ReadOptions().consistency == "primary"
+        assert not ReadOptions().wants_replica
+        assert ReadOptions.replica_ok(0.5).wants_replica
+        assert ReadOptions.read_your_writes(WriteToken.empty()).wants_replica
+        with pytest.raises(ValueError):
+            ReadOptions(consistency="snapshot")
+        with pytest.raises(ValueError):
+            ReadOptions.replica_ok(max_staleness_s=-1.0)
+
+    def test_token_merge_is_pointwise_max(self):
+        a = WriteToken({"g1": 5, "g2": 1})
+        b = WriteToken({"g2": 7, "g3": 2})
+        merged = a.merge(b)
+        assert dict(merged.lsns) == {"g1": 5, "g2": 7, "g3": 2}
+        # Unknown generations demand nothing (the SMO-survival property).
+        assert merged.lsn_for("g4") == 0
+        assert not WriteToken.empty()
+        assert a
+
+    def test_string_options_resolve(self, tmp_path):
+        service = _service(tmp_path, replicate=True)
+        try:
+            # A consistency-level string is accepted everywhere options=
+            # is; an unknown one is rejected loudly.
+            assert service.get(1.0, options="replica_ok") == "v1"
+            with pytest.raises(ValueError):
+                service.get(1.0, options="bogus")
+        finally:
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# The standalone follower
+# ---------------------------------------------------------------------------
+
+
+class TestReplica:
+    def test_bootstrap_and_continuous_replay(self, tmp_path):
+        service = _service(tmp_path, num_shards=1)
+        try:
+            replica = Replica(str(tmp_path / "dur" / "shard-00000000"),
+                              config=service.config)
+            replica.start()
+            try:
+                assert replica.status()["num_keys"] == 2000
+                token = service.insert_many(
+                    np.arange(5000, 5100, dtype=np.float64))
+                lsn = token.lsn_for("shard-00000000")
+                assert lsn > 0
+                _wait_until(lambda: replica.applied_lsn >= lsn,
+                            message="replica catch-up")
+                assert replica.read("contains", (5050.0,), min_lsn=lsn)
+                assert replica.staleness_s() < 30.0
+            finally:
+                replica.stop()
+        finally:
+            service.close()
+
+    def test_read_constraints_raise(self, tmp_path):
+        service = _service(tmp_path, num_shards=1)
+        try:
+            replica = Replica(str(tmp_path / "dur" / "shard-00000000"),
+                              config=service.config)
+            replica.start()
+            try:
+                with pytest.raises(ReplicaStaleError):
+                    replica.read("contains", (1.0,), min_lsn=10**9)
+                with pytest.raises(ReplicaStaleError):
+                    replica.read("contains", (1.0,), max_staleness_s=0.0)
+                with pytest.raises(ReplicaUnavailableError):
+                    replica.read("insert", (1.0, None))  # not a read
+            finally:
+                replica.stop()
+        finally:
+            service.close()
+
+    def test_promote_drains_the_tail(self, tmp_path):
+        service = _service(tmp_path, num_shards=1)
+        try:
+            token = service.insert_many(
+                np.arange(9000, 9200, dtype=np.float64))
+            service.sync()
+            replica = Replica(str(tmp_path / "dur" / "shard-00000000"),
+                              config=service.config)
+            replica.start()
+            index = replica.promote()
+            assert replica.status()["promoted"]
+            assert index.contains(9199.0)
+            assert replica.applied_lsn >= token.lsn_for("shard-00000000")
+            with pytest.raises(ReplicaUnavailableError):
+                replica.read("contains", (1.0,))
+        finally:
+            service.close()
+
+
+class TestLogShipper:
+    def test_mirror_feeds_a_remote_replica(self, tmp_path):
+        service = _service(tmp_path, num_shards=1)
+        try:
+            source = str(tmp_path / "dur" / "shard-00000000")
+            mirror = str(tmp_path / "mirror")
+            shipper = LogShipper(source, mirror)
+            assert shipper.ship() > 0          # checkpoint + manifest
+            token = service.insert_many(
+                np.arange(7000, 7050, dtype=np.float64))
+            service.sync()
+            assert shipper.ship() > 0          # the WAL suffix
+            assert shipper.ship() == 0         # idempotent when current
+            replica = Replica(mirror, config=service.config)
+            replica.start()
+            try:
+                lsn = token.lsn_for("shard-00000000")
+                _wait_until(lambda: replica.applied_lsn >= lsn,
+                            message="mirror replica catch-up")
+                assert replica.read("contains", (7049.0,), min_lsn=lsn)
+            finally:
+                replica.stop()
+        finally:
+            service.close()
+
+    def test_truncated_segments_are_dropped(self, tmp_path):
+        service = _service(tmp_path, num_shards=1,
+                           checkpoint_every=50)
+        try:
+            source = str(tmp_path / "dur" / "shard-00000000")
+            mirror = str(tmp_path / "mirror")
+            shipper = LogShipper(source, mirror)
+            shipper.ship()
+            # Enough batches to roll + truncate segments at checkpoints.
+            for i in range(6):
+                service.insert_many(
+                    np.arange(20000 + i * 100, 20000 + i * 100 + 60,
+                              dtype=np.float64))
+            service.checkpoint()
+            service.sync()
+            shipper.ship()
+            replica = Replica(mirror, config=service.config)
+            replica.start()
+            try:
+                _wait_until(
+                    lambda: replica.status()["num_keys"] == 2360,
+                    message="mirror replay after truncation")
+            finally:
+                replica.stop()
+        finally:
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# Facade routing
+# ---------------------------------------------------------------------------
+
+
+class TestFacadeRouting:
+    def test_replicate_requires_durability(self):
+        with pytest.raises(ValueError):
+            ShardedAlexIndex.bulk_load(
+                np.arange(100, dtype=np.float64), num_shards=1,
+                replicate=True)
+
+    def test_replica_ok_reads_whole_api(self, tmp_path):
+        service = _service(tmp_path, replicate=True)
+        try:
+            opts = ReadOptions.replica_ok()
+            assert service.lookup(5.0, options=opts) == "v5"
+            assert service.get(10**9, "absent", options=opts) == "absent"
+            assert service.contains(7.0, options=opts)
+            assert service.lookup_many([1.0, 1999.0], options=opts) \
+                == ["v1", "v1999"]
+            hits = service.contains_many([1.0, 10**9], options=opts)
+            assert hits.tolist() == [True, False]
+            assert len(service.range_query(0.0, 9.0, options=opts)) == 10
+            assert len(service.range_scan(1990.0, 50, options=opts)) == 10
+            spans = service.range_query_many([0.0, 100.0], [4.0, 104.0],
+                                             options=opts)
+            assert [len(c) for c in spans] == [5, 5]
+        finally:
+            service.close()
+
+    def test_zero_staleness_bound_falls_back_to_primary(self, tmp_path):
+        service = _service(tmp_path, replicate=True)
+        try:
+            # An unsatisfiable bound must degrade to a primary read, not
+            # fail: the answer stays correct and fresh.
+            token = service.insert(4242.5, "fresh")
+            assert token.lsns
+            opts = ReadOptions.replica_ok(max_staleness_s=0.0)
+            assert service.lookup(4242.5, options=opts) == "fresh"
+            fallbacks = service.metrics_snapshot()["merged"]["counters"] \
+                .get("serve.replica_fallbacks", 0)
+            assert fallbacks >= 1
+        finally:
+            service.close()
+
+    def test_read_your_writes_is_immediate(self, tmp_path):
+        service = _service(tmp_path, replicate=True)
+        try:
+            token = WriteToken.empty()
+            for i in range(20):
+                token = token.merge(service.insert(3000.5 + i, f"w{i}"))
+                opts = ReadOptions.read_your_writes(token)
+                # No sleeping: the token must make every acked write
+                # visible, replica-served or primary-fallback.
+                assert service.lookup(3000.5 + i, options=opts) == f"w{i}"
+            batch_token = service.insert_many(
+                np.arange(40000, 40100, dtype=np.float64),
+                [f"b{i}" for i in range(100)])
+            values = service.lookup_many(
+                [40000.0, 40099.0],
+                options=ReadOptions.read_your_writes(batch_token))
+            assert values == ["b0", "b99"]
+        finally:
+            service.close()
+
+    def test_token_survives_shard_split_and_merge(self, tmp_path):
+        service = _service(tmp_path, replicate=True)
+        try:
+            token = service.insert_many(
+                np.arange(50000, 50080, dtype=np.float64),
+                [f"s{i}" for i in range(80)])
+            assert service.split_shard(1)
+            # The pre-split token references a retired generation; the
+            # post-SMO generation-zero checkpoints already contain the
+            # write, so the read must still see it.
+            opts = ReadOptions.read_your_writes(token)
+            assert service.lookup(50079.0, options=opts) == "s79"
+            service.merge_shards(0)
+            assert service.lookup(50000.0, options=opts) == "s0"
+            service.validate()
+        finally:
+            service.close()
+
+    def test_replication_status_in_metrics(self, tmp_path):
+        service = _service(tmp_path, replicate=True)
+        try:
+            snap = service.metrics_snapshot()
+            assert len(snap["replication"]) == service.num_shards
+            for row in snap["replication"]:
+                assert row["bootstraps"] == 1
+                assert not row["promoted"]
+        finally:
+            service.close()
+
+    def test_unreplicated_service_keeps_old_contract(self, tmp_path):
+        service = _service(tmp_path)   # durability, no replicas
+        try:
+            # options= is accepted but degrades to primary (no replica
+            # to route to), and writes still ack tokens.
+            assert service.lookup(3.0, options="replica_ok") == "v3"
+            token = service.insert(77777.5, "x")
+            assert isinstance(token, WriteToken)
+            assert service.metrics_snapshot()["replication"] is None
+        finally:
+            service.close()
+
+
+class TestPrefixConsistency:
+    def test_replica_view_is_a_prefix_of_the_write_order(self, tmp_path):
+        """Property: at any instant, the set of keys a replica serves is
+        exactly the first m write batches for some m — never batch j
+        without every batch before j (the WAL replay applies frames in
+        LSN order, and reads serialize against replay under the
+        replica's lock)."""
+        service = _service(tmp_path, n=100, num_shards=1,
+                           replicate=True)
+        try:
+            batches = [np.arange(1000 + 10 * b, 1010 + 10 * b,
+                                 dtype=np.float64) for b in range(30)]
+            all_keys = np.concatenate(batches)
+            opts = ReadOptions.replica_ok()
+            stop = threading.Event()
+            violations = []
+
+            def read_loop():
+                while not stop.is_set():
+                    hits = service.contains_many(all_keys, options=opts)
+                    per_batch = hits.reshape(len(batches), 10)
+                    seen = [bool(row.any()) for row in per_batch]
+                    full = [bool(row.all()) for row in per_batch]
+                    # Any partially-visible or out-of-order batch is a
+                    # torn (non-prefix) read.
+                    prefix = 0
+                    while prefix < len(full) and full[prefix]:
+                        prefix += 1
+                    if any(seen[prefix:]):
+                        violations.append((seen, full))
+
+            reader = threading.Thread(target=read_loop)
+            reader.start()
+            try:
+                for batch in batches:
+                    service.insert_many(batch)
+            finally:
+                stop.set()
+                reader.join(timeout=30)
+            assert not violations, violations[0]
+        finally:
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_replica_workers_cleaned_up_on_close(self, tmp_path):
+        service = _service(tmp_path, backend="process", replicate=True)
+        backend = service._backend
+        pids = [pid for pid in backend.replica_pids() if pid is not None]
+        assert len(pids) == service.num_shards
+        processes = [handle.process
+                     for handle in backend._replica_workers]
+        service.close()
+        assert all(not process.is_alive() for process in processes)
+        assert backend.replica_pids() == []
+
+    def test_dead_replicas_reported_separately(self, tmp_path):
+        service = _service(tmp_path, replicate=True)
+        try:
+            assert service._backend.dead_replicas() == []
+            assert service._backend.dead_shards() == []
+            assert service._backend.has_replica(0)
+            service._backend.drop_replica(0)
+            assert not service._backend.has_replica(0)
+            # The primary path is untouched by a missing replica.
+            assert service.lookup(1.0) == "v1"
+            assert service.lookup(1.0, options="replica_ok") == "v1"
+        finally:
+            service.close()
+
+
+class TestIngressOptions:
+    def test_consistency_lanes_and_tokens(self, tmp_path):
+        service = _service(tmp_path, replicate=True)
+        try:
+            with IngressRunner(service, window_s=0.001) as ingress:
+                token = ingress.insert(123456.5, "through-the-door")
+                assert isinstance(token, WriteToken)
+                opts = ReadOptions.read_your_writes(token)
+                assert ingress.get(123456.5, options=opts) \
+                    == "through-the-door"
+                assert ingress.lookup(5.0, options="replica_ok") == "v5"
+                assert ingress.contains(5.0, options="replica_ok")
+                assert ingress.get_many([1.0, 2.0],
+                                        options="replica_ok") \
+                    == ["v1", "v2"]
+                with pytest.raises(KeyNotFoundError):
+                    ingress.lookup(10**9, options=opts)
+        finally:
+            service.close()
