@@ -115,6 +115,19 @@ GATED = {
                ("batch_lookup", "overhead_x"),
                higher_is_better=False, tolerance=0.93),
     ],
+    "BENCH_trace.json": [
+        # Traced-over-unsampled batch-lookup wall clock: the price of
+        # distributed tracing on the hottest batch path when head
+        # sampling admits every request.  Lower is better; pinned tight
+        # like the obs overhead (a ~1.0 baseline caps fresh runs near
+        # 1.08 — runner-noise headroom over the designed ≤2%), so a
+        # span creeping onto a per-key path still fails.  The
+        # unsampled-vs-off ratio is recorded in the artifact but not
+        # gated: it sits at 1.0 and a gate there only measures noise.
+        Metric("tracing instrumentation overhead",
+               ("batch_lookup", "overhead_x"),
+               higher_is_better=False, tolerance=0.93),
+    ],
     "BENCH_durability.json": [
         # Ratio of durable to in-memory batch-insert wall clock with
         # fsync off (the logging code path itself, no storage barriers).

@@ -13,6 +13,7 @@ Subcommands::
     python -m repro theorems --dataset lognormal --c 1.43 2 8
     python -m repro stats [--backend thread|process] [--format json]
     python -m repro top [--refresh S] [--duration S]   # live dashboard
+    python -m repro trace [--trace-id ID] [--format chrome]  # slow traces
 
 All numbers use the counter-based simulated-time metric (DESIGN.md §6).
 """
@@ -292,6 +293,11 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return run_top(args)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.dashboard import run_trace
+    return run_trace(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -465,6 +471,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "+ checkpoints) so wal.*/checkpoint.* "
                             "metrics light up")
     p_top.set_defaults(func=_cmd_top)
+
+    p_trace = sub.add_parser(
+        "trace", help="drive a sharded service briefly and print its "
+                      "slowest captured request traces as causal timing "
+                      "trees spanning ingress, facade, RPC, and worker "
+                      "processes")
+    _add_service_args(p_trace)
+    p_trace.add_argument("--rounds", type=int, default=30,
+                         help="driver rounds before the capture")
+    p_trace.add_argument("--trace-id", default=None,
+                         help="dump one specific trace (e.g. a p99 "
+                              "exemplar id from 'repro stats') instead "
+                              "of the slowest captured ones")
+    p_trace.add_argument("--limit", type=int, default=3,
+                         help="how many slow traces to print")
+    p_trace.add_argument("--format", choices=("tree", "chrome"),
+                         default="tree",
+                         help="indented timing tree, or Chrome "
+                              "trace-event JSON for chrome://tracing "
+                              "/ Perfetto")
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 

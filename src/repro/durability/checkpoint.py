@@ -34,6 +34,7 @@ import os
 from typing import Callable, List, Optional, Tuple
 
 from repro import obs
+from repro.obs import trace
 from repro.core.errors import PersistenceError
 
 #: Stamp in every durability manifest (single-index and service alike).
@@ -178,7 +179,7 @@ class CheckpointManager:
         in-process index, or a worker-side persist op for a process-hosted
         shard.  Returns the final checkpoint path.
         """
-        with obs.span("checkpoint.publish"):
+        with trace.span("checkpoint.publish"):
             target = self.checkpoint_path(lsn)
             tmp = target + ".tmp"
             write_snapshot(tmp)

@@ -67,6 +67,7 @@ from typing import Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro import obs
+from repro.obs import trace
 from repro.core.errors import WALCorruptionError
 
 #: Logical operations a frame can carry (replayed by
@@ -386,14 +387,14 @@ class WriteAheadLog:
             raise ValueError("write-ahead log is closed")
         if op not in OP_NAMES:
             raise ValueError(f"unknown WAL op {op!r}")
-        with obs.span("wal.append"):
+        with trace.span("wal.append"):
             lsn = self.last_lsn + 1
             self._fh.write(_encode_frame(lsn, op, keys, payloads))
             self.last_lsn = lsn
             if self._tail_first_lsn is None:
                 self._tail_first_lsn = lsn
             if self.fsync == "always":
-                with obs.span("wal.fsync"):
+                with trace.span("wal.fsync"):
                     self._fh.flush()
                     os.fsync(self._fh.fileno())
             elif self.fsync == "batch":
@@ -403,7 +404,7 @@ class WriteAheadLog:
                     # How many frames each group commit amortizes one
                     # fsync across (a count histogram, not a duration).
                     obs.observe("wal.group_commit_frames", self._unsynced)
-                    with obs.span("wal.fsync"):
+                    with trace.span("wal.fsync"):
                         os.fsync(self._fh.fileno())
                     self._unsynced = 0
             if self._fh.tell() >= self.segment_bytes:
@@ -420,7 +421,7 @@ class WriteAheadLog:
     def sync(self) -> None:
         """Force the appended frames to stable storage (any policy)."""
         if self._fh is not None:
-            with obs.span("wal.fsync"):
+            with trace.span("wal.fsync"):
                 self._fh.flush()
                 os.fsync(self._fh.fileno())
             self._unsynced = 0

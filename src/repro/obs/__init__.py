@@ -43,17 +43,19 @@ from .events import EVENT_LIMIT, EventLog
 from .metrics import (BUCKET_BOUNDS, NUM_BUCKETS, NUM_OCTAVES, PERCENTILES,
                       SUB_BUCKETS, Counter, Gauge, LatencyHistogram,
                       MetricsRegistry, bucket_index, bucket_value,
-                      empty_snapshot, histogram_summary, merge_many,
-                      merge_snapshots, percentile_from_snapshot)
+                      empty_snapshot, exemplar_for_percentile,
+                      histogram_summary, merge_many, merge_snapshots,
+                      percentile_from_snapshot)
 
 __all__ = [
     "BUCKET_BOUNDS", "Counter", "EVENT_LIMIT", "EventLog", "Gauge",
     "LatencyHistogram", "MetricsRegistry", "NOOP_SPAN", "NUM_BUCKETS",
     "NUM_OCTAVES", "PERCENTILES", "SUB_BUCKETS", "Span", "bucket_index",
     "bucket_value", "describe", "emit", "empty_snapshot", "enabled",
-    "get_registry", "histogram_summary", "inc", "merge_many",
-    "merge_snapshots", "observe", "percentile_from_snapshot", "record_ns",
-    "reset", "set_enabled", "set_gauge", "snapshot", "span", "timed",
+    "exemplar_for_percentile", "get_registry", "histogram_summary", "inc",
+    "merge_many", "merge_snapshots", "observe", "percentile_from_snapshot",
+    "record_ns", "reset", "set_enabled", "set_gauge", "snapshot", "span",
+    "timed", "trace",
 ]
 
 #: Environment variable holding the global kill switch.
@@ -89,8 +91,10 @@ def get_registry() -> MetricsRegistry:
 
 
 def reset() -> None:
-    """Drop every recorded metric and event (test/bench isolation)."""
+    """Drop every recorded metric, event, and trace span (test/bench
+    isolation)."""
     _registry.clear()
+    trace.reset()
 
 
 class Span:
@@ -202,9 +206,16 @@ def describe() -> dict:
         "gauges": len(snap["gauges"]),
         "histograms": len(snap["histograms"]),
         "events": len(snap["events"]),
-        "event_limit": EVENT_LIMIT,
+        "event_limit": _registry.events.limit,
+        "events_dropped": _registry.events.dropped,
         "bucket_config": (
             f"{NUM_BUCKETS} log2 buckets, {SUB_BUCKETS} per octave "
             f"(~{(2 ** (1 / SUB_BUCKETS) - 1) * 100:.0f}% wide), "
             f"1ns .. ~{float(BUCKET_BOUNDS[-1]) / 6e10:.0f}min"),
     }
+
+
+# Imported last: the tracer reaches back into this module (kill switch,
+# registry, span classes) through ``sys.modules``, so everything above
+# must exist before its body runs.
+from . import trace  # noqa: E402

@@ -31,14 +31,15 @@ import numpy as np
 from repro.bench.ascii_plot import ascii_chart, ascii_histogram
 from repro.bench.report import format_table
 
-from .metrics import histogram_summary
+from . import trace as tracing
+from .metrics import exemplar_for_percentile, histogram_summary
 from .render import (event_lines, format_ns, percentile_table,
-                     to_prometheus)
+                     to_chrome_trace, to_prometheus, trace_tree_lines)
 
 #: Histogram prefixes the terminal views surface (the full snapshot is
 #: available via --format json/prometheus).
 TABLE_PREFIXES = ("ingress.", "serve.", "core.", "shard.op.", "rpc.",
-                  "wal.", "checkpoint.", "recover.", "repl.")
+                  "wal.", "checkpoint.", "recover.", "repl.", "replica.")
 
 
 def _build_service(args):
@@ -165,7 +166,8 @@ def _render_dashboard(service, snap: dict, shard_deltas: List[int],
     rows = percentile_table(merged, prefixes=TABLE_PREFIXES)
     if rows:
         parts.append(format_table(
-            ["histogram", "count", "p50", "p90", "p99", "p99.9", "max"],
+            ["histogram", "count", "p50", "p90", "p99", "p99.9", "max",
+             "p99 trace"],
             rows, title="latency percentiles (cumulative)"))
         parts.append("")
 
@@ -304,7 +306,8 @@ def run_stats(args) -> int:
               f"[{snap['backend']} backend], {driver.ops:,} driver ops"))
     print()
     print(format_table(
-        ["histogram", "count", "p50", "p90", "p99", "p99.9", "max"],
+        ["histogram", "count", "p50", "p90", "p99", "p99.9", "max",
+         "p99 trace"],
         percentile_table(merged, prefixes=TABLE_PREFIXES),
         title="latency percentiles"))
     counters = merged.get("counters", {})
@@ -320,4 +323,74 @@ def run_stats(args) -> int:
         print("recent structural events:")
         for line in event_lines(events, limit=12):
             print("  " + line)
+    return 0
+
+
+def run_trace(args) -> int:
+    """The slow-trace viewer (``python -m repro trace``): drive the
+    self-contained workload like ``stats``, pull the service-wide trace
+    snapshot (draining every worker's flight recorder), and print the
+    slowest captured traces as causal timing trees — or one specific
+    trace by id (``--trace-id``, e.g. an exemplar lifted from the
+    ``stats`` p99 column), or Chrome trace-event JSON for
+    ``chrome://tracing`` / Perfetto (``--format chrome``)."""
+    repl_tmp = _ensure_durability(args)
+    service, keys = _build_service(args)
+    ingress = _build_ingress(service, args)
+    driver = _Driver(service, keys, args.read_batch, args.write_batch,
+                     args.seed, ingress=ingress)
+    try:
+        for _ in range(args.rounds):
+            driver.round()
+        snap = service.trace_snapshot()
+        merged = service.metrics_snapshot()["merged"]
+    finally:
+        if ingress is not None:
+            ingress.close()
+        service.close()
+        if repl_tmp is not None:
+            repl_tmp.cleanup()
+
+    if args.trace_id:
+        targets = [args.trace_id]
+    else:
+        targets = [entry["trace"]
+                   for entry in tracing.slow_traces(snap)[:args.limit]]
+        if not targets:
+            # Nothing crossed the slow threshold; fall back to the p99
+            # exemplar so the command always has something to show.
+            hist = merged.get("histograms", {}).get("ingress.request")
+            exemplar = (exemplar_for_percentile(hist, 0.99)
+                        if hist else None)
+            if exemplar:
+                targets = [exemplar["trace"]]
+    if not targets:
+        print("no traces captured (is REPRO_OBS on and "
+              "REPRO_TRACE_SAMPLE > 0?)", file=sys.stderr)
+        return 1
+
+    if args.format == "chrome":
+        spans: List[dict] = []
+        seen = set()
+        for tid in targets:
+            for rec in tracing.assemble(tid, snap):
+                if (rec["trace"], rec["span"]) not in seen:
+                    seen.add((rec["trace"], rec["span"]))
+                    spans.append(rec)
+        print(json.dumps(to_chrome_trace(spans), indent=2))
+        return 0
+
+    for tid in targets:
+        spans = tracing.assemble(tid, snap)
+        if not spans:
+            print(f"trace {tid}: no spans retained (ring wrapped?)")
+            continue
+        roots = [rec["dur"] for rec in spans
+                 if rec.get("parent") is None]
+        print(f"trace {tid} — {len(spans)} spans across "
+              f"{len({rec['pid'] for rec in spans})} processes, "
+              f"slowest root {format_ns(max(roots, default=0))}")
+        for line in trace_tree_lines(spans):
+            print("  " + line)
+        print()
     return 0

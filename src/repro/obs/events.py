@@ -10,30 +10,53 @@ death/respawn/retry, checkpoints) lands here as one plain dict with a
 
 The log is a fixed-size deque: it can sit under a service absorbing
 millions of operations and never grow, because structural events are
-rare by design — the interesting tail is the recent one.  Snapshots are
-plain lists of dicts, so they ride the same pickle/merge path as the
-metric snapshots and interleave across processes by timestamp.
+rare by design — the interesting tail is the recent one.  The capacity
+defaults to :data:`EVENT_LIMIT` and is configurable per process via
+``REPRO_OBS_EVENTS`` (a busy failover can be given a deeper ring), and
+the log counts what it evicts (``dropped``) so a wrapped ring is
+visible instead of silently eating its own evidence — the registry
+surfaces the tally as the ``obs.events_dropped`` counter.  Snapshots
+are plain lists of dicts, so they ride the same pickle/merge path as
+the metric snapshots and interleave across processes by timestamp.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
-from typing import List
+from typing import List, Optional
 
-#: Events retained per process (older ones fall off the front).
+#: Default events retained per process (older ones fall off the front).
 EVENT_LIMIT = 512
+
+#: Environment variable overriding the per-process ring capacity.
+ENV_VAR = "REPRO_OBS_EVENTS"
+
+
+def _limit_from_env(value: Optional[str]) -> int:
+    """Parse a ``REPRO_OBS_EVENTS`` value (garbage → the default)."""
+    try:
+        return max(1, int(value))
+    except (TypeError, ValueError):
+        return EVENT_LIMIT
 
 
 class EventLog:
     """Append-only bounded log of structural events."""
 
-    def __init__(self, limit: int = EVENT_LIMIT) -> None:
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is None:
+            limit = _limit_from_env(os.environ.get(ENV_VAR))
         self.limit = limit
+        #: Events evicted off the front since the last :meth:`clear`.
+        self.dropped = 0
         self._events: deque = deque(maxlen=limit)
 
     def emit(self, kind: str, **fields) -> None:
         """Record one event (``kind`` plus arbitrary scalar fields)."""
+        if len(self._events) == self.limit:
+            self.dropped += 1
         event = {"t": time.monotonic(), "kind": kind}
         event.update(fields)
         self._events.append(event)
@@ -45,6 +68,7 @@ class EventLog:
 
     def clear(self) -> None:
         self._events.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._events)

@@ -103,7 +103,8 @@ class LatencyHistogram:
     record frame *counts* through the same machinery.
     """
 
-    __slots__ = ("_counts", "_count", "_sum", "_min", "_max")
+    __slots__ = ("_counts", "_count", "_sum", "_min", "_max",
+                 "_exemplars")
 
     def __init__(self) -> None:
         self._counts: List[int] = [0] * NUM_BUCKETS
@@ -111,6 +112,11 @@ class LatencyHistogram:
         self._sum = 0.0
         self._min = math.inf
         self._max = 0.0
+        #: Last trace id seen per bucket: ``{bucket_index: (trace_id,
+        #: value)}``.  Written only by traced spans (off the plain
+        #: ``record`` hot path), read by snapshots — the hook that lets
+        #: ``repro stats`` hang a concrete trace off a p99 cell.
+        self._exemplars: Dict[int, tuple] = {}
 
     def record(self, value: float) -> None:
         if value < 1.0:
@@ -133,17 +139,35 @@ class LatencyHistogram:
     def count(self) -> int:
         return self._count
 
+    def note_exemplar(self, value: float, trace_id: str) -> None:
+        """Remember ``trace_id`` as the latest exemplar for the bucket
+        ``value`` lands in (same bucket math as :meth:`record`, which
+        stays untouched — untraced recordings pay nothing)."""
+        if value < 1.0:
+            idx = 0
+        else:
+            idx = int(math.log2(value) * SUB_BUCKETS)
+            if idx >= NUM_BUCKETS:
+                idx = NUM_BUCKETS - 1
+        self._exemplars[idx] = (trace_id, value)
+
     def snapshot(self) -> dict:
         """Plain-dict form: sparse ``{bucket_index: count}`` plus the
-        scalar moments (picklable, mergeable, JSON-able)."""
+        scalar moments (picklable, mergeable, JSON-able).  Exemplars
+        ride along only when present, so exemplar-free snapshots keep
+        the exact PR 7 shape."""
         counts = {i: c for i, c in enumerate(self._counts) if c}
-        return {
+        snap = {
             "count": self._count,
             "sum": self._sum,
             "min": None if self._count == 0 else self._min,
             "max": None if self._count == 0 else self._max,
             "counts": counts,
         }
+        if self._exemplars:
+            snap["exemplars"] = {i: [t, v]
+                                 for i, (t, v) in self._exemplars.items()}
+        return snap
 
 
 def percentile_from_snapshot(snap: dict, q: float) -> Optional[float]:
@@ -193,6 +217,24 @@ def histogram_summary(snap: dict,
     return out
 
 
+def exemplar_for_percentile(snap: dict, q: float) -> Optional[dict]:
+    """The exemplar closest to a percentile, from above: the trace id
+    remembered for the percentile's own bucket or the nearest higher
+    one (an outlier explains a p99 better than a median does), falling
+    back to the highest-bucket exemplar.  ``None`` when the histogram
+    has no exemplars (untraced) or no data."""
+    exemplars = snap.get("exemplars")
+    value = percentile_from_snapshot(snap, q)
+    if not exemplars or value is None:
+        return None
+    target = bucket_index(value)
+    by_idx = {int(idx): ex for idx, ex in exemplars.items()}
+    at_or_above = [idx for idx in by_idx if idx >= target]
+    idx = min(at_or_above) if at_or_above else max(by_idx)
+    trace_id, observed = by_idx[idx]
+    return {"trace": trace_id, "value": float(observed), "bucket": idx}
+
+
 class MetricsRegistry:
     """Process-local named metrics plus the structural event log.
 
@@ -234,10 +276,19 @@ class MetricsRegistry:
             self.events.clear()
 
     def snapshot(self) -> dict:
-        """Plain-dict view of every metric and the event log."""
+        """Plain-dict view of every metric and the event log.  The
+        event ring's eviction tally surfaces as a synthetic
+        ``obs.events_dropped`` counter (only when non-zero, so
+        quiescent snapshots keep the exact PR 7 shape and the merge
+        identity) — it sums across workers like any counter."""
+        counters = {name: c.value
+                    for name, c in sorted(self._counters.items())}
+        if self.events.dropped:
+            counters["obs.events_dropped"] = (
+                counters.get("obs.events_dropped", 0)
+                + self.events.dropped)
         return {
-            "counters": {name: c.value
-                         for name, c in sorted(self._counters.items())},
+            "counters": counters,
             "gauges": {name: g.value
                        for name, g in sorted(self._gauges.items())},
             "histograms": {name: h.snapshot()
@@ -257,15 +308,25 @@ def _merge_histogram(a: dict, b: dict) -> dict:
         for idx, c in source.items():
             idx = int(idx)
             counts[idx] = counts.get(idx, 0) + int(c)
+    # Exemplars are last-writer-wins per bucket (``b`` over ``a``, like
+    # gauges — associative) and the key only appears when non-empty, so
+    # exemplar-free merges keep the exact pre-exemplar shape.
+    exemplars: Dict[int, list] = {}
+    for source in (a.get("exemplars", {}), b.get("exemplars", {})):
+        for idx, ex in source.items():
+            exemplars[int(idx)] = list(ex)
     mins = [m for m in (a.get("min"), b.get("min")) if m is not None]
     maxs = [m for m in (a.get("max"), b.get("max")) if m is not None]
-    return {
+    out = {
         "count": int(a.get("count", 0)) + int(b.get("count", 0)),
         "sum": float(a.get("sum", 0.0)) + float(b.get("sum", 0.0)),
         "min": min(mins) if mins else None,
         "max": max(maxs) if maxs else None,
         "counts": counts,
     }
+    if exemplars:
+        out["exemplars"] = exemplars
+    return out
 
 
 def merge_snapshots(a: dict, b: dict) -> dict:

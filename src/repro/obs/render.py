@@ -8,7 +8,11 @@ Three renderings of the same plain-dict snapshot:
   cumulative ``_bucket{le=...}`` histogram series, seconds-based per the
   Prometheus convention);
 * :func:`percentile_table` / :func:`format_value` — terminal tables for
-  ``python -m repro stats`` and the ``repro top`` dashboard.
+  ``python -m repro stats`` and the ``repro top`` dashboard;
+* :func:`trace_tree_lines` / :func:`to_chrome_trace` — one assembled
+  trace (see :func:`repro.obs.trace.assemble`) as an indented timing
+  tree for the terminal, or as Chrome trace-event JSON for
+  ``chrome://tracing`` / Perfetto.
 """
 
 from __future__ import annotations
@@ -16,7 +20,8 @@ from __future__ import annotations
 import re
 from typing import List, Optional, Sequence
 
-from .metrics import BUCKET_BOUNDS, histogram_summary
+from .metrics import (BUCKET_BOUNDS, exemplar_for_percentile,
+                      histogram_summary)
 
 #: Histograms whose values are counts, not nanoseconds (rendered without
 #: time units; exposed to Prometheus unscaled).
@@ -110,14 +115,18 @@ def to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
 def percentile_table(snapshot: dict,
                      prefixes: Optional[Sequence[str]] = None
                      ) -> List[tuple]:
-    """``(name, count, p50, p90, p99, p999, max)`` rows, formatted, for
-    every (matching) histogram in the snapshot — the body of the stats
-    command and the dashboard's latency panel."""
+    """``(name, count, p50, p90, p99, p999, max, p99_trace)`` rows,
+    formatted, for every (matching) histogram in the snapshot — the body
+    of the stats command and the dashboard's latency panel.  The last
+    column is the p99 bucket's exemplar trace id (``-`` when tracing
+    never stamped one), the hook from an aggregate percentile to one
+    concrete request for ``repro trace``."""
     rows = []
     for name, snap in sorted(snapshot.get("histograms", {}).items()):
         if prefixes and not any(name.startswith(p) for p in prefixes):
             continue
         summary = histogram_summary(snap)
+        exemplar = exemplar_for_percentile(snap, 0.99)
         rows.append((
             name, summary["count"],
             format_value(name, summary.get("p50")),
@@ -125,8 +134,83 @@ def percentile_table(snapshot: dict,
             format_value(name, summary.get("p99")),
             format_value(name, summary.get("p99_9")),
             format_value(name, summary.get("max")),
+            exemplar["trace"] if exemplar else "-",
         ))
     return rows
+
+
+#: Span-record bookkeeping keys; everything else is a user field.
+_SPAN_META = ("trace", "span", "parent", "name", "start", "dur", "pid")
+
+
+def _span_fields(rec: dict) -> str:
+    """The user fields of one span record as ``k=v`` text (fan-in link
+    lists compress to a count)."""
+    parts = []
+    for key, value in rec.items():
+        if key in _SPAN_META:
+            continue
+        if key == "links":
+            parts.append(f"links={len(value)}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def trace_tree_lines(spans: Sequence[dict]) -> List[str]:
+    """One assembled trace (see :func:`repro.obs.trace.assemble`) as an
+    indented causal timing tree, one line per span: offset from the
+    trace's first span, duration, owning pid, trace id, and fields.
+    Spans whose parent is missing (roots, and children whose parent fell
+    off a wrapped ring) print at top level in start order — a coalesced
+    request typically shows its own root, the batch fan-in root, and
+    the worker-side subtree."""
+    if not spans:
+        return []
+    t0 = min(rec["start"] for rec in spans)
+    by_id = {rec["span"]: rec for rec in spans}
+    children: dict = {}
+    roots = []
+    for rec in spans:
+        parent = rec.get("parent")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(rec)
+        else:
+            roots.append(rec)
+    lines: List[str] = []
+
+    def walk(rec: dict, depth: int) -> None:
+        offset = (rec["start"] - t0) / 1e6
+        label = "  " * depth + rec["name"]
+        extras = _span_fields(rec)
+        lines.append(
+            f"{label:<36s} +{offset:8.3f}ms {format_ns(rec['dur']):>9s}"
+            f"  pid={rec['pid']}  trace={rec['trace']}"
+            + (f"  {extras}" if extras else ""))
+        for child in sorted(children.get(rec["span"], ()),
+                            key=lambda r: r["start"]):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=lambda r: r["start"]):
+        walk(root, 0)
+    return lines
+
+
+def to_chrome_trace(spans: Sequence[dict]) -> dict:
+    """The Chrome trace-event (``chrome://tracing`` / Perfetto) form of
+    an assembled trace: one complete (``ph: X``) event per span, wall
+    timestamps and durations in microseconds, grouped by owning pid."""
+    events = []
+    for rec in spans:
+        args = {k: v for k, v in rec.items() if k not in _SPAN_META}
+        args["trace"] = rec["trace"]
+        events.append({
+            "name": rec["name"], "ph": "X", "cat": "repro",
+            "ts": rec["start"] / 1000.0, "dur": rec["dur"] / 1000.0,
+            "pid": rec["pid"], "tid": rec["pid"],
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def event_lines(events: Sequence[dict], limit: int = 12) -> List[str]:

@@ -46,6 +46,7 @@ import time
 from typing import Optional
 
 from repro import obs
+from repro.obs import trace
 from repro.core.errors import (ReplicaStaleError, ReplicaUnavailableError,
                                WALCorruptionError)
 from repro.core.stats import Counters
@@ -130,16 +131,17 @@ class Replica:
         tier that holds because promotion happens for a *dead* primary
         under the shard's write lock, so the last logged frame is final.
         """
-        self.stop()
-        while True:
-            try:
-                if self._catch_up() == 0:
-                    break
-            except _HistoryTruncated:
-                self._bootstrap()
-        self._promoted = True
-        obs.inc("repl.promotions")
-        return self._index
+        with trace.span("replica.promote"):
+            self.stop()
+            while True:
+                try:
+                    if self._catch_up() == 0:
+                        break
+                except _HistoryTruncated:
+                    self._bootstrap()
+            self._promoted = True
+            obs.inc("repl.promotions")
+            return self._index
 
     # -- replay --------------------------------------------------------
 
@@ -237,7 +239,7 @@ class Replica:
             raise ReplicaStaleError(
                 f"staleness {self.staleness_s():.4f}s exceeds bound "
                 f"{max_staleness_s:.4f}s")
-        with self._lock.read():
+        with trace.span("replica.read"), self._lock.read():
             if self._applied_lsn < min_lsn:
                 raise ReplicaStaleError(
                     f"applied LSN {self._applied_lsn} behind required "

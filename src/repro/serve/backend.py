@@ -42,6 +42,7 @@ from repro.core.config import AlexConfig
 from repro.core.kernels import get_kernels
 from repro.core.policy import AdaptationPolicy
 from repro.core.stats import Counters
+from repro.obs import trace
 
 #: A scatter job against the current shared batch:
 #: ``(shard, method, lo, hi, extra_args)`` — the shard runs
@@ -119,6 +120,9 @@ SHARD_OPS = {
     # This process's metrics registry (workers return theirs over the
     # RPC pipe so the facade can merge a service-wide view).
     "obs_snapshot": lambda index: obs.snapshot(),
+    # This process's trace flight recorder, drained (snapshot + clear):
+    # repeated pulls ship each span exactly once.
+    "trace_drain": lambda index: trace.drain(),
 }
 
 
@@ -127,7 +131,9 @@ def run_shard_op(index: AlexIndex, method: str, *args):
     op = SHARD_OPS.get(method)
     if op is not None:
         return op(index, *args)
-    with obs.span("shard.op." + method):
+    # trace.span: a plain histogram span normally, a child span of the
+    # request's trace when the RPC frame carried a context over.
+    with trace.span("shard.op." + method):
         return getattr(index, method)(*args)
 
 
@@ -286,6 +292,13 @@ class ExecutionBackend(abc.ABC):
         would multiply every count by the shard fan-out when merged."""
         return []
 
+    def trace_snapshots(self) -> List[Optional[dict]]:
+        """Flight-recorder drains from every *other* process hosting
+        shards (primaries and replica workers).  Empty for in-process
+        backends — their spans commit straight into the facade's
+        recorder."""
+        return []
+
     def close(self) -> None:
         """Release executors, pools, workers, and shared segments."""
 
@@ -378,7 +391,10 @@ class ThreadBackend(ExecutionBackend):
         pool = self._executor() if len(tasks) > 1 else None
         if pool is None:
             return [task() for task in tasks]
-        futures = [pool.submit(task) for task in tasks]
+        # Pool threads don't inherit contextvars: re-bind each thunk to
+        # the caller's trace context so shard-op spans stay in the tree
+        # (trace.bound is the identity when the caller is untraced).
+        futures = [pool.submit(trace.bound(task)) for task in tasks]
         wait(futures)
         return [f.result() for f in futures]
 

@@ -43,7 +43,11 @@ batch call), ``ingress.request`` (enqueue → reply) — with
 achieved, the ``ingress.in_flight`` gauge the admission level, and
 ``ingress.requests`` / ``ingress.shed`` / ``ingress.batches`` counters
 totalling the traffic, so ``repro top`` can render the front door next
-to the backend it feeds.
+to the backend it feeds.  Each admitted request additionally roots a
+distributed trace (:mod:`repro.obs.trace`) when sampled; the coalesced
+batch gets its own fan-in span linking every member trace, and that
+batch context rides the facade call (and its RPC frames) so worker-side
+spans join the same causal tree.
 
 :class:`IngressRunner` wraps the ingress plus a dedicated event-loop
 thread for synchronous callers (benchmarks, the dashboard driver): it
@@ -63,6 +67,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro import obs
+from repro.obs import trace
 from repro.core.errors import KeyNotFoundError
 
 from .options import (READ_YOUR_WRITES, ReadOptions, WriteToken,
@@ -107,7 +112,7 @@ class _Request:
     flushed batch), its completion future, and its enqueue timestamp."""
 
     __slots__ = ("keys", "default", "strict", "single", "options",
-                 "future", "t0")
+                 "future", "t0", "root")
 
     def __init__(self, keys: List[float], default, strict: bool,
                  single: bool, options: Optional[ReadOptions],
@@ -123,6 +128,9 @@ class _Request:
         self.options = options
         self.future = future
         self.t0 = t0
+        #: The request's trace root span (None when unsampled/disabled);
+        #: opened at enqueue, finished at reply distribution.
+        self.root: Optional[trace.TracedSpan] = None
 
 
 class _Lane:
@@ -264,6 +272,11 @@ class AsyncIngress:
             lane = self._lanes[lane_name] = _Lane()
         request = _Request(keys, default, strict, single, opts,
                            loop.create_future(), time.perf_counter_ns())
+        # The trace is born here: one root span per client request,
+        # finished when its reply distributes.  Head sampling decides
+        # now; everything downstream inherits the decision.
+        request.root = trace.start("ingress.request", family=family,
+                                   keys=len(keys))
         lane.requests.append(request)
         lane.size += len(keys)
         if lane.size >= self.max_batch:
@@ -288,7 +301,30 @@ class AsyncIngress:
         total = sum(len(r.keys) for r in requests)
         obs.inc("ingress.batches")
         obs.observe("ingress.batch_size", total)
-        self._pool.submit(self._run_batch, lane_name, requests)
+        batch_root = self._batch_root(requests, lane_name, total)
+        self._pool.submit(self._run_batch, lane_name, requests,
+                          batch_root)
+
+    @staticmethod
+    def _batch_root(requests: List[_Request], lane_name,
+                    total: int) -> Optional[trace.TracedSpan]:
+        """The fan-in span for one coalesced batch: a fresh trace whose
+        ``links`` name every sampled member request's trace, while each
+        member root gets a ``batch`` pointer back — so
+        :func:`repro.obs.trace.assemble` can walk from a single request
+        to the batch that carried it and out to the worker spans (and
+        vice versa).  ``None`` when no member is traced."""
+        links = [r.root.ctx.trace_id for r in requests
+                 if r.root is not None]
+        if not links:
+            return None
+        root = trace.start("ingress.batch", force=True, record=False,
+                           family=lane_name[0], size=total, links=links)
+        if root is not None:
+            for r in requests:
+                if r.root is not None:
+                    r.root.fields["batch"] = root.ctx.trace_id
+        return root
 
     @staticmethod
     def _effective_options(
@@ -314,9 +350,13 @@ class AsyncIngress:
                                                 max_staleness_s=bound)
         return ReadOptions.replica_ok(max_staleness_s=bound)
 
-    def _run_batch(self, lane_name, requests: List[_Request]) -> None:
+    def _run_batch(self, lane_name, requests: List[_Request],
+                   batch_root: Optional[trace.TracedSpan] = None) -> None:
         """Drive one coalesced batch into the facade (pool thread) and
-        hand the results back to the loop for distribution."""
+        hand the results back to the loop for distribution.  The batch's
+        fan-in trace context is attached here — pool threads do not
+        inherit contextvars — so the facade call (and the RPC frames it
+        emits) joins the batch trace."""
         keys = np.concatenate([
             np.asarray(r.keys, dtype=np.float64) for r in requests])
         options = self._effective_options(requests)
@@ -324,15 +364,20 @@ class AsyncIngress:
         values = None
         start = time.perf_counter_ns()
         try:
-            if lane_name[0] == "get":
-                values = self.service.get_many(keys, default=MISSING,
-                                               options=options)
-            else:
-                values = self.service.contains_many(keys,
-                                                    options=options)
+            with trace.attach(batch_root.ctx if batch_root else None):
+                if lane_name[0] == "get":
+                    values = self.service.get_many(keys, default=MISSING,
+                                                   options=options)
+                else:
+                    values = self.service.contains_many(keys,
+                                                        options=options)
         except BaseException as exc:
             error = exc
         obs.record_ns("ingress.rpc", time.perf_counter_ns() - start)
+        if batch_root is not None:
+            if error is not None:
+                batch_root.fields["error"] = type(error).__name__
+            batch_root.finish()
         self._loop.call_soon_threadsafe(self._distribute, requests,
                                         values, error)
 
@@ -355,7 +400,14 @@ class AsyncIngress:
                         future.set_result(self._finish(request, span))
                     except KeyNotFoundError as exc:
                         future.set_exception(exc)
-            obs.record_ns("ingress.request", now - request.t0)
+            if request.root is not None:
+                # The root records the ingress.request histogram (and
+                # its exemplar) itself; no separate record_ns.
+                if error is not None:
+                    request.root.fields["error"] = type(error).__name__
+                request.root.finish()
+            else:
+                obs.record_ns("ingress.request", now - request.t0)
             self._release(len(request.keys))
 
     @staticmethod
@@ -418,12 +470,22 @@ class AsyncIngress:
         loop = self._bind_loop()
         await self._admit(n)
         obs.inc("ingress.requests", n)
+        root = trace.start("ingress.request", family="write", keys=n)
+        if root is not None:
+            inner, ctx = fn, root.ctx
+
+            def fn(*a):
+                with trace.attach(ctx):
+                    return inner(*a)
         start = time.perf_counter_ns()
         try:
             return await loop.run_in_executor(self._pool, fn, *args)
         finally:
-            obs.record_ns("ingress.request",
-                          time.perf_counter_ns() - start)
+            if root is not None:
+                root.finish()
+            else:
+                obs.record_ns("ingress.request",
+                              time.perf_counter_ns() - start)
             self._release(n)
 
     async def insert(self, key: float, payload=None) -> WriteToken:

@@ -60,6 +60,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro import obs
+from repro.obs import trace
 from repro.core.alex import AlexIndex
 from repro.core.batch import export_arrays
 from repro.core.config import AlexConfig
@@ -535,9 +536,10 @@ class ShardedAlexIndex:
         of the fallback (the primary is untouched either way)."""
         min_lsn, bound = self._replica_constraints(opts, shard)
         try:
-            return self._backend.replica_read(
-                shard, method, args, min_lsn=min_lsn,
-                max_staleness_s=bound)
+            with trace.span("serve.replica_read", shard=shard):
+                return self._backend.replica_read(
+                    shard, method, args, min_lsn=min_lsn,
+                    max_staleness_s=bound)
         except WorkerDiedError:
             obs.inc("serve.replica_deaths")
             obs.emit("replica.died", shard=shard)
@@ -583,11 +585,13 @@ class ShardedAlexIndex:
         if not (self._replicate and self._backend.has_replica(shard)):
             return False
         try:
-            # The primary appended its frames through a buffered file
-            # handle; make every acked byte visible to the replica's
-            # reader before it drains.
-            self._durability.shard_state(shard).wal.flush()
-            applied = self._backend.promote_replica(shard)
+            with trace.span("serve.promote", shard=shard):
+                # The primary appended its frames through a buffered file
+                # handle; make every acked byte visible to the replica's
+                # reader before it drains.
+                with trace.span("wal.flush"):
+                    self._durability.shard_state(shard).wal.flush()
+                applied = self._backend.promote_replica(shard)
         except Exception as exc:      # noqa: BLE001 - any failure → cold path
             obs.emit("replica.promote_failed", shard=shard,
                      error=type(exc).__name__)
@@ -767,7 +771,7 @@ class ShardedAlexIndex:
                 out[j] = payload
         return out
 
-    @obs.timed("serve.lookup_many")
+    @trace.traced("serve.lookup_many")
     def lookup_many(self, keys, *,
                     options: "ReadOptions | str | None" = None) -> list:
         """Batch lookup across shards; raises :class:`KeyNotFoundError`
@@ -782,7 +786,7 @@ class ShardedAlexIndex:
                                              options=options)
         return self._stitch(groups, results, [None] * len(skeys), order)
 
-    @obs.timed("serve.get_many")
+    @trace.traced("serve.get_many")
     def get_many(self, keys, default=None, *,
                  options: "ReadOptions | str | None" = None) -> list:
         """Batch :meth:`AlexIndex.get_many` across shards."""
@@ -793,7 +797,7 @@ class ShardedAlexIndex:
                                              options=options)
         return self._stitch(groups, results, [default] * len(skeys), order)
 
-    @obs.timed("serve.contains_many")
+    @trace.traced("serve.contains_many")
     def contains_many(self, keys, *,
                       options: "ReadOptions | str | None" = None
                       ) -> np.ndarray:
@@ -816,7 +820,7 @@ class ShardedAlexIndex:
     # Batch writes
     # ------------------------------------------------------------------
 
-    @obs.timed("serve.insert_many")
+    @trace.traced("serve.insert_many")
     def insert_many(self, keys,
                     payloads: Optional[list] = None) -> WriteToken:
         """Batch insert across shards, all-or-nothing.
@@ -881,7 +885,7 @@ class ShardedAlexIndex:
             finally:
                 self._release_shards(shard_ids, write=True)
 
-    @obs.timed("serve.delete_many")
+    @trace.traced("serve.delete_many")
     def delete_many(self, keys) -> WriteToken:
         """Batch delete across shards, all-or-nothing.
 
@@ -932,7 +936,7 @@ class ShardedAlexIndex:
             finally:
                 self._release_shards(shard_ids, write=True)
 
-    @obs.timed("serve.erase_many")
+    @trace.traced("serve.erase_many")
     def erase_many(self, keys) -> int:
         """Like :meth:`delete_many` but absent keys are skipped; returns
         the number of keys removed across all shards.
@@ -1011,7 +1015,7 @@ class ShardedAlexIndex:
                 self._maybe_checkpoint(s)
                 return self._token({s: lsn} if lsn else {})
 
-    @obs.timed("serve.insert")
+    @trace.traced("serve.insert")
     def insert(self, key: float, payload=None) -> WriteToken:
         """Insert one key (exclusive lock on its shard only).  Returns
         the write's :class:`WriteToken` (see :meth:`insert_many`)."""
@@ -1019,27 +1023,27 @@ class ShardedAlexIndex:
         return self._scalar_write(key, "insert", (key, payload), OP_INSERT,
                                   [payload])
 
-    @obs.timed("serve.delete")
+    @trace.traced("serve.delete")
     def delete(self, key: float) -> WriteToken:
         """Remove one key; raises :class:`KeyNotFoundError` when absent."""
         key = float(key)
         return self._scalar_write(key, "delete", (key,), OP_DELETE)
 
-    @obs.timed("serve.update")
+    @trace.traced("serve.update")
     def update(self, key: float, payload) -> WriteToken:
         """Replace the payload of an existing key."""
         key = float(key)
         return self._scalar_write(key, "update", (key, payload), OP_UPSERT,
                                   [payload])
 
-    @obs.timed("serve.upsert")
+    @trace.traced("serve.upsert")
     def upsert(self, key: float, payload) -> WriteToken:
         """Insert or update one key."""
         key = float(key)
         return self._scalar_write(key, "upsert", (key, payload), OP_UPSERT,
                                   [payload])
 
-    @obs.timed("serve.lookup")
+    @trace.traced("serve.lookup")
     def lookup(self, key: float, *,
                options: "ReadOptions | str | None" = None):
         """Single-key lookup on the owning shard — shared-lock on the
@@ -1056,7 +1060,7 @@ class ShardedAlexIndex:
         except KeyNotFoundError:
             return default
 
-    @obs.timed("serve.contains")
+    @trace.traced("serve.contains")
     def contains(self, key: float, *,
                  options: "ReadOptions | str | None" = None) -> bool:
         """Whether ``key`` is present."""
@@ -1086,7 +1090,7 @@ class ShardedAlexIndex:
     # Range operations
     # ------------------------------------------------------------------
 
-    @obs.timed("serve.range_scan")
+    @trace.traced("serve.range_scan")
     def range_scan(self, start_key: float, limit: int, *,
                    options: "ReadOptions | str | None" = None) -> list:
         """Up to ``limit`` pairs with key >= ``start_key``, in key order,
@@ -1118,7 +1122,7 @@ class ShardedAlexIndex:
                     break
         return out
 
-    @obs.timed("serve.range_query")
+    @trace.traced("serve.range_query")
     def range_query(self, lo: float, hi: float, *,
                     options: "ReadOptions | str | None" = None) -> list:
         """All pairs with ``lo <= key <= hi``, scatter-gathered from the
@@ -1162,7 +1166,7 @@ class ShardedAlexIndex:
             out.extend(chunk)
         return out
 
-    @obs.timed("serve.range_query_many")
+    @trace.traced("serve.range_query_many")
     def range_query_many(self, los, his, *,
                          options: "ReadOptions | str | None" = None
                          ) -> list:
@@ -1499,6 +1503,20 @@ class ShardedAlexIndex:
             "replication": replication,
             "backend": self._backend.name,
         }
+
+    def trace_snapshot(self) -> dict:
+        """The service-wide trace view: drains every worker process's
+        flight recorder into this process's (the thread backend records
+        straight into the facade's, so it contributes nothing extra) and
+        returns the merged snapshot.  Worker spans ship exactly once —
+        the drain clears the worker-side buffer — so repeated calls see
+        each span in exactly one snapshot; the facade recorder retains
+        its bounded window across calls."""
+        with self._structure_lock.read():
+            for snap in self._backend.trace_snapshots():
+                if snap:
+                    trace.absorb(snap)
+        return trace.snapshot()
 
     def __len__(self) -> int:
         return sum(self._map_shards("num_keys"))

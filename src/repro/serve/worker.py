@@ -24,7 +24,7 @@ RPC discipline (the open-loop serving rework)
 
 Every frame carries a **request id**, and each worker keeps **multiple
 requests in flight** (bounded by a per-worker admission semaphore,
-``max_inflight``): the parent sends ``(req_id, op, ...)`` without
+``max_inflight``): the parent sends ``(req_id, tctx, op, ...)`` without
 waiting, and a dedicated *reply-reader thread per worker* demultiplexes
 ``(req_id, status, value)`` replies to per-request futures, so requests
 issued by different client threads complete **out of order** relative to
@@ -67,6 +67,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.alex import AlexIndex
+from repro.obs import trace
 from repro.core.batch import export_arrays
 from repro.core.config import AlexConfig
 from repro.core.kernels import get_kernels
@@ -118,9 +119,13 @@ def _worker_main(conn, config: AlexConfig, policy: AdaptationPolicy,
                  replica_root: Optional[str] = None) -> None:
     """One shard's RPC loop (the spawn target; runs until ``close``).
 
-    Every request frame is ``(req_id, op, ...)`` and every reply echoes
-    the id: ``(req_id, "ok", result)`` / ``(req_id, "err", exc)`` over
-    the pipe, or ``(req_id, "shm", descriptor)`` when the result column
+    Every request frame is ``(req_id, tctx, op, ...)`` — ``tctx`` the
+    sender's trace context in wire form (``None`` for untraced
+    requests), installed as this dispatch's ambient context so every
+    span the op records (shard-op, replica-read, WAL, checkpoint) joins
+    the request's cross-process tree — and every reply echoes the id:
+    ``(req_id, "ok", result)`` / ``(req_id, "err", exc)`` over the
+    pipe, or ``(req_id, "shm", descriptor)`` when the result column
     went through the reply ring, or ``(req_id, "nones", n)`` for an
     all-``None`` payload list (nothing worth shipping either way).
     Requests execute strictly in arrival order — the pipelining lives in
@@ -169,61 +174,66 @@ def _worker_main(conn, config: AlexConfig, policy: AdaptationPolicy,
             message = conn.recv()
         except (EOFError, OSError):  # parent died; daemon exit
             break
-        req_id, op = message[0], message[1]
-        try:
-            if op == "load":
-                view, seed = message[2], message[3]
-                keys, payloads = view.unpack(copy=True)
-                view.close()
-                index = build_shard(keys, payloads, config, policy)
-                if seed is not None:
-                    index.counters.merge(seed)
-                reply = (req_id, "ok", None)
-            elif op == "call":
-                method, args = message[2], message[3]
-                reply = (req_id, "ok", run_shard_op(index, method, *args))
-            elif op == "batch":
-                handle, method, lo, hi, extra = message[2:]
-                try:
-                    batch = handle.array()[lo:hi]
-                    if method in _MUTATING_BATCH_METHODS:
-                        batch = batch.copy()
-                    result = run_shard_op(index, method, batch, *extra)
-                finally:
-                    # Unmap even when the method raises (e.g. a missing
-                    # key in lookup_many) — a stale mapping would outlive
-                    # the parent's unlink.
-                    handle.close()
-                reply = (req_id, "ok", result)
-            elif op == "ibatch":
-                # The sub-batch arrived by value inside the frame, so
-                # this process owns it outright — no segment to unmap,
-                # and mutating methods need no defensive copy.
-                method, sub, extra = message[2:]
-                reply = (req_id, "ok",
-                         run_shard_op(index, method, sub, *extra))
-            elif op == "snapshot":
-                view = ShardStorageView.pack(*export_arrays(index))
-                view.close()
-                reply = (req_id, "ok", view)
-            elif op == "rread":
-                method, args, min_lsn, max_staleness_s = message[2:]
-                reply = (req_id, "ok",
-                         replica.read(method, args, min_lsn=min_lsn,
-                                      max_staleness_s=max_staleness_s))
-            elif op == "rstatus":
-                reply = (req_id, "ok", replica.status())
-            elif op == "promote":
-                index = replica.promote()
-                reply = (req_id, "ok", replica.applied_lsn)
-                replica = None
-            elif op == "close":
-                conn.send((req_id, "ok", None))
-                break
-            else:
-                raise ValueError(f"unknown worker op {op!r}")
-        except BaseException as exc:
-            reply = (req_id, "err", exc)
+        req_id, tctx, op = message[0], message[1], message[2]
+        # The frame's trace context (None for untraced requests) becomes
+        # ambient for the dispatch, so spans recorded inside the op land
+        # in the originating request's cross-process tree.
+        with trace.attach(tctx):
+            try:
+                if op == "load":
+                    view, seed = message[3], message[4]
+                    keys, payloads = view.unpack(copy=True)
+                    view.close()
+                    index = build_shard(keys, payloads, config, policy)
+                    if seed is not None:
+                        index.counters.merge(seed)
+                    reply = (req_id, "ok", None)
+                elif op == "call":
+                    method, args = message[3], message[4]
+                    reply = (req_id, "ok",
+                             run_shard_op(index, method, *args))
+                elif op == "batch":
+                    handle, method, lo, hi, extra = message[3:]
+                    try:
+                        batch = handle.array()[lo:hi]
+                        if method in _MUTATING_BATCH_METHODS:
+                            batch = batch.copy()
+                        result = run_shard_op(index, method, batch, *extra)
+                    finally:
+                        # Unmap even when the method raises (e.g. a
+                        # missing key in lookup_many) — a stale mapping
+                        # would outlive the parent's unlink.
+                        handle.close()
+                    reply = (req_id, "ok", result)
+                elif op == "ibatch":
+                    # The sub-batch arrived by value inside the frame, so
+                    # this process owns it outright — no segment to
+                    # unmap, and mutating methods need no defensive copy.
+                    method, sub, extra = message[3:]
+                    reply = (req_id, "ok",
+                             run_shard_op(index, method, sub, *extra))
+                elif op == "snapshot":
+                    view = ShardStorageView.pack(*export_arrays(index))
+                    view.close()
+                    reply = (req_id, "ok", view)
+                elif op == "rread":
+                    method, args, min_lsn, max_staleness_s = message[3:]
+                    reply = (req_id, "ok",
+                             replica.read(method, args, min_lsn=min_lsn,
+                                          max_staleness_s=max_staleness_s))
+                elif op == "rstatus":
+                    reply = (req_id, "ok", replica.status())
+                elif op == "promote":
+                    index = replica.promote()
+                    reply = (req_id, "ok", replica.applied_lsn)
+                    replica = None
+                elif op == "close":
+                    conn.send((req_id, "ok", None))
+                    break
+                else:
+                    raise ValueError(f"unknown worker op {op!r}")
+            except BaseException as exc:
+                reply = (req_id, "err", exc)
         conn.send(_encode_worker_reply(reply, ring))
     if replica is not None:
         replica.stop()
@@ -504,10 +514,12 @@ class ProcessBackend(ExecutionBackend):
         Acquires an in-flight slot (the per-worker admission budget —
         this is where backpressure blocks), registers the future, and
         pushes the frame down the pipe; the reply-reader settles the
-        future whenever the worker gets to it.  ``blob`` carries a
-        pre-pickled frame (fan-out paths pickle before sending anything
-        so an unpicklable argument aborts with zero requests in flight);
-        it must be the pickling of ``(req_id,) + body`` for the
+        future whenever the worker gets to it.  The caller's trace
+        context (or ``None``) rides in frame slot 1, so worker-side
+        spans join the request's tree.  ``blob`` carries a pre-pickled
+        frame (fan-out paths pickle before sending anything so an
+        unpicklable argument aborts with zero requests in flight); it
+        must be the pickling of ``(req_id, tctx) + body`` for the
         ``req_id`` just allocated, so plain submits leave it ``None``.
         """
         with obs.span("rpc.inflight_wait"):
@@ -516,7 +528,7 @@ class ProcessBackend(ExecutionBackend):
         try:
             with worker.send_lock:
                 if blob is None:
-                    worker.conn.send((req_id,) + body)
+                    worker.conn.send((req_id, trace.wire()) + body)
                 else:
                     worker.conn.send_bytes(blob)
         except (BrokenPipeError, OSError) as exc:
@@ -532,7 +544,7 @@ class ProcessBackend(ExecutionBackend):
 
     def _request(self, worker: _WorkerHandle, body: tuple):
         """One submit + wait (raises what the worker raised)."""
-        with obs.span("rpc.roundtrip"):
+        with trace.span("rpc.roundtrip"):
             return self._submit(worker, body).result()
 
     def _multi(self, messages: Sequence[Tuple[int, tuple]]) -> list:
@@ -552,7 +564,8 @@ class ProcessBackend(ExecutionBackend):
         dies mid-fan-out becomes an error *result* (its reader fails the
         future) while the surviving workers' replies still settle.
         """
-        with obs.span("rpc.fanout"):
+        with trace.span("rpc.fanout"):
+            tctx = trace.wire()  # one context stamps every frame
             futures = []
             for shard, body in messages:
                 worker = self._workers[shard]
@@ -562,7 +575,7 @@ class ProcessBackend(ExecutionBackend):
                     worker.inflight.acquire()
                 req_id, future = worker.register()
                 try:
-                    blob = ForkingPickler.dumps((req_id,) + body)
+                    blob = ForkingPickler.dumps((req_id, tctx) + body)
                 except BaseException:
                     if worker.unregister(req_id) is not None:
                         worker.inflight.release()
@@ -736,15 +749,57 @@ class ProcessBackend(ExecutionBackend):
     def counters(self, shard: int) -> Counters:
         return self.call(shard, "counters_snapshot")
 
+    @staticmethod
+    def _tag_replica_snapshot(snap: Optional[dict],
+                              shard: int) -> Optional[dict]:
+        """Prefix a replica worker's metric names with
+        ``replica.shardN.`` so its registry merges into the service view
+        without colliding with (and silently inflating) the primary's
+        identically named metrics.  Events pass through untouched — they
+        interleave by timestamp and carry their own fields."""
+        if snap is None:
+            return None
+        prefix = f"replica.shard{shard}."
+        tagged = dict(snap)
+        for table in ("counters", "gauges", "histograms"):
+            tagged[table] = {prefix + name: value
+                             for name, value in snap.get(table,
+                                                         {}).items()}
+        return tagged
+
     def obs_snapshots(self) -> list:
         """Every worker's metrics-registry snapshot (``None`` for a dead
         worker — metrics gathering must never trip crash repair).
-        Replica workers' registries ride along after the primaries' so
-        ``repl.*`` replay counters reach the merged service view."""
+        Replica workers' registries ride along after the primaries',
+        tagged ``replica.shardN.*``, so replica-side replay counters and
+        read latencies reach the merged service view under their own
+        names."""
         snapshots = []
         for shard in range(len(self._workers)):
             try:
                 snapshots.append(self.call(shard, "obs_snapshot"))
+            except Exception:
+                snapshots.append(None)
+        for shard, worker in enumerate(self._replica_workers):
+            if worker is None:
+                continue
+            try:
+                snapshots.append(self._tag_replica_snapshot(
+                    self._request(worker, ("call", "obs_snapshot", ())),
+                    shard))
+            except Exception:
+                snapshots.append(None)
+        return snapshots
+
+    def trace_snapshots(self) -> list:
+        """Every worker's flight-recorder drain (primaries then replica
+        workers; ``None`` for a dead worker — trace gathering must never
+        trip crash repair).  Drains, not snapshots: each span ships to
+        the facade exactly once."""
+        snapshots = []
+        for shard in range(len(self._workers)):
+            try:
+                snapshots.append(self.call(shard, "trace_drain"))
             except Exception:
                 snapshots.append(None)
         for worker in self._replica_workers:
@@ -752,7 +807,7 @@ class ProcessBackend(ExecutionBackend):
                 continue
             try:
                 snapshots.append(
-                    self._request(worker, ("call", "obs_snapshot", ())))
+                    self._request(worker, ("call", "trace_drain", ())))
             except Exception:
                 snapshots.append(None)
         return snapshots

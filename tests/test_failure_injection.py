@@ -16,6 +16,7 @@ from repro.core.alex import AlexIndex
 from repro.core.config import ga_armi, ga_srmi
 from repro.core.data_node import GAP_SENTINEL
 from repro.core.errors import DuplicateKeyError, KeyNotFoundError
+from repro import obs
 from repro.core.rmi import InnerNode
 
 
@@ -282,10 +283,14 @@ class TestReplicaFailover:
             def delta(name):
                 return counters.get(name, 0) - base.get(name, 0)
 
-            assert delta("serve.replica_promotions") >= 1
-            # The replica path served the crash — the cold
-            # checkpoint-replay respawn never ran.
-            assert delta("serve.worker_respawns") == 0
+            if obs.enabled():
+                # Counters only record with the obs layer on (the
+                # REPRO_OBS=off suite still proves failover worked via
+                # the functional asserts below).
+                assert delta("serve.replica_promotions") >= 1
+                # The replica path served the crash — the cold
+                # checkpoint-replay respawn never ran.
+                assert delta("serve.worker_respawns") == 0
             # Every acked write is readable, including under the
             # strictest consistency the API offers.
             opts = ReadOptions.read_your_writes(service.write_token())

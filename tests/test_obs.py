@@ -171,6 +171,47 @@ def test_merge_percentiles_match_pooled_data():
         assert abs(obs.bucket_index(got) - obs.bucket_index(exact)) <= 1
 
 
+def _exemplar_snapshot(seed: int) -> dict:
+    """A registry snapshot whose histograms carry exemplars (what a
+    traced process ships), for the merge-algebra properties."""
+    rng = random.Random(seed)
+    registry = obs.MetricsRegistry()
+    for _ in range(40):
+        hist = registry.histogram(rng.choice("hk"))
+        value = rng.randint(1, 10 ** 8)
+        hist.record(value)
+        hist.note_exemplar(value, "%016x" % rng.getrandbits(64))
+    return registry.snapshot()
+
+
+def test_merge_exemplars_associative_and_identity():
+    a, b, c = (_exemplar_snapshot(s) for s in (11, 12, 13))
+    left = obs.merge_snapshots(obs.merge_snapshots(a, b), c)
+    right = obs.merge_snapshots(a, obs.merge_snapshots(b, c))
+    assert left == right
+    # Identity holds with exemplars aboard (the key stays absent on the
+    # empty side, so quiescent snapshots keep the pre-exemplar shape).
+    assert obs.merge_snapshots(empty_snapshot(), a) == \
+        obs.merge_snapshots(a, empty_snapshot())
+    assert "exemplars" not in empty_snapshot().get("histograms", {})
+
+
+def test_merge_exemplars_last_writer_wins_per_bucket():
+    ha, hb = obs.LatencyHistogram(), obs.LatencyHistogram()
+    ha.record(1000.0)
+    ha.note_exemplar(1000.0, "a" * 16)
+    ha.record(5e8)
+    ha.note_exemplar(5e8, "old-slow-trace00")
+    hb.record(999.0)  # same bucket as ha's first observation
+    hb.note_exemplar(999.0, "b" * 16)
+    from repro.obs.metrics import _merge_histogram
+    merged = _merge_histogram(ha.snapshot(), hb.snapshot())
+    exemplars = {trace for trace, _ in merged["exemplars"].values()}
+    # Shared bucket: b's exemplar replaced a's; a's solo bucket stays.
+    assert exemplars == {"b" * 16, "old-slow-trace00"}
+    assert merged["count"] == 3
+
+
 # ---------------------------------------------------------------------------
 # Kill switch
 # ---------------------------------------------------------------------------
@@ -262,6 +303,56 @@ def test_metrics_snapshot_service_wide(backend, obs_on):
         assert "rpc.roundtrip" in names or "rpc.fanout" in names
         assert "core.lookup_many" in names
         assert "shard.op.lookup_many" in names
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_replica_metrics_reach_the_service_snapshot(backend, obs_on,
+                                                    tmp_path):
+    """With replication on, the replicas' replay counters surface in
+    the merged view: the thread backend's in-process replicas record
+    straight into the facade registry (``repl.*``), while a process
+    backend's replica workers ship their own registries, tagged
+    ``replica.shardN.*`` so they never inflate the primaries'."""
+    keys = np.arange(2000, dtype=np.float64)
+    service = ShardedAlexIndex.bulk_load(
+        keys, num_shards=2, backend=backend,
+        durability_dir=str(tmp_path / "dur"), fsync="batch",
+        replicate=True)
+    try:
+        service.insert_many(5e3 + np.arange(64, dtype=np.float64))
+        merged = service.metrics_snapshot()["merged"]
+    finally:
+        service.close()
+    counters = set(merged["counters"])
+    if backend == "thread":
+        assert "repl.bootstraps" in counters
+        assert not any(n.startswith("replica.shard") for n in counters)
+    else:
+        tagged = {n for n in counters if n.startswith("replica.shard")}
+        # Both shards' replica workers report, under their own prefix.
+        assert any(n.startswith("replica.shard0.repl.") for n in tagged)
+        assert any(n.startswith("replica.shard1.repl.") for n in tagged)
+
+
+def test_event_ring_capacity_env_and_drop_counter(monkeypatch):
+    from repro.obs import events as events_mod
+
+    monkeypatch.setenv(events_mod.ENV_VAR, "4")
+    registry = obs.MetricsRegistry()
+    assert registry.events.limit == 4
+    for i in range(10):
+        registry.events.emit("ev", i=i)
+    log = registry.events.snapshot()
+    # The ring kept the newest four and counted what it evicted...
+    assert [e["i"] for e in log] == [6, 7, 8, 9]
+    assert registry.events.dropped == 6
+    # ...and the tally surfaces as a synthetic counter in snapshots.
+    assert registry.snapshot()["counters"]["obs.events_dropped"] == 6
+    # Garbage and absent values fall back to the default capacity.
+    monkeypatch.setenv(events_mod.ENV_VAR, "not-a-number")
+    assert events_mod.EventLog().limit == events_mod.EVENT_LIMIT
+    monkeypatch.delenv(events_mod.ENV_VAR)
+    assert events_mod.EventLog().limit == events_mod.EVENT_LIMIT
 
 
 def test_policy_decisions_land_in_event_log(obs_on):
